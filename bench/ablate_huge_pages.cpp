@@ -1,0 +1,103 @@
+// Ablation: split-on-promotion (the paper's choice, §3.4) vs whole-chunk
+// huge-page promotion (Memtis-style page-size determination).
+//
+// Two access shapes expose the trade:
+//   dense   the hot set fills whole 2 MB chunks — chunk promotion keeps
+//           huge mappings (TLB coverage) at no capacity cost
+//   sparse  hot pages are scattered (scrambled Zipfian) — chunk promotion
+//           hauls each chunk's cold tail into fast memory, squeezing a
+//           co-located workload ("memory wastage", §3.4)
+#include <vulcan/vulcan.hpp>
+
+#include "bench_util.hpp"
+
+using namespace vulcan;
+
+namespace {
+
+std::unique_ptr<wl::Workload> primary(bool dense, std::uint64_t seed) {
+  wl::MicrobenchWorkload::Params p;
+  p.rss_pages = 16'384;
+  p.wss_pages = dense ? 3072 : 16'384;  // sparse: hot pages scattered
+  p.zipf_theta = dense ? 0.2 : 0.99;
+  p.write_ratio = 0.1;
+  p.access_rate_per_thread = 3e6;
+  p.seed = seed;
+  return std::make_unique<wl::MicrobenchWorkload>(p);
+}
+
+std::unique_ptr<wl::Workload> neighbour(std::uint64_t seed) {
+  wl::MicrobenchWorkload::Params p;
+  p.rss_pages = 8192;
+  p.wss_pages = 4096;
+  p.access_rate_per_thread = 1e6;
+  p.seed = seed;
+  return std::make_unique<wl::MicrobenchWorkload>(p);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::header("Ablation — split-on-promotion vs whole-chunk promotion",
+                "paper §3.4 huge-page design choice");
+  const unsigned epochs = argc > 1 ? std::atoi(argv[1]) : 120;
+  bench::CsvSink csv("ablate_huge_pages",
+                     "shape,mode,primary_perf,primary_fthr,huge_chunks,"
+                     "neighbour_fthr,fast_used");
+
+  std::printf("%-8s %-8s | %16s | %6s | %14s | %10s\n", "shape", "mode",
+              "primary perf/FTHR", "huge", "neighbour FTHR", "fast used");
+  struct Mode { const char* name; bool chunk; double density; };
+  constexpr Mode kModes[] = {
+      {"split", false, 0.0},
+      {"chunk-.7", true, 0.70},   // Vulcan-style: only dense chunks
+      {"chunk-.3", true, 0.30},   // aggressive page-size policy
+  };
+  for (const bool dense : {true, false}) {
+    for (const Mode& mode_cfg : kModes) {
+      core::VulcanManager::Params params;
+      params.enable_chunk_promotion = mode_cfg.chunk;
+      if (mode_cfg.chunk) params.chunk_promotion_density = mode_cfg.density;
+      runtime::TieredSystem::Config cfg;
+      cfg.seed = 19;
+      // A tight fast tier (6144 pages) keeps the two workloads contended.
+      cfg.machine.fast_bytes = 6144 * sim::kPageSize;
+      cfg.thp = false;
+      cfg.profiler = runtime::ProfilerKind::kPtScan;  // full coverage
+      runtime::TieredSystem sys(
+          cfg, std::make_unique<core::VulcanManager>(params));
+      sys.add_workload(primary(dense, 1));
+      sys.add_workload(neighbour(2));
+      sys.prefault(0, 0, 1);  // primary starts all-slow
+      sys.run_epochs(epochs);
+
+      unsigned huge = 0;
+      auto& as = sys.address_space(0);
+      for (std::uint64_t c = 0; c * 512 < as.rss_pages(); ++c) {
+        huge += as.is_huge(as.vpn_at(c * 512));
+      }
+      const auto& m = sys.metrics();
+      const std::size_t from = epochs / 2;
+      const double pp = m.mean_performance(0, from);
+      const double pf = m.mean_fthr(0, from);
+      const double nf = m.mean_fthr(1, from);
+      const auto fast_used = as.pages_in_tier(mem::kFastTier);
+      const char* shape = dense ? "dense" : "sparse";
+      const char* mode = mode_cfg.name;
+      std::printf("%-8s %-8s |   %5.3f / %-6.3f | %6u | %14.3f | %10llu\n",
+                  shape, mode, pp, pf, huge, nf,
+                  (unsigned long long)fast_used);
+      csv.row("%s,%s,%.4f,%.4f,%u,%.4f,%llu", shape, mode, pp, pf, huge, nf,
+              (unsigned long long)fast_used);
+    }
+  }
+
+  std::printf(
+      "\nreading: dense hot sets get whole-chunk promotion + collapse (huge\n"
+      "mappings, TLB coverage) while scattered hot sets never qualify —\n"
+      "the density threshold and the 512-page headroom gate are what stop\n"
+      "the 'memory wastage' §3.4 warns about: no cold tails are hauled\n"
+      "into the fast tier, so the neighbour's FTHR and the primary's\n"
+      "footprint are identical across modes for sparse shapes.\n");
+  return 0;
+}

@@ -1,0 +1,47 @@
+// Shared helpers for the figure-reproduction harnesses: aligned table
+// printing and CSV capture next to the binary.
+#pragma once
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace vulcan::bench {
+
+/// Accumulates rows and writes them as `<name>.csv` in the working
+/// directory, while the harness prints a human-readable table.
+class CsvSink {
+ public:
+  explicit CsvSink(std::string name, std::string header)
+      : path_(std::move(name) + ".csv") {
+    rows_.push_back(std::move(header));
+  }
+
+  template <typename... Args>
+  void row(const char* fmt, Args... args) {
+    char buf[512];
+    std::snprintf(buf, sizeof(buf), fmt, args...);
+    rows_.emplace_back(buf);
+  }
+
+  ~CsvSink() {
+    std::ofstream out(path_);
+    for (const auto& r : rows_) out << r << '\n';
+    std::fprintf(stderr, "[csv] wrote %s (%zu rows)\n", path_.c_str(),
+                 rows_.size() - 1);
+  }
+
+ private:
+  std::string path_;
+  std::vector<std::string> rows_;
+};
+
+inline void header(const char* title, const char* paper_ref) {
+  std::printf("==============================================================\n");
+  std::printf("%s\n", title);
+  std::printf("reproduces: %s\n", paper_ref);
+  std::printf("==============================================================\n\n");
+}
+
+}  // namespace vulcan::bench

@@ -1,0 +1,55 @@
+// Figure 7: speedup of Vulcan's migration-mechanism optimisations over the
+// baseline kernel path, across migration batch sizes.
+//
+// Paper anchors: up to 3.44x from optimised preparation alone and 4.06x
+// with targeted TLB shootdowns added, for 2-page migrations; gains shrink
+// as page copying dominates larger batches.
+#include <vulcan/vulcan.hpp>
+
+#include "bench_util.hpp"
+
+using namespace vulcan;
+
+int main() {
+  bench::header("Fig. 7 — migration mechanism optimisation speedups",
+                "paper §5.2 'Migration Mechanism' (Fig. 7)");
+
+  sim::CostModel cost;
+  // The microbench setting: 32 CPUs online, the migrating process runs 8
+  // threads, and per-thread page tables prove ~1 sharer for most pages.
+  const unsigned kProcessRemote = 7;
+  const unsigned kSharerRemote = 1;
+  mig::MigrationMechanism baseline(cost, {.online_cpus = 32});
+  mig::MigrationMechanism prep_opt(
+      cost, {.optimized_prep = true, .online_cpus = 32});
+  mig::MigrationMechanism both(cost, {.optimized_prep = true,
+                                      .targeted_shootdown = true,
+                                      .online_cpus = 32});
+
+  bench::CsvSink csv("fig7_mechanism_speedup",
+                     "pages,baseline_cycles,prep_opt_cycles,both_cycles,"
+                     "speedup_prep,speedup_both");
+
+  std::printf("%7s %14s %14s %14s %11s %11s\n", "pages", "baseline",
+              "prep-opt", "prep+tlb", "speedup-1", "speedup-2");
+  for (std::uint64_t pages : {2ull, 4ull, 8ull, 16ull, 32ull, 64ull, 128ull,
+                              256ull, 512ull}) {
+    const auto b = baseline.batch(pages, kProcessRemote, kSharerRemote);
+    const auto o1 = prep_opt.batch(pages, kProcessRemote, kSharerRemote);
+    const auto o2 = both.batch(pages, kProcessRemote, kSharerRemote);
+    const double s1 = static_cast<double>(b.total()) / o1.total();
+    const double s2 = static_cast<double>(b.total()) / o2.total();
+    std::printf("%7llu %14llu %14llu %14llu %10.2fx %10.2fx\n",
+                (unsigned long long)pages, (unsigned long long)b.total(),
+                (unsigned long long)o1.total(), (unsigned long long)o2.total(),
+                s1, s2);
+    csv.row("%llu,%llu,%llu,%llu,%.3f,%.3f", (unsigned long long)pages,
+            (unsigned long long)b.total(), (unsigned long long)o1.total(),
+            (unsigned long long)o2.total(), s1, s2);
+  }
+
+  std::printf(
+      "\npaper anchors: up to 3.44x (prep opt) and 4.06x (both) at 2 pages,\n"
+      "declining toward 1x as page copying dominates large batches.\n");
+  return 0;
+}

@@ -1,0 +1,85 @@
+// Replication overhead study (the paper's Fig. 6 design argument, §3.4):
+// per-thread page-table schemes compared on memory footprint and
+// maintenance writes as thread count grows.
+//
+//   process-wide   one tree, broadcast shootdowns          (vanilla)
+//   shared-leaves  per-thread uppers, shared last level    (Vulcan)
+//   full-replica   complete private trees per thread       (RadixVM-style)
+//
+// The paper's claim: last-level tables are the majority of page-table
+// memory, so Vulcan gets targeted shootdowns at a small fraction of full
+// replication's cost.
+#include <vulcan/vulcan.hpp>
+
+#include "bench_util.hpp"
+
+using namespace vulcan;
+
+namespace {
+
+struct Sample {
+  std::uint64_t nodes;       // 4 KB page-table nodes
+  std::uint64_t write_ops;   // PTE maintenance writes
+};
+
+Sample measure(vm::ReplicationMode mode, unsigned threads,
+               std::uint64_t pages) {
+  vm::ReplicatedPageTable rpt(mode);
+  for (unsigned t = 0; t < threads; ++t) rpt.add_thread();
+  for (vm::Vpn v = 0; v < pages; ++v) {
+    rpt.map(v, vm::Pte::make(v, true,
+                             static_cast<vm::ThreadId>(v % threads)));
+  }
+  // A round of accesses: ownership transitions force PTE updates.
+  sim::Rng rng(7);
+  for (int i = 0; i < 20'000; ++i) {
+    rpt.record_access(rng.below(pages),
+                      static_cast<vm::ThreadId>(rng.below(threads)),
+                      rng.chance(0.2));
+  }
+  return {rpt.total_nodes(), rpt.pte_write_ops()};
+}
+
+}  // namespace
+
+int main() {
+  bench::header("Replication overhead — page-table schemes vs thread count",
+                "paper §3.4 / Fig. 6 design argument");
+  bench::CsvSink csv("replication_overhead",
+                     "threads,mode,nodes,table_kib,write_ops");
+
+  constexpr std::uint64_t kPages = 32'768;  // 128 MB mapped (64 leaves/GB)
+  std::printf("mapped region: %llu pages (%llu MB)\n\n",
+              (unsigned long long)kPages,
+              (unsigned long long)(kPages * 4 / 1024));
+  std::printf("%8s | %26s | %26s | %26s\n", "threads",
+              "process-wide KiB/writes", "shared-leaves KiB/writes",
+              "full-replica KiB/writes");
+  for (unsigned threads : {1u, 2u, 4u, 8u, 16u, 32u}) {
+    std::printf("%8u |", threads);
+    for (const auto mode :
+         {vm::ReplicationMode::kProcessWide,
+          vm::ReplicationMode::kSharedLeaves,
+          vm::ReplicationMode::kFullReplica}) {
+      const Sample s = measure(mode, threads, kPages);
+      const std::uint64_t kib = s.nodes * 4;
+      std::printf("   %10llu / %-9llu |", (unsigned long long)kib,
+                  (unsigned long long)s.write_ops);
+      const char* name =
+          mode == vm::ReplicationMode::kProcessWide    ? "process-wide"
+          : mode == vm::ReplicationMode::kSharedLeaves ? "shared-leaves"
+                                                       : "full-replica";
+      csv.row("%u,%s,%llu,%llu,%llu", threads, name,
+              (unsigned long long)s.nodes, (unsigned long long)kib,
+              (unsigned long long)s.write_ops);
+    }
+    std::printf("\n");
+  }
+
+  std::printf(
+      "\nreading: shared-leaves tracks process-wide closely (only the small\n"
+      "upper levels replicate) while full replication scales its footprint\n"
+      "and write traffic with the thread count — the reason Vulcan shares\n"
+      "last-level tables (Fig. 6) instead of replicating everything.\n");
+  return 0;
+}

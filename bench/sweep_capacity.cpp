@@ -1,0 +1,91 @@
+// Sensitivity sweep: how the cold page dilemma (and Vulcan's remedy)
+// scales with fast-tier capacity.
+//
+// The dilemma only bites while the fast tier cannot hold both workloads'
+// working sets. This sweep varies the fast-tier size from far below to
+// above the combined working sets and reports the LC service's FTHR under
+// Memtis vs Vulcan — locating the contention crossover.
+#include <vulcan/vulcan.hpp>
+
+#include "bench_util.hpp"
+
+using namespace vulcan;
+
+namespace {
+
+std::unique_ptr<wl::Workload> lc(std::uint64_t seed) {
+  wl::WorkloadSpec s;
+  s.name = "lc-service";
+  s.service_class = wl::ServiceClass::kLatencyCritical;
+  s.rss_pages = 8192;
+  s.wss_pages = 8192;
+  s.threads = 8;
+  s.accesses_per_sec_per_thread = 2e5;
+  s.latency_exposure = 1.0;
+  s.shared_access_fraction = 1.0;
+  return std::make_unique<wl::Workload>(
+      s, s.rss_pages,
+      std::make_unique<wl::HotsetPattern>(s.rss_pages, 0.10, 0.90, 0.10),
+      std::make_unique<wl::UniformPattern>(s.rss_pages, 0.10), seed);
+}
+
+std::unique_ptr<wl::Workload> be(std::uint64_t seed) {
+  wl::WorkloadSpec s;
+  s.name = "be-scanner";
+  s.rss_pages = 12'288;
+  s.wss_pages = 12'288;
+  s.threads = 8;
+  s.accesses_per_sec_per_thread = 6e6;
+  s.latency_exposure = 0.3;
+  s.shared_access_fraction = 1.0;
+  return std::make_unique<wl::Workload>(
+      s, s.rss_pages,
+      std::make_unique<wl::SequentialPattern>(s.rss_pages, 0.05),
+      std::make_unique<wl::UniformPattern>(s.rss_pages, 0.05), seed);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::header("Capacity sweep — dilemma severity vs fast-tier size",
+                "beyond-paper sensitivity analysis of §2.2/§3.3");
+  const double end_s = argc > 1 ? std::atof(argv[1]) : 40.0;
+  bench::CsvSink csv("sweep_capacity",
+                     "fast_pages,policy,lc_fthr,lc_perf,be_fthr,cfi");
+
+  // Combined footprint: 8192 (LC) + 12288 (BE) = 20480 pages.
+  std::printf("%12s | %22s | %22s\n", "fast pages",
+              "memtis LC FTHR/perf", "vulcan LC FTHR/perf");
+  for (const std::uint64_t fast_pages :
+       {2048ull, 4096ull, 8192ull, 12'288ull, 16'384ull, 24'576ull}) {
+    double results[2][2];  // [policy][fthr, perf]
+    const char* names[2] = {"memtis", "vulcan"};
+    for (int p = 0; p < 2; ++p) {
+      runtime::TieredSystem::Config config;
+      config.seed = 13;
+      config.machine.fast_bytes = fast_pages * sim::kPageSize;
+      runtime::TieredSystem sys(config, runtime::make_policy(names[p]));
+      std::vector<runtime::StagedWorkload> stages;
+      stages.push_back({0.0, lc(1)});
+      stages.push_back({5.0, be(2)});
+      runtime::run_staged(sys, std::move(stages), end_s);
+      const std::size_t from = sys.metrics().epochs().size() / 2;
+      results[p][0] = sys.metrics().mean_fthr(0, from);
+      results[p][1] = sys.metrics().mean_performance(0, from);
+      csv.row("%llu,%s,%.4f,%.4f,%.4f,%.4f",
+              (unsigned long long)fast_pages, names[p], results[p][0],
+              results[p][1], sys.metrics().mean_fthr(1, from),
+              sys.fairness_cfi());
+    }
+    std::printf("%12llu |     %6.3f / %-6.3f    |     %6.3f / %-6.3f\n",
+                (unsigned long long)fast_pages, results[0][0], results[0][1],
+                results[1][0], results[1][1]);
+  }
+
+  std::printf(
+      "\nreading: Vulcan's advantage is largest while the fast tier is\n"
+      "contended (smaller than the combined footprint); once capacity\n"
+      "covers both working sets every policy converges — partitioning is\n"
+      "a contention remedy, not a tax.\n");
+  return 0;
+}

@@ -1,0 +1,88 @@
+// Profiler tour: the same workload observed through the four profiling
+// mechanisms of §2.1/§3.2, comparing what each one sees and what it costs.
+//
+//   $ ./profiler_tour
+//
+// Demonstrates the lower-level substrate API directly (address spaces,
+// heat trackers, profilers) without the TieredSystem harness.
+#include <cstdio>
+
+#include <vulcan/vulcan.hpp>
+
+using namespace vulcan;
+
+int main() {
+  mem::Topology topo = mem::Topology::paper_testbed();
+  sim::CostModel cost;
+
+  constexpr std::uint64_t kPages = 4096;
+  constexpr int kEpochs = 12;
+  constexpr int kAccessesPerEpoch = 40'000;
+
+  std::printf("%-12s %10s %12s %14s %16s\n", "profiler", "pages>0",
+              "hot-100 hit", "app cycles", "daemon cycles");
+
+  for (const char* which : {"pebs", "pt-scan", "hint-fault", "hybrid",
+                            "telescope", "chrono"}) {
+    vm::AddressSpace::Config as_cfg;
+    as_cfg.pid = 1;
+    as_cfg.rss_pages = kPages;
+    as_cfg.thp = false;
+    vm::AddressSpace as(as_cfg, topo);
+    const vm::ThreadId thread = as.add_thread();
+
+    prof::HeatTracker tracker(kPages, /*decay=*/0.85);
+    std::unique_ptr<prof::Profiler> profiler;
+    if (std::string_view(which) == "pebs") {
+      profiler = std::make_unique<prof::PebsProfiler>(tracker, 8);
+    } else if (std::string_view(which) == "pt-scan") {
+      profiler = std::make_unique<prof::PtScanProfiler>(tracker);
+    } else if (std::string_view(which) == "hint-fault") {
+      profiler = std::make_unique<prof::HintFaultProfiler>(tracker, cost, 0.1);
+    } else if (std::string_view(which) == "telescope") {
+      profiler = std::make_unique<prof::TelescopeProfiler>(tracker);
+    } else if (std::string_view(which) == "chrono") {
+      profiler = std::make_unique<prof::ChronoProfiler>(tracker);
+    } else {
+      profiler = std::make_unique<prof::HybridProfiler>(tracker, cost, 4, 0.05);
+    }
+
+    // Zipfian traffic: rank 0..99 are the truly hot pages.
+    wl::ZipfianPattern pattern(kPages, 0.99, 0.1, /*scrambled=*/false);
+    sim::Rng rng(11);
+    sim::Cycles app_cost = 0, daemon_cost = 0;
+    for (int e = 0; e < kEpochs; ++e) {
+      for (int i = 0; i < kAccessesPerEpoch; ++i) {
+        const auto acc = pattern.next(rng);
+        const vm::Vpn vpn = as.vpn_at(acc.page);
+        if (!as.mapped(vpn)) as.fault(vpn, thread, acc.is_write, mem::kFastTier);
+        as.access(vpn, thread, acc.is_write);
+        app_cost += profiler->observe(
+            {.page = acc.page, .thread = 0, .is_write = acc.is_write}, 1.0,
+            rng);
+      }
+      daemon_cost += profiler->on_epoch(as);
+      tracker.decay_epoch();
+    }
+
+    // How many of the 100 hottest *true* pages did the profiler rank in
+    // its own top 100?
+    const auto top = tracker.hottest(100);
+    unsigned hits = 0;
+    for (const auto page : top) hits += page < 100;
+
+    std::printf("%-12s %10llu %11u%% %14llu %16llu\n", which,
+                static_cast<unsigned long long>(tracker.count_at_least(1e-9)),
+                hits, static_cast<unsigned long long>(app_cost),
+                static_cast<unsigned long long>(daemon_cost));
+  }
+
+  std::printf(
+      "\nReading: PEBS is cheap but sparse; PT-scan sees every page at a\n"
+      "flat daemon cost but can't count frequency within an epoch;\n"
+      "hint faults are precise but charge the application; the hybrid\n"
+      "(Vulcan's default) combines counter frequency with fault coverage;\n"
+      "telescope cuts scan cost by skipping idle 2MB regions; chrono\n"
+      "recovers frequency from idle times at plain-scan cost.\n");
+  return 0;
+}

@@ -1,0 +1,63 @@
+// Vulcan — fair and efficient tiered memory management for
+// multi-applications (reproduction of Tang et al., ICPP 2025).
+//
+// Umbrella header: pulls in the public API surface.
+//
+//   vulcan::sim      simulation kernel (clock, RNG, events, cost model)
+//   vulcan::mem      tiered memory hardware model
+//   vulcan::vm       page tables, TLBs, shootdowns, address spaces
+//   vulcan::prof     access profiling (PEBS / PT-scan / hint-fault / hybrid)
+//   vulcan::mig      migration mechanism, copy engines, shadowing
+//   vulcan::wl       workload models (Memcached, PageRank, Liblinear, ...)
+//   vulcan::policy   tiering policies (TPP, Memtis, Nomad, biased queues)
+//   vulcan::core     Vulcan's contribution: QoS, CBFRP, classifier, manager
+//   vulcan::runtime  the co-location system harness and experiment helpers
+//
+// Quick start:
+//
+//   #include <vulcan/vulcan.hpp>
+//   using namespace vulcan;
+//   runtime::TieredSystem sys({}, runtime::make_policy("vulcan"));
+//   sys.add_workload(wl::make_memcached());
+//   sys.run_epochs(100);
+//   std::cout << sys.metrics().mean_fthr(0) << "\n";
+#pragma once
+
+#include "core/advisor.hpp"
+#include "core/cbfrp.hpp"
+#include "core/classifier.hpp"
+#include "core/fairness.hpp"
+#include "core/manager.hpp"
+#include "core/qos.hpp"
+#include "mem/topology.hpp"
+#include "mig/copy_engine.hpp"
+#include "mig/mechanism.hpp"
+#include "mig/migration_thread.hpp"
+#include "mig/migrator.hpp"
+#include "policy/biased.hpp"
+#include "policy/cascade.hpp"
+#include "policy/memtis.hpp"
+#include "policy/mtm.hpp"
+#include "policy/nomad.hpp"
+#include "policy/policy.hpp"
+#include "policy/tpp.hpp"
+#include "prof/chrono.hpp"
+#include "prof/hint_fault.hpp"
+#include "prof/hybrid.hpp"
+#include "prof/pebs.hpp"
+#include "prof/pt_scan.hpp"
+#include "prof/telescope.hpp"
+#include "runtime/experiment.hpp"
+#include "runtime/metrics.hpp"
+#include "runtime/system.hpp"
+#include "runtime/trials.hpp"
+#include "sim/config.hpp"
+#include "sim/cost_model.hpp"
+#include "sim/engine.hpp"
+#include "sim/stats.hpp"
+#include "vm/address_space.hpp"
+#include "vm/replicated_page_table.hpp"
+#include "wl/apps.hpp"
+#include "wl/pattern.hpp"
+#include "wl/trace.hpp"
+#include "wl/workload.hpp"

@@ -1,0 +1,202 @@
+#!/usr/bin/env python3
+"""Plot the figure-reproduction CSVs.
+
+Each bench binary writes a CSV next to itself; point this script at the
+directory holding them (default: results/) and it renders one PNG per
+figure into <outdir> (default: plots/). Requires matplotlib; degrades to a
+listing of what it *would* plot when matplotlib is unavailable.
+
+Usage:
+    python3 scripts/plot_results.py [csv_dir] [outdir]
+"""
+
+import csv
+import pathlib
+import sys
+from collections import defaultdict
+
+
+def read_csv(path):
+    with open(path, newline="") as fh:
+        return list(csv.DictReader(fh))
+
+
+def group(rows, key):
+    out = defaultdict(list)
+    for row in rows:
+        out[row[key]].append(row)
+    return out
+
+
+def plot_all(csv_dir: pathlib.Path, outdir: pathlib.Path, plt):
+    made = []
+
+    def save(name):
+        outdir.mkdir(parents=True, exist_ok=True)
+        target = outdir / f"{name}.png"
+        plt.tight_layout()
+        plt.savefig(target, dpi=130)
+        plt.close()
+        made.append(target)
+
+    # Fig. 2 — stacked phase breakdown vs CPUs.
+    f = csv_dir / "fig2_migration_breakdown.csv"
+    if f.exists():
+        rows = read_csv(f)
+        cpus = [int(r["cpus"]) for r in rows]
+        phases = ["prep", "unmap", "shootdown", "copy", "remap"]
+        bottom = [0.0] * len(rows)
+        plt.figure(figsize=(6, 4))
+        for ph in phases:
+            vals = [float(r[ph]) / 1e3 for r in rows]
+            plt.bar([str(c) for c in cpus], vals, bottom=bottom, label=ph)
+            bottom = [b + v for b, v in zip(bottom, vals)]
+        plt.xlabel("CPUs")
+        plt.ylabel("Kcycles")
+        plt.title("Fig. 2 — single-page migration breakdown")
+        plt.legend()
+        save("fig2_migration_breakdown")
+
+    # Fig. 3 — TLB share heat lines.
+    f = csv_dir / "fig3_tlb_vs_copy.csv"
+    if f.exists():
+        rows = read_csv(f)
+        plt.figure(figsize=(6, 4))
+        for threads, sub in sorted(group(rows, "threads").items(),
+                                   key=lambda kv: int(kv[0])):
+            xs = [int(r["pages"]) for r in sub]
+            ys = [100 * float(r["tlb_share"]) for r in sub]
+            plt.plot(xs, ys, marker="o", label=f"{threads} threads")
+        plt.xscale("log", base=2)
+        plt.xlabel("pages per migration")
+        plt.ylabel("TLB share of migration time (%)")
+        plt.title("Fig. 3 — TLB vs copy contribution")
+        plt.legend()
+        save("fig3_tlb_vs_copy")
+
+    # Fig. 4 — sync vs async ops.
+    f = csv_dir / "fig4_sync_vs_async.csv"
+    if f.exists():
+        rows = read_csv(f)
+        xs = [float(r["read_ratio"]) for r in rows]
+        plt.figure(figsize=(6, 4))
+        plt.plot(xs, [float(r["sync_ops"]) for r in rows], marker="s",
+                 label="sync copy")
+        plt.plot(xs, [float(r["async_ops"]) for r in rows], marker="o",
+                 label="async copy")
+        plt.xlabel("read ratio")
+        plt.ylabel("ops in window")
+        plt.title("Fig. 4 — sync vs async promotion")
+        plt.legend()
+        save("fig4_sync_vs_async")
+
+    # Fig. 7 — speedups.
+    f = csv_dir / "fig7_mechanism_speedup.csv"
+    if f.exists():
+        rows = read_csv(f)
+        xs = [int(r["pages"]) for r in rows]
+        plt.figure(figsize=(6, 4))
+        plt.plot(xs, [float(r["speedup_prep"]) for r in rows], marker="o",
+                 label="optimised preparation")
+        plt.plot(xs, [float(r["speedup_both"]) for r in rows], marker="s",
+                 label="+ targeted shootdown")
+        plt.xscale("log", base=2)
+        plt.axhline(1.0, color="grey", lw=0.8)
+        plt.xlabel("pages per migration")
+        plt.ylabel("speedup over baseline")
+        plt.title("Fig. 7 — mechanism optimisation speedups")
+        plt.legend()
+        save("fig7_mechanism_speedup")
+
+    # Fig. 9 — FTHR / GPT timelines.
+    f = csv_dir / "fig9_dynamic_colocation.csv"
+    if f.exists():
+        rows = read_csv(f)
+        for metric, title in [("fthr", "FTHR"), ("gpt", "GPT"),
+                              ("fast_pages", "fast-tier pages")]:
+            plt.figure(figsize=(7, 4))
+            for name, sub in group(rows, "name").items():
+                xs = [float(r["time_s"]) for r in sub]
+                ys = [float(r[metric]) for r in sub]
+                plt.plot(xs, ys, label=name)
+            plt.xlabel("time (s)")
+            plt.ylabel(title)
+            plt.title(f"Fig. 9 — {title} over the co-location timeline")
+            plt.legend()
+            save(f"fig9_{metric}")
+
+    # Fig. 10 — grouped bars.
+    f = csv_dir / "fig10_perf_fairness.csv"
+    if f.exists():
+        rows = read_csv(f)
+        apps = sorted({r["app"] for r in rows})
+        policies = sorted({r["policy"] for r in rows})
+        width = 0.8 / len(policies)
+        plt.figure(figsize=(7, 4))
+        for i, pol in enumerate(policies):
+            xs = [a + i * width for a in range(len(apps))]
+            ys = []
+            for app in apps:
+                match = [r for r in rows
+                         if r["policy"] == pol and r["app"] == app]
+                ys.append(float(match[0]["norm_perf"]) if match else 0.0)
+            plt.bar(xs, ys, width=width, label=pol)
+        plt.xticks([a + 0.3 for a in range(len(apps))], apps)
+        plt.ylabel("normalised performance")
+        plt.title("Fig. 10(a) — performance across systems")
+        plt.legend()
+        save("fig10_performance")
+
+        plt.figure(figsize=(5, 4))
+        cfis = []
+        for pol in policies:
+            match = [r for r in rows if r["policy"] == pol]
+            cfis.append(float(match[0]["cfi_mean"]) if match else 0.0)
+        plt.bar(policies, cfis)
+        plt.ylabel("FTHR-weighted CFI")
+        plt.title("Fig. 10(b) — fairness across systems")
+        save("fig10_fairness")
+
+    # Capacity sweep.
+    f = csv_dir / "sweep_capacity.csv"
+    if f.exists():
+        rows = read_csv(f)
+        plt.figure(figsize=(6, 4))
+        for pol, sub in group(rows, "policy").items():
+            xs = [int(r["fast_pages"]) for r in sub]
+            ys = [float(r["lc_fthr"]) for r in sub]
+            plt.plot(xs, ys, marker="o", label=pol)
+        plt.xscale("log", base=2)
+        plt.xlabel("fast-tier pages")
+        plt.ylabel("LC service FTHR")
+        plt.title("Capacity sweep — dilemma severity")
+        plt.legend()
+        save("sweep_capacity")
+
+    return made
+
+
+def main():
+    csv_dir = pathlib.Path(sys.argv[1] if len(sys.argv) > 1 else "results")
+    outdir = pathlib.Path(sys.argv[2] if len(sys.argv) > 2 else "plots")
+    csvs = sorted(csv_dir.glob("*.csv"))
+    if not csvs:
+        print(f"no CSVs found in {csv_dir}/ — run the bench binaries first")
+        return 1
+    try:
+        import matplotlib
+        matplotlib.use("Agg")
+        import matplotlib.pyplot as plt
+    except ImportError:
+        print("matplotlib not installed; found these CSVs ready to plot:")
+        for f in csvs:
+            print(f"  {f}")
+        return 0
+    made = plot_all(csv_dir, outdir, plt)
+    for f in made:
+        print(f"wrote {f}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

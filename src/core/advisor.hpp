@@ -1,0 +1,74 @@
+// Adaptive per-thread page-table replication (the §3.6 future-work knob:
+// "automatically enabling/disabling the thread-level page table
+// replication mechanism based on performance trade-offs").
+//
+// Benefit: every migration of a *private* page avoids IPIs to all of the
+// process's other cores (targeted vs broadcast shootdown). Cost: the
+// per-thread upper tables must be maintained on every mapping change, and
+// they occupy memory. The advisor keeps EMAs of both sides and recommends
+// replication whenever the smoothed IPI-cycle savings clear the smoothed
+// maintenance cost by a configurable margin.
+#pragma once
+
+#include <cstdint>
+
+#include "sim/cost_model.hpp"
+#include "sim/stats.hpp"
+
+namespace vulcan::core {
+
+class ReplicationAdvisor {
+ public:
+  struct Params {
+    double ema_alpha = 0.3;
+    /// Cycles of upper-table maintenance per mapping change per thread.
+    double maintenance_cycles_per_fault_thread = 60.0;
+    /// Savings must exceed cost by this factor before enabling (and fall
+    /// below 1/margin before disabling) — hysteresis against flapping.
+    double enable_margin = 1.5;
+  };
+
+  ReplicationAdvisor() : ReplicationAdvisor(Params{}) {}
+  explicit ReplicationAdvisor(Params params,
+                              sim::CostModel cost = sim::CostModel())
+      : params_(params), cost_(cost), savings_(params.ema_alpha),
+        overhead_(params.ema_alpha) {}
+
+  /// Record one epoch of observed behaviour.
+  /// @param private_migrations  migrations proven private this epoch
+  /// @param threads             the process's thread count
+  /// @param mapping_changes     faults + remaps this epoch
+  void record_epoch(std::uint64_t private_migrations, unsigned threads,
+                    std::uint64_t mapping_changes) {
+    const unsigned spared =
+        threads > 1 ? threads - 1 : 0;  // cores a private page spares
+    const double saved =
+        static_cast<double>(private_migrations) * spared *
+        static_cast<double>(cost_.params().shootdown_cold_per_core);
+    const double cost = static_cast<double>(mapping_changes) * threads *
+                        params_.maintenance_cycles_per_fault_thread;
+    savings_.update(saved);
+    overhead_.update(cost);
+    // Hysteresis: flip only when clearly past the margin.
+    if (!enabled_ &&
+        savings_.value() > params_.enable_margin * overhead_.value()) {
+      enabled_ = true;
+    } else if (enabled_ && params_.enable_margin * savings_.value() <
+                               overhead_.value()) {
+      enabled_ = false;
+    }
+  }
+
+  bool replication_worthwhile() const { return enabled_; }
+  double smoothed_savings() const { return savings_.value(); }
+  double smoothed_overhead() const { return overhead_.value(); }
+
+ private:
+  Params params_;
+  sim::CostModel cost_;
+  sim::Ema savings_;
+  sim::Ema overhead_;
+  bool enabled_ = true;  // protective default: replication on
+};
+
+}  // namespace vulcan::core

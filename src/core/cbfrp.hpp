@@ -1,0 +1,55 @@
+// Credit-Based Fair Resource Partitioning (Vulcan §3.3, Algorithm 1).
+//
+// Fast memory is first granted as min(demand, GFMC) — every workload's
+// guaranteed equal share. Workloads demanding less than GFMC leave surplus
+// ("donors"); workloads demanding more ("borrowers") receive that surplus
+// unit by unit, latency-critical borrowers first. Donating earns credits,
+// borrowing spends them, and the minimum-credit donor is always tapped
+// first, which equalises donation burden over time (the Karma idea).
+// When no surplus remains, an LC borrower may reclaim units from a random
+// best-effort workload holding more than GFMC.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/rng.hpp"
+
+namespace vulcan::core {
+
+struct CbfrpWorkload {
+  bool latency_critical = false;
+  std::uint64_t demand = 0;   ///< pages wanted (Eq. 3 output)
+  double credits = 0.0;       ///< persistent across epochs
+};
+
+struct CbfrpResult {
+  std::vector<std::uint64_t> alloc;  ///< pages granted per workload
+  std::vector<double> credits;       ///< updated credit balances
+  std::uint64_t transfers = 0;       ///< donor->borrower units moved
+  std::uint64_t reclaims = 0;        ///< LC reclaims from over-GFMC BE
+};
+
+class Cbfrp {
+ public:
+  struct Params {
+    /// Pages moved per algorithmic "unit" transfer (granularity knob; the
+    /// algorithm is unit-by-unit, coarser units just run faster).
+    std::uint64_t unit_pages = 16;
+  };
+
+  Cbfrp() = default;
+  explicit Cbfrp(Params params) : params_(params) {}
+
+  /// Run one partitioning round. `total_fast_pages` is the capacity under
+  /// management; GFMC = total / n as the paper specifies.
+  CbfrpResult partition(const std::vector<CbfrpWorkload>& workloads,
+                        std::uint64_t total_fast_pages, sim::Rng& rng) const;
+
+  const Params& params() const { return params_; }
+
+ private:
+  Params params_;
+};
+
+}  // namespace vulcan::core

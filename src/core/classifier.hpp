@@ -1,0 +1,69 @@
+// Black-box LC/BE classification (Vulcan §3.3, after Themis): workloads are
+// classified from their observable resource-utilisation patterns, not from
+// declared labels. Latency-critical services show bursty, time-varying
+// request rates (diurnal load, user-driven); best-effort batch jobs drive
+// the machine at a flat, saturated rate.
+//
+// The classifier keeps a sliding window of per-epoch access rates and
+// labels a workload LC when its coefficient of variation exceeds a
+// threshold, BE otherwise. Until the window fills it reports a
+// conservative default (LC), so young workloads are protected.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <deque>
+
+namespace vulcan::core {
+
+class LcBeClassifier {
+ public:
+  struct Params {
+    /// Epochs of history. Must span a meaningful slice of an LC service's
+    /// demand cycle (10 s at 250 ms epochs) or diurnal-style oscillation
+    /// is invisible inside the window.
+    std::size_t window = 40;
+    std::size_t min_samples = 8;    ///< below this: default to LC
+    /// CV above this => bursty => LC. Set below the flattest-window CV of
+    /// a +-30% sinusoidal demand cycle (~0.09) yet far above the ~0 CV of
+    /// saturated batch jobs.
+    double cv_threshold = 0.06;
+  };
+
+  LcBeClassifier() = default;
+  explicit LcBeClassifier(Params params) : params_(params) {}
+
+  /// Record one epoch's observed access rate (accesses/sec).
+  void record_epoch(double access_rate) {
+    rates_.push_back(access_rate);
+    if (rates_.size() > params_.window) rates_.pop_front();
+  }
+
+  /// Coefficient of variation over the window (0 when underfilled).
+  double cv() const {
+    if (rates_.size() < 2) return 0.0;
+    double mean = 0.0;
+    for (const double r : rates_) mean += r;
+    mean /= static_cast<double>(rates_.size());
+    if (mean <= 0.0) return 0.0;
+    double var = 0.0;
+    for (const double r : rates_) var += (r - mean) * (r - mean);
+    var /= static_cast<double>(rates_.size());
+    return std::sqrt(var) / mean;
+  }
+
+  /// Current classification.
+  bool latency_critical() const {
+    if (rates_.size() < params_.min_samples) return true;  // protective default
+    return cv() > params_.cv_threshold;
+  }
+
+  std::size_t samples() const { return rates_.size(); }
+  const Params& params() const { return params_; }
+
+ private:
+  Params params_;
+  std::deque<double> rates_;
+};
+
+}  // namespace vulcan::core

@@ -1,0 +1,29 @@
+#include "core/fairness.hpp"
+
+#include <cassert>
+
+namespace vulcan::core {
+
+double jain_index(std::span<const double> x) {
+  double sum = 0.0, sum_sq = 0.0;
+  for (const double v : x) {
+    sum += v;
+    sum_sq += v * v;
+  }
+  if (x.empty() || sum_sq <= 0.0) return 1.0;
+  return sum * sum / (static_cast<double>(x.size()) * sum_sq);
+}
+
+void CfiAccumulator::record_epoch(std::span<const double> alloc,
+                                  std::span<const double> fthr) {
+  assert(alloc.size() == fthr.size());
+  if (alloc.size() > x_.size()) x_.resize(alloc.size(), 0.0);
+  for (std::size_t i = 0; i < x_.size(); ++i) {
+    x_[i] += alloc[i] * fthr[i];
+  }
+  ++epochs_;
+}
+
+double CfiAccumulator::cfi() const { return jain_index(x_); }
+
+}  // namespace vulcan::core

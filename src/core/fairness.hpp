@@ -1,0 +1,43 @@
+// Fairness metrics (Vulcan §5.3):
+//
+//   Jain's fairness index      J(x) = (Σx)² / (N·Σx²)      in (0, 1]
+//   FTHR-weighted Cumulative Jain's Fairness Index (Eq. 4):
+//       X_i  = Σ_t x_i(t) · FTHR_i(t)
+//       CFI  = (ΣX)² / (N·ΣX²)
+//
+// x_i(t) is workload i's fast-memory allocation at epoch t; weighting by
+// the fast-tier hit ratio makes the index measure *useful* allocation, not
+// just quantity.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace vulcan::core {
+
+/// Jain's index over any non-negative vector. Returns 1.0 for empty/all-zero
+/// input (vacuously fair).
+double jain_index(std::span<const double> x);
+
+/// Accumulates Eq. 4 over epochs.
+class CfiAccumulator {
+ public:
+  explicit CfiAccumulator(std::size_t workloads = 0) : x_(workloads, 0.0) {}
+
+  /// Record one epoch: `alloc[i]` fast pages held, `fthr[i]` hit ratio.
+  void record_epoch(std::span<const double> alloc,
+                    std::span<const double> fthr);
+
+  /// Eq. 4 over everything recorded so far.
+  double cfi() const;
+
+  std::span<const double> cumulative() const { return x_; }
+  std::uint64_t epochs() const { return epochs_; }
+
+ private:
+  std::vector<double> x_;
+  std::uint64_t epochs_ = 0;
+};
+
+}  // namespace vulcan::core

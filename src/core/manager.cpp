@@ -1,0 +1,294 @@
+#include "core/manager.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace vulcan::core {
+
+void VulcanManager::ensure_state(
+    std::span<policy::WorkloadView> workloads) {
+  for (const auto& view : workloads) {
+    while (state_.size() <= view.index) {
+      PerWorkload pw;
+      pw.queues = policy::BiasedQueues({.mlfq_boost_heat =
+                                            params_.mlfq_boost_heat});
+      state_.push_back(std::move(pw));
+    }
+    auto& pw = state_[view.index];
+    if (!pw.qos) {
+      pw.qos = std::make_unique<QosTracker>(view.as->rss_pages(),
+                                            params_.fthr_alpha);
+    }
+  }
+}
+
+bool VulcanManager::managed(const policy::WorkloadView& view) const {
+  if (!params_.whitelist.has_value()) return true;
+  if (!view.workload) return true;  // anonymous views default to managed
+  return params_.whitelist->contains(view.workload->spec().name);
+}
+
+bool VulcanManager::migration_gated(const mem::Topology& topo) const {
+  if (!params_.enable_colloid_gate || topo.tier_count() < 2) return false;
+  const double fast =
+      static_cast<double>(topo.loaded_latency_ns(mem::kFastTier));
+  const double slow =
+      static_cast<double>(topo.loaded_latency_ns(mem::kSlowTier));
+  return fast >= params_.colloid_latency_ratio * slow;
+}
+
+mem::TierId VulcanManager::placement_tier(const policy::WorkloadView& view,
+                                          const mem::Topology& topo) const {
+  // Quota-aware placement: fault into the fast tier only while within the
+  // workload's CBFRP share (and physical availability).
+  if (view.fast_quota != UINT64_MAX &&
+      view.as->pages_in_tier(mem::kFastTier) >= view.fast_quota) {
+    return mem::kSlowTier;
+  }
+  return topo.allocator(mem::kFastTier).below_watermark(0.02)
+             ? mem::kSlowTier
+             : mem::kFastTier;
+}
+
+void VulcanManager::plan_workload(policy::WorkloadView& view,
+                                  PerWorkload& state, std::uint64_t quota) {
+  const std::uint64_t in_fast = view.as->pages_in_tier(mem::kFastTier);
+
+  // Over quota: shed the coldest fast pages (shadow remaps make clean ones
+  // nearly free). Urgent — the freed frames fund other workloads' quotas.
+  if (in_fast > quota) {
+    std::uint64_t excess = in_fast - quota;
+    for (const std::uint64_t page : policy::pages_in_tier_by_heat(
+             view, mem::kFastTier, /*hottest_first=*/false)) {
+      if (excess == 0) break;
+      view.migration->enqueue_urgent(policy::make_request(
+          view, page, mem::kSlowTier, mig::CopyMode::kAsync));
+      --excess;
+    }
+    return;  // promotions wait until the quota is respected
+  }
+
+  // Under (or at) quota: promote the hottest slow pages into the headroom,
+  // then *exchange* — pair remaining hot slow pages against colder fast
+  // pages (with hysteresis) so placement quality keeps improving once the
+  // quota is full instead of freezing.
+  std::uint64_t headroom = quota - in_fast;
+
+  const auto slow_hot = policy::pages_in_tier_by_heat(
+      view, mem::kSlowTier, /*hottest_first=*/true);
+  std::size_t next_hot = 0;
+
+  // Refresh MLFQ levels of any backlog against fresh heat.
+  const vm::Vpn base = view.as->base_vpn();
+  state.queues.refresh([&](vm::Vpn vpn) {
+    const std::uint64_t page = vpn - base;
+    return page < view.tracker->pages() ? view.tracker->heat(page) : 0.0;
+  });
+
+  // Optional huge-page-unit promotion: densely-hot chunks move whole and
+  // keep their 2 MB mapping (TLB coverage at the cost of hauling the
+  // chunk's cold tail into fast memory).
+  std::unordered_set<std::uint64_t> chunk_promoted;
+  if (params_.enable_chunk_promotion) {
+    std::unordered_map<std::uint64_t, unsigned> hot_per_chunk;
+    for (std::size_t i = next_hot; i < slow_hot.size(); ++i) {
+      if (view.tracker->heat(slow_hot[i]) < params_.promote_min_heat) break;
+      ++hot_per_chunk[slow_hot[i] / sim::kPagesPerHuge];
+    }
+    const auto need = static_cast<unsigned>(params_.chunk_promotion_density *
+                                            sim::kPagesPerHuge);
+    for (const auto& [chunk, hot] : hot_per_chunk) {
+      if (hot < need) continue;
+      if (headroom < sim::kPagesPerHuge) break;
+      auto req = policy::make_request(
+          view, chunk * sim::kPagesPerHuge, mem::kFastTier,
+          mig::CopyMode::kAsync);
+      req.whole_chunk = true;
+      view.migration->enqueue(req);
+      chunk_promoted.insert(chunk);
+      headroom -= sim::kPagesPerHuge;
+    }
+  }
+
+  std::uint64_t pushed = 0;
+  const std::uint64_t push_cap = std::max<std::uint64_t>(headroom * 4, 512);
+  for (; next_hot < slow_hot.size(); ++next_hot) {
+    const std::uint64_t page = slow_hot[next_hot];
+    if (view.tracker->heat(page) < params_.promote_min_heat) break;
+    if (pushed >= push_cap || pushed >= headroom) break;
+    if (params_.enable_chunk_promotion &&
+        chunk_promoted.contains(page / sim::kPagesPerHuge)) {
+      continue;  // covered by a whole-chunk request
+    }
+    auto req = policy::make_request(view, page, mem::kFastTier,
+                                    mig::CopyMode::kAsync);
+    if (params_.enable_biased_queues) {
+      pushed += state.queues.push(req) ? 1 : 0;
+    } else {
+      view.migration->enqueue(req);
+      ++pushed;
+    }
+  }
+  if (params_.enable_biased_queues && headroom > 0) {
+    for (const auto& req : state.queues.drain(headroom)) {
+      view.migration->enqueue(req);
+    }
+  }
+
+  // Exchange phase: swap hot-slow against cold-fast while worthwhile.
+  const auto fast_cold = policy::pages_in_tier_by_heat(
+      view, mem::kFastTier, /*hottest_first=*/false);
+  const std::uint64_t exchange_cap =
+      std::max<std::uint64_t>(64, quota / 8);
+  std::uint64_t exchanged = 0;
+  std::size_t next_cold = 0;
+  for (; next_hot < slow_hot.size() && next_cold < fast_cold.size();
+       ++next_hot, ++next_cold) {
+    if (exchanged >= exchange_cap) break;
+    const std::uint64_t hot = slow_hot[next_hot];
+    const std::uint64_t cold = fast_cold[next_cold];
+    const double hot_heat = view.tracker->heat(hot);
+    if (hot_heat < params_.promote_min_heat) break;
+    if (hot_heat <= params_.exchange_hysteresis *
+                        std::max(view.tracker->heat(cold), 1e-9)) {
+      break;  // remaining swaps would churn pages of comparable heat
+    }
+    view.migration->enqueue(policy::make_request(
+        view, cold, mem::kSlowTier, mig::CopyMode::kAsync));
+    auto promote = policy::make_request(view, hot, mem::kFastTier,
+                                        mig::CopyMode::kAsync);
+    if (params_.enable_biased_queues) {
+      promote.mode = policy::BiasedQueues::mode_for(promote.write_intensive);
+    }
+    view.migration->enqueue(promote);
+    ++exchanged;
+  }
+}
+
+void VulcanManager::plan_epoch(std::span<policy::WorkloadView> all_views,
+                               mem::Topology& topo, sim::Rng& rng) {
+  ensure_state(all_views);
+
+  // §3.2 whitelisting: unmanaged workloads keep default kernel behaviour —
+  // no quota, no planned migrations.
+  std::vector<policy::WorkloadView*> views;
+  views.reserve(all_views.size());
+  for (auto& view : all_views) {
+    if (managed(view)) {
+      views.push_back(&view);
+    } else {
+      view.fast_quota = UINT64_MAX;
+    }
+  }
+  const std::size_t n = views.size();
+  if (n == 0) return;
+  const auto workloads = [&](std::size_t i) -> policy::WorkloadView& {
+    return *views[i];
+  };
+
+  const auto managed_pages = static_cast<std::uint64_t>(
+      params_.managed_capacity_frac *
+      static_cast<double>(topo.capacity_pages(mem::kFastTier)));
+  const std::uint64_t gfmc = managed_pages / n;
+
+  // (1)-(2): QoS + classification updates. The QoS equations take RSS_i as
+  // the *actively used* memory (paper §3.3), measured from the heat tracker
+  // and capped by the mapped footprint.
+  for (std::size_t i = 0; i < n; ++i) {
+    auto& view = workloads(i);
+    auto& pw = state_[view.index];
+    pw.qos->record_epoch(view.epoch_fast_accesses, view.epoch_slow_accesses);
+    pw.classifier.record_epoch(view.epoch_fast_accesses +
+                               view.epoch_slow_accesses);
+    const std::uint64_t active =
+        view.tracker->count_at_least(params_.active_min_heat);
+    const auto active_rss = std::max<std::uint64_t>(
+        1, std::min(view.as->rss_pages(),
+                    static_cast<std::uint64_t>(
+                        params_.active_slack * static_cast<double>(active))));
+    pw.qos->set_rss_pages(active_rss);
+  }
+
+  // (3): demands and partitioning.
+  std::vector<CbfrpWorkload> inputs;
+  inputs.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    auto& view = workloads(i);
+    auto& pw = state_[view.index];
+    CbfrpWorkload in;
+    in.latency_critical = pw.classifier.latency_critical();
+    const std::uint64_t eq3 = pw.qos->demand(
+        view.as->pages_in_tier(mem::kFastTier), gfmc, params_.demand_gain);
+    const std::uint64_t knee = std::min(
+        view.as->rss_pages(),
+        view.tracker->coverage_pages(params_.demand_floor_coverage));
+    in.demand = std::max(eq3, knee);
+    in.credits = pw.credits;
+    inputs.push_back(in);
+  }
+
+  std::vector<std::uint64_t> quotas(n, gfmc);
+  if (params_.enable_cbfrp) {
+    const Cbfrp cbfrp({.unit_pages = params_.cbfrp_unit_pages});
+    const CbfrpResult result = cbfrp.partition(inputs, managed_pages, rng);
+    quotas = result.alloc;
+    for (std::size_t i = 0; i < n; ++i) {
+      state_[workloads(i).index].credits = result.credits[i];
+    }
+    // Work conservation: capacity nobody demanded stays usable by anyone
+    // (the physical allocator arbitrates). Strict quotas only bind under
+    // contention, when total demand consumes the managed capacity.
+    std::uint64_t granted = 0;
+    for (const auto a : quotas) granted += a;
+    const std::uint64_t leftover =
+        managed_pages > granted ? managed_pages - granted : 0;
+    for (auto& q : quotas) q += leftover;
+  }
+
+  // (4): per-workload planning + snapshot for observers, plus the §3.6
+  // extensions: the Colloid gate pauses promotions under bandwidth
+  // contention, and the replication advisor toggles targeted shootdowns
+  // from measured benefit.
+  const bool gated = migration_gated(topo);
+  qos_snapshot_.assign(state_.size(), WorkloadQos{});
+  for (std::size_t i = 0; i < n; ++i) {
+    auto& view = workloads(i);
+    auto& pw = state_[view.index];
+    view.fast_quota = quotas[i];
+
+    if (params_.enable_adaptive_replication && view.migration) {
+      mig::Migrator& migrator = view.migration->migrator();
+      const auto& totals = migrator.totals();
+      const std::uint64_t private_delta =
+          totals.private_migrated - pw.last_private_migrated;
+      pw.last_private_migrated = totals.private_migrated;
+      const std::uint64_t faults = view.as->faulted_pages();
+      const std::uint64_t fault_delta = faults - pw.last_faulted;
+      pw.last_faulted = faults;
+      pw.advisor.record_epoch(private_delta, view.as->thread_count(),
+                              fault_delta);
+      migrator.set_targeted_shootdown(params_.enable_replication &&
+                                      pw.advisor.replication_worthwhile());
+    }
+
+    if (gated) {
+      // Suspend promotions; still honour quota overflows (demotions
+      // relieve the very contention that tripped the gate).
+      const std::uint64_t in_fast = view.as->pages_in_tier(mem::kFastTier);
+      if (in_fast > quotas[i]) plan_workload(view, pw, quotas[i]);
+    } else {
+      plan_workload(view, pw, quotas[i]);
+    }
+
+    WorkloadQos& q = qos_snapshot_[view.index];
+    q.fthr = pw.qos->fthr();
+    q.gpt = pw.qos->guaranteed_target(gfmc);
+    q.demand = inputs[i].demand;
+    q.quota = quotas[i];
+    q.credits = pw.credits;
+    q.latency_critical = inputs[i].latency_critical;
+  }
+}
+
+}  // namespace vulcan::core

@@ -1,0 +1,143 @@
+// VulcanManager: the migration daemon's brain (§3.2-§3.5 assembled).
+//
+// Per epoch it (1) updates each managed workload's FTHR/GPT QoS state,
+// (2) classifies workloads LC/BE from their observed utilisation pattern,
+// (3) runs CBFRP to partition the fast tier into per-workload quotas,
+// (4) plans demotions for over-quota workloads and promotions through the
+// biased priority queues (Table 1 strategies: async for read-intensive,
+// sync for write-intensive, private before shared), and (5) executes via
+// per-application migration threads with the optimised mechanism
+// (no cross-CPU prep broadcast, sharer-targeted shootdowns, shadowing).
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "core/advisor.hpp"
+#include "core/cbfrp.hpp"
+#include "core/classifier.hpp"
+#include "core/qos.hpp"
+#include "policy/biased.hpp"
+#include "policy/policy.hpp"
+
+namespace vulcan::core {
+
+class VulcanManager final : public policy::SystemPolicy {
+ public:
+  struct Params {
+    double fthr_alpha = 0.8;          ///< Eq. 2 weighting
+    double demand_gain = 1.0;         ///< Eq. 3 scale
+    /// The paper defines RSS_i as "the memory actively used by workload i";
+    /// we measure it as pages with recent heat, inflated by this slack to
+    /// absorb sampling undercount.
+    double active_slack = 1.25;
+    double active_min_heat = 0.5;     ///< heat floor counting a page active
+    /// Demand is floored at the working-set knee: the smallest page count
+    /// covering this fraction of the workload's heat mass. Without the
+    /// floor, Eq. 3's negative branch would let a *satisfied* workload's
+    /// demand collapse below its hot set and thrash.
+    double demand_floor_coverage = 0.90;
+    /// A slow page replaces a fast page only when hotter by this factor
+    /// (anti-thrash hysteresis for the exchange path).
+    double exchange_hysteresis = 1.5;
+    std::uint64_t cbfrp_unit_pages = 16;
+    double mlfq_boost_heat = 32.0;
+    double promote_min_heat = 0.5;    ///< ignore noise-level heat
+    unsigned online_cpus = 32;
+    unsigned async_max_retries = 3;
+    /// Fraction of the fast tier CBFRP manages (rest is kernel slack).
+    double managed_capacity_frac = 0.96;
+    // Ablation switches (all on = full Vulcan):
+    bool enable_cbfrp = true;          ///< off => uniform static partition
+    bool enable_biased_queues = true;  ///< off => FIFO, all-async
+    bool enable_replication = true;    ///< off => broadcast shootdowns
+    bool enable_opt_prep = true;       ///< off => baseline preparation
+    bool enable_shadowing = true;
+
+    // §3.6 extensions (off by default; the paper lists them as future
+    // optimisations):
+    /// Colloid-style migration gate: suspend promotions while the fast
+    /// tier's *loaded* latency no longer beats the slow tier's by at
+    /// least 1/colloid_latency_ratio (bandwidth contention regime).
+    bool enable_colloid_gate = false;
+    double colloid_latency_ratio = 0.90;
+    /// Adaptive replication: toggle targeted shootdowns per workload
+    /// based on the measured IPI-savings vs table-maintenance trade.
+    bool enable_adaptive_replication = false;
+    /// Offload page copies to a DMA engine (HeMem-style).
+    bool enable_dma_copy = false;
+    /// Promote densely-hot 2 MB chunks as whole huge pages instead of
+    /// splitting (the Memtis-style page-size alternative §3.4 argues
+    /// against; off = the paper's split-on-promotion behaviour).
+    bool enable_chunk_promotion = false;
+    /// Fraction of a chunk's pages that must be hot to promote it whole.
+    double chunk_promotion_density = 0.70;
+    /// Whitelist (§3.2 access control): when set, only workloads whose
+    /// spec name appears here are managed — others are left to default
+    /// kernel placement with no migration.
+    std::optional<std::set<std::string>> whitelist;
+  };
+
+  /// QoS snapshot per workload (drives the Fig. 9 timeline).
+  struct WorkloadQos {
+    double fthr = 0.0;
+    double gpt = 1.0;
+    std::uint64_t demand = 0;
+    std::uint64_t quota = 0;
+    double credits = 0.0;
+    bool latency_critical = true;
+  };
+
+  VulcanManager() = default;
+  explicit VulcanManager(Params params) : params_(params) {}
+
+  void plan_epoch(std::span<policy::WorkloadView> workloads,
+                  mem::Topology& topo, sim::Rng& rng) override;
+
+  mem::TierId placement_tier(const policy::WorkloadView& view,
+                             const mem::Topology& topo) const override;
+
+  mig::Migrator::Config migrator_config() const override {
+    mig::Migrator::Config cfg;
+    cfg.mechanism.optimized_prep = params_.enable_opt_prep;
+    cfg.mechanism.targeted_shootdown = params_.enable_replication;
+    cfg.mechanism.online_cpus = params_.online_cpus;
+    cfg.shadowing = params_.enable_shadowing;
+    cfg.dma_copy = params_.enable_dma_copy;
+    cfg.async_max_retries = params_.async_max_retries;
+    return cfg;
+  }
+
+  std::string_view name() const override { return "vulcan"; }
+
+  const std::vector<WorkloadQos>& qos() const { return qos_snapshot_; }
+  const Params& params() const { return params_; }
+
+ private:
+  struct PerWorkload {
+    std::unique_ptr<QosTracker> qos;
+    LcBeClassifier classifier;
+    policy::BiasedQueues queues;
+    ReplicationAdvisor advisor;
+    double credits = 0.0;
+    std::uint64_t last_private_migrated = 0;
+    std::uint64_t last_faulted = 0;
+  };
+
+  void ensure_state(std::span<policy::WorkloadView> workloads);
+  void plan_workload(policy::WorkloadView& view, PerWorkload& state,
+                     std::uint64_t quota);
+  bool managed(const policy::WorkloadView& view) const;
+  /// Colloid gate: true when the fast tier currently offers no meaningful
+  /// latency advantage, so promotions should pause (§3.6).
+  bool migration_gated(const mem::Topology& topo) const;
+
+  Params params_;
+  std::vector<PerWorkload> state_;
+  std::vector<WorkloadQos> qos_snapshot_;
+};
+
+}  // namespace vulcan::core

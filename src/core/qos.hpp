@@ -1,0 +1,69 @@
+// Tiered-memory QoS accounting (Vulcan §3.3).
+//
+//   GPT_i  = GFMC / RSS_i, clamped to 1            (guaranteed perf target)
+//   H̄_i,t  = Σ a_fast / Σ (a_fast + a_slow)         (Eq. 1, epoch hit ratio)
+//   FTHR_i = α·H̄_i,t + (1-α)·H̄_i,t-1, α = 0.8       (Eq. 2, EMA)
+//   demand_i = alloc_i + (GPT_i - FTHR_i)·RSS_i·log²(RSS_i)·gain   (Eq. 3)
+//
+// Eq. 3's log²(RSS) factor takes RSS in GiB (paper-world units; the
+// simulator's capacity scaling cancels out) and the result is clamped to
+// [0, RSS]: the formula is an aggressive proportional controller whose
+// magnitude CBFRP arbitrates.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+
+#include "sim/config.hpp"
+#include "sim/stats.hpp"
+
+namespace vulcan::core {
+
+class QosTracker {
+ public:
+  explicit QosTracker(std::uint64_t rss_pages, double alpha = 0.8)
+      : rss_pages_(rss_pages), fthr_(alpha) {}
+
+  /// GPT_i for a given per-workload guaranteed share (GFMC) in pages.
+  double guaranteed_target(std::uint64_t gfmc_pages) const {
+    if (rss_pages_ == 0) return 1.0;
+    return std::min(1.0, static_cast<double>(gfmc_pages) /
+                             static_cast<double>(rss_pages_));
+  }
+
+  /// Fold one epoch's access census into the FTHR EMA (Eqs. 1-2).
+  /// Epochs with no accesses leave the estimate unchanged.
+  void record_epoch(double fast_accesses, double slow_accesses) {
+    const double total = fast_accesses + slow_accesses;
+    if (total <= 0.0) return;
+    fthr_.update(fast_accesses / total);
+  }
+
+  double fthr() const { return fthr_.primed() ? fthr_.value() : 0.0; }
+  bool primed() const { return fthr_.primed(); }
+
+  /// Eq. 3 demand update, clamped to [0, RSS].
+  std::uint64_t demand(std::uint64_t alloc_pages, std::uint64_t gfmc_pages,
+                       double gain = 1.0) const {
+    const double gpt = guaranteed_target(gfmc_pages);
+    const double rss = static_cast<double>(rss_pages_);
+    // Pages -> paper-world GiB for the logarithmic scale factor.
+    const double rss_gib = std::max(
+        1.0, rss * static_cast<double>(sim::kPageSize) *
+                 static_cast<double>(sim::kCapacityScale) / (1024.0 * 1024.0 * 1024.0));
+    const double log2r = std::log2(rss_gib);
+    const double adjustment = (gpt - fthr()) * rss * log2r * log2r * gain;
+    const double target = static_cast<double>(alloc_pages) + adjustment;
+    return static_cast<std::uint64_t>(std::clamp(target, 0.0, rss));
+  }
+
+  std::uint64_t rss_pages() const { return rss_pages_; }
+  void set_rss_pages(std::uint64_t rss) { rss_pages_ = rss; }
+
+ private:
+  std::uint64_t rss_pages_;
+  sim::Ema fthr_;
+};
+
+}  // namespace vulcan::core

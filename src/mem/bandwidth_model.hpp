@@ -1,0 +1,54 @@
+// Loaded-latency model for a memory tier or inter-tier link.
+//
+// Real DRAM/CXL latency grows superlinearly as offered load approaches peak
+// bandwidth (the classic loaded-latency "hockey stick"). We model
+//
+//   latency(u) = unloaded * (1 + k * u^4 / (1 - u))   for u < u_max
+//
+// which is flat at low utilisation, bends around ~60-70 %, and saturates
+// steeply near peak, matching published CXL/DDR loaded-latency curves in
+// shape. Utilisation is supplied per accounting epoch by the caller.
+#pragma once
+
+#include <algorithm>
+
+#include "sim/clock.hpp"
+
+namespace vulcan::mem {
+
+class BandwidthModel {
+ public:
+  /// @param unloaded_ns   latency at zero load
+  /// @param peak_gbps     peak sustainable bandwidth
+  /// @param contention_k  strength of the contention bend (default fits a
+  ///                      ~2.5x latency inflation at 90 % load)
+  BandwidthModel(sim::Nanos unloaded_ns, double peak_gbps,
+                 double contention_k = 0.25)
+      : unloaded_ns_(unloaded_ns), peak_gbps_(peak_gbps), k_(contention_k) {}
+
+  sim::Nanos unloaded_ns() const { return unloaded_ns_; }
+  double peak_gbps() const { return peak_gbps_; }
+
+  /// Effective access latency at utilisation `u` in [0, 1).
+  sim::Nanos loaded_latency_ns(double u) const {
+    u = std::clamp(u, 0.0, kMaxUtil);
+    const double factor = 1.0 + k_ * u * u * u * u / (1.0 - u);
+    return static_cast<sim::Nanos>(static_cast<double>(unloaded_ns_) * factor);
+  }
+
+  /// Utilisation implied by `bytes` transferred over `window_ns`.
+  double utilization(double bytes, double window_ns) const {
+    if (window_ns <= 0.0 || peak_gbps_ <= 0.0) return 0.0;
+    const double gbps = bytes / window_ns;  // bytes/ns == GB/s
+    return std::clamp(gbps / peak_gbps_, 0.0, kMaxUtil);
+  }
+
+ private:
+  static constexpr double kMaxUtil = 0.98;  // avoid the pole at u = 1
+
+  sim::Nanos unloaded_ns_;
+  double peak_gbps_;
+  double k_;
+};
+
+}  // namespace vulcan::mem

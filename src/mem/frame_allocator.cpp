@@ -1,0 +1,36 @@
+#include "mem/frame_allocator.hpp"
+
+#include <cassert>
+
+namespace vulcan::mem {
+
+FrameAllocator::FrameAllocator(TierId tier, std::uint64_t capacity_pages)
+    : tier_(tier), capacity_(capacity_pages), allocated_(capacity_pages, false) {
+  free_list_.reserve(capacity_pages);
+  // Push in reverse so the first allocation returns index 0.
+  for (std::uint64_t i = capacity_pages; i-- > 0;) free_list_.push_back(i);
+}
+
+std::optional<Pfn> FrameAllocator::allocate() {
+  if (free_list_.empty()) return std::nullopt;
+  const std::uint64_t index = free_list_.back();
+  free_list_.pop_back();
+  allocated_[index] = true;
+  ++used_;
+  return make_pfn(tier_, index);
+}
+
+void FrameAllocator::free(Pfn pfn) {
+  assert(tier_of(pfn) == tier_ && "freeing PFN into wrong tier");
+  const std::uint64_t index = index_of(pfn);
+  assert(index < capacity_ && "PFN out of range");
+  if (index >= capacity_ || !allocated_[index]) {
+    assert(false && "double free");
+    return;
+  }
+  allocated_[index] = false;
+  free_list_.push_back(index);
+  --used_;
+}
+
+}  // namespace vulcan::mem

@@ -1,0 +1,51 @@
+// Free-list physical frame allocator for one memory tier.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "mem/tier.hpp"
+
+namespace vulcan::mem {
+
+/// Allocates frame indices [0, capacity) of a single tier. LIFO free list:
+/// O(1) alloc/free, deterministic ordering. Watermarks follow the kernel
+/// convention: allocation pressure is visible through free_pages() vs the
+/// low/high watermark fractions that reclamation policies (TPP) consult.
+class FrameAllocator {
+ public:
+  FrameAllocator(TierId tier, std::uint64_t capacity_pages);
+
+  /// Allocate one frame; nullopt when the tier is full.
+  std::optional<Pfn> allocate();
+
+  /// Return a frame to the pool. Double frees and foreign PFNs are
+  /// programming errors (asserted in debug builds, ignored in release).
+  void free(Pfn pfn);
+
+  TierId tier() const { return tier_; }
+  std::uint64_t capacity() const { return capacity_; }
+  std::uint64_t used() const { return used_; }
+  std::uint64_t free_pages() const { return capacity_ - used_; }
+  double utilization() const {
+    return capacity_ ? static_cast<double>(used_) / static_cast<double>(capacity_)
+                     : 0.0;
+  }
+
+  /// True when free pages have fallen below `fraction` of capacity
+  /// (e.g. TPP demotes when below_watermark(0.02)).
+  bool below_watermark(double fraction) const {
+    return static_cast<double>(free_pages()) <
+           fraction * static_cast<double>(capacity_);
+  }
+
+ private:
+  TierId tier_;
+  std::uint64_t capacity_;
+  std::uint64_t used_ = 0;
+  std::vector<std::uint64_t> free_list_;        // indices, LIFO
+  std::vector<bool> allocated_;                 // index -> live?
+};
+
+}  // namespace vulcan::mem

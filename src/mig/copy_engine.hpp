@@ -1,0 +1,115 @@
+// Sync vs async page-copy engines for hot-page promotion (Observation #4,
+// Fig. 4 microbenchmark): a page is promoted while a thread keeps accessing
+// it with a given read/write mix.
+//
+//   Sync   stalls the accessing thread for the whole migration path, then
+//          serves from the fast tier — predictable, write-proof.
+//   Async  copies in the background while accesses continue against the old
+//          (slow) frame; a write during the copy dirties the page and forces
+//          a re-copy; after `max_retries` failed attempts the migration
+//          aborts and the page stays slow (Nomad-style failure mode).
+//
+// The engines compute *expected* outcomes analytically, so benchmark curves
+// are smooth and deterministic; the Migrator uses the same probabilities for
+// per-page stochastic decisions.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+
+#include "sim/clock.hpp"
+#include "sim/cost_model.hpp"
+
+namespace vulcan::mig {
+
+/// The Fig. 4 promotion scenario.
+struct PromotionScenario {
+  double read_ratio = 1.0;            ///< fraction of accesses that read
+  sim::Cycles window = 3'000'000;     ///< measurement window (1 ms @ 3 GHz)
+  sim::Cycles fast_access = 230;      ///< per-op cycles on the fast tier
+  sim::Cycles slow_access = 506;      ///< per-op cycles on the slow tier
+  /// Accesses landing on the migrating page during one copy attempt
+  /// (page-access rate x copy duration).
+  double accesses_per_copy = 4.0;
+  unsigned max_retries = 3;           ///< async re-copy attempts
+  /// Full synchronous migration stall (prep + unmap + shootdown + copy +
+  /// remap on the cold path).
+  sim::Cycles sync_stall = 620'000;
+  /// One background copy attempt (copy + remap only; prep amortised).
+  sim::Cycles async_copy = 16'000;
+};
+
+struct PromotionOutcome {
+  double ops = 0.0;            ///< expected operations completed in window
+  double migrate_prob = 0.0;   ///< probability the page ends up fast
+  double expected_copies = 0.0;
+  sim::Cycles app_stall = 0;   ///< cycles the app was blocked
+};
+
+/// Probability one async copy attempt is dirtied by a concurrent write.
+inline double dirty_probability(const PromotionScenario& s) {
+  const double w = std::clamp(1.0 - s.read_ratio, 0.0, 1.0);
+  return 1.0 - std::pow(1.0 - w, s.accesses_per_copy);
+}
+
+/// Synchronous promotion: stall, then fast for the rest of the window.
+inline PromotionOutcome promote_sync(const PromotionScenario& s) {
+  PromotionOutcome o;
+  const sim::Cycles stall = std::min(s.sync_stall, s.window);
+  const sim::Cycles remaining = s.window - stall;
+  o.ops = static_cast<double>(remaining) /
+          static_cast<double>(s.fast_access);
+  o.migrate_prob = 1.0;
+  o.expected_copies = 1.0;
+  o.app_stall = stall;
+  return o;
+}
+
+/// Asynchronous promotion with dirty retries: expected-value composition
+/// over the attempt geometric.
+inline PromotionOutcome promote_async(const PromotionScenario& s) {
+  PromotionOutcome o;
+  const double p = dirty_probability(s);
+  const unsigned k = std::max(1u, s.max_retries);
+  const double fail_all = std::pow(p, static_cast<double>(k));
+  o.migrate_prob = 1.0 - fail_all;
+
+  // Expected number of attempts (truncated geometric, counting the final
+  // attempt whether it succeeds or exhausts the budget).
+  double expected_attempts = 0.0;
+  double reach = 1.0;  // probability of starting attempt i
+  for (unsigned i = 0; i < k; ++i) {
+    expected_attempts += reach;
+    reach *= p;
+  }
+  o.expected_copies = expected_attempts;
+
+  // Expected time spent with the page still slow: attempts in flight.
+  const double slow_time = std::min<double>(
+      expected_attempts * static_cast<double>(s.async_copy),
+      static_cast<double>(s.window));
+  const double fast_time =
+      (static_cast<double>(s.window) - slow_time) * o.migrate_prob;
+  const double slow_total =
+      static_cast<double>(s.window) - fast_time;
+  o.ops = fast_time / static_cast<double>(s.fast_access) +
+          slow_total / static_cast<double>(s.slow_access);
+  o.app_stall = 0;  // fully off the critical path
+  return o;
+}
+
+/// Per-page async success probability used by the Migrator for stochastic
+/// page-level decisions: write-intensive pages fail with prob p^k.
+inline double async_success_probability(bool write_intensive,
+                                        unsigned max_retries,
+                                        double accesses_per_copy = 4.0) {
+  PromotionScenario s;
+  s.read_ratio = write_intensive ? 0.5 : 0.98;
+  s.accesses_per_copy = accesses_per_copy;
+  s.max_retries = max_retries;
+  const double p = dirty_probability(s);
+  return 1.0 - std::pow(p, static_cast<double>(std::max(1u, max_retries)));
+}
+
+}  // namespace vulcan::mig

@@ -1,0 +1,110 @@
+// Migration mechanism cost composition: the five phases of §2.1's
+// mechanism description (kernel trap, PTE lock/unmap, TLB shootdown via
+// IPIs, content copy, PTE remap), with Vulcan's two mechanism-level
+// optimisations as switches:
+//
+//   optimized_prep       drop the cross-CPU lru_add_drain_all() broadcast
+//                        (workload-dependent migration, §3.2)
+//   targeted_shootdown   shoot only the sharer set proven by per-thread
+//                        page tables instead of every process core (§3.4)
+//
+// This class is pure cost arithmetic over the calibrated CostModel; the
+// Migrator pairs it with real page-table/TLB state updates.
+#pragma once
+
+#include <algorithm>
+
+#include "sim/cost_model.hpp"
+
+namespace vulcan::mig {
+
+struct MechanismOptions {
+  bool optimized_prep = false;
+  bool targeted_shootdown = false;
+  /// Online CPUs participating in baseline preparation (lru_add_drain_all
+  /// broadcasts to ALL online CPUs, not just the process's).
+  unsigned online_cpus = 32;
+};
+
+/// Per-phase cycle breakdown of one migration operation.
+struct PhaseBreakdown {
+  sim::Cycles prep = 0;
+  sim::Cycles unmap = 0;
+  sim::Cycles shootdown = 0;
+  sim::Cycles copy = 0;
+  sim::Cycles remap = 0;
+
+  sim::Cycles total() const { return prep + unmap + shootdown + copy + remap; }
+  double prep_share() const {
+    const auto t = total();
+    return t ? static_cast<double>(prep) / static_cast<double>(t) : 0.0;
+  }
+  double shootdown_share() const {
+    const auto t = total();
+    return t ? static_cast<double>(shootdown) / static_cast<double>(t) : 0.0;
+  }
+};
+
+class MigrationMechanism {
+ public:
+  MigrationMechanism(const sim::CostModel& cost, MechanismOptions opts)
+      : cost_(&cost), opts_(opts) {}
+
+  const MechanismOptions& options() const { return opts_; }
+  const sim::CostModel& cost_model() const { return *cost_; }
+
+  sim::Cycles prep_cost() const {
+    return opts_.optimized_prep ? cost_->prep_optimized(opts_.online_cpus)
+                                : cost_->prep_baseline(opts_.online_cpus);
+  }
+
+  /// Cold single-page migration (the Fig. 2 microbenchmark): one page whose
+  /// translation may be cached by `process_remote_cores` other cores.
+  /// `sharer_remote_cores` is the (smaller) set per-thread tables prove.
+  PhaseBreakdown single_page(unsigned process_remote_cores,
+                             unsigned sharer_remote_cores) const {
+    PhaseBreakdown b;
+    b.prep = prep_cost();
+    b.unmap = cost_->unmap(1);
+    const unsigned targets = opts_.targeted_shootdown
+                                 ? std::min(sharer_remote_cores,
+                                            process_remote_cores)
+                                 : process_remote_cores;
+    b.shootdown = cost_->shootdown_cold(targets);
+    b.copy = cost_->copy_single();
+    b.remap = cost_->remap(1);
+    return b;
+  }
+
+  /// Synchronous batched migration of `pages` pages (the Fig. 7 regime:
+  /// migrate_pages() on live mappings). Unmap/remap pay the cold per-page
+  /// cost; shootdowns pay the cold broadcast per page up to the kernel's
+  /// flush ceiling (tlb_single_page_flush_ceiling), beyond which flushes
+  /// batch (TTU_BATCH_FLUSH) and the overlapped per-page cost applies.
+  static constexpr std::uint64_t kFlushCeiling = 33;
+
+  PhaseBreakdown batch(std::uint64_t pages, unsigned process_remote_cores,
+                       unsigned avg_sharer_remote_cores) const {
+    PhaseBreakdown b;
+    b.prep = prep_cost();
+    b.unmap = cost_->unmap(pages);
+    const unsigned targets = opts_.targeted_shootdown
+                                 ? std::min(avg_sharer_remote_cores,
+                                            process_remote_cores)
+                                 : process_remote_cores;
+    const std::uint64_t cold_pages = std::min(pages, kFlushCeiling);
+    b.shootdown = cold_pages * cost_->shootdown_cold(targets);
+    if (pages > cold_pages) {
+      b.shootdown += cost_->shootdown_batched(pages - cold_pages, targets);
+    }
+    b.copy = cost_->copy_batched(pages);
+    b.remap = cost_->remap(pages);
+    return b;
+  }
+
+ private:
+  const sim::CostModel* cost_;
+  MechanismOptions opts_;
+};
+
+}  // namespace vulcan::mig

@@ -1,0 +1,46 @@
+// Per-application migration thread (§3.2): Vulcan decouples migration from
+// the kernel by giving every managed application dedicated migration
+// threads fed through shared-memory queues. Policies enqueue requests; each
+// epoch the thread drains as many as the inter-tier link budget allows.
+#pragma once
+
+#include <deque>
+
+#include "mig/migrator.hpp"
+
+namespace vulcan::mig {
+
+class MigrationThread {
+ public:
+  explicit MigrationThread(Migrator& migrator) : migrator_(&migrator) {}
+
+  void enqueue(const MigrationRequest& req) { queue_.push_back(req); }
+
+  /// Push to the front (urgent work, e.g. watermark-driven demotions).
+  void enqueue_urgent(const MigrationRequest& req) {
+    queue_.push_front(req);
+  }
+
+  std::size_t backlog() const { return queue_.size(); }
+  void clear_backlog() { queue_.clear(); }
+
+  /// Execute up to `page_budget` queued requests (the epoch's share of
+  /// inter-tier link bandwidth). Returns the aggregated stats.
+  MigrationStats run_epoch(std::uint64_t page_budget, sim::Rng& rng) {
+    std::vector<MigrationRequest> batch;
+    batch.reserve(std::min<std::size_t>(page_budget, queue_.size()));
+    while (!queue_.empty() && batch.size() < page_budget) {
+      batch.push_back(queue_.front());
+      queue_.pop_front();
+    }
+    return migrator_->execute(batch, rng);
+  }
+
+  Migrator& migrator() { return *migrator_; }
+
+ private:
+  Migrator* migrator_;
+  std::deque<MigrationRequest> queue_;
+};
+
+}  // namespace vulcan::mig

@@ -1,0 +1,201 @@
+#include "mig/migrator.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace vulcan::mig {
+
+Migrator::Migrator(vm::AddressSpace& as, mem::Topology& topo,
+                   vm::ShootdownController& shootdowns,
+                   const sim::CostModel& cost, Config config)
+    : as_(&as),
+      topo_(&topo),
+      shootdowns_(&shootdowns),
+      mechanism_(cost, config.mechanism),
+      config_(std::move(config)),
+      shadows_(topo) {}
+
+std::vector<vm::CoreId> Migrator::shootdown_targets(
+    const MigrationRequest& req, vm::CoreId initiator) const {
+  std::vector<vm::CoreId> targets;
+  const bool targeted = config_.mechanism.targeted_shootdown;
+  if (targeted && !req.shared) {
+    // Per-thread tables prove a single owner: one core at most.
+    const vm::CoreId owner_core = core_of(req.owner);
+    if (owner_core != initiator) targets.push_back(owner_core);
+    return targets;
+  }
+  // Shared page (or no ownership knowledge): every process core.
+  targets.reserve(config_.process_cores.size());
+  for (const vm::CoreId c : config_.process_cores) {
+    if (c != initiator &&
+        std::find(targets.begin(), targets.end(), c) == targets.end()) {
+      targets.push_back(c);
+    }
+  }
+  return targets;
+}
+
+bool Migrator::execute_chunk(const MigrationRequest& req, sim::Rng& rng,
+                             MigrationStats& stats) {
+  (void)rng;
+  const sim::CostModel& cost = mechanism_.cost_model();
+  const bool sync = req.mode == CopyMode::kSync;
+  sim::Cycles& bucket = sync ? stats.stall_cycles : stats.daemon_cycles;
+  const vm::CoreId initiator =
+      sync ? core_of(req.owner) : config_.daemon_core;
+  const auto targets = shootdown_targets(req, initiator);
+
+  const vm::Vpn base = as_->chunk_base(req.vpn);
+  std::vector<vm::Vpn> moved;
+  moved.reserve(sim::kPagesPerHuge);
+  bool complete = true;
+  for (std::uint64_t i = 0; i < sim::kPagesPerHuge; ++i) {
+    const vm::Vpn vpn = base + i;
+    const vm::Pte pte = as_->tables().get(vpn);
+    if (!pte.present() || mem::tier_of(pte.pfn()) == req.to) continue;
+    auto dest = topo_->allocator(req.to).allocate();
+    if (!dest) {
+      complete = false;  // destination exhausted mid-chunk: partial move
+      break;
+    }
+    const mem::Pfn old = as_->remap(vpn, *dest);
+    if (config_.shadowing) shadows_.invalidate(vpn);
+    topo_->allocator(mem::tier_of(old)).free(old);
+    moved.push_back(vpn);
+  }
+  if (moved.empty()) return false;
+  if (!complete &&
+      as_->chunk_state(req.vpn) == vm::AddressSpace::ChunkState::kHuge) {
+    // A huge mapping cannot straddle tiers: a partial move forces a split.
+    as_->split_chunk(req.vpn);
+    bucket += config_.huge_split_cycles;
+  }
+
+  // Batched mechanics: one flush round for the whole chunk, amortised
+  // per-page unmap/copy/remap.
+  bucket += cost.unmap_batched(moved.size());
+  bucket += shootdowns_->shoot_batch(initiator, targets, as_->pid(), moved);
+  bucket += config_.dma_copy
+                ? moved.size() * cost.params().dma_setup_cycles
+                : cost.copy_batched(moved.size());
+  bucket += cost.remap_batched(moved.size());
+  stats.bytes_copied += moved.size() * sim::kPageSize;
+  stats.migrated += moved.size();
+
+  // (Re)establish the 2 MB mapping for TLB coverage; collapse_chunk
+  // verifies the whole chunk is mapped and co-resident, so a partial move
+  // (destination exhausted) safely stays base-paged.
+  as_->collapse_chunk(req.vpn);
+  return true;
+}
+
+bool Migrator::execute_one(const MigrationRequest& req, sim::Rng& rng,
+                           MigrationStats& stats) {
+  if (req.whole_chunk) return execute_chunk(req, rng, stats);
+
+  const sim::CostModel& cost = mechanism_.cost_model();
+  const bool sync = req.mode == CopyMode::kSync;
+  sim::Cycles& bucket = sync ? stats.stall_cycles : stats.daemon_cycles;
+  const vm::CoreId initiator =
+      sync ? core_of(req.owner) : config_.daemon_core;
+
+  const vm::Pte pte = as_->tables().get(req.vpn);
+  if (!pte.present() || mem::tier_of(pte.pfn()) == req.to) return false;
+
+  // THP split precedes any base-page migration of a huge-mapped chunk.
+  if (as_->is_huge(req.vpn)) {
+    as_->split_chunk(req.vpn);
+    bucket += config_.huge_split_cycles;
+  }
+
+  const auto targets = shootdown_targets(req, initiator);
+  const bool demotion = req.to != mem::kFastTier;
+  const bool dirty = pte.dirty();
+
+  // Cheap demotion path: a clean page with a live shadow is just remapped
+  // back onto its slow-tier copy — no content copy at all.
+  if (demotion && !dirty && config_.shadowing) {
+    if (auto shadow = shadows_.consume(req.vpn)) {
+      bucket += cost.unmap(1);
+      bucket += shootdowns_->shoot_single(initiator, targets, as_->pid(),
+                                          req.vpn);
+      const mem::Pfn old = as_->remap(req.vpn, *shadow);
+      topo_->allocator(mem::tier_of(old)).free(old);
+      bucket += cost.remap(1);
+      ++stats.shadow_remaps;
+      ++stats.migrated;
+      return true;
+    }
+  }
+
+  auto dest = topo_->allocator(req.to).allocate();
+  if (!dest) return false;  // destination tier full: policy must make room
+
+  // Async copies race application writes; write-intensive pages may abort.
+  if (!sync) {
+    const double p_success = async_success_probability(
+        req.write_intensive, config_.async_max_retries);
+    // Expected extra copies before resolution (success or abort).
+    const double p_dirty = 1.0 - p_success;
+    if (p_dirty > 0.0) {
+      const unsigned extra = static_cast<unsigned>(
+          rng.uniform() * config_.async_max_retries * (1.0 - p_success));
+      stats.retries += extra;
+      bucket += extra * cost.copy_single();
+      stats.bytes_copied += extra * sim::kPageSize;
+    }
+    if (!rng.chance(p_success)) {
+      topo_->allocator(req.to).free(*dest);
+      ++stats.failed;
+      return false;
+    }
+  }
+
+  bucket += cost.unmap(1);
+  bucket += shootdowns_->shoot_single(initiator, targets, as_->pid(), req.vpn);
+  // HeMem-style DMA offload: the engine streams the page while the CPU
+  // only pays descriptor setup; otherwise the CPU performs the copy.
+  bucket += config_.dma_copy ? cost.params().dma_setup_cycles
+                             : cost.copy_single();
+  stats.bytes_copied += sim::kPageSize;
+  const mem::Pfn old = as_->remap(req.vpn, *dest);
+  bucket += cost.remap(1);
+  if (!req.shared) ++stats.private_migrated;
+
+  const bool promotion_from_slow =
+      req.to == mem::kFastTier && mem::tier_of(old) != mem::kFastTier;
+  if (config_.shadowing && promotion_from_slow && !dirty) {
+    shadows_.install(req.vpn, old);  // registry owns the frame now
+  } else {
+    if (config_.shadowing) shadows_.invalidate(req.vpn);
+    topo_->allocator(mem::tier_of(old)).free(old);
+  }
+  ++stats.migrated;
+  return true;
+}
+
+MigrationStats Migrator::execute(std::span<const MigrationRequest> requests,
+                                 sim::Rng& rng) {
+  MigrationStats stats;
+  if (requests.empty()) return stats;
+
+  bool any_sync = false, any_async = false;
+  for (const auto& r : requests) {
+    (r.mode == CopyMode::kSync ? any_sync : any_async) = true;
+  }
+  // Migration preparation is paid once per migrate_pages() invocation; sync
+  // and async requests travel in separate invocations (app context vs the
+  // migration thread).
+  if (any_sync) stats.stall_cycles += mechanism_.prep_cost();
+  if (any_async) stats.daemon_cycles += mechanism_.prep_cost();
+
+  for (const auto& req : requests) {
+    ++stats.attempted;
+    execute_one(req, rng, stats);
+  }
+  totals_ += stats;
+  return stats;
+}
+
+}  // namespace vulcan::mig

@@ -1,0 +1,95 @@
+// The Migrator executes policy-issued MigrationRequests against one
+// process's address space: it allocates destination frames, pays the
+// mechanism costs (split by attribution: synchronous work stalls the
+// application, asynchronous work burns migration-thread cycles), performs
+// the remaps and TLB shootdowns, and maintains shadow copies.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "mig/copy_engine.hpp"
+#include "mig/mechanism.hpp"
+#include "mig/migration.hpp"
+#include "mig/shadow.hpp"
+#include "sim/rng.hpp"
+#include "vm/address_space.hpp"
+#include "vm/shootdown.hpp"
+
+namespace vulcan::mig {
+
+class Migrator {
+ public:
+  struct Config {
+    MechanismOptions mechanism;
+    /// Cores running the process's threads, indexed by thread id modulo
+    /// size (thread pinning).
+    std::vector<vm::CoreId> process_cores;
+    /// Core the migration daemon/thread runs on (shootdown initiator for
+    /// async work).
+    vm::CoreId daemon_core = 0;
+    /// Retain slow-tier shadow copies on promotion (Nomad / Vulcan).
+    bool shadowing = false;
+    /// Offload page copies to a DMA engine (HeMem-style): the CPU pays
+    /// descriptor setup only.
+    bool dma_copy = false;
+    unsigned async_max_retries = 3;
+    /// Cost of splitting a THP before migrating one of its base pages.
+    sim::Cycles huge_split_cycles = 20'000;
+  };
+
+  Migrator(vm::AddressSpace& as, mem::Topology& topo,
+           vm::ShootdownController& shootdowns, const sim::CostModel& cost,
+           Config config);
+
+  /// Execute a batch of requests. Returns aggregated stats; cumulative
+  /// stats are also kept (see totals()).
+  MigrationStats execute(std::span<const MigrationRequest> requests,
+                         sim::Rng& rng);
+
+  /// Notify a write to `vpn` (invalidates any shadow: copies diverged).
+  void on_write(vm::Vpn vpn) {
+    if (config_.shadowing) shadows_.invalidate(vpn);
+  }
+
+  ShadowRegistry& shadows() { return shadows_; }
+  const MigrationMechanism& mechanism() const { return mechanism_; }
+  const MigrationStats& totals() const { return totals_; }
+  const Config& config() const { return config_; }
+
+  /// Runtime toggle for targeted shootdowns — the §3.6 adaptive
+  /// replication knob (per-thread tables can be consulted or ignored
+  /// per-epoch based on measured benefit).
+  void set_targeted_shootdown(bool on) {
+    config_.mechanism.targeted_shootdown = on;
+  }
+
+  vm::CoreId core_of(vm::ThreadId thread) const {
+    return config_.process_cores.empty()
+               ? config_.daemon_core
+               : config_.process_cores[thread % config_.process_cores.size()];
+  }
+
+ private:
+  struct Charge {
+    sim::Cycles* bucket;  ///< &stats.stall_cycles or &stats.daemon_cycles
+  };
+
+  bool execute_one(const MigrationRequest& req, sim::Rng& rng,
+                   MigrationStats& stats);
+  bool execute_chunk(const MigrationRequest& req, sim::Rng& rng,
+                     MigrationStats& stats);
+  /// Remote-core target set for a request's shootdown.
+  std::vector<vm::CoreId> shootdown_targets(const MigrationRequest& req,
+                                            vm::CoreId initiator) const;
+
+  vm::AddressSpace* as_;
+  mem::Topology* topo_;
+  vm::ShootdownController* shootdowns_;
+  MigrationMechanism mechanism_;
+  Config config_;
+  ShadowRegistry shadows_;
+  MigrationStats totals_;
+};
+
+}  // namespace vulcan::mig

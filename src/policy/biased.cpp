@@ -1,0 +1,28 @@
+#include "policy/biased.hpp"
+
+#include <algorithm>
+
+namespace vulcan::policy {
+
+std::vector<mig::MigrationRequest> BiasedQueues::drain(std::uint64_t budget) {
+  std::vector<mig::MigrationRequest> out;
+  out.reserve(std::min<std::uint64_t>(budget, backlog()));
+  for (auto& queue : queues_) {
+    if (out.size() >= budget) break;
+    std::sort(queue.begin(), queue.end(),
+              [](const mig::MigrationRequest& a,
+                 const mig::MigrationRequest& b) {
+                if (a.heat != b.heat) return a.heat > b.heat;
+                return a.vpn < b.vpn;
+              });
+    const std::uint64_t take =
+        std::min<std::uint64_t>(budget - out.size(), queue.size());
+    for (std::uint64_t i = 0; i < take; ++i) queued_.erase(queue[i].vpn);
+    out.insert(out.end(), queue.begin(),
+               queue.begin() + static_cast<std::ptrdiff_t>(take));
+    queue.erase(queue.begin(), queue.begin() + static_cast<std::ptrdiff_t>(take));
+  }
+  return out;
+}
+
+}  // namespace vulcan::policy

@@ -1,0 +1,109 @@
+// Biased page migration queues (Vulcan §3.5, Table 1).
+//
+// Hot pages are classified by (ownership, write intensity) into four
+// priority queues:
+//
+//   | page type | pattern          | priority | strategy   |
+//   |-----------|------------------|----------|------------|
+//   | private   | read-intensive   | ****     | async copy |
+//   | shared    | read-intensive   | ***      | async copy |
+//   | private   | write-intensive  | **       | sync copy  |
+//   | shared    | write-intensive  | *        | sync copy  |
+//
+// Private+read pages migrate cheapest (no IPIs, no dirty races) and go
+// first; shared+write pages pay both TLB broadcast and copy retries and go
+// last. A Multi-Level Feedback Queue rule lets entries whose heat keeps
+// growing jump one priority level so scorching pages never stagnate.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <unordered_set>
+#include <vector>
+
+#include "mig/migration.hpp"
+
+namespace vulcan::policy {
+
+class BiasedQueues {
+ public:
+  static constexpr unsigned kQueueCount = 4;
+
+  struct Params {
+    /// Heat at which the MLFQ rule boosts an entry one level.
+    double mlfq_boost_heat = 32.0;
+  };
+
+  BiasedQueues() = default;
+  explicit BiasedQueues(Params params) : params_(params) {}
+
+  /// Base priority per Table 1 (0 = highest).
+  static unsigned base_queue(bool shared, bool write_intensive) {
+    if (!shared && !write_intensive) return 0;  // ****
+    if (shared && !write_intensive) return 1;   // ***
+    if (!shared) return 2;                      // **
+    return 3;                                   // *
+  }
+
+  /// Copy strategy per Table 1.
+  static mig::CopyMode mode_for(bool write_intensive) {
+    return write_intensive ? mig::CopyMode::kSync : mig::CopyMode::kAsync;
+  }
+
+  /// Queue the request actually lands in, after the MLFQ heat boost.
+  unsigned effective_queue(const mig::MigrationRequest& req) const {
+    unsigned q = base_queue(req.shared, req.write_intensive);
+    if (q > 0 && req.heat >= params_.mlfq_boost_heat) --q;
+    return q;
+  }
+
+  /// Enqueue a promotion candidate; the copy mode is forced to the Table 1
+  /// strategy for its class. Duplicate vpns (already queued from an earlier
+  /// epoch) are ignored — refresh() re-ranks them instead.
+  /// Returns false for a duplicate.
+  bool push(mig::MigrationRequest req) {
+    if (!queued_.insert(req.vpn).second) return false;
+    req.mode = mode_for(req.write_intensive);
+    queues_[effective_queue(req)].push_back(req);
+    return true;
+  }
+
+  /// Drain up to `budget` requests in priority order (queue 0 first),
+  /// hottest-first within each queue. Remaining entries stay queued.
+  std::vector<mig::MigrationRequest> drain(std::uint64_t budget);
+
+  /// Re-rank queued entries against fresh heat data: entries are pulled
+  /// out, their heat updated via `heat_of(vpn)`, and re-pushed so the MLFQ
+  /// boost reflects current temperature.
+  template <typename HeatFn>
+  void refresh(HeatFn&& heat_of) {
+    std::vector<mig::MigrationRequest> all;
+    for (auto& q : queues_) {
+      all.insert(all.end(), q.begin(), q.end());
+      q.clear();
+    }
+    queued_.clear();
+    for (auto& req : all) {
+      req.heat = heat_of(req.vpn);
+      push(req);
+    }
+  }
+
+  std::size_t backlog() const {
+    std::size_t n = 0;
+    for (const auto& q : queues_) n += q.size();
+    return n;
+  }
+  std::size_t backlog(unsigned queue) const { return queues_[queue].size(); }
+  void clear() {
+    for (auto& q : queues_) q.clear();
+    queued_.clear();
+  }
+
+ private:
+  Params params_;
+  std::array<std::vector<mig::MigrationRequest>, kQueueCount> queues_;
+  std::unordered_set<vm::Vpn> queued_;
+};
+
+}  // namespace vulcan::policy

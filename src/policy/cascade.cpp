@@ -1,0 +1,111 @@
+#include "policy/cascade.hpp"
+
+#include <algorithm>
+
+namespace vulcan::policy {
+
+mem::TierId CascadePolicy::placement_tier(const WorkloadView& /*view*/,
+                                          const mem::Topology& topo) const {
+  // First tier with headroom, fastest first.
+  for (std::size_t t = 0; t < topo.tier_count(); ++t) {
+    const auto tier = static_cast<mem::TierId>(t);
+    if (!topo.allocator(tier).below_watermark(0.02)) return tier;
+  }
+  return static_cast<mem::TierId>(topo.tier_count() - 1);
+}
+
+void CascadePolicy::plan_epoch(std::span<WorkloadView> workloads,
+                               mem::Topology& topo, sim::Rng& rng) {
+  (void)rng;
+  const std::size_t tiers = topo.tier_count();
+  if (tiers == 0 || workloads.empty()) return;
+
+  // Global heat ranking across every managed page.
+  struct Entry {
+    float heat;
+    std::uint32_t workload;
+    std::uint32_t page;
+  };
+  std::vector<Entry> ranking;
+  for (const WorkloadView& view : workloads) {
+    const auto& tr = *view.tracker;
+    for (std::uint64_t p = 0; p < tr.pages(); ++p) {
+      const double h = tr.heat(p);
+      if (h > 0.0 && view.as->mapped(view.as->vpn_at(p))) {
+        ranking.push_back({static_cast<float>(h), view.index,
+                           static_cast<std::uint32_t>(p)});
+      }
+    }
+  }
+  std::sort(ranking.begin(), ranking.end(), [](const Entry& a, const Entry& b) {
+    if (a.heat != b.heat) return a.heat > b.heat;
+    if (a.workload != b.workload) return a.workload < b.workload;
+    return a.page < b.page;
+  });
+
+  // Waterfall: pour the ranking down the tiers; record boundaries. The
+  // anti-thrash margin is evaluated against the *previous* epoch's
+  // boundaries (this epoch's are still forming).
+  std::vector<double> prev = boundaries_;
+  prev.resize(tiers, 0.0);
+  boundaries_.assign(tiers, 0.0);
+  std::vector<std::uint64_t> budget(tiers);
+  for (std::size_t t = 0; t < tiers; ++t) {
+    budget[t] = static_cast<std::uint64_t>(
+        params_.fill_fraction *
+        static_cast<double>(topo.capacity_pages(static_cast<mem::TierId>(t))));
+  }
+
+  std::vector<std::uint64_t> issued(workloads.size(), 0);
+  std::size_t tier = 0;
+  for (const Entry& e : ranking) {
+    while (tier < tiers && budget[tier] == 0) ++tier;
+    if (tier >= tiers) break;
+    --budget[tier];
+    boundaries_[tier] = e.heat;  // last (coolest) page admitted so far
+
+    WorkloadView& view = workloads[e.workload];
+    const vm::Vpn vpn = view.as->vpn_at(e.page);
+    const auto current = mem::tier_of(view.as->tables().get(vpn).pfn());
+    const auto assigned = static_cast<mem::TierId>(tier);
+    if (current == assigned) continue;
+    if (issued[e.workload] >= params_.max_moves_per_workload) continue;
+    // Anti-thrash: a page promoted from the adjacent slower tier must
+    // clear last epoch's admission boundary with a margin — pages living
+    // right at the boundary would otherwise flip tiers every epoch.
+    if (assigned + 1 == current && prev[assigned] > 0.0 &&
+        e.heat <= params_.boundary_hysteresis * prev[assigned] &&
+        e.heat >= prev[assigned] / params_.boundary_hysteresis) {
+      continue;
+    }
+    auto req = make_request(view, e.page, assigned, mig::CopyMode::kAsync);
+    if (assigned > current) {
+      view.migration->enqueue_urgent(req);  // demotions free capacity first
+    } else {
+      view.migration->enqueue(req);
+    }
+    ++issued[e.workload];
+  }
+
+  // Pages with zero heat that sit in the top tier sink one step down when
+  // capacity is needed (bounded cold sweep; repeated epochs cascade them
+  // further if they stay cold).
+  const auto next_down =
+      static_cast<mem::TierId>(std::min<std::size_t>(1, tiers - 1));
+  for (WorkloadView& view : workloads) {
+    if (topo.allocator(mem::kFastTier).free_pages() >
+        topo.capacity_pages(mem::kFastTier) / 16) {
+      break;  // no pressure
+    }
+    std::uint64_t swept = 0;
+    for (const std::uint64_t page :
+         pages_in_tier_by_heat(view, mem::kFastTier, /*hottest_first=*/false)) {
+      if (view.tracker->heat(page) > 0.0 || swept >= 256) break;
+      view.migration->enqueue_urgent(
+          make_request(view, page, next_down, mig::CopyMode::kAsync));
+      ++swept;
+    }
+  }
+}
+
+}  // namespace vulcan::policy

@@ -1,0 +1,57 @@
+// CascadePolicy: N-tier waterfall placement.
+//
+// The paper's testbed is two-tier, but the substrate supports arbitrary
+// topologies (HBM + DRAM + CXL, DRAM + CXL + NVM, ...). This policy
+// generalises capacity-threshold tiering to N tiers, the regime Nimble /
+// MULTI-CLOCK / MTM's multi-tier work targets: rank every managed page by
+// heat and pour the ranking down the tiers — the hottest pages fill tier 0
+// up to its capacity, the next-hottest fill tier 1, and so on. Pages found
+// in the wrong tier migrate directly to their assigned tier (no
+// hop-by-hop staging), asynchronously.
+#pragma once
+
+#include "policy/policy.hpp"
+
+namespace vulcan::policy {
+
+class CascadePolicy final : public SystemPolicy {
+ public:
+  struct Params {
+    /// Per-tier capacity fraction the waterfall may fill (headroom for
+    /// faults and migration staging).
+    double fill_fraction = 0.96;
+    /// A page only moves when its assigned tier differs from its current
+    /// one by at least this heat advantage over the boundary (anti-thrash).
+    double boundary_hysteresis = 1.2;
+    std::uint64_t max_moves_per_workload = 4096;
+    unsigned online_cpus = 32;
+  };
+
+  CascadePolicy() = default;
+  explicit CascadePolicy(Params params) : params_(params) {}
+
+  void plan_epoch(std::span<WorkloadView> workloads, mem::Topology& topo,
+                  sim::Rng& rng) override;
+
+  mem::TierId placement_tier(const WorkloadView& view,
+                             const mem::Topology& topo) const override;
+
+  mig::Migrator::Config migrator_config() const override {
+    mig::Migrator::Config cfg;
+    cfg.mechanism.optimized_prep = true;  // daemon-driven, drains locally
+    cfg.mechanism.online_cpus = params_.online_cpus;
+    return cfg;
+  }
+
+  std::string_view name() const override { return "cascade"; }
+
+  /// Heat boundaries between adjacent tiers computed last epoch
+  /// (boundary[t] = minimum heat admitting a page into tier t).
+  const std::vector<double>& boundaries() const { return boundaries_; }
+
+ private:
+  Params params_;
+  std::vector<double> boundaries_;
+};
+
+}  // namespace vulcan::policy

@@ -1,0 +1,53 @@
+#include "policy/memtis.hpp"
+
+#include <algorithm>
+
+namespace vulcan::policy {
+
+void MemtisPolicy::plan_epoch(std::span<WorkloadView> workloads,
+                              mem::Topology& topo, sim::Rng& rng) {
+  (void)rng;
+  // Global hotness ranking across every managed page (the defining Memtis
+  // behaviour: raw access counts, no per-workload normalisation).
+  std::vector<float> heats;
+  for (const WorkloadView& view : workloads) {
+    const auto& tr = *view.tracker;
+    for (std::uint64_t p = 0; p < tr.pages(); ++p) {
+      const double h = tr.heat(p);
+      if (h > 0.0) heats.push_back(static_cast<float>(h));
+    }
+  }
+  const auto capacity = static_cast<std::uint64_t>(
+      (1.0 - params_.capacity_slack) *
+      static_cast<double>(topo.capacity_pages(mem::kFastTier)));
+  double threshold = 1e-30;
+  if (heats.size() > capacity) {
+    auto nth = heats.begin() + static_cast<std::ptrdiff_t>(capacity - 1);
+    std::nth_element(heats.begin(), nth, heats.end(), std::greater<float>());
+    threshold = static_cast<double>(*nth);
+  }
+  last_threshold_ = threshold;
+
+  for (WorkloadView& view : workloads) {
+    std::uint64_t issued = 0;
+    // Promote: slow pages above the global threshold, hottest first.
+    for (const std::uint64_t page :
+         pages_in_tier_by_heat(view, mem::kSlowTier, /*hottest_first=*/true)) {
+      if (view.tracker->heat(page) < threshold) break;
+      if (issued++ >= params_.max_migrations_per_workload) break;
+      view.migration->enqueue(
+          make_request(view, page, mem::kFastTier, mig::CopyMode::kAsync));
+    }
+    // Demote: fast pages below the global threshold, coldest first.
+    issued = 0;
+    for (const std::uint64_t page :
+         pages_in_tier_by_heat(view, mem::kFastTier, /*hottest_first=*/false)) {
+      if (view.tracker->heat(page) >= threshold) break;
+      if (issued++ >= params_.max_migrations_per_workload) break;
+      view.migration->enqueue_urgent(
+          make_request(view, page, mem::kSlowTier, mig::CopyMode::kAsync));
+    }
+  }
+}
+
+}  // namespace vulcan::policy

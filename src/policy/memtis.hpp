@@ -1,0 +1,54 @@
+// Memtis baseline (Lee et al., SOSP'23): capacity-driven global hotness
+// classification.
+//
+//   * All pages of all managed workloads are ranked by absolute (decayed)
+//     access count; the hottest `fast_capacity` pages are "hot".
+//   * Hot pages not yet fast are promoted; fast pages below the global
+//     threshold are demoted. Both run asynchronously off the critical path.
+//   * Vanilla mechanism, no shadowing.
+//
+// Because the threshold is global over raw counts, an intense best-effort
+// workload monopolises the fast tier — this is the policy the paper uses to
+// demonstrate the cold page dilemma (Fig. 1).
+#pragma once
+
+#include "policy/policy.hpp"
+
+namespace vulcan::policy {
+
+class MemtisPolicy final : public SystemPolicy {
+ public:
+  struct Params {
+    /// Keep a small reserve unclassified to avoid thrash at the boundary.
+    double capacity_slack = 0.02;
+    std::uint64_t max_migrations_per_workload = 4096;
+    unsigned online_cpus = 32;
+  };
+
+  MemtisPolicy() = default;
+  explicit MemtisPolicy(Params params) : params_(params) {}
+
+  void plan_epoch(std::span<WorkloadView> workloads, mem::Topology& topo,
+                  sim::Rng& rng) override;
+
+  mig::Migrator::Config migrator_config() const override {
+    mig::Migrator::Config cfg;
+    cfg.mechanism.optimized_prep = false;
+    cfg.mechanism.targeted_shootdown = false;
+    cfg.mechanism.online_cpus = params_.online_cpus;
+    cfg.shadowing = false;
+    return cfg;
+  }
+
+  std::string_view name() const override { return "memtis"; }
+
+  /// The global hot threshold computed in the last epoch (observable for
+  /// tests and the Fig. 1 harness).
+  double last_threshold() const { return last_threshold_; }
+
+ private:
+  Params params_;
+  double last_threshold_ = 0.0;
+};
+
+}  // namespace vulcan::policy

@@ -1,0 +1,48 @@
+// MTM baseline (Ren et al., EuroSys'24): the system §3.5 cites as the
+// inspiration for access-pattern-aware copy-mode selection.
+//
+//   * Global hotness ranking (Memtis-like capacity threshold).
+//   * Copy mode chosen by *write intensity only*: synchronous copy for
+//     write-intensive pages, asynchronous for read-intensive ones.
+//   * No thread-ownership awareness: every shootdown broadcasts to the
+//     whole process, and there is no priority ordering between classes —
+//     the gap Vulcan's Table 1 closes by adding private/shared bias.
+#pragma once
+
+#include "policy/policy.hpp"
+
+namespace vulcan::policy {
+
+class MtmPolicy final : public SystemPolicy {
+ public:
+  struct Params {
+    double capacity_slack = 0.02;
+    double write_share_threshold = 0.25;
+    std::uint64_t max_migrations_per_workload = 4096;
+    unsigned online_cpus = 32;
+  };
+
+  MtmPolicy() = default;
+  explicit MtmPolicy(Params params) : params_(params) {}
+
+  void plan_epoch(std::span<WorkloadView> workloads, mem::Topology& topo,
+                  sim::Rng& rng) override;
+
+  mig::Migrator::Config migrator_config() const override {
+    mig::Migrator::Config cfg;
+    cfg.mechanism.optimized_prep = false;
+    cfg.mechanism.targeted_shootdown = false;  // no ownership knowledge
+    cfg.mechanism.online_cpus = params_.online_cpus;
+    cfg.shadowing = false;
+    return cfg;
+  }
+
+  std::string_view name() const override { return "mtm"; }
+  double last_threshold() const { return last_threshold_; }
+
+ private:
+  Params params_;
+  double last_threshold_ = 0.0;
+};
+
+}  // namespace vulcan::policy

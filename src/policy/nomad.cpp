@@ -1,0 +1,49 @@
+#include "policy/nomad.hpp"
+
+namespace vulcan::policy {
+
+void NomadPolicy::plan_epoch(std::span<WorkloadView> workloads,
+                             mem::Topology& topo, sim::Rng& rng) {
+  (void)rng;
+  // Promotions: TPP-like trigger, transactional-async execution.
+  std::uint64_t promotions = 0;
+  for (WorkloadView& view : workloads) {
+    std::uint64_t issued = 0;
+    for (const std::uint64_t page :
+         pages_in_tier_by_heat(view, mem::kSlowTier, /*hottest_first=*/true)) {
+      if (view.tracker->heat(page) < params_.promote_min_heat) break;
+      if (issued++ >= params_.max_promotions_per_workload) break;
+      view.migration->enqueue(
+          make_request(view, page, mem::kFastTier, mig::CopyMode::kAsync));
+      ++promotions;
+    }
+  }
+
+  // Demotions: watermark- and promotion-pressure-driven, cheap for
+  // shadowed clean pages.
+  auto& fast = topo.allocator(mem::kFastTier);
+  const auto target_free = static_cast<std::uint64_t>(
+      params_.high_watermark * static_cast<double>(fast.capacity()));
+  std::uint64_t need = 0;
+  if (fast.below_watermark(params_.low_watermark) ||
+      promotions > fast.free_pages()) {
+    const std::uint64_t for_watermark =
+        target_free > fast.free_pages() ? target_free - fast.free_pages() : 0;
+    const std::uint64_t for_promotions =
+        promotions > fast.free_pages() ? promotions - fast.free_pages() : 0;
+    need = std::max(for_watermark, for_promotions);
+  }
+  if (need == 0) return;
+  for (WorkloadView& view : workloads) {
+    if (need == 0) break;
+    for (const std::uint64_t page :
+         pages_in_tier_by_heat(view, mem::kFastTier, /*hottest_first=*/false)) {
+      if (need == 0) break;
+      view.migration->enqueue_urgent(
+          make_request(view, page, mem::kSlowTier, mig::CopyMode::kAsync));
+      --need;
+    }
+  }
+}
+
+}  // namespace vulcan::policy

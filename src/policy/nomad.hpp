@@ -1,0 +1,51 @@
+// Nomad baseline (Xiang et al., OSDI'24): non-exclusive memory tiering via
+// transactional page migration.
+//
+//   * Promotion criteria mirror TPP (recently-touched slow pages), but the
+//     copy is *transactional and fully asynchronous*: the page stays mapped
+//     during the copy and a concurrent write aborts the transaction
+//     (async_max_retries = 1) — program execution is never blocked.
+//   * Page shadowing: promoted pages keep their slow-tier copy, so clean
+//     demotions are remap-only.
+//   * Mechanism is otherwise vanilla (full prep, broadcast shootdowns),
+//     and there is no fairness control or access-pattern-aware policy —
+//     the gaps the paper's §2.1 calls out.
+#pragma once
+
+#include "policy/policy.hpp"
+
+namespace vulcan::policy {
+
+class NomadPolicy final : public SystemPolicy {
+ public:
+  struct Params {
+    double low_watermark = 0.02;
+    double high_watermark = 0.06;
+    double promote_min_heat = 2000.0;  ///< ~two weighted touches
+    std::uint64_t max_promotions_per_workload = 2048;
+    unsigned online_cpus = 32;
+  };
+
+  NomadPolicy() = default;
+  explicit NomadPolicy(Params params) : params_(params) {}
+
+  void plan_epoch(std::span<WorkloadView> workloads, mem::Topology& topo,
+                  sim::Rng& rng) override;
+
+  mig::Migrator::Config migrator_config() const override {
+    mig::Migrator::Config cfg;
+    cfg.mechanism.optimized_prep = false;
+    cfg.mechanism.targeted_shootdown = false;
+    cfg.mechanism.online_cpus = params_.online_cpus;
+    cfg.shadowing = true;        // page shadowing
+    cfg.async_max_retries = 1;   // transactional: abort on first conflict
+    return cfg;
+  }
+
+  std::string_view name() const override { return "nomad"; }
+
+ private:
+  Params params_;
+};
+
+}  // namespace vulcan::policy

@@ -1,0 +1,40 @@
+#include "policy/policy.hpp"
+
+#include <algorithm>
+
+namespace vulcan::policy {
+
+mig::MigrationRequest make_request(const WorkloadView& view,
+                                   std::uint64_t page, mem::TierId to,
+                                   mig::CopyMode mode) {
+  mig::MigrationRequest req;
+  req.vpn = view.as->vpn_at(page);
+  req.to = to;
+  req.mode = mode;
+  const auto owner = view.as->tables().exclusive_owner(req.vpn);
+  req.shared = !owner.has_value();
+  req.owner = owner.value_or(0);
+  req.write_intensive = view.tracker->write_intensive(page);
+  req.heat = view.tracker->heat(page);
+  return req;
+}
+
+std::vector<std::uint64_t> pages_in_tier_by_heat(const WorkloadView& view,
+                                                 mem::TierId tier,
+                                                 bool hottest_first) {
+  std::vector<std::uint64_t> pages;
+  const vm::Vpn base = view.as->base_vpn();
+  view.as->tables().process_table().for_each([&](vm::Vpn vpn, vm::Pte pte) {
+    if (mem::tier_of(pte.pfn()) == tier) pages.push_back(vpn - base);
+  });
+  const auto& tracker = *view.tracker;
+  std::sort(pages.begin(), pages.end(),
+            [&](std::uint64_t a, std::uint64_t b) {
+              const double ha = tracker.heat(a), hb = tracker.heat(b);
+              if (ha != hb) return hottest_first ? ha > hb : ha < hb;
+              return a < b;
+            });
+  return pages;
+}
+
+}  // namespace vulcan::policy

@@ -1,0 +1,75 @@
+// Tiering policy interface.
+//
+// A SystemPolicy sees every managed workload once per epoch and enqueues
+// MigrationRequests into the per-workload migration threads. Baselines
+// (TPP, Memtis, Nomad) are global policies that rank pages across all
+// workloads by raw hotness; Vulcan plans per workload inside CBFRP quotas.
+// The policy also fixes mechanism-level choices (prep optimisation,
+// shootdown targeting, shadowing) via migrator_config().
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string_view>
+#include <vector>
+
+#include "mem/topology.hpp"
+#include "mig/migration_thread.hpp"
+#include "prof/heat.hpp"
+#include "sim/rng.hpp"
+#include "vm/address_space.hpp"
+#include "wl/workload.hpp"
+
+namespace vulcan::policy {
+
+/// Everything a policy may inspect/affect about one workload.
+struct WorkloadView {
+  unsigned index = 0;
+  wl::Workload* workload = nullptr;
+  vm::AddressSpace* as = nullptr;
+  prof::HeatTracker* tracker = nullptr;
+  mig::MigrationThread* migration = nullptr;
+  /// Fast-tier page quota for this workload this epoch. Baselines leave it
+  /// unbounded; Vulcan's CBFRP writes it (runtime copies it in).
+  std::uint64_t fast_quota = UINT64_MAX;
+  /// Epoch access census filled by the runtime before plan_epoch(): real
+  /// (weighted) access counts that landed in each tier.
+  double epoch_fast_accesses = 0;
+  double epoch_slow_accesses = 0;
+};
+
+class SystemPolicy {
+ public:
+  virtual ~SystemPolicy() = default;
+
+  /// Plan one epoch: inspect trackers, enqueue promotions/demotions.
+  virtual void plan_epoch(std::span<WorkloadView> workloads,
+                          mem::Topology& topo, sim::Rng& rng) = 0;
+
+  /// Preferred tier for new page faults of `view`'s workload.
+  virtual mem::TierId placement_tier(const WorkloadView& view,
+                                     const mem::Topology& topo) const {
+    (void)view;
+    // Default (kernel-like): allocate fast until nearly full.
+    return topo.allocator(mem::kFastTier).below_watermark(0.02)
+               ? mem::kSlowTier
+               : mem::kFastTier;
+  }
+
+  /// Mechanism options this policy's migrator should use.
+  virtual mig::Migrator::Config migrator_config() const = 0;
+
+  virtual std::string_view name() const = 0;
+};
+
+/// Helper shared by policies: build a request for `page` of `view`.
+mig::MigrationRequest make_request(const WorkloadView& view,
+                                   std::uint64_t page, mem::TierId to,
+                                   mig::CopyMode mode);
+
+/// Pages of `view` resident in `tier`, coldest first (or hottest first).
+std::vector<std::uint64_t> pages_in_tier_by_heat(const WorkloadView& view,
+                                                 mem::TierId tier,
+                                                 bool hottest_first);
+
+}  // namespace vulcan::policy

@@ -1,0 +1,65 @@
+#include "policy/tpp.hpp"
+
+#include <algorithm>
+
+namespace vulcan::policy {
+
+void TppPolicy::plan_epoch(std::span<WorkloadView> workloads,
+                           mem::Topology& topo, sim::Rng& rng) {
+  (void)rng;
+  // --- Promotion: every recently-touched slow page, synchronously. -------
+  std::uint64_t promotions = 0;
+  for (WorkloadView& view : workloads) {
+    auto slow_hot = pages_in_tier_by_heat(view, mem::kSlowTier,
+                                          /*hottest_first=*/true);
+    std::uint64_t issued = 0;
+    for (const std::uint64_t page : slow_hot) {
+      if (view.tracker->heat(page) < params_.promote_min_heat) break;
+      if (issued++ >= params_.max_promotions_per_workload) break;
+      view.migration->enqueue(
+          make_request(view, page, mem::kFastTier, mig::CopyMode::kSync));
+      ++promotions;
+    }
+  }
+
+  // --- Demotion: the kernel demotes for two reasons — the free watermark
+  // was breached, or promotion-path allocations are about to fail (kswapd
+  // reclaims ahead of migrate_pages pressure). Evict the globally coldest
+  // fast pages (round-robin sweep over workloads' cold lists).
+  auto& fast = topo.allocator(mem::kFastTier);
+  const auto target_free = static_cast<std::uint64_t>(
+      params_.high_watermark * static_cast<double>(fast.capacity()));
+  std::uint64_t need = 0;
+  if (fast.below_watermark(params_.low_watermark) ||
+      promotions > fast.free_pages()) {
+    const std::uint64_t for_watermark =
+        target_free > fast.free_pages() ? target_free - fast.free_pages() : 0;
+    const std::uint64_t for_promotions =
+        promotions > fast.free_pages() ? promotions - fast.free_pages() : 0;
+    need = std::max(for_watermark, for_promotions);
+  }
+  if (need == 0) return;
+
+  std::vector<std::vector<std::uint64_t>> cold_lists;
+  cold_lists.reserve(workloads.size());
+  for (WorkloadView& view : workloads) {
+    cold_lists.push_back(
+        pages_in_tier_by_heat(view, mem::kFastTier, /*hottest_first=*/false));
+  }
+  std::vector<std::size_t> cursors(workloads.size(), 0);
+  bool progress = true;
+  while (need > 0 && progress) {
+    progress = false;
+    for (std::size_t w = 0; w < workloads.size() && need > 0; ++w) {
+      auto& cursor = cursors[w];
+      if (cursor >= cold_lists[w].size()) continue;
+      const std::uint64_t page = cold_lists[w][cursor++];
+      workloads[w].migration->enqueue_urgent(make_request(
+          workloads[w], page, mem::kSlowTier, mig::CopyMode::kAsync));
+      --need;
+      progress = true;
+    }
+  }
+}
+
+}  // namespace vulcan::policy

@@ -1,0 +1,53 @@
+// TPP baseline (Maruf et al., ASPLOS'23): Transparent Page Placement.
+//
+//   * New allocations land in the fast tier until the low watermark.
+//   * Promotion is reactive and *synchronous*: a slow-tier page touched
+//     recently (observed via NUMA-hint faults -> nonzero epoch heat) is
+//     promoted immediately, blocking the faulting thread.
+//   * Demotion is proactive reclamation: when fast free pages drop below
+//     the low watermark, the coldest fast pages demote asynchronously
+//     (kswapd-style) until the high watermark is restored.
+//   * Vanilla mechanism: full preparation broadcast, process-wide
+//     shootdowns, no shadowing.
+//
+// TPP has no notion of per-workload fairness: whichever workload touches
+// slow pages most aggressively wins the promotion race.
+#pragma once
+
+#include "policy/policy.hpp"
+
+namespace vulcan::policy {
+
+class TppPolicy final : public SystemPolicy {
+ public:
+  struct Params {
+    double low_watermark = 0.02;   ///< begin demoting below this free frac
+    double high_watermark = 0.06;  ///< demote until this free frac restored
+    double promote_min_heat = 2000.0;  ///< ~two weighted hint-fault touches
+    std::uint64_t max_promotions_per_workload = 2048;
+    unsigned online_cpus = 32;
+  };
+
+  TppPolicy() = default;
+  explicit TppPolicy(Params params) : params_(params) {}
+
+  void plan_epoch(std::span<WorkloadView> workloads, mem::Topology& topo,
+                  sim::Rng& rng) override;
+
+  mig::Migrator::Config migrator_config() const override {
+    mig::Migrator::Config cfg;
+    cfg.mechanism.optimized_prep = false;
+    cfg.mechanism.targeted_shootdown = false;
+    cfg.mechanism.online_cpus = params_.online_cpus;
+    cfg.shadowing = false;
+    return cfg;
+  }
+
+  std::string_view name() const override { return "tpp"; }
+  const Params& params() const { return params_; }
+
+ private:
+  Params params_;
+};
+
+}  // namespace vulcan::policy

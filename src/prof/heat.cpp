@@ -1,0 +1,98 @@
+#include "prof/heat.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+#include <numeric>
+
+namespace vulcan::prof {
+
+HeatTracker::HeatTracker(std::uint64_t pages, double decay)
+    : decay_(decay), heat_(pages, 0.f), reads_(pages, 0.f),
+      writes_(pages, 0.f) {
+  assert(decay >= 0.0 && decay <= 1.0);
+}
+
+void HeatTracker::record(std::uint64_t page, bool is_write, double weight) {
+  assert(page < heat_.size());
+  const auto w = static_cast<float>(weight);
+  heat_[page] += w;
+  (is_write ? writes_ : reads_)[page] += w;
+}
+
+void HeatTracker::decay_epoch() {
+  const auto d = static_cast<float>(decay_);
+  for (auto& h : heat_) h *= d;
+  for (auto& r : reads_) r *= d;
+  for (auto& w : writes_) w *= d;
+}
+
+bool HeatTracker::write_intensive(std::uint64_t page,
+                                  double write_share_threshold) const {
+  const double total = reads_[page] + writes_[page];
+  if (total <= 0.0) return false;
+  return writes_[page] / total > write_share_threshold;
+}
+
+double HeatTracker::hot_threshold_for(std::uint64_t quota) const {
+  if (quota == 0) return std::numeric_limits<double>::infinity();
+  // Collect nonzero heats; if fewer than quota, everything warm is hot.
+  std::vector<float> nz;
+  nz.reserve(heat_.size());
+  for (const float h : heat_) {
+    if (h > 0.f) nz.push_back(h);
+  }
+  if (nz.size() <= quota) return nz.empty() ? 0.0 : 1e-30;
+  // The quota-th largest heat value.
+  auto nth = nz.begin() + static_cast<std::ptrdiff_t>(quota - 1);
+  std::nth_element(nz.begin(), nth, nz.end(), std::greater<float>());
+  return static_cast<double>(*nth);
+}
+
+std::uint64_t HeatTracker::count_at_least(double threshold) const {
+  std::uint64_t n = 0;
+  for (const float h : heat_) n += (h >= threshold && h > 0.f);
+  return n;
+}
+
+std::vector<std::uint64_t> HeatTracker::hottest(std::uint64_t count) const {
+  std::vector<std::uint64_t> idx(heat_.size());
+  std::iota(idx.begin(), idx.end(), 0);
+  const std::uint64_t k = std::min<std::uint64_t>(count, idx.size());
+  std::partial_sort(idx.begin(), idx.begin() + static_cast<std::ptrdiff_t>(k),
+                    idx.end(), [&](std::uint64_t a, std::uint64_t b) {
+                      if (heat_[a] != heat_[b]) return heat_[a] > heat_[b];
+                      return a < b;
+                    });
+  idx.resize(k);
+  return idx;
+}
+
+double HeatTracker::total_heat() const {
+  return std::accumulate(heat_.begin(), heat_.end(), 0.0);
+}
+
+std::uint64_t HeatTracker::coverage_pages(double fraction) const {
+  const double total = total_heat();
+  if (total <= 0.0) return 0;
+  std::vector<float> nz;
+  nz.reserve(heat_.size());
+  for (const float h : heat_) {
+    if (h > 0.f) nz.push_back(h);
+  }
+  std::sort(nz.begin(), nz.end(), std::greater<float>());
+  // Tiny relative tolerance so float accumulation at exact-fraction
+  // boundaries doesn't pull in one extra page.
+  const double target =
+      std::clamp(fraction, 0.0, 1.0) * total * (1.0 - 1e-6);
+  double covered = 0.0;
+  std::uint64_t pages = 0;
+  for (const float h : nz) {
+    if (covered >= target) break;
+    covered += h;
+    ++pages;
+  }
+  return pages;
+}
+
+}  // namespace vulcan::prof

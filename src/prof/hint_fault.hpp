@@ -1,0 +1,66 @@
+// NUMA-hinting-fault profiler (AutoTiering / TPP style): a rotating sample
+// of PTEs is "poisoned" each epoch; the next access to a poisoned page traps
+// into a minor fault, which both proves the access and charges the fault's
+// latency to the application — the mechanism's documented drawback.
+#pragma once
+
+#include <vector>
+
+#include "prof/profiler.hpp"
+
+namespace vulcan::prof {
+
+class HintFaultProfiler final : public Profiler {
+ public:
+  /// @param poison_fraction  share of resident pages poisoned per epoch
+  HintFaultProfiler(HeatTracker& tracker, const sim::CostModel& cost,
+                    double poison_fraction = 0.10)
+      : Profiler(tracker), cost_(&cost), poison_fraction_(poison_fraction),
+        poisoned_(tracker.pages(), false) {}
+
+  sim::Cycles observe(const AccessSample& s, double weight,
+                      sim::Rng& rng) override {
+    (void)rng;
+    if (s.page >= poisoned_.size() || !poisoned_[s.page]) return 0;
+    poisoned_[s.page] = false;
+    ++faults_;
+    // One fault proves one access; weight carries the sampling scale-up.
+    tracker().record(s.page, s.is_write, weight);
+    return cost_->minor_fault();
+  }
+
+  sim::Cycles on_epoch(vm::AddressSpace& as) override {
+    // Re-poison a fresh rotating window of resident pages.
+    const std::uint64_t pages = poisoned_.size();
+    const auto target = static_cast<std::uint64_t>(
+        poison_fraction_ * static_cast<double>(pages));
+    std::fill(poisoned_.begin(), poisoned_.end(), false);
+    std::uint64_t armed = 0;
+    for (std::uint64_t i = 0; i < target && pages > 0; ++i) {
+      const std::uint64_t page = (cursor_ + i) % pages;
+      if (as.mapped(as.vpn_at(page))) {
+        poisoned_[page] = true;
+        ++armed;
+      }
+    }
+    cursor_ = (cursor_ + target) % std::max<std::uint64_t>(1, pages);
+    // Arming = one PTE write per page; faults were already charged inline.
+    const sim::Cycles cost = armed * 40;
+    faults_ = 0;
+    return cost;
+  }
+
+  std::string_view name() const override { return "hint-fault"; }
+  bool poisoned(std::uint64_t page) const {
+    return page < poisoned_.size() && poisoned_[page];
+  }
+
+ private:
+  const sim::CostModel* cost_;
+  double poison_fraction_;
+  std::vector<bool> poisoned_;
+  std::uint64_t cursor_ = 0;
+  std::uint64_t faults_ = 0;
+};
+
+}  // namespace vulcan::prof

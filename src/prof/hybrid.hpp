@@ -1,0 +1,38 @@
+// Hybrid profiler (Vulcan's default, inspired by FlexMem §3.2): PEBS-style
+// sampling for cheap frequency estimation plus hinting faults for coverage
+// of the pages sampling under-reports. Both feed the same HeatTracker.
+#pragma once
+
+#include "prof/hint_fault.hpp"
+#include "prof/pebs.hpp"
+#include "prof/profiler.hpp"
+
+namespace vulcan::prof {
+
+class HybridProfiler final : public Profiler {
+ public:
+  HybridProfiler(HeatTracker& tracker, const sim::CostModel& cost,
+                 std::uint64_t pebs_period = 64,
+                 double poison_fraction = 0.02)
+      : Profiler(tracker),
+        pebs_(tracker, pebs_period),
+        hint_(tracker, cost, poison_fraction) {}
+
+  sim::Cycles observe(const AccessSample& s, double weight,
+                      sim::Rng& rng) override {
+    // The two mechanisms are independent; costs add.
+    return pebs_.observe(s, weight, rng) + hint_.observe(s, weight, rng);
+  }
+
+  sim::Cycles on_epoch(vm::AddressSpace& as) override {
+    return pebs_.on_epoch(as) + hint_.on_epoch(as);
+  }
+
+  std::string_view name() const override { return "hybrid"; }
+
+ private:
+  PebsProfiler pebs_;
+  HintFaultProfiler hint_;
+};
+
+}  // namespace vulcan::prof

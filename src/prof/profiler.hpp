@@ -1,0 +1,56 @@
+// Profiler interface: the pluggable page-access tracking mechanisms of
+// §2.1/§3.2. The migration daemon selects one per workload; Vulcan's default
+// is the FlexMem-inspired hybrid (performance counters + hinting faults).
+//
+// Profilers see the simulated access stream through observe() (one call per
+// simulated access, carrying the real-access weight that sample represents)
+// and do their periodic work in on_epoch(). Both report the cycles their
+// mechanism costs so the runtime can charge profiling overhead honestly.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+#include "prof/heat.hpp"
+#include "sim/clock.hpp"
+#include "sim/cost_model.hpp"
+#include "sim/rng.hpp"
+#include "vm/address_space.hpp"
+
+namespace vulcan::prof {
+
+/// One simulated access, page-offset-addressed within a workload's RSS.
+struct AccessSample {
+  std::uint64_t page = 0;
+  unsigned thread = 0;
+  bool is_write = false;
+};
+
+class Profiler {
+ public:
+  virtual ~Profiler() = default;
+
+  /// Observe one simulated access representing `weight` real accesses.
+  /// Returns cycles of overhead imposed *on the application* by observing
+  /// this access (0 for passive mechanisms, fault cost for hint faults).
+  virtual sim::Cycles observe(const AccessSample& sample, double weight,
+                              sim::Rng& rng) = 0;
+
+  /// Periodic work (scans, re-poisoning). `as` may be consulted/updated for
+  /// PTE-level mechanisms; it is the workload's address space. Returns the
+  /// cycles of daemon-side overhead for the epoch.
+  virtual sim::Cycles on_epoch(vm::AddressSpace& as) = 0;
+
+  virtual std::string_view name() const = 0;
+
+  HeatTracker& tracker() { return *tracker_; }
+  const HeatTracker& tracker() const { return *tracker_; }
+
+ protected:
+  explicit Profiler(HeatTracker& tracker) : tracker_(&tracker) {}
+
+ private:
+  HeatTracker* tracker_;
+};
+
+}  // namespace vulcan::prof

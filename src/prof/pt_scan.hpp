@@ -1,0 +1,47 @@
+// Page-table-scanning profiler: periodically walks the PTE accessed bits
+// (Nimble / MULTI-CLOCK style). Coarse — one bit per scan interval — and
+// its cost scales with RSS, the scalability concern §2.1 notes.
+#pragma once
+
+#include "prof/profiler.hpp"
+
+namespace vulcan::prof {
+
+class PtScanProfiler final : public Profiler {
+ public:
+  /// @param scan_weight        heat contribution of one observed A-bit
+  /// @param cycles_per_pte     scan cost per examined PTE (~cache miss)
+  explicit PtScanProfiler(HeatTracker& tracker, double scan_weight = 1.0,
+                          sim::Cycles cycles_per_pte = 30)
+      : Profiler(tracker), scan_weight_(scan_weight),
+        cycles_per_pte_(cycles_per_pte) {}
+
+  sim::Cycles observe(const AccessSample&, double, sim::Rng&) override {
+    return 0;  // passive: hardware sets the accessed bits for free
+  }
+
+  sim::Cycles on_epoch(vm::AddressSpace& as) override {
+    // The A-bit cannot distinguish read from write, but the D-bit can
+    // flag writes — use both, then clear for the next interval.
+    const vm::Vpn base = as.base_vpn();
+    std::uint64_t scanned = 0;
+    as.tables().process_table().for_each([&](vm::Vpn vpn, vm::Pte pte) {
+      ++scanned;
+      if (!pte.accessed()) return;
+      const std::uint64_t page = vpn - base;
+      if (page >= tracker().pages()) return;
+      tracker().record(page, pte.dirty(), scan_weight_);
+      as.clear_accessed(vpn);
+      as.clear_dirty(vpn);
+    });
+    return scanned * cycles_per_pte_;
+  }
+
+  std::string_view name() const override { return "pt-scan"; }
+
+ private:
+  double scan_weight_;
+  sim::Cycles cycles_per_pte_;
+};
+
+}  // namespace vulcan::prof

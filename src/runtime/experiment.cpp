@@ -1,0 +1,74 @@
+#include "runtime/experiment.hpp"
+
+#include <stdexcept>
+#include <string>
+
+#include "core/manager.hpp"
+#include "policy/cascade.hpp"
+#include "policy/memtis.hpp"
+#include "policy/mtm.hpp"
+#include "policy/nomad.hpp"
+#include "policy/tpp.hpp"
+#include "wl/apps.hpp"
+
+namespace vulcan::runtime {
+
+std::unique_ptr<policy::SystemPolicy> make_policy(std::string_view name,
+                                                  unsigned online_cpus) {
+  if (name == "tpp") {
+    policy::TppPolicy::Params p;
+    p.online_cpus = online_cpus;
+    return std::make_unique<policy::TppPolicy>(p);
+  }
+  if (name == "memtis") {
+    policy::MemtisPolicy::Params p;
+    p.online_cpus = online_cpus;
+    return std::make_unique<policy::MemtisPolicy>(p);
+  }
+  if (name == "nomad") {
+    policy::NomadPolicy::Params p;
+    p.online_cpus = online_cpus;
+    return std::make_unique<policy::NomadPolicy>(p);
+  }
+  if (name == "mtm") {
+    policy::MtmPolicy::Params p;
+    p.online_cpus = online_cpus;
+    return std::make_unique<policy::MtmPolicy>(p);
+  }
+  if (name == "cascade") {
+    policy::CascadePolicy::Params p;
+    p.online_cpus = online_cpus;
+    return std::make_unique<policy::CascadePolicy>(p);
+  }
+  if (name == "vulcan") {
+    core::VulcanManager::Params p;
+    p.online_cpus = online_cpus;
+    return std::make_unique<core::VulcanManager>(p);
+  }
+  throw std::invalid_argument("unknown policy: " + std::string(name));
+}
+
+std::vector<StagedWorkload> paper_colocation(std::uint64_t seed) {
+  std::vector<StagedWorkload> stages;
+  stages.push_back({0.0, wl::make_memcached(seed * 1000 + 101)});
+  stages.push_back({50.0, wl::make_pagerank(seed * 1000 + 202)});
+  stages.push_back({110.0, wl::make_liblinear(seed * 1000 + 303)});
+  return stages;
+}
+
+void run_staged(TieredSystem& sys, std::vector<StagedWorkload> stages,
+                double end_s,
+                const std::function<void(TieredSystem&)>& on_epoch) {
+  std::size_t next = 0;
+  while (sys.now_seconds() < end_s) {
+    while (next < stages.size() &&
+           stages[next].start_s <= sys.now_seconds() + 1e-9) {
+      sys.add_workload(std::move(stages[next].workload));
+      ++next;
+    }
+    sys.run_epochs(1);
+    if (on_epoch) on_epoch(sys);
+  }
+}
+
+}  // namespace vulcan::runtime

@@ -1,0 +1,35 @@
+// Experiment helpers shared by the benchmark harnesses: policy factory,
+// staged workload arrival, and the paper's §5.3 co-location scenario
+// (Memcached from t=0, PageRank from t=50 s, Liblinear from t=110 s).
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string_view>
+#include <vector>
+
+#include "runtime/system.hpp"
+
+namespace vulcan::runtime {
+
+/// Build one of the four evaluated systems: "tpp", "memtis", "nomad",
+/// "vulcan". Throws std::invalid_argument for anything else.
+std::unique_ptr<policy::SystemPolicy> make_policy(std::string_view name,
+                                                  unsigned online_cpus = 32);
+
+/// A workload that joins the system at `start_s` simulated seconds.
+struct StagedWorkload {
+  double start_s = 0.0;
+  std::unique_ptr<wl::Workload> workload;
+};
+
+/// The paper's dynamic co-location timeline (Table 2 workloads).
+std::vector<StagedWorkload> paper_colocation(std::uint64_t seed = 1);
+
+/// Drive `sys` until `end_s`, admitting staged workloads at their start
+/// times; `on_epoch` (optional) observes the system after every epoch.
+void run_staged(TieredSystem& sys, std::vector<StagedWorkload> stages,
+                double end_s,
+                const std::function<void(TieredSystem&)>& on_epoch = {});
+
+}  // namespace vulcan::runtime

@@ -1,0 +1,346 @@
+#include "runtime/system.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cassert>
+
+#include "prof/hint_fault.hpp"
+
+namespace vulcan::runtime {
+
+TieredSystem::TieredSystem(Config config,
+                           std::unique_ptr<policy::SystemPolicy> policy)
+    : config_(config),
+      policy_(std::move(policy)),
+      topo_(std::make_unique<mem::Topology>(
+          config.custom_tiers.has_value()
+              ? mem::Topology(*config.custom_tiers,
+                              config.machine.slow_bw_gbps)
+              : mem::Topology::paper_testbed(config.machine))),
+      rng_(config.seed) {
+  tlbs_.resize(config_.machine.cores);
+  shootdowns_ = std::make_unique<vm::ShootdownController>(cost_, &tlbs_);
+  tier_utilization_.assign(topo_->tier_count(), 0.0);
+  if (config_.migration_budget_override > 0) {
+    migration_budget_ = config_.migration_budget_override;
+  } else {
+    // Half the inter-tier link bandwidth (capacity-scaled) over one epoch:
+    // kernels throttle migration so demand traffic is never fully starved,
+    // and migration bytes feed back into the loaded-latency model.
+    const double epoch_s = sim::CpuClock::to_seconds(config_.epoch);
+    const double bytes = 0.5 * config_.machine.slow_bw_gbps * 1e9 /
+                         static_cast<double>(sim::kCapacityScale) * epoch_s;
+    migration_budget_ = std::max<std::uint64_t>(
+        16, static_cast<std::uint64_t>(bytes / sim::kPageSize));
+  }
+}
+
+TieredSystem::~TieredSystem() = default;
+
+std::unique_ptr<prof::Profiler> TieredSystem::make_profiler(
+    prof::HeatTracker& tracker, ProfilerKind kind) {
+  // The simulated access stream is itself a sample of the real stream, so
+  // sampling periods are kept low relative to hardware-PEBS settings.
+  switch (kind) {
+    case ProfilerKind::kPebs:
+      return std::make_unique<prof::PebsProfiler>(tracker, /*period=*/8);
+    case ProfilerKind::kPtScan:
+      return std::make_unique<prof::PtScanProfiler>(tracker);
+    case ProfilerKind::kHintFault:
+      return std::make_unique<prof::HintFaultProfiler>(tracker, cost_,
+                                                       /*poison=*/0.10);
+    case ProfilerKind::kTelescope:
+      return std::make_unique<prof::TelescopeProfiler>(tracker);
+    case ProfilerKind::kChrono:
+      return std::make_unique<prof::ChronoProfiler>(tracker);
+    case ProfilerKind::kHybrid:
+      break;
+  }
+  return std::make_unique<prof::HybridProfiler>(tracker, cost_,
+                                                /*pebs_period=*/4,
+                                                /*poison_fraction=*/0.05);
+}
+
+unsigned TieredSystem::add_workload(std::unique_ptr<wl::Workload> workload,
+                                    std::optional<ProfilerKind> profiler) {
+  const auto index = static_cast<unsigned>(workloads_.size());
+  auto mw = std::make_unique<ManagedWorkload>();
+  mw->workload = std::move(workload);
+  const auto& spec = mw->workload->spec();
+
+  vm::AddressSpace::Config as_cfg;
+  as_cfg.pid = index + 1;
+  as_cfg.rss_pages = spec.rss_pages;
+  as_cfg.thp = config_.thp;
+  // Per-thread replication follows the policy's mechanism choice.
+  as_cfg.replicate_tables =
+      policy_->migrator_config().mechanism.targeted_shootdown;
+  mw->as = std::make_unique<vm::AddressSpace>(as_cfg, *topo_);
+  for (unsigned t = 0; t < spec.threads; ++t) mw->as->add_thread();
+
+  mw->tracker =
+      std::make_unique<prof::HeatTracker>(spec.rss_pages, config_.heat_decay);
+  mw->profiler =
+      make_profiler(*mw->tracker, profiler.value_or(config_.profiler));
+
+  // Dedicated cores, assigned round-robin over the socket.
+  for (unsigned c = 0; c < config_.cores_per_workload; ++c) {
+    mw->cores.push_back(
+        static_cast<vm::CoreId>((next_core_ + c) % config_.machine.cores));
+  }
+  next_core_ = (next_core_ + config_.cores_per_workload) %
+               config_.machine.cores;
+
+  mig::Migrator::Config mig_cfg = policy_->migrator_config();
+  mig_cfg.process_cores = mw->cores;
+  mig_cfg.daemon_core = mw->cores.back();
+  mw->migrator = std::make_unique<mig::Migrator>(*mw->as, *topo_,
+                                                 *shootdowns_, cost_, mig_cfg);
+  mw->migration_thread = std::make_unique<mig::MigrationThread>(*mw->migrator);
+
+  policy::WorkloadView view;
+  view.index = index;
+  view.workload = workloads_.emplace_back(std::move(mw))->workload.get();
+  auto& stored = *workloads_.back();
+  view.as = stored.as.get();
+  view.tracker = stored.tracker.get();
+  view.migration = stored.migration_thread.get();
+  views_.push_back(view);
+  return index;
+}
+
+void TieredSystem::simulate_accesses(ManagedWorkload& mw,
+                                     double epoch_seconds,
+                                     std::uint64_t sample_quota) {
+  wl::Workload& w = *mw.workload;
+  const auto& spec = w.spec();
+  const double rate =
+      w.total_access_rate() * w.rate_multiplier(now_seconds());
+  const double real_accesses = rate * epoch_seconds;
+  const std::uint64_t samples = std::max<std::uint64_t>(
+      1, std::min<std::uint64_t>(sample_quota,
+                                 static_cast<std::uint64_t>(real_accesses)));
+  const double weight = real_accesses / static_cast<double>(samples);
+
+  const policy::WorkloadView view_for_placement = views_[mw.as->pid() - 1];
+  vm::AddressSpace& as = *mw.as;
+  const vm::Vpn base = as.base_vpn();
+  const bool shadowing = mw.migrator->config().shadowing;
+
+  // Loaded latencies from last epoch's utilisation (one-epoch lag).
+  std::array<double, 8> tier_latency{};
+  for (std::size_t t = 0; t < topo_->tier_count(); ++t) {
+    tier_latency[t] = static_cast<double>(
+        topo_->latency_model(static_cast<mem::TierId>(t))
+            .loaded_latency_ns(tier_utilization_[t]));
+  }
+
+  for (std::uint64_t i = 0; i < samples; ++i) {
+    const auto thread = static_cast<unsigned>(i % spec.threads);
+    const wl::WorkloadAccess acc = w.next_access(thread);
+    const vm::Vpn vpn = base + acc.page;
+    const vm::CoreId core = mw.cores[thread % mw.cores.size()];
+    vm::Tlb& tlb = tlbs_[core];
+
+    double extra_ns = 0.0;
+    if (!tlb.lookup(as.pid(), vpn)) {
+      extra_ns += sim::CpuClock::to_nanos(cost_.tlb_miss_walk());
+      if (!as.mapped(vpn)) {
+        const mem::TierId place =
+            policy_->placement_tier(view_for_placement, *topo_);
+        as.fault(vpn, static_cast<vm::ThreadId>(thread), acc.is_write, place);
+        // One demand fault per page, regardless of the sample's weight.
+        mw.epoch_inline_overhead += cost_.minor_fault();
+      }
+      if (as.is_huge(vpn)) {
+        tlb.insert_huge(as.pid(), vpn);
+      } else {
+        tlb.insert(as.pid(), vpn);
+      }
+    } else if (!as.mapped(vpn)) {
+      // Stale-free by construction; defensive fault (should not happen).
+      const mem::TierId place =
+          policy_->placement_tier(view_for_placement, *topo_);
+      as.fault(vpn, static_cast<vm::ThreadId>(thread), acc.is_write, place);
+    }
+
+    const vm::Pte pte = as.access(vpn, static_cast<vm::ThreadId>(thread),
+                                  acc.is_write);
+    if (acc.is_write && shadowing) mw.migrator->on_write(vpn);
+
+    const mem::TierId tier = mem::tier_of(pte.pfn());
+    const double lat_ns = tier_latency[tier] + extra_ns;
+    if (tier == mem::kFastTier) {
+      mw.epoch_fast += weight;
+    } else {
+      mw.epoch_slow += weight;
+    }
+    mw.epoch_latency_weighted += lat_ns * weight;
+
+    // Profiler-imposed costs (hint faults) fire once per physical event,
+    // not once per represented access: charge unweighted.
+    mw.epoch_inline_overhead += mw.profiler->observe(
+        {.page = acc.page, .thread = thread, .is_write = acc.is_write},
+        weight, rng_);
+  }
+}
+
+void TieredSystem::run_one_epoch() {
+  const double epoch_seconds = sim::CpuClock::to_seconds(config_.epoch);
+
+  // (1) Access generation + accounting. Sample quotas are proportional to
+  // each workload's access rate (the fastest workload gets the configured
+  // budget), so sample *weights* — and therefore heat magnitudes and the
+  // number of distinct pages observed per epoch — are comparable across
+  // workloads, exactly as raw hardware events would be.
+  double max_rate = 0.0;
+  for (auto& mw : workloads_) {
+    max_rate = std::max(max_rate, mw->workload->total_access_rate() *
+                                      mw->workload->rate_multiplier(
+                                          now_seconds()));
+  }
+  for (auto& mw : workloads_) {
+    mw->epoch_fast = mw->epoch_slow = 0.0;
+    mw->epoch_latency_weighted = 0.0;
+    mw->epoch_inline_overhead = 0;
+    mw->epoch_migration = {};
+    mw->workload->on_epoch(now_seconds());
+    const double rate = mw->workload->total_access_rate() *
+                        mw->workload->rate_multiplier(now_seconds());
+    const auto quota = static_cast<std::uint64_t>(
+        static_cast<double>(config_.samples_per_epoch) *
+        (max_rate > 0 ? rate / max_rate : 1.0));
+    simulate_accesses(*mw, epoch_seconds, std::max<std::uint64_t>(1, quota));
+  }
+
+  // (2) Tier utilisation for next epoch's loaded latencies: 64 B per
+  // demand access, plus the previous epoch's migration traffic — every
+  // migrated byte is read from one tier and written to the other, so it
+  // loads both. (This epoch's migrations run in step 5; like the demand
+  // side, their load shows up with a one-epoch lag.)
+  for (std::size_t t = 0; t < topo_->tier_count(); ++t) {
+    double bytes = last_migration_bytes_;
+    for (const auto& mw : workloads_) {
+      const double accesses =
+          t == mem::kFastTier ? mw->epoch_fast : mw->epoch_slow;
+      bytes += accesses * 64.0;
+    }
+    // Capacity scaling shrinks footprints, not rates; bandwidth is
+    // unscaled, so utilisation uses real byte rates.
+    tier_utilization_[t] =
+        topo_->latency_model(static_cast<mem::TierId>(t))
+            .utilization(bytes, epoch_seconds * 1e9);
+    // Publish so contention-aware policies (Colloid gating) can read it.
+    topo_->set_utilization(static_cast<mem::TierId>(t),
+                           tier_utilization_[t]);
+  }
+
+  // (3) Profiler epoch work (scans, re-poisoning).
+  for (auto& mw : workloads_) {
+    mw->epoch_migration.daemon_cycles += mw->profiler->on_epoch(*mw->as);
+  }
+
+  // (4) Policy planning over fresh views (pointers were fixed at
+  // add_workload; only the epoch census changes).
+  for (std::size_t i = 0; i < workloads_.size(); ++i) {
+    views_[i].epoch_fast_accesses = workloads_[i]->epoch_fast;
+    views_[i].epoch_slow_accesses = workloads_[i]->epoch_slow;
+  }
+  policy_->plan_epoch(views_, *topo_, rng_);
+
+  // (5) Execute migrations within the epoch's link budget, split across
+  // workloads proportionally to backlog.
+  std::uint64_t total_backlog = 0;
+  for (const auto& mw : workloads_) {
+    total_backlog += mw->migration_thread->backlog();
+  }
+  if (total_backlog > 0) {
+    for (auto& mw : workloads_) {
+      const std::uint64_t share = std::max<std::uint64_t>(
+          1, migration_budget_ * mw->migration_thread->backlog() /
+                 total_backlog);
+      mw->epoch_migration += mw->migration_thread->run_epoch(share, rng_);
+    }
+  }
+  last_migration_bytes_ = 0.0;
+  for (const auto& mw : workloads_) {
+    // Capacity scaling shrinks footprints, not the per-page transfer, so
+    // unscale to real link traffic.
+    last_migration_bytes_ +=
+        static_cast<double>(mw->epoch_migration.bytes_copied) *
+        static_cast<double>(sim::kCapacityScale);
+  }
+
+  // (6) Metrics: per-workload performance and FTHR; CFI accumulation.
+  EpochMetrics epoch;
+  epoch.time_s = now_seconds();
+  std::vector<double> alloc_shares, fthrs;
+  for (std::size_t i = 0; i < workloads_.size(); ++i) {
+    auto& mw = *workloads_[i];
+    WorkloadEpochMetrics m;
+    const double total_accesses = mw.epoch_fast + mw.epoch_slow;
+    m.accesses = total_accesses;
+    m.fthr = total_accesses > 0 ? mw.epoch_fast / total_accesses : 0.0;
+    m.avg_latency_ns =
+        total_accesses > 0 ? mw.epoch_latency_weighted / total_accesses : 0.0;
+
+    const wl::Workload& w = *mw.workload;
+    const double ideal_cpa = w.ideal_cycles_per_access(
+        static_cast<double>(config_.machine.fast_latency_ns));
+    double actual_cpa = w.cycles_per_access(m.avg_latency_ns);
+    if (total_accesses > 0) {
+      double overhead = static_cast<double>(mw.epoch_migration.stall_cycles +
+                                            mw.epoch_inline_overhead);
+      if (config_.charge_daemon_to_app) {
+        overhead += static_cast<double>(mw.epoch_migration.daemon_cycles);
+      }
+      actual_cpa += overhead / total_accesses;
+    }
+    m.performance = actual_cpa > 0 ? ideal_cpa / actual_cpa : 1.0;
+
+    m.fast_pages = mw.as->pages_in_tier(mem::kFastTier);
+    // "Slow" aggregates every non-top tier (exact for two tiers, the sum
+    // of the lower tiers otherwise).
+    m.slow_pages = mw.as->faulted_pages() - m.fast_pages;
+    m.quota = views_[i].fast_quota;
+    m.stall_cycles = mw.epoch_migration.stall_cycles;
+    m.daemon_cycles = mw.epoch_migration.daemon_cycles;
+    m.migrated = mw.epoch_migration.migrated;
+    m.failed_migrations = mw.epoch_migration.failed;
+    m.shadow_remaps = mw.epoch_migration.shadow_remaps;
+    epoch.workloads.push_back(m);
+
+    alloc_shares.push_back(static_cast<double>(m.fast_pages));
+    fthrs.push_back(m.fthr);
+  }
+  cfi_.record_epoch(alloc_shares, fthrs);
+  metrics_.record(std::move(epoch));
+
+  // (7) Heat decay closes the epoch.
+  for (auto& mw : workloads_) mw->tracker->decay_epoch();
+
+  now_ += config_.epoch;
+}
+
+void TieredSystem::run_epochs(unsigned count) {
+  for (unsigned i = 0; i < count; ++i) run_one_epoch();
+}
+
+void TieredSystem::prefault(unsigned w, unsigned fast_stride,
+                            unsigned slow_stride) {
+  auto& mw = *workloads_[w];
+  vm::AddressSpace& as = *mw.as;
+  const unsigned period = std::max(1u, fast_stride + slow_stride);
+  for (std::uint64_t p = 0; p < as.rss_pages(); ++p) {
+    const vm::Vpn vpn = as.vpn_at(p);
+    if (as.mapped(vpn)) continue;
+    const bool want_fast = (p % period) < fast_stride;
+    const mem::TierId tier = want_fast && topo_->free_pages(mem::kFastTier) > 0
+                                 ? mem::kFastTier
+                                 : mem::kSlowTier;
+    as.fault(vpn, static_cast<vm::ThreadId>(p % mw.workload->spec().threads),
+             /*write=*/false, tier);
+  }
+}
+
+}  // namespace vulcan::runtime

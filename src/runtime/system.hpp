@@ -1,0 +1,156 @@
+// TieredSystem: the co-location harness. It owns the machine model (tiers,
+// per-core TLBs), the managed workloads (address space + profiler + heat
+// tracker + migration thread each), and a pluggable SystemPolicy, and runs
+// the epoch loop:
+//
+//   access generation -> TLB/page-table/tier accounting -> profiling
+//   -> policy planning -> migration execution -> metrics.
+//
+// Everything is deterministic in the configured seed.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/fairness.hpp"
+#include "mem/topology.hpp"
+#include "mig/migration_thread.hpp"
+#include "policy/policy.hpp"
+#include "prof/chrono.hpp"
+#include "prof/hybrid.hpp"
+#include "prof/pebs.hpp"
+#include "prof/pt_scan.hpp"
+#include "prof/telescope.hpp"
+#include "runtime/metrics.hpp"
+#include "sim/config.hpp"
+#include "sim/rng.hpp"
+#include "vm/shootdown.hpp"
+#include "wl/workload.hpp"
+
+namespace vulcan::runtime {
+
+enum class ProfilerKind : std::uint8_t {
+  kPebs,
+  kPtScan,
+  kHintFault,
+  kHybrid,
+  kTelescope,
+  kChrono,
+};
+
+class TieredSystem {
+ public:
+  struct Config {
+    sim::MachineConfig machine;
+    /// Override the two-tier paper testbed with an arbitrary topology
+    /// (e.g. HBM + DRAM + CXL three-tier). Tier 0 must be the fastest.
+    std::optional<std::vector<mem::TierConfig>> custom_tiers;
+    sim::Cycles epoch = sim::CpuClock::from_millis(250);
+    /// Simulated access samples per workload per epoch; each carries the
+    /// weight (real accesses / samples).
+    std::uint64_t samples_per_epoch = 10'000;
+    /// Cores dedicated to each application (paper: 8).
+    unsigned cores_per_workload = 8;
+    /// Heat decay per epoch. Slow enough that a scanner's whole sweep
+    /// stays warm across one rotation (Memtis-style long counting window).
+    double heat_decay = 0.85;
+    ProfilerKind profiler = ProfilerKind::kHybrid;
+    bool thp = true;
+    std::uint64_t seed = 42;
+    /// Override the inter-tier migration budget (pages/epoch); 0 = derive
+    /// from the (capacity-scaled) link bandwidth.
+    std::uint64_t migration_budget_override = 0;
+    /// Migration threads and profiling daemons run on the application's
+    /// dedicated cores (§3.2), so their cycles steal app throughput.
+    bool charge_daemon_to_app = true;
+  };
+
+  TieredSystem(Config config, std::unique_ptr<policy::SystemPolicy> policy);
+  ~TieredSystem();
+  TieredSystem(const TieredSystem&) = delete;
+  TieredSystem& operator=(const TieredSystem&) = delete;
+
+  /// Register a workload; its RSS is demand-faulted as it runs. Returns the
+  /// workload index. Each application may select its own profiling
+  /// mechanism (§3.2 "decoupled page profiling selection"); by default it
+  /// inherits the system-wide Config::profiler.
+  unsigned add_workload(std::unique_ptr<wl::Workload> workload,
+                        std::optional<ProfilerKind> profiler = std::nullopt);
+
+  /// Run `count` epochs.
+  void run_epochs(unsigned count);
+
+  /// Pre-fault workload `w`'s entire RSS, interleaving pages across the
+  /// tiers round-robin (the Nomad-style microbenchmark setup: data placed
+  /// in specific tier segments before measurement, so migration actually
+  /// has work to do). `fast_stride` of every `fast_stride + slow_stride`
+  /// pages land fast while capacity lasts.
+  void prefault(unsigned w, unsigned fast_stride = 1,
+                unsigned slow_stride = 1);
+
+  double now_seconds() const {
+    return sim::CpuClock::to_seconds(now_);
+  }
+  std::size_t workload_count() const { return workloads_.size(); }
+
+  const MetricsRecorder& metrics() const { return metrics_; }
+  policy::SystemPolicy& policy() { return *policy_; }
+  mem::Topology& topology() { return *topo_; }
+  core::CfiAccumulator& cfi() { return cfi_; }
+
+  /// Eq. 4 fairness over everything run so far.
+  double fairness_cfi() const { return cfi_.cfi(); }
+
+  // Introspection for experiment harnesses.
+  vm::AddressSpace& address_space(unsigned w) { return *workloads_[w]->as; }
+  prof::HeatTracker& tracker(unsigned w) { return *workloads_[w]->tracker; }
+  wl::Workload& workload(unsigned w) { return *workloads_[w]->workload; }
+  mig::Migrator& migrator(unsigned w) { return *workloads_[w]->migrator; }
+  const vm::ShootdownController& shootdowns() const { return *shootdowns_; }
+  std::uint64_t migration_budget_pages() const { return migration_budget_; }
+
+ private:
+  struct ManagedWorkload {
+    std::unique_ptr<wl::Workload> workload;
+    std::unique_ptr<vm::AddressSpace> as;
+    std::unique_ptr<prof::HeatTracker> tracker;
+    std::unique_ptr<prof::Profiler> profiler;
+    std::unique_ptr<mig::Migrator> migrator;
+    std::unique_ptr<mig::MigrationThread> migration_thread;
+    std::vector<vm::CoreId> cores;
+    // Per-epoch scratch (reset each epoch):
+    double epoch_fast = 0, epoch_slow = 0;
+    double epoch_latency_weighted = 0;  ///< sum of exposed latency x weight
+    sim::Cycles epoch_inline_overhead = 0;  ///< faults + profiler costs
+    mig::MigrationStats epoch_migration;
+  };
+
+  void run_one_epoch();
+  void simulate_accesses(ManagedWorkload& mw, double epoch_seconds,
+                         std::uint64_t sample_quota);
+  std::unique_ptr<prof::Profiler> make_profiler(prof::HeatTracker& tracker,
+                                                ProfilerKind kind);
+
+  Config config_;
+  std::unique_ptr<policy::SystemPolicy> policy_;
+  std::unique_ptr<mem::Topology> topo_;
+  std::vector<vm::Tlb> tlbs_;
+  std::unique_ptr<vm::ShootdownController> shootdowns_;
+  sim::CostModel cost_;
+  std::vector<std::unique_ptr<ManagedWorkload>> workloads_;
+  std::vector<policy::WorkloadView> views_;
+  MetricsRecorder metrics_;
+  core::CfiAccumulator cfi_;
+  sim::Rng rng_;
+  sim::Cycles now_ = 0;
+  std::uint64_t migration_budget_ = 0;
+  unsigned next_core_ = 0;
+  // Previous-epoch tier utilisation drives this epoch's loaded latencies.
+  std::vector<double> tier_utilization_;
+  // Previous epoch's migration traffic (unscaled bytes), loading both tiers.
+  double last_migration_bytes_ = 0.0;
+};
+
+}  // namespace vulcan::runtime

@@ -1,0 +1,48 @@
+// Cycle-domain time for the Vulcan simulation substrate.
+//
+// All cost accounting in the simulator is done in CPU cycles of the modelled
+// machine (a 3.0 GHz Xeon 8378A-class part, matching the paper's testbed).
+// Wall-clock quantities (memory latencies in ns, epoch lengths in ms) convert
+// through `CpuClock`.
+#pragma once
+
+#include <cstdint>
+
+namespace vulcan::sim {
+
+/// Simulated CPU cycles. Signed arithmetic is never needed; deltas are
+/// produced by subtraction of monotone timestamps.
+using Cycles = std::uint64_t;
+
+/// Simulated nanoseconds.
+using Nanos = std::uint64_t;
+
+/// Fixed-frequency clock of the modelled CPU.
+class CpuClock {
+ public:
+  /// Frequency of the modelled part in kHz (3.0 GHz). Integer kHz keeps all
+  /// conversions exact enough while avoiding floating point in hot paths.
+  static constexpr std::uint64_t kFreqKhz = 3'000'000;
+
+  static constexpr Cycles from_nanos(Nanos ns) {
+    return ns * kFreqKhz / 1'000'000;
+  }
+  static constexpr Nanos to_nanos(Cycles cycles) {
+    return cycles * 1'000'000 / kFreqKhz;
+  }
+  static constexpr Cycles from_micros(std::uint64_t us) {
+    return from_nanos(us * 1'000);
+  }
+  static constexpr Cycles from_millis(std::uint64_t ms) {
+    return from_nanos(ms * 1'000'000);
+  }
+  static constexpr double to_seconds(Cycles cycles) {
+    return static_cast<double>(cycles) / (static_cast<double>(kFreqKhz) * 1e3);
+  }
+};
+
+static_assert(CpuClock::from_nanos(70) == 210, "70ns @3GHz = 210 cycles");
+static_assert(CpuClock::from_nanos(162) == 486, "162ns @3GHz = 486 cycles");
+static_assert(CpuClock::to_nanos(CpuClock::from_millis(100)) == 100'000'000);
+
+}  // namespace vulcan::sim

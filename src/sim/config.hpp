@@ -1,0 +1,63 @@
+// Global simulation scale and machine configuration.
+//
+// The paper's testbed exposes 32 GB of fast (local DRAM, 70 ns) and 256 GB of
+// slow (CXL-emulated remote NUMA, 162 ns) memory, and its applications have
+// 42-69 GB resident sets. Materialising page tables for tens of GB of 4 KB
+// pages is wasteful in a simulation, so all *capacities* are scaled down by
+// `kCapacityScale` (GB -> MB) while latencies, rates and all ratios stay
+// unscaled. Policy behaviour depends only on the ratios.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "sim/clock.hpp"
+
+namespace vulcan::sim {
+
+/// Capacity scale factor: every byte capacity from the paper is divided by
+/// this before entering the simulator. 1024 turns GB into MB.
+inline constexpr std::uint64_t kCapacityScale = 1024;
+
+/// Base page size modelled throughout (x86-64 4 KB pages).
+inline constexpr std::uint64_t kPageSize = 4096;
+/// Transparent huge page size (2 MB).
+inline constexpr std::uint64_t kHugePageSize = 2 * 1024 * 1024;
+/// Base pages per huge page.
+inline constexpr std::uint64_t kPagesPerHuge = kHugePageSize / kPageSize;
+
+/// Scale a paper-quoted capacity in GiB down to simulated bytes.
+constexpr std::uint64_t scaled_gib(double gib) {
+  return static_cast<std::uint64_t>(gib * 1024.0 * 1024.0 * 1024.0 /
+                                    static_cast<double>(kCapacityScale));
+}
+
+/// Convert a simulated byte capacity to a 4 KB page count.
+constexpr std::uint64_t bytes_to_pages(std::uint64_t bytes) {
+  return bytes / kPageSize;
+}
+
+/// Machine-level constants mirroring the paper's dual-socket testbed
+/// (Intel Xeon Platinum 8378A, one socket used).
+struct MachineConfig {
+  /// Cores available to applications on the managed socket.
+  unsigned cores = 32;
+  /// Fast tier (locally attached DDR4): 32 GB, 70 ns unloaded.
+  std::uint64_t fast_bytes = scaled_gib(32);
+  Nanos fast_latency_ns = 70;
+  /// Slow tier (CXL-emulated remote node): 256 GB, 162 ns unloaded.
+  std::uint64_t slow_bytes = scaled_gib(256);
+  Nanos slow_latency_ns = 162;
+  /// Per-socket memory bandwidth (8x3200 MT/s DDR4): 205 GB/s.
+  double fast_bw_gbps = 205.0;
+  /// UPI / CXL link bandwidth per direction: 25 GB/s.
+  double slow_bw_gbps = 25.0;
+
+  constexpr std::uint64_t fast_pages() const { return bytes_to_pages(fast_bytes); }
+  constexpr std::uint64_t slow_pages() const { return bytes_to_pages(slow_bytes); }
+};
+
+static_assert(MachineConfig{}.fast_pages() == 8192,
+              "scaled 32GB fast tier is 8192 4KB pages");
+
+}  // namespace vulcan::sim

@@ -1,0 +1,32 @@
+#include "sim/cost_model.hpp"
+
+namespace vulcan::sim {
+
+// The CostModel API is header-inline for hot-loop use. This translation unit
+// anchors the calibration against the paper's published points so a stale
+// parameter edit fails loudly in one place (exercised by cost_model_test).
+
+CalibrationCheck check_calibration(const CostModel& m) {
+  CalibrationCheck c;
+  // Fig. 2 anchors: single-page migration at 2 and 32 CPUs.
+  const auto total = [&](unsigned cpus) {
+    return m.prep_baseline(cpus) + m.unmap(1) + m.shootdown_cold(cpus - 1) +
+           m.copy_single() + m.remap(1);
+  };
+  c.total_2cpu = total(2);
+  c.total_32cpu = total(32);
+  c.prep_share_2cpu = static_cast<double>(m.prep_baseline(2)) /
+                      static_cast<double>(c.total_2cpu);
+  c.prep_share_32cpu = static_cast<double>(m.prep_baseline(32)) /
+                       static_cast<double>(c.total_32cpu);
+  // Fig. 3 anchor: TLB share of batched migration time (unmap + shootdown
+  // + copy + remap) at 32 threads x 512 pages.
+  const auto tlb = static_cast<double>(m.shootdown_batched(512, 31));
+  const auto rest = static_cast<double>(m.copy_batched(512) +
+                                        m.unmap_batched(512) +
+                                        m.remap_batched(512));
+  c.tlb_share_512p_32t = tlb / (tlb + rest);
+  return c;
+}
+
+}  // namespace vulcan::sim

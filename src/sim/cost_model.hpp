@@ -1,0 +1,174 @@
+// Calibrated cost model for page-migration mechanics.
+//
+// The paper's Observations #2-#4 are statements about measured cost curves of
+// the Linux v5.15 migration path on a 32-core Xeon. We reproduce those curves
+// from first-principles components (per-CPU synchronisation during migration
+// preparation, per-IPI TLB shootdown cost, per-page unmap/copy/remap cost)
+// whose constants are *fitted to the paper's published data points*:
+//
+//   Fig. 2  single 4 KB page migration: total 50 K cycles at 2 CPUs rising to
+//           750 K at 32 CPUs; preparation share 38.3 % -> 76.9 % (a 30x rise,
+//           attributed to lru_add_drain_all()'s on_each_cpu_mask()).
+//   Fig. 3  batched migration: TLB operations reach ~65 % of migration time
+//           at 32 threads x 512 pages, while page copying dominates for small
+//           batches.
+//   Fig. 7  optimised preparation alone yields up to 3.44x for 2-page
+//           migrations; adding targeted shootdowns yields up to 4.06x.
+//
+// Two shootdown paths are modelled because the paper's two microbenchmarks
+// exercise different kernel regimes: Fig. 2 measures a cold move_pages()-style
+// migration (full IPI broadcast with acknowledgement and scheduling latency,
+// ~1.6 us per target core), while Fig. 3 measures steady-state batched
+// migration where flush IPIs overlap and the dominant per-page cost is flush
+// entry bookkeeping (~hundreds of cycles per page plus a small per-core term).
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+
+#include "sim/clock.hpp"
+
+namespace vulcan::sim {
+
+/// Tunable constants of the migration cost model. All values are CPU cycles
+/// of the modelled 3 GHz part unless noted.
+struct CostModelParams {
+  // --- Migration preparation (Observation #2) ---------------------------
+  /// prep(c) = prep_coeff * c^prep_exponent. Fitted so that
+  /// prep(2) = 19.2K (38.3% of 50K) and prep(32) = 576.7K (76.9% of 750K),
+  /// i.e. the 30x growth the paper reports for 2 -> 32 CPUs.
+  double prep_coeff = 8183.0;
+  double prep_exponent = 1.227;
+  /// Residual fraction of preparation cost that survives Vulcan's
+  /// optimisation (local-only LRU drain, no cross-CPU broadcast), plus a
+  /// small fixed bookkeeping term.
+  double prep_opt_residual = 0.20;
+  Cycles prep_opt_fixed = 1500;
+
+  // --- Per-page unmap / remap -------------------------------------------
+  /// PTE lock acquisition + unmap of one 4 KB mapping (cold path: includes
+  /// rmap walk and folio lock handoff).
+  Cycles unmap_per_page = 6000;
+  /// PTE remap + page table maintenance of one 4 KB mapping (cold path).
+  Cycles remap_per_page = 4000;
+  /// Batched-path equivalents: rmap walks and PTE locks amortise across
+  /// the batch.
+  Cycles unmap_batched_per_page = 600;
+  Cycles remap_batched_per_page = 400;
+
+  // --- TLB shootdown (Observation #3) ------------------------------------
+  /// Cold-path (single page, move_pages()-style) broadcast: fixed kernel
+  /// entry plus a per-target-core send+ack cost (~1.6 us).
+  Cycles shootdown_cold_fixed = 500;
+  Cycles shootdown_cold_per_core = 4800;
+  /// Batched-path per-page flush bookkeeping plus a small per-core term for
+  /// the overlapped flush IPIs.
+  Cycles shootdown_batched_per_page = 400;
+  Cycles shootdown_batched_per_page_per_core = 150;
+  /// Cost of flushing the local TLB only (no IPIs), used when per-thread
+  /// page tables prove a page is private to the migrating thread's core.
+  Cycles shootdown_local_only = 500;
+  /// Per-page local invlpg cost in a batched, IPI-free flush.
+  Cycles shootdown_local_per_page = 100;
+
+  // --- Page copy ----------------------------------------------------------
+  /// Copying one 4 KB page across the inter-tier link in a cold single-page
+  /// migration (destination folio allocation + memcpy + accounting).
+  Cycles copy_single_page = 12000;
+  /// Batched copy: per-page cost declines with batch size as allocation and
+  /// streaming overheads amortise: copy(p) = p * (copy_batched_floor +
+  /// copy_batched_decay / sqrt(p)).
+  double copy_batched_floor = 1400.0;
+  double copy_batched_decay = 8000.0;
+
+  /// CPU-side cost of queueing one page copy to a DMA engine (HeMem-style
+  /// offload; the transfer itself overlaps with execution).
+  Cycles dma_setup_cycles = 1500;
+
+  // --- Misc ---------------------------------------------------------------
+  /// Kernel trap / syscall entry for initiating a migration.
+  Cycles kernel_trap = 1200;
+  /// TLB miss page-walk penalty (4-level walk, partially cached).
+  Cycles tlb_miss_walk = 90;
+  /// Minor fault service cost (used by hint-fault profiling).
+  Cycles minor_fault = 5400;  // ~1.8 us
+};
+
+/// Pure-arithmetic query interface over `CostModelParams`. Stateless and
+/// cheap; meant to be consulted inside hot simulation loops.
+class CostModel {
+ public:
+  explicit CostModel(CostModelParams params = {}) : p_(params) {}
+
+  const CostModelParams& params() const { return p_; }
+
+  /// Baseline migration preparation cost with `cpus` online CPUs
+  /// (lru_add_drain_all() + migration lock acquisition).
+  Cycles prep_baseline(unsigned cpus) const {
+    return static_cast<Cycles>(
+        p_.prep_coeff * std::pow(static_cast<double>(cpus), p_.prep_exponent));
+  }
+
+  /// Optimised (Vulcan) preparation cost: cross-CPU broadcast removed.
+  Cycles prep_optimized(unsigned cpus) const {
+    return static_cast<Cycles>(p_.prep_opt_residual *
+                               static_cast<double>(prep_baseline(cpus))) +
+           p_.prep_opt_fixed;
+  }
+
+  /// Cold-path TLB shootdown broadcast to `target_cores` remote cores
+  /// (0 => local flush only).
+  Cycles shootdown_cold(unsigned target_cores) const {
+    if (target_cores == 0) return p_.shootdown_local_only;
+    return p_.shootdown_cold_fixed + p_.shootdown_cold_per_core * target_cores;
+  }
+
+  /// Batched-path shootdown for `pages` pages visible to `target_cores`
+  /// remote cores.
+  Cycles shootdown_batched(std::uint64_t pages, unsigned target_cores) const {
+    if (target_cores == 0) return p_.shootdown_local_per_page * pages;
+    return pages * (p_.shootdown_batched_per_page +
+                    p_.shootdown_batched_per_page_per_core * target_cores);
+  }
+
+  /// Copy cost of a cold single-page migration.
+  Cycles copy_single() const { return p_.copy_single_page; }
+
+  /// Copy cost of a batch of `pages` 4 KB pages.
+  Cycles copy_batched(std::uint64_t pages) const {
+    if (pages == 0) return 0;
+    const double per_page =
+        p_.copy_batched_floor +
+        p_.copy_batched_decay / std::sqrt(static_cast<double>(pages));
+    return static_cast<Cycles>(static_cast<double>(pages) * per_page);
+  }
+
+  Cycles unmap(std::uint64_t pages) const { return p_.unmap_per_page * pages; }
+  Cycles remap(std::uint64_t pages) const { return p_.remap_per_page * pages; }
+  Cycles unmap_batched(std::uint64_t pages) const {
+    return p_.unmap_batched_per_page * pages;
+  }
+  Cycles remap_batched(std::uint64_t pages) const {
+    return p_.remap_batched_per_page * pages;
+  }
+  Cycles kernel_trap() const { return p_.kernel_trap; }
+  Cycles tlb_miss_walk() const { return p_.tlb_miss_walk; }
+  Cycles minor_fault() const { return p_.minor_fault; }
+
+ private:
+  CostModelParams p_;
+};
+
+/// Summary of the model evaluated at the paper's published anchor points
+/// (see file header). Produced by check_calibration(); asserted by tests.
+struct CalibrationCheck {
+  Cycles total_2cpu = 0;        ///< paper: ~50 K cycles
+  Cycles total_32cpu = 0;       ///< paper: ~750 K cycles
+  double prep_share_2cpu = 0;   ///< paper: 38.3 %
+  double prep_share_32cpu = 0;  ///< paper: 76.9 %
+  double tlb_share_512p_32t = 0;  ///< paper: ~65 %
+};
+
+CalibrationCheck check_calibration(const CostModel& model);
+
+}  // namespace vulcan::sim

@@ -1,0 +1,26 @@
+#include "sim/engine.hpp"
+
+namespace vulcan::sim {
+
+bool Engine::step(Cycles deadline) {
+  if (queue_.empty()) return false;
+  const Cycles t = queue_.next_time();
+  if (t > deadline) {
+    if (deadline > now_) now_ = deadline;
+    return false;
+  }
+  auto fired = queue_.pop_next();
+  // Events scheduled "in the past" relative to an already-advanced clock
+  // were clamped at insertion; the queue is monotone by construction.
+  now_ = fired.time;
+  fired.action();
+  return true;
+}
+
+std::uint64_t Engine::run_until(Cycles deadline) {
+  std::uint64_t fired = 0;
+  while (step(deadline)) ++fired;
+  return fired;
+}
+
+}  // namespace vulcan::sim

@@ -1,0 +1,56 @@
+// Discrete-event simulation engine: owns the virtual clock and drives the
+// event queue. Single-threaded and deterministic.
+#pragma once
+
+#include <functional>
+#include <limits>
+
+#include "sim/clock.hpp"
+#include "sim/event_queue.hpp"
+
+namespace vulcan::sim {
+
+/// The engine advances a virtual `Cycles` clock by firing events in
+/// timestamp order. Handlers may schedule further events ("at" absolute
+/// times or "after" relative delays); scheduling in the past is clamped to
+/// the current time so causality is never violated.
+class Engine {
+ public:
+  /// Current virtual time.
+  Cycles now() const { return now_; }
+
+  /// Schedule at an absolute time (clamped to now()).
+  EventId at(Cycles when, std::function<void()> action) {
+    return queue_.schedule(when < now_ ? now_ : when, std::move(action));
+  }
+
+  /// Schedule after a relative delay from now().
+  EventId after(Cycles delay, std::function<void()> action) {
+    return queue_.schedule(now_ + delay, std::move(action));
+  }
+
+  /// Cancel a scheduled event; false if it already fired or was cancelled.
+  bool cancel(EventId id) { return queue_.cancel(id); }
+
+  /// Run until the queue drains or the clock would pass `deadline`
+  /// (inclusive). Returns the number of events fired.
+  std::uint64_t run_until(Cycles deadline);
+
+  /// Run until the queue drains.
+  std::uint64_t run() {
+    return run_until(std::numeric_limits<Cycles>::max());
+  }
+
+  /// Fire at most one event. Returns false if the queue was empty or the
+  /// next event lies beyond `deadline` (clock is then advanced to deadline).
+  bool step(Cycles deadline = std::numeric_limits<Cycles>::max());
+
+  /// Events still pending.
+  std::size_t pending() const { return queue_.size(); }
+
+ private:
+  EventQueue queue_;
+  Cycles now_ = 0;
+};
+
+}  // namespace vulcan::sim

@@ -1,0 +1,48 @@
+#include "sim/event_queue.hpp"
+
+#include <cassert>
+#include <utility>
+
+namespace vulcan::sim {
+
+EventId EventQueue::schedule(Cycles when, std::function<void()> action) {
+  const EventId id = next_id_++;
+  heap_.push(Entry{when, id, std::move(action)});
+  pending_.insert(id);
+  return id;
+}
+
+bool EventQueue::cancel(EventId id) {
+  if (pending_.erase(id) == 0) return false;  // fired, cancelled, or unknown
+  tombstones_.insert(id);
+  return true;
+}
+
+Cycles EventQueue::next_time() {
+  drop_tombstones();
+  assert(!heap_.empty() && "next_time() on empty EventQueue");
+  return heap_.top().time;
+}
+
+EventQueue::Fired EventQueue::pop_next() {
+  drop_tombstones();
+  assert(!heap_.empty() && "pop_next() on empty EventQueue");
+  // priority_queue::top() returns const&; the action must be moved out, so
+  // const_cast is the standard idiom (the entry is popped immediately after).
+  auto& top = const_cast<Entry&>(heap_.top());
+  Fired fired{top.time, top.id, std::move(top.action)};
+  heap_.pop();
+  pending_.erase(fired.id);
+  return fired;
+}
+
+void EventQueue::drop_tombstones() {
+  while (!heap_.empty()) {
+    auto it = tombstones_.find(heap_.top().id);
+    if (it == tombstones_.end()) return;
+    heap_.pop();
+    tombstones_.erase(it);
+  }
+}
+
+}  // namespace vulcan::sim

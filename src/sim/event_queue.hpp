@@ -1,0 +1,74 @@
+// Discrete-event queue: a time-ordered priority queue of callbacks.
+//
+// Ordering is (time, sequence-number): events scheduled for the same cycle
+// fire in scheduling order, which makes simulations fully deterministic.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+#include "sim/clock.hpp"
+
+namespace vulcan::sim {
+
+/// Opaque handle identifying a scheduled event; usable for cancellation.
+using EventId = std::uint64_t;
+
+/// A time-ordered queue of `void()` actions. Not thread-safe by design: the
+/// discrete-event engine is single-threaded and determinism is a feature.
+class EventQueue {
+ public:
+  /// Schedule `action` to fire at absolute time `when`. The queue accepts any
+  /// timestamp; monotonicity is the engine's concern. Returns a handle that
+  /// `cancel()` accepts.
+  EventId schedule(Cycles when, std::function<void()> action);
+
+  /// Cancel a previously scheduled event. Returns false if the event already
+  /// fired, was cancelled, or never existed. Lazy O(1): marks a tombstone
+  /// that pop_next() skips.
+  bool cancel(EventId id);
+
+  /// True when no live (non-cancelled) events remain.
+  bool empty() const { return pending_.empty(); }
+
+  /// Number of live events.
+  std::size_t size() const { return pending_.size(); }
+
+  /// Timestamp of the earliest live event. Precondition: !empty().
+  Cycles next_time();
+
+  /// Result of popping the earliest live event.
+  struct Fired {
+    Cycles time;
+    EventId id;
+    std::function<void()> action;
+  };
+
+  /// Remove and return the earliest live event. Precondition: !empty().
+  Fired pop_next();
+
+ private:
+  struct Entry {
+    Cycles time;
+    EventId id;  // doubles as the tie-breaking sequence number
+    std::function<void()> action;
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.id > b.id;
+    }
+  };
+
+  void drop_tombstones();
+
+  std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+  std::unordered_set<EventId> pending_;     // live ids still in the heap
+  std::unordered_set<EventId> tombstones_;  // cancelled ids still in the heap
+  EventId next_id_ = 1;
+};
+
+}  // namespace vulcan::sim

@@ -1,0 +1,84 @@
+// Deterministic pseudo-random number generation for the simulator.
+//
+// Every stochastic component (workload access patterns, profiler sampling,
+// async-copy dirty races) draws from an explicitly seeded `Rng` so that a
+// whole experiment is a pure function of its seed: identical seeds produce
+// identical metrics, which the integration tests rely on.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace vulcan::sim {
+
+/// splitmix64 — used to expand a single user seed into stream seeds.
+constexpr std::uint64_t splitmix64(std::uint64_t& state) {
+  state += 0x9E3779B97F4A7C15ULL;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+/// xoshiro256** 1.0 (Blackman & Vigna). Fast, high-quality, 256-bit state.
+/// Satisfies std::uniform_random_bit_generator.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit constexpr Rng(std::uint64_t seed = 0x853C49E6748FEA9BULL) {
+    // Seed the full state through splitmix64 as the authors recommend.
+    std::uint64_t sm = seed;
+    for (auto& word : state_) word = splitmix64(sm);
+  }
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() {
+    return std::numeric_limits<result_type>::max();
+  }
+
+  constexpr result_type operator()() {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform double in [0, 1). 53 random mantissa bits.
+  constexpr double uniform() {
+    return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform integer in [0, bound). Lemire's multiply-shift reduction;
+  /// bias is negligible for the bounds used in the simulator.
+  constexpr std::uint64_t below(std::uint64_t bound) {
+    // __uint128_t is supported by all target compilers (GCC/Clang, x86-64).
+    return static_cast<std::uint64_t>(
+        (static_cast<unsigned __int128>((*this)()) * bound) >> 64);
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  constexpr std::uint64_t between(std::uint64_t lo, std::uint64_t hi) {
+    return lo + below(hi - lo + 1);
+  }
+
+  /// Bernoulli trial with probability `p` of returning true.
+  constexpr bool chance(double p) { return uniform() < p; }
+
+  /// Derive an independent child stream (for per-workload / per-thread RNGs).
+  constexpr Rng fork() { return Rng((*this)()); }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::uint64_t state_[4]{};
+};
+
+}  // namespace vulcan::sim

@@ -1,0 +1,135 @@
+#include "vm/address_space.hpp"
+
+#include <cassert>
+
+namespace vulcan::vm {
+
+AddressSpace::AddressSpace(Config config, mem::Topology& topo)
+    : config_(config),
+      topo_(&topo),
+      tables_(config.replicate_tables),
+      tier_pages_(topo.tier_count(), 0) {
+  assert(config_.base % sim::kHugePageSize == 0 &&
+         "base must be 2MB-aligned for THP chunk bookkeeping");
+  const std::size_t chunk_count = static_cast<std::size_t>(
+      (config_.rss_pages + sim::kPagesPerHuge - 1) / sim::kPagesPerHuge);
+  chunks_.assign(chunk_count, ChunkState::kUnfaulted);
+}
+
+AddressSpace::~AddressSpace() {
+  // Return every live frame to its tier.
+  tables_.process_table().for_each([&](Vpn, Pte pte) {
+    topo_->allocator(mem::tier_of(pte.pfn())).free(pte.pfn());
+  });
+}
+
+std::optional<mem::Pfn> AddressSpace::allocate_frame(mem::TierId preferred) {
+  if (auto pfn = topo_->allocator(preferred).allocate()) return pfn;
+  // Fall back through the remaining tiers, fastest first.
+  for (std::size_t t = 0; t < topo_->tier_count(); ++t) {
+    if (t == preferred) continue;
+    if (auto pfn = topo_->allocator(static_cast<mem::TierId>(t)).allocate()) {
+      return pfn;
+    }
+  }
+  return std::nullopt;
+}
+
+Pte AddressSpace::fault_one(Vpn vpn, ThreadId thread, bool write,
+                            mem::TierId preferred) {
+  const Pte existing = tables_.get(vpn);
+  if (existing.present()) return existing;
+  const auto pfn = allocate_frame(preferred);
+  assert(pfn && "tiered memory exhausted — size workloads within capacity");
+  if (!pfn) return Pte{};
+  Pte pte = Pte::make(*pfn, /*writable=*/true, thread)
+                .with(Pte::kAccessed)
+                .with(Pte::kDirty, write);
+  tables_.map(vpn, pte);
+  ++tier_pages_[mem::tier_of(*pfn)];
+  ++faulted_;
+  return pte;
+}
+
+Pte AddressSpace::fault(Vpn vpn, ThreadId thread, bool write,
+                        mem::TierId preferred) {
+  assert(contains(vpn));
+  const std::size_t ci = chunk_index(vpn);
+  const Vpn chunk_base = base_vpn() + ci * sim::kPagesPerHuge;
+  const bool whole_chunk_in_rss =
+      chunk_base + sim::kPagesPerHuge <= base_vpn() + config_.rss_pages;
+
+  if (config_.thp && chunks_[ci] == ChunkState::kUnfaulted &&
+      whole_chunk_in_rss) {
+    // THP fault: populate the entire 2 MB chunk from one tier so the single
+    // huge translation is meaningful.
+    Pte result{};
+    for (std::uint64_t i = 0; i < sim::kPagesPerHuge; ++i) {
+      const Vpn v = chunk_base + i;
+      const Pte pte = fault_one(v, thread, write && v == vpn, preferred);
+      if (v == vpn) result = pte;
+    }
+    chunks_[ci] = ChunkState::kHuge;
+    return result;
+  }
+
+  if (chunks_[ci] == ChunkState::kUnfaulted) {
+    chunks_[ci] = ChunkState::kBasePages;
+  }
+  return fault_one(vpn, thread, write, preferred);
+}
+
+mem::Pfn AddressSpace::remap(Vpn vpn, mem::Pfn new_pfn) {
+  const Pte pte = tables_.get(vpn);
+  assert(pte.present() && "remap of unmapped page");
+  const mem::Pfn old_pfn = pte.pfn();
+  tables_.set(vpn, pte.with_pfn(new_pfn).with(Pte::kDirty, false));
+  --tier_pages_[mem::tier_of(old_pfn)];
+  ++tier_pages_[mem::tier_of(new_pfn)];
+  return old_pfn;
+}
+
+void AddressSpace::clear_dirty(Vpn vpn) {
+  const Pte pte = tables_.get(vpn);
+  if (pte.present()) tables_.set(vpn, pte.with(Pte::kDirty, false));
+}
+
+void AddressSpace::clear_accessed(Vpn vpn) {
+  const Pte pte = tables_.get(vpn);
+  if (pte.present()) tables_.set(vpn, pte.with(Pte::kAccessed, false));
+}
+
+AddressSpace::ChunkState AddressSpace::chunk_state(Vpn vpn) const {
+  if (!contains(vpn)) return ChunkState::kUnfaulted;
+  return chunks_[chunk_index(vpn)];
+}
+
+bool AddressSpace::collapse_chunk(Vpn vpn) {
+  if (!contains(vpn)) return false;
+  const std::size_t ci = chunk_index(vpn);
+  if (chunks_[ci] != ChunkState::kBasePages) return false;
+  const Vpn base = chunk_base(vpn);
+  if (base + sim::kPagesPerHuge > base_vpn() + config_.rss_pages) {
+    return false;  // tail chunk: cannot form a full 2 MB mapping
+  }
+  std::optional<mem::TierId> tier;
+  for (std::uint64_t i = 0; i < sim::kPagesPerHuge; ++i) {
+    const Pte pte = tables_.get(base + i);
+    if (!pte.present()) return false;
+    const mem::TierId t = mem::tier_of(pte.pfn());
+    if (tier.has_value() && *tier != t) return false;  // straddles tiers
+    tier = t;
+  }
+  chunks_[ci] = ChunkState::kHuge;
+  return true;
+}
+
+bool AddressSpace::split_chunk(Vpn vpn) {
+  if (!contains(vpn)) return false;
+  const std::size_t ci = chunk_index(vpn);
+  if (chunks_[ci] != ChunkState::kHuge) return false;
+  chunks_[ci] = ChunkState::kBasePages;
+  return true;
+}
+
+}  // namespace vulcan::vm

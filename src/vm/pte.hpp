@@ -1,0 +1,89 @@
+// 64-bit page table entry with the exact x86-64 bit layout, including the
+// ignored bits 52-58 that Vulcan repurposes for thread ownership tracking
+// (Intel SDM vol. 3A, table 4-19: bits 52-58 are ignored by the MMU in a
+// 4 KB-page PTE; the paper stores a 7-bit thread id there, all-ones meaning
+// "shared by multiple threads").
+//
+// Software-only bits used by the simulator:
+//   bit 59  hint-poison  (NUMA-hinting-fault profiling: access traps)
+//   bit 60  shadowed     (a demoted shadow copy exists on the slow tier)
+#pragma once
+
+#include <cstdint>
+
+#include "mem/tier.hpp"
+
+namespace vulcan::vm {
+
+class Pte {
+ public:
+  static constexpr std::uint64_t kPresent = 1ULL << 0;
+  static constexpr std::uint64_t kWritable = 1ULL << 1;
+  static constexpr std::uint64_t kUser = 1ULL << 2;
+  static constexpr std::uint64_t kAccessed = 1ULL << 5;
+  static constexpr std::uint64_t kDirty = 1ULL << 6;
+  static constexpr std::uint64_t kHuge = 1ULL << 7;  // PS bit in PMD entries
+
+  static constexpr unsigned kPfnShift = 12;
+  static constexpr std::uint64_t kPfnMask = ((1ULL << 40) - 1) << kPfnShift;
+
+  static constexpr unsigned kThreadShift = 52;
+  static constexpr std::uint64_t kThreadMask = 0x7FULL << kThreadShift;
+  /// All-ones thread field: page-table entry is shared by multiple threads.
+  static constexpr std::uint8_t kThreadShared = 0x7F;
+
+  static constexpr std::uint64_t kHintPoison = 1ULL << 59;
+  static constexpr std::uint64_t kShadowed = 1ULL << 60;
+
+  constexpr Pte() = default;
+  constexpr explicit Pte(std::uint64_t raw) : raw_(raw) {}
+
+  /// Build a present user PTE mapping `pfn`, owned by `thread`.
+  static constexpr Pte make(mem::Pfn pfn, bool writable, std::uint8_t thread) {
+    std::uint64_t raw = kPresent | kUser;
+    if (writable) raw |= kWritable;
+    raw |= (pfn << kPfnShift) & kPfnMask;
+    raw |= (static_cast<std::uint64_t>(thread) << kThreadShift) & kThreadMask;
+    return Pte(raw);
+  }
+
+  constexpr std::uint64_t raw() const { return raw_; }
+
+  constexpr bool present() const { return raw_ & kPresent; }
+  constexpr bool writable() const { return raw_ & kWritable; }
+  constexpr bool accessed() const { return raw_ & kAccessed; }
+  constexpr bool dirty() const { return raw_ & kDirty; }
+  constexpr bool huge() const { return raw_ & kHuge; }
+  constexpr bool hint_poisoned() const { return raw_ & kHintPoison; }
+  constexpr bool shadowed() const { return raw_ & kShadowed; }
+
+  constexpr mem::Pfn pfn() const { return (raw_ & kPfnMask) >> kPfnShift; }
+  constexpr std::uint8_t thread() const {
+    return static_cast<std::uint8_t>((raw_ & kThreadMask) >> kThreadShift);
+  }
+  constexpr bool shared() const { return thread() == kThreadShared; }
+
+  constexpr Pte with(std::uint64_t bits, bool on = true) const {
+    return Pte(on ? raw_ | bits : raw_ & ~bits);
+  }
+  constexpr Pte with_pfn(mem::Pfn pfn) const {
+    return Pte((raw_ & ~kPfnMask) | ((pfn << kPfnShift) & kPfnMask));
+  }
+  constexpr Pte with_thread(std::uint8_t thread) const {
+    return Pte((raw_ & ~kThreadMask) |
+               ((static_cast<std::uint64_t>(thread) << kThreadShift) &
+                kThreadMask));
+  }
+
+  constexpr bool operator==(const Pte&) const = default;
+
+ private:
+  std::uint64_t raw_ = 0;
+};
+
+static_assert(Pte::make(42, true, 3).pfn() == 42);
+static_assert(Pte::make(42, true, 3).thread() == 3);
+static_assert(Pte::make(42, false, Pte::kThreadShared).shared());
+static_assert(!Pte{}.present());
+
+}  // namespace vulcan::vm

@@ -1,0 +1,135 @@
+#include "vm/replicated_page_table.hpp"
+
+#include <cassert>
+
+namespace vulcan::vm {
+
+ThreadId ReplicatedPageTable::add_thread() {
+  assert(thread_trees_.size() < Pte::kThreadShared &&
+         "thread id space exhausted (7-bit field, 0x7F reserved)");
+  const ThreadId id = static_cast<ThreadId>(thread_trees_.size());
+  thread_trees_.emplace_back();
+  PageTable& tree = thread_trees_.back();
+
+  switch (mode_) {
+    case ReplicationMode::kProcessWide:
+      break;  // thread trees stay empty
+    case ReplicationMode::kSharedLeaves: {
+      // Attach every existing shared leaf to the new thread's tree.
+      // Walking the PMD level is enough: leaves are 2 MB-granular.
+      Vpn last_chunk = ~Vpn{0};
+      process_.for_each([&](Vpn vpn, Pte) {
+        const Vpn chunk = vpn >> 9;
+        if (chunk == last_chunk) return;
+        last_chunk = chunk;
+        tree.attach_leaf(vpn, process_.leaf_ref(vpn));
+      });
+      break;
+    }
+    case ReplicationMode::kFullReplica:
+      // Copy every mapping into the thread's private tree.
+      process_.for_each([&](Vpn vpn, Pte pte) {
+        tree.set(vpn, pte);
+        ++pte_write_ops_;
+      });
+      break;
+  }
+  return id;
+}
+
+LeafRef ReplicatedPageTable::shared_leaf_for(Vpn vpn) {
+  LeafRef leaf = process_.leaf_ref(vpn);
+  if (!leaf) {
+    leaf = std::make_shared<LeafTable>();
+    process_.attach_leaf(vpn, leaf);
+    if (mode_ == ReplicationMode::kSharedLeaves) {
+      for (auto& tree : thread_trees_) tree.attach_leaf(vpn, leaf);
+    }
+  } else if (mode_ == ReplicationMode::kSharedLeaves) {
+    // Ensure late-created threads see this leaf too (cheap idempotent check).
+    for (auto& tree : thread_trees_) {
+      if (!tree.leaf_of(vpn)) tree.attach_leaf(vpn, leaf);
+    }
+  }
+  return leaf;
+}
+
+void ReplicatedPageTable::write_everywhere(Vpn vpn, Pte pte) {
+  switch (mode_) {
+    case ReplicationMode::kProcessWide:
+      process_.set(vpn, pte);
+      ++pte_write_ops_;
+      break;
+    case ReplicationMode::kSharedLeaves:
+      // One write through the shared leaf is visible to every tree.
+      shared_leaf_for(vpn)->set(PageTable::pte_index(vpn), pte);
+      ++pte_write_ops_;
+      break;
+    case ReplicationMode::kFullReplica:
+      // Every replica must be updated coherently.
+      process_.set(vpn, pte);
+      ++pte_write_ops_;
+      for (auto& tree : thread_trees_) {
+        tree.set(vpn, pte);
+        ++pte_write_ops_;
+      }
+      break;
+  }
+}
+
+void ReplicatedPageTable::map(Vpn vpn, Pte pte) { write_everywhere(vpn, pte); }
+
+void ReplicatedPageTable::unmap(Vpn vpn) {
+  if (!process_.get(vpn).present()) return;
+  write_everywhere(vpn, Pte{});
+}
+
+void ReplicatedPageTable::set(Vpn vpn, Pte pte) {
+  assert(process_.get(vpn).present() && "set() on unmapped page");
+  write_everywhere(vpn, pte);
+}
+
+Pte ReplicatedPageTable::record_access(Vpn vpn, ThreadId thread,
+                                       bool is_write) {
+  const Pte before = process_.get(vpn);
+  assert(before.present() && "record_access() on unmapped page");
+  Pte pte = before.with(Pte::kAccessed);
+  if (is_write) pte = pte.with(Pte::kDirty);
+  if (pte.thread() != thread && !pte.shared()) {
+    // Second distinct thread touched the page: ownership becomes shared.
+    pte = pte.with_thread(Pte::kThreadShared);
+  }
+  if (pte != before) write_everywhere(vpn, pte);
+  return pte;
+}
+
+std::optional<ThreadId> ReplicatedPageTable::exclusive_owner(Vpn vpn) const {
+  const Pte pte = process_.get(vpn);
+  if (!pte.present() || pte.shared()) return std::nullopt;
+  return static_cast<ThreadId>(pte.thread());
+}
+
+std::uint64_t ReplicatedPageTable::total_upper_nodes() const {
+  std::uint64_t nodes = process_.upper_node_count();
+  for (const auto& tree : thread_trees_) nodes += tree.upper_node_count();
+  return nodes;
+}
+
+std::uint64_t ReplicatedPageTable::total_nodes() const {
+  // Leaves shared across trees are counted once; private replicas are
+  // counted per tree (their leaf_ref pointers differ).
+  std::uint64_t nodes = process_.upper_node_count() + process_.leaf_count();
+  if (mode_ == ReplicationMode::kProcessWide) {
+    return nodes;  // the per-thread trees would not exist in a real kernel
+  }
+  for (const auto& tree : thread_trees_) {
+    nodes += tree.upper_node_count();
+    if (mode_ == ReplicationMode::kFullReplica) {
+      nodes += tree.leaf_count();  // private leaf copies
+    }
+    // kSharedLeaves: leaves are the process tree's, already counted.
+  }
+  return nodes;
+}
+
+}  // namespace vulcan::vm

@@ -1,0 +1,45 @@
+#include "vm/shootdown.hpp"
+
+namespace vulcan::vm {
+
+void ShootdownController::invalidate_targets(CoreId initiator,
+                                             std::span<const CoreId> targets,
+                                             ProcessId pid, Vpn vpn) {
+  if (!tlbs_) return;
+  auto& tlbs = *tlbs_;
+  if (initiator < tlbs.size()) tlbs[initiator].invalidate(pid, vpn);
+  for (const CoreId core : targets) {
+    if (core < tlbs.size()) tlbs[core].invalidate(pid, vpn);
+  }
+}
+
+sim::Cycles ShootdownController::shoot_single(CoreId initiator,
+                                              std::span<const CoreId> targets,
+                                              ProcessId pid, Vpn vpn) {
+  invalidate_targets(initiator, targets, pid, vpn);
+  const sim::Cycles cost =
+      cost_->shootdown_cold(static_cast<unsigned>(targets.size()));
+  ++stats_.shootdowns;
+  stats_.ipis += targets.size();
+  if (targets.empty()) ++stats_.local_only;
+  stats_.cycles += cost;
+  return cost;
+}
+
+sim::Cycles ShootdownController::shoot_batch(CoreId initiator,
+                                             std::span<const CoreId> targets,
+                                             ProcessId pid,
+                                             std::span<const Vpn> vpns) {
+  for (const Vpn vpn : vpns) {
+    invalidate_targets(initiator, targets, pid, vpn);
+  }
+  const sim::Cycles cost = cost_->shootdown_batched(
+      vpns.size(), static_cast<unsigned>(targets.size()));
+  ++stats_.shootdowns;
+  stats_.ipis += targets.size() * (vpns.empty() ? 0 : 1);
+  if (targets.empty()) ++stats_.local_only;
+  stats_.cycles += cost;
+  return cost;
+}
+
+}  // namespace vulcan::vm

@@ -1,0 +1,56 @@
+// TLB shootdown controller: models the IPI-based coherence protocol page
+// migration must run when it changes live translations (Observation #3).
+//
+// Two request shapes are supported, matching the cost-model's two calibrated
+// kernel regimes (see sim/cost_model.hpp): a cold single-page broadcast and
+// a batched steady-state flush. Target selection is the policy-visible knob:
+// the vanilla kernel broadcasts to every core in the process's cpumask,
+// while Vulcan's per-thread page tables shrink the set to actual sharers.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "sim/cost_model.hpp"
+#include "vm/tlb.hpp"
+#include "vm/types.hpp"
+
+namespace vulcan::vm {
+
+class ShootdownController {
+ public:
+  struct Stats {
+    std::uint64_t shootdowns = 0;     ///< shootdown operations issued
+    std::uint64_t ipis = 0;           ///< total remote cores interrupted
+    std::uint64_t local_only = 0;     ///< operations needing no IPIs
+    sim::Cycles cycles = 0;           ///< total cycles spent in shootdowns
+  };
+
+  /// @param tlbs  one TLB per core; may be empty for pure cost studies.
+  ShootdownController(const sim::CostModel& cost, std::vector<Tlb>* tlbs)
+      : cost_(&cost), tlbs_(tlbs) {}
+
+  /// Cold-path shootdown of one page. `targets` are the *remote* cores that
+  /// may cache the translation (the initiator flushes locally for free-ish).
+  /// Invalidates the entry in every target TLB and returns the cycle cost.
+  sim::Cycles shoot_single(CoreId initiator, std::span<const CoreId> targets,
+                           ProcessId pid, Vpn vpn);
+
+  /// Batched-path shootdown of many pages against the same target set.
+  sim::Cycles shoot_batch(CoreId initiator, std::span<const CoreId> targets,
+                          ProcessId pid, std::span<const Vpn> vpns);
+
+  const Stats& stats() const { return stats_; }
+  void reset_stats() { stats_ = {}; }
+
+ private:
+  void invalidate_targets(CoreId initiator, std::span<const CoreId> targets,
+                          ProcessId pid, Vpn vpn);
+
+  const sim::CostModel* cost_;
+  std::vector<Tlb>* tlbs_;
+  Stats stats_;
+};
+
+}  // namespace vulcan::vm

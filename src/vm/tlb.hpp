@@ -1,0 +1,79 @@
+// Per-core TLB model: set-associative, true-LRU within a set, separate
+// arrays for 4 KB and 2 MB translations (mirroring x86 dTLB structure).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "vm/types.hpp"
+
+namespace vulcan::vm {
+
+class Tlb {
+ public:
+  struct Config {
+    unsigned base_entries = 1536;  ///< 4 KB-page entries (Ice Lake STLB size)
+    unsigned huge_entries = 64;    ///< 2 MB-page entries
+    unsigned ways = 4;
+  };
+
+  struct Stats {
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t invalidations = 0;  ///< single-entry invalidations received
+    std::uint64_t full_flushes = 0;
+  };
+
+  Tlb() : Tlb(Config{}) {}
+  explicit Tlb(Config config);
+
+  /// Translate lookup: true on hit (base entry for `vpn` or a huge entry
+  /// covering its 2 MB chunk). Updates LRU and hit/miss stats.
+  bool lookup(ProcessId pid, Vpn vpn);
+
+  /// Install a 4 KB translation (call after a miss + walk).
+  void insert(ProcessId pid, Vpn vpn);
+
+  /// Install a 2 MB translation for the chunk containing `vpn`.
+  void insert_huge(ProcessId pid, Vpn vpn);
+
+  /// Drop the 4 KB entry for `vpn` (and any huge entry covering it —
+  /// hardware must not keep a stale larger mapping).
+  void invalidate(ProcessId pid, Vpn vpn);
+
+  /// Drop everything (CR3 write without PCID).
+  void flush_all();
+
+  const Stats& stats() const { return stats_; }
+  const Config& config() const { return config_; }
+
+ private:
+  struct Entry {
+    std::uint64_t tag = 0;  // (pid << 40) | page-number; 0 == invalid
+    std::uint64_t lru = 0;
+  };
+
+  struct SetArray {
+    std::vector<Entry> entries;  // sets * ways, row-major
+    unsigned sets = 0;
+    unsigned ways = 0;
+
+    bool lookup(std::uint64_t tag, std::uint64_t tick);
+    void insert(std::uint64_t tag, std::uint64_t tick);
+    void invalidate(std::uint64_t tag);
+    void clear();
+  };
+
+  static std::uint64_t make_tag(ProcessId pid, std::uint64_t page) {
+    // +1 keeps tag 0 reserved as "invalid".
+    return ((static_cast<std::uint64_t>(pid) + 1) << 40) | page;
+  }
+
+  Config config_;
+  SetArray base_;
+  SetArray huge_;
+  Stats stats_;
+  std::uint64_t tick_ = 0;
+};
+
+}  // namespace vulcan::vm

@@ -1,0 +1,189 @@
+#include "wl/apps.hpp"
+
+#include <cmath>
+
+#include "sim/config.hpp"
+
+namespace vulcan::wl {
+
+namespace {
+std::uint64_t gb_pages(double gb) {
+  return sim::bytes_to_pages(sim::scaled_gib(gb));
+}
+}  // namespace
+
+// ---------------------------------------------------------------- Memcached
+
+WorkloadSpec MemcachedModel::default_spec() {
+  WorkloadSpec s;
+  s.name = "memcached";
+  s.service_class = ServiceClass::kLatencyCritical;
+  s.rss_pages = gb_pages(51);                     // Table 2
+  s.wss_pages = s.rss_pages / 5;                  // the hot key set
+  s.threads = 8;
+  s.accesses_per_sec_per_thread = 6e5;            // moderate LC request rate
+  s.compute_cycles_per_access = 50.0;             // thin KV lookup path
+  s.latency_exposure = 1.0;                       // dependent hash chains
+  s.shared_access_fraction = 0.85;                // one shared store
+  return s;
+}
+
+MemcachedModel::MemcachedModel(std::uint64_t seed)
+    : Workload(default_spec(),
+               /*shared_pages=*/default_spec().rss_pages * 85 / 100,
+               // 90% of requests hit the hot key set (20% of the store,
+               // so typical hot-page heat sits *below* the BE scanners' —
+               // the cold-page-dilemma precondition), with Zipf-skewed key
+               // popularity inside it (the very hottest keys can survive a
+               // global threshold); 10% SETs => writes.
+               std::make_unique<SkewedHotsetPattern>(
+                   default_spec().rss_pages * 85 / 100, 0.20, 0.90, 0.10),
+               // Private slices: connection/slab bookkeeping, write-heavier.
+               std::make_unique<UniformPattern>(1 << 16, 0.30),
+               seed) {}
+
+double MemcachedModel::rate_multiplier(double sim_seconds) const {
+  return 1.0 + 0.3 * std::sin(sim_seconds * 2.0 * 3.14159265358979 / 20.0);
+}
+
+// ----------------------------------------------------------------- PageRank
+
+WorkloadSpec PageRankModel::default_spec() {
+  WorkloadSpec s;
+  s.name = "pagerank";
+  s.service_class = ServiceClass::kBestEffort;
+  s.rss_pages = gb_pages(42);                     // Table 2
+  s.wss_pages = s.rss_pages;                      // whole graph swept
+  s.threads = 8;
+  s.accesses_per_sec_per_thread = 2e6;
+  s.compute_cycles_per_access = 150.0;            // rank arithmetic
+  s.latency_exposure = 0.7;                       // irregular, partly MLP'd
+  s.shared_access_fraction = 0.55;                // shared rank/in-edge reads
+  return s;
+}
+
+PageRankModel::PageRankModel(std::uint64_t seed)
+    : Workload(default_spec(),
+               /*shared_pages=*/default_spec().rss_pages * 55 / 100,
+               // Shared rank-vector reads: skewed toward high-degree nodes.
+               std::make_unique<ZipfianPattern>(
+                   default_spec().rss_pages * 55 / 100, 0.8, 0.05),
+               // Private CSR slice sweep (placeholder; next_access overrides)
+               std::make_unique<SequentialPattern>(1 << 16, 0.10),
+               seed),
+      graph_({/*nodes=*/50'000, /*mean_degree=*/16.0, /*degree_skew=*/2.0,
+              seed}),
+      cursors_(spec_.threads, 0) {
+  // Stagger thread cursors across the node space.
+  for (unsigned t = 0; t < spec_.threads; ++t) {
+    cursors_[t] = graph_.node_count() * t / spec_.threads;
+  }
+}
+
+WorkloadAccess PageRankModel::next_access(unsigned thread) {
+  if (rng_.chance(spec_.shared_access_fraction)) {
+    // Chase an in-edge: read the rank of a random neighbour of the node
+    // under the cursor. Graph structure biases toward low node ids.
+    const std::uint64_t node = cursors_[thread] % graph_.node_count();
+    const auto edges = graph_.out_edges(node);
+    std::uint64_t target = node;
+    if (!edges.empty()) target = edges[rng_.below(edges.size())];
+    // Map node id onto the shared region (rank + adjacency metadata).
+    const std::uint64_t page =
+        shared_pages_ ? (target * 7919) % shared_pages_ : 0;
+    return {page, /*is_write=*/rng_.chance(0.05)};
+  }
+  // Private sweep through this thread's CSR slice.
+  const std::uint64_t node = cursors_[thread] % graph_.node_count();
+  cursors_[thread] = (cursors_[thread] + 1) % graph_.node_count();
+  const std::uint64_t page = private_slice_
+                                 ? (graph_.edge_byte_offset(node) /
+                                    sim::kPageSize) % private_slice_
+                                 : 0;
+  return {shared_pages_ + thread * private_slice_ + page,
+          /*is_write=*/rng_.chance(0.10)};
+}
+
+// ---------------------------------------------------------------- Liblinear
+
+WorkloadSpec LiblinearModel::default_spec() {
+  WorkloadSpec s;
+  s.name = "liblinear";
+  s.service_class = ServiceClass::kBestEffort;
+  s.rss_pages = gb_pages(69);                     // Table 2 (KDD12)
+  s.wss_pages = s.rss_pages;
+  s.threads = 8;
+  s.accesses_per_sec_per_thread = 4e6;            // bandwidth-bound scans
+  s.compute_cycles_per_access = 60.0;
+  s.latency_exposure = 0.25;                      // prefetched streaming
+  s.shared_access_fraction = 0.15;                // small shared model vector
+  return s;
+}
+
+LiblinearModel::LiblinearModel(std::uint64_t seed)
+    : Workload(default_spec(),
+               // Shared model/weight vector: small and hot, read-write.
+               /*shared_pages=*/gb_pages(1),
+               std::make_unique<UniformPattern>(gb_pages(1), 0.50),
+               // Private: streaming pass over the thread's matrix shard.
+               std::make_unique<SequentialPattern>(
+                   (default_spec().rss_pages - gb_pages(1)) /
+                       default_spec().threads,
+                   0.02),
+               seed) {}
+
+// --------------------------------------------------------------- Microbench
+
+namespace {
+WorkloadSpec microbench_spec(const MicrobenchWorkload::Params& p) {
+  WorkloadSpec s;
+  s.name = "microbench";
+  s.service_class = ServiceClass::kBestEffort;
+  s.rss_pages = p.rss_pages;
+  s.wss_pages = p.wss_pages;
+  s.threads = p.threads;
+  s.accesses_per_sec_per_thread = p.access_rate_per_thread;
+  s.compute_cycles_per_access = 30.0;
+  s.latency_exposure = 1.0;
+  s.shared_access_fraction = 1.0;  // all threads hit the same WSS
+  return s;
+}
+}  // namespace
+
+MicrobenchWorkload::MicrobenchWorkload(Params p)
+    : Workload(microbench_spec(p),
+               /*shared_pages=*/p.rss_pages,
+               std::make_unique<ZipfianPattern>(p.wss_pages, p.zipf_theta,
+                                                p.write_ratio),
+               std::make_unique<UniformPattern>(p.rss_pages, p.write_ratio),
+               p.seed),
+      wss_pages_(p.wss_pages),
+      drift_rate_(p.drift_pages_per_sec) {}
+
+WorkloadAccess MicrobenchWorkload::next_access(unsigned /*thread*/) {
+  // Zipfian over the (possibly drifting) WSS window; the rest of the RSS
+  // is allocated but cold.
+  const PageAccess a = shared_pattern_->next(rng_);
+  return {(offset_ + a.page % wss_pages_) % spec_.rss_pages, a.is_write};
+}
+
+void MicrobenchWorkload::on_epoch(double sim_seconds) {
+  if (drift_rate_ > 0.0) {
+    offset_ = static_cast<std::uint64_t>(drift_rate_ * sim_seconds) %
+              spec_.rss_pages;
+  }
+}
+
+// ---------------------------------------------------------------- factories
+
+std::unique_ptr<Workload> make_memcached(std::uint64_t seed) {
+  return std::make_unique<MemcachedModel>(seed);
+}
+std::unique_ptr<Workload> make_pagerank(std::uint64_t seed) {
+  return std::make_unique<PageRankModel>(seed);
+}
+std::unique_ptr<Workload> make_liblinear(std::uint64_t seed) {
+  return std::make_unique<LiblinearModel>(seed);
+}
+
+}  // namespace vulcan::wl

@@ -1,0 +1,41 @@
+#include "wl/graph.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace vulcan::wl {
+
+CsrGraph::CsrGraph(Params params) {
+  sim::Rng rng(params.seed);
+  const std::uint64_t n = std::max<std::uint64_t>(1, params.nodes);
+
+  // Draw out-degrees from a shifted Pareto with the requested mean.
+  // Pareto(shape a, scale m): mean = a*m/(a-1) for a > 1.
+  const double a = std::max(1.05, params.degree_skew);
+  const double scale = params.mean_degree * (a - 1.0) / a;
+  std::vector<std::uint32_t> degrees(n);
+  for (auto& d : degrees) {
+    const double u = std::max(1e-12, 1.0 - rng.uniform());
+    const double deg = scale / std::pow(u, 1.0 / a);
+    d = static_cast<std::uint32_t>(
+        std::min(deg, static_cast<double>(n - 1)));
+  }
+
+  offsets_.resize(n + 1);
+  offsets_[0] = 0;
+  for (std::uint64_t i = 0; i < n; ++i) {
+    offsets_[i + 1] = offsets_[i] + degrees[i];
+  }
+  edges_.resize(offsets_[n]);
+
+  // Preferential-style targets: square the uniform draw so low node ids
+  // (the "old", high-in-degree nodes) are hit quadratically more often.
+  for (std::uint64_t i = 0; i < n; ++i) {
+    for (std::uint64_t e = offsets_[i]; e < offsets_[i + 1]; ++e) {
+      const double u = rng.uniform();
+      edges_[e] = static_cast<std::uint32_t>(u * u * static_cast<double>(n));
+    }
+  }
+}
+
+}  // namespace vulcan::wl

@@ -1,0 +1,51 @@
+// Synthetic power-law graph in CSR form, backing the PageRank workload
+// model. Degrees follow a discrete Pareto-like law (web graphs), edges are
+// drawn preferentially toward low-numbered nodes, and the whole structure
+// is a deterministic function of the seed.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "sim/rng.hpp"
+
+namespace vulcan::wl {
+
+class CsrGraph {
+ public:
+  struct Params {
+    std::uint64_t nodes = 10'000;
+    double mean_degree = 16.0;
+    double degree_skew = 2.0;  ///< Pareto shape; lower = heavier tail
+    std::uint64_t seed = 1;
+  };
+
+  explicit CsrGraph(Params params);
+
+  std::uint64_t node_count() const { return offsets_.size() - 1; }
+  std::uint64_t edge_count() const { return edges_.size(); }
+
+  std::span<const std::uint32_t> out_edges(std::uint64_t node) const {
+    return {edges_.data() + offsets_[node],
+            edges_.data() + offsets_[node + 1]};
+  }
+  std::uint64_t out_degree(std::uint64_t node) const {
+    return offsets_[node + 1] - offsets_[node];
+  }
+
+  /// Byte offset of a node's adjacency list within the CSR edge array —
+  /// used to map graph traversal onto page accesses.
+  std::uint64_t edge_byte_offset(std::uint64_t node) const {
+    return offsets_[node] * sizeof(std::uint32_t);
+  }
+  std::uint64_t edges_bytes() const {
+    return edges_.size() * sizeof(std::uint32_t);
+  }
+
+ private:
+  std::vector<std::uint64_t> offsets_;  // nodes + 1
+  std::vector<std::uint32_t> edges_;
+};
+
+}  // namespace vulcan::wl

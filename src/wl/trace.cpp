@@ -1,0 +1,110 @@
+#include "wl/trace.hpp"
+
+#include <cstring>
+#include <istream>
+#include <ostream>
+#include <stdexcept>
+
+namespace vulcan::wl {
+
+namespace {
+constexpr char kMagic[4] = {'V', 'L', 'C', 'T'};
+constexpr std::uint16_t kVersion = 1;
+
+template <typename T>
+void write_pod(std::ostream& out, const T& value) {
+  out.write(reinterpret_cast<const char*>(&value), sizeof(T));
+}
+
+template <typename T>
+T read_pod(std::istream& in) {
+  T value{};
+  in.read(reinterpret_cast<char*>(&value), sizeof(T));
+  if (!in) throw std::runtime_error("trace: truncated stream");
+  return value;
+}
+}  // namespace
+
+std::uint64_t Trace::save(std::ostream& out) const {
+  out.write(kMagic, sizeof(kMagic));
+  write_pod(out, kVersion);
+  write_pod(out, static_cast<std::uint16_t>(threads_));
+  write_pod(out, rss_pages_);
+  write_pod(out, static_cast<std::uint64_t>(records_.size()));
+  for (const auto& r : records_) write_pod(out, r.pack());
+  return sizeof(kMagic) + sizeof(kVersion) + sizeof(std::uint16_t) +
+         sizeof(rss_pages_) + sizeof(std::uint64_t) +
+         records_.size() * sizeof(std::uint64_t);
+}
+
+Trace Trace::load(std::istream& in) {
+  char magic[4];
+  in.read(magic, sizeof(magic));
+  if (!in || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+    throw std::runtime_error("trace: bad magic");
+  }
+  const auto version = read_pod<std::uint16_t>(in);
+  if (version != kVersion) {
+    throw std::runtime_error("trace: unsupported version");
+  }
+  const auto threads = read_pod<std::uint16_t>(in);
+  const auto rss = read_pod<std::uint64_t>(in);
+  const auto count = read_pod<std::uint64_t>(in);
+  Trace trace(rss, threads);
+  trace.records_.reserve(count);
+  for (std::uint64_t i = 0; i < count; ++i) {
+    trace.records_.push_back(TraceRecord::unpack(read_pod<std::uint64_t>(in)));
+  }
+  return trace;
+}
+
+// ----------------------------------------------------------------- record
+
+namespace {
+WorkloadSpec passthrough_spec(const Workload& inner) { return inner.spec(); }
+}  // namespace
+
+RecordingWorkload::RecordingWorkload(std::unique_ptr<Workload> inner,
+                                     Trace& trace)
+    : Workload(passthrough_spec(*inner), 0, nullptr, nullptr, /*seed=*/0),
+      inner_(std::move(inner)),
+      trace_(&trace) {}
+
+WorkloadAccess RecordingWorkload::next_access(unsigned thread) {
+  const WorkloadAccess a = inner_->next_access(thread);
+  trace_->append({a.page, static_cast<std::uint8_t>(thread), a.is_write});
+  return a;
+}
+
+void RecordingWorkload::on_epoch(double sim_seconds) {
+  inner_->on_epoch(sim_seconds);
+}
+
+double RecordingWorkload::rate_multiplier(double sim_seconds) const {
+  return inner_->rate_multiplier(sim_seconds);
+}
+
+// ----------------------------------------------------------------- replay
+
+namespace {
+WorkloadSpec replay_spec(const Trace& trace, WorkloadSpec spec) {
+  if (spec.name.empty()) spec.name = "trace-replay";
+  spec.rss_pages = trace.rss_pages();
+  spec.threads = std::max(1u, trace.threads());
+  return spec;
+}
+}  // namespace
+
+ReplayWorkload::ReplayWorkload(Trace trace, WorkloadSpec spec)
+    : Workload(replay_spec(trace, std::move(spec)), 0, nullptr, nullptr, 0),
+      trace_(std::move(trace)) {}
+
+WorkloadAccess ReplayWorkload::next_access(unsigned /*thread*/) {
+  if (trace_.records().empty()) return {};
+  const TraceRecord& r = trace_.records()[cursor_];
+  cursor_ = (cursor_ + 1) % trace_.records().size();
+  last_thread_ = r.thread;
+  return {r.page, r.is_write};
+}
+
+}  // namespace vulcan::wl

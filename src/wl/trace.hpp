@@ -1,0 +1,101 @@
+// Access-trace capture and replay.
+//
+// Any workload's access stream can be recorded to a compact binary trace
+// and replayed later — pinning down a workload exactly across policy
+// comparisons, sharing reproducible inputs, or importing externally
+// captured traces (each record is page-granular: thread, page offset,
+// read/write).
+//
+// Format (little-endian):
+//   header   magic "VLCT", u16 version, u16 threads, u64 rss_pages,
+//            u64 record_count
+//   records  u64 each: page[0..39] | thread[40..47] | is_write[48]
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <memory>
+#include <vector>
+
+#include "wl/workload.hpp"
+
+namespace vulcan::wl {
+
+struct TraceRecord {
+  std::uint64_t page = 0;
+  std::uint8_t thread = 0;
+  bool is_write = false;
+
+  std::uint64_t pack() const {
+    return (page & ((1ULL << 40) - 1)) |
+           (static_cast<std::uint64_t>(thread) << 40) |
+           (static_cast<std::uint64_t>(is_write) << 48);
+  }
+  static TraceRecord unpack(std::uint64_t raw) {
+    return {raw & ((1ULL << 40) - 1),
+            static_cast<std::uint8_t>((raw >> 40) & 0xFF),
+            ((raw >> 48) & 1) != 0};
+  }
+};
+
+/// In-memory trace plus (de)serialisation.
+class Trace {
+ public:
+  Trace() = default;
+  Trace(std::uint64_t rss_pages, unsigned threads)
+      : rss_pages_(rss_pages), threads_(threads) {}
+
+  void append(const TraceRecord& r) { records_.push_back(r); }
+  const std::vector<TraceRecord>& records() const { return records_; }
+  std::size_t size() const { return records_.size(); }
+  std::uint64_t rss_pages() const { return rss_pages_; }
+  unsigned threads() const { return threads_; }
+
+  /// Serialise to a stream. Returns bytes written.
+  std::uint64_t save(std::ostream& out) const;
+
+  /// Parse from a stream; throws std::runtime_error on a malformed trace.
+  static Trace load(std::istream& in);
+
+ private:
+  std::uint64_t rss_pages_ = 0;
+  unsigned threads_ = 0;
+  std::vector<TraceRecord> records_;
+};
+
+/// Decorator: forwards to an inner workload while recording every access.
+class RecordingWorkload final : public Workload {
+ public:
+  RecordingWorkload(std::unique_ptr<Workload> inner, Trace& trace);
+
+  WorkloadAccess next_access(unsigned thread) override;
+  void on_epoch(double sim_seconds) override;
+  double rate_multiplier(double sim_seconds) const override;
+
+ private:
+  std::unique_ptr<Workload> inner_;
+  Trace* trace_;
+};
+
+/// Replays a trace as a workload: next_access() returns records in order,
+/// wrapping around at the end (steady-state replay). The requesting thread
+/// index is ignored — the trace already carries thread attribution.
+class ReplayWorkload final : public Workload {
+ public:
+  /// @param spec_overrides  optional spec; rss/threads are forced to the
+  ///                        trace's own values.
+  explicit ReplayWorkload(Trace trace, WorkloadSpec spec = {});
+
+  WorkloadAccess next_access(unsigned thread) override;
+
+  /// Thread id the *last* returned access was attributed to in the trace.
+  unsigned last_thread() const { return last_thread_; }
+  std::size_t cursor() const { return cursor_; }
+
+ private:
+  Trace trace_;
+  std::size_t cursor_ = 0;
+  unsigned last_thread_ = 0;
+};
+
+}  // namespace vulcan::wl

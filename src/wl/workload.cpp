@@ -1,0 +1,60 @@
+#include "wl/workload.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+#include "sim/clock.hpp"
+
+namespace vulcan::wl {
+
+Workload::Workload(WorkloadSpec spec, std::uint64_t shared_pages,
+                   std::unique_ptr<AccessPattern> shared_pattern,
+                   std::unique_ptr<AccessPattern> private_pattern,
+                   std::uint64_t seed)
+    : spec_(std::move(spec)),
+      shared_pages_(std::min(shared_pages, spec_.rss_pages)),
+      shared_pattern_(std::move(shared_pattern)),
+      private_pattern_(std::move(private_pattern)),
+      rng_(seed) {
+  assert(spec_.threads > 0);
+  private_slice_ = (spec_.rss_pages - shared_pages_) / spec_.threads;
+}
+
+WorkloadAccess Workload::to_shared(PageAccess a) const {
+  const std::uint64_t page =
+      shared_pages_ ? a.page % shared_pages_ : a.page % spec_.rss_pages;
+  return {page, a.is_write};
+}
+
+WorkloadAccess Workload::to_private(PageAccess a, unsigned thread) const {
+  if (private_slice_ == 0) return to_shared(a);
+  const std::uint64_t base = shared_pages_ + thread * private_slice_;
+  return {base + a.page % private_slice_, a.is_write};
+}
+
+WorkloadAccess Workload::next_access(unsigned thread) {
+  assert(thread < spec_.threads);
+  const bool shared =
+      shared_pages_ > 0 &&
+      (private_slice_ == 0 || rng_.chance(spec_.shared_access_fraction));
+  if (shared) return to_shared(shared_pattern_->next(rng_));
+  return to_private(private_pattern_->next(rng_), thread);
+}
+
+void Workload::on_epoch(double /*sim_seconds*/) {}
+
+double Workload::rate_multiplier(double /*sim_seconds*/) const { return 1.0; }
+
+double Workload::ideal_cycles_per_access(double fast_ns) const {
+  return spec_.compute_cycles_per_access +
+         spec_.latency_exposure * fast_ns *
+             (static_cast<double>(sim::CpuClock::kFreqKhz) * 1e3 / 1e9);
+}
+
+double Workload::cycles_per_access(double mem_latency_ns) const {
+  return spec_.compute_cycles_per_access +
+         spec_.latency_exposure * mem_latency_ns *
+             (static_cast<double>(sim::CpuClock::kFreqKhz) * 1e3 / 1e9);
+}
+
+}  // namespace vulcan::wl

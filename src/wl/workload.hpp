@@ -1,0 +1,107 @@
+// Workload model: the unit the tiering policies manage.
+//
+// A workload owns an access-generation model (patterns over its resident
+// set, split into thread-private slices and a shared region) plus the
+// scalar characteristics that determine its performance sensitivity to
+// tier placement: access intensity, compute per access, and how much of
+// the memory latency its access stream can overlap (prefetchable streams
+// hide most of it; dependent random accesses expose all of it).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "sim/rng.hpp"
+#include "wl/pattern.hpp"
+
+namespace vulcan::wl {
+
+/// Latency-critical vs best-effort (the paper's LC/BE split).
+enum class ServiceClass : std::uint8_t { kLatencyCritical, kBestEffort };
+
+struct WorkloadSpec {
+  std::string name;
+  ServiceClass service_class = ServiceClass::kBestEffort;
+  std::uint64_t rss_pages = 0;
+  /// Actively accessed pages (<= rss). Informational; patterns decide.
+  std::uint64_t wss_pages = 0;
+  unsigned threads = 8;
+  /// Memory accesses issued per second per thread when never stalled.
+  double accesses_per_sec_per_thread = 1e6;
+  /// Non-memory CPU work per access, cycles. Higher = less memory-bound.
+  double compute_cycles_per_access = 100.0;
+  /// Fraction of memory latency actually exposed to execution (1.0 =
+  /// dependent pointer chasing; ~0.25 = prefetched streaming).
+  double latency_exposure = 1.0;
+  /// Fraction of accesses that go to the shared region (vs the accessing
+  /// thread's private slice).
+  double shared_access_fraction = 0.5;
+};
+
+/// An access resolved to a page offset within the workload's RSS.
+struct WorkloadAccess {
+  std::uint64_t page = 0;   ///< offset in [0, rss_pages)
+  bool is_write = false;
+};
+
+/// Base class: concrete apps configure the two-region generation model.
+///
+/// Region layout within [0, rss_pages):
+///   [0, shared_pages)                      shared region
+///   [shared_pages, rss_pages)              split into `threads` equal
+///                                          thread-private slices
+class Workload {
+ public:
+  Workload(WorkloadSpec spec, std::uint64_t shared_pages,
+           std::unique_ptr<AccessPattern> shared_pattern,
+           std::unique_ptr<AccessPattern> private_pattern,
+           std::uint64_t seed);
+  virtual ~Workload() = default;
+  Workload(const Workload&) = delete;
+  Workload& operator=(const Workload&) = delete;
+
+  const WorkloadSpec& spec() const { return spec_; }
+  std::uint64_t shared_pages() const { return shared_pages_; }
+  std::uint64_t private_pages_per_thread() const { return private_slice_; }
+
+  /// Generate the next access for `thread` (0-based, < spec().threads).
+  virtual WorkloadAccess next_access(unsigned thread);
+
+  /// Hook for phase behaviour; called once per simulation epoch.
+  virtual void on_epoch(double sim_seconds);
+
+  /// Load modulation at simulated time `sim_seconds`: LC services show
+  /// bursty user-driven demand (the signal the black-box LC/BE classifier
+  /// keys on); batch jobs run flat-out. Default: constant 1.0.
+  virtual double rate_multiplier(double sim_seconds) const;
+
+  /// Total access rate across all threads (accesses per second).
+  double total_access_rate() const {
+    return spec_.accesses_per_sec_per_thread * spec_.threads;
+  }
+
+  /// Ideal per-access cycles with every access served from a tier of
+  /// latency `fast_ns` and no stalls (the normalisation baseline).
+  double ideal_cycles_per_access(double fast_ns) const;
+
+  /// Actual per-access cycles given an average exposed memory latency.
+  double cycles_per_access(double mem_latency_ns) const;
+
+  sim::Rng& rng() { return rng_; }
+
+ protected:
+  /// Map a shared-pattern draw into the shared region; clamps defensively.
+  WorkloadAccess to_shared(PageAccess a) const;
+  /// Map a private-pattern draw into `thread`'s slice.
+  WorkloadAccess to_private(PageAccess a, unsigned thread) const;
+
+  WorkloadSpec spec_;
+  std::uint64_t shared_pages_;
+  std::uint64_t private_slice_;
+  std::unique_ptr<AccessPattern> shared_pattern_;
+  std::unique_ptr<AccessPattern> private_pattern_;
+  sim::Rng rng_;
+};
+
+}  // namespace vulcan::wl

@@ -1,0 +1,43 @@
+#include "wl/zipf.hpp"
+
+#include <cassert>
+#include <cmath>
+
+namespace vulcan::wl {
+
+double ZipfianGenerator::zeta(std::uint64_t n, double theta) {
+  // Direct summation; items counts in this simulator are <= a few million
+  // and generators are built once per workload.
+  double sum = 0.0;
+  for (std::uint64_t i = 1; i <= n; ++i) {
+    sum += 1.0 / std::pow(static_cast<double>(i), theta);
+  }
+  return sum;
+}
+
+ZipfianGenerator::ZipfianGenerator(std::uint64_t items, double theta)
+    : items_(items), theta_(theta) {
+  assert(items_ > 0);
+  zetan_ = zeta(items_, theta_);
+  zeta2_ = zeta(2, theta_);
+  alpha_ = 1.0 / (1.0 - theta_);
+  eta_ = (1.0 - std::pow(2.0 / static_cast<double>(items_), 1.0 - theta_)) /
+         (1.0 - zeta2_ / zetan_);
+}
+
+std::uint64_t ZipfianGenerator::next(sim::Rng& rng) const {
+  const double u = rng.uniform();
+  const double uz = u * zetan_;
+  if (uz < 1.0) return 0;
+  if (uz < 1.0 + std::pow(0.5, theta_)) return 1;
+  const auto rank = static_cast<std::uint64_t>(
+      static_cast<double>(items_) *
+      std::pow(eta_ * u - eta_ + 1.0, alpha_));
+  return rank >= items_ ? items_ - 1 : rank;
+}
+
+double ZipfianGenerator::pmf(std::uint64_t k) const {
+  return 1.0 / (std::pow(static_cast<double>(k + 1), theta_) * zetan_);
+}
+
+}  // namespace vulcan::wl

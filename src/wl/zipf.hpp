@@ -1,0 +1,65 @@
+// Zipfian item generator (Gray et al., "Quickly Generating Billion-Record
+// Synthetic Databases", SIGMOD'94) — the same construction YCSB uses.
+// The paper's migration-policy microbenchmarks (§5.2) generate accesses to
+// the working set "with a Zipfian distribution"; this is that generator.
+#pragma once
+
+#include <cstdint>
+
+#include "sim/rng.hpp"
+
+namespace vulcan::wl {
+
+class ZipfianGenerator {
+ public:
+  /// @param items  number of distinct items (ranks 0..items-1, rank 0 hottest)
+  /// @param theta  skew in [0,1); YCSB default 0.99
+  explicit ZipfianGenerator(std::uint64_t items, double theta = 0.99);
+
+  /// Draw a rank: 0 is the most popular item.
+  std::uint64_t next(sim::Rng& rng) const;
+
+  std::uint64_t items() const { return items_; }
+  double theta() const { return theta_; }
+
+  /// Probability mass of rank `k` (for test cross-checks).
+  double pmf(std::uint64_t k) const;
+
+ private:
+  static double zeta(std::uint64_t n, double theta);
+
+  std::uint64_t items_;
+  double theta_;
+  double zetan_;
+  double alpha_;
+  double eta_;
+  double zeta2_;
+};
+
+/// Scrambled variant: same popularity *distribution*, but popular ranks are
+/// scattered pseudo-randomly across the item space (YCSB's
+/// ScrambledZipfianGenerator) so hot pages are not physically contiguous.
+class ScrambledZipfianGenerator {
+ public:
+  explicit ScrambledZipfianGenerator(std::uint64_t items, double theta = 0.99)
+      : inner_(items, theta) {}
+
+  std::uint64_t next(sim::Rng& rng) const {
+    const std::uint64_t rank = inner_.next(rng);
+    // fmix64 (MurmurHash3 finaliser): a measurably good bijective scramble.
+    std::uint64_t h = rank;
+    h ^= h >> 33;
+    h *= 0xFF51AFD7ED558CCDULL;
+    h ^= h >> 33;
+    h *= 0xC4CEB9FE1A85EC53ULL;
+    h ^= h >> 33;
+    return h % inner_.items();
+  }
+
+  std::uint64_t items() const { return inner_.items(); }
+
+ private:
+  ZipfianGenerator inner_;
+};
+
+}  // namespace vulcan::wl

@@ -1,0 +1,82 @@
+#include "core/qos.hpp"
+
+#include <gtest/gtest.h>
+
+namespace vulcan::core {
+namespace {
+
+TEST(QosTracker, GptClampsAtOne) {
+  QosTracker small(100);
+  EXPECT_DOUBLE_EQ(small.guaranteed_target(1000), 1.0)
+      << "GFMC >= RSS: fast memory fully covers the working set";
+  QosTracker big(1000);
+  EXPECT_DOUBLE_EQ(big.guaranteed_target(250), 0.25);
+}
+
+TEST(QosTracker, GptZeroRssIsFullyCovered) {
+  QosTracker t(0);
+  EXPECT_DOUBLE_EQ(t.guaranteed_target(100), 1.0);
+}
+
+TEST(QosTracker, FthrFollowsEquations1And2) {
+  QosTracker t(1000, /*alpha=*/0.8);
+  EXPECT_FALSE(t.primed());
+  t.record_epoch(900, 100);  // H = 0.9 seeds the EMA
+  EXPECT_DOUBLE_EQ(t.fthr(), 0.9);
+  t.record_epoch(100, 900);  // H = 0.1
+  EXPECT_NEAR(t.fthr(), 0.8 * 0.1 + 0.2 * 0.9, 1e-12);
+}
+
+TEST(QosTracker, EmptyEpochLeavesFthrUnchanged) {
+  QosTracker t(1000);
+  t.record_epoch(500, 500);
+  const double before = t.fthr();
+  t.record_epoch(0, 0);
+  EXPECT_DOUBLE_EQ(t.fthr(), before);
+}
+
+TEST(QosTracker, UnderAllocatedWorkloadRaisesDemand) {
+  QosTracker t(10'000);
+  t.record_epoch(100, 900);  // FTHR 0.1, far below any reasonable GPT
+  const std::uint64_t gfmc = 5000;  // GPT = 0.5
+  const std::uint64_t demand = t.demand(/*alloc=*/1000, gfmc);
+  EXPECT_GT(demand, 1000u);
+}
+
+TEST(QosTracker, SatisfiedWorkloadShedsDemand) {
+  QosTracker t(10'000);
+  t.record_epoch(990, 10);  // FTHR 0.99
+  const std::uint64_t gfmc = 5000;  // GPT = 0.5 < FTHR
+  const std::uint64_t demand = t.demand(/*alloc=*/5000, gfmc);
+  EXPECT_LT(demand, 5000u) << "FTHR above GPT: surplus for donation";
+}
+
+TEST(QosTracker, DemandClampedToRss) {
+  QosTracker t(1000);
+  t.record_epoch(0, 1000);  // FTHR 0
+  EXPECT_LE(t.demand(/*alloc=*/1000, /*gfmc=*/1000), 1000u);
+  // And never negative (returns unsigned, must clamp internally).
+  t.record_epoch(1000, 0);
+  t.record_epoch(1000, 0);
+  EXPECT_GE(t.demand(/*alloc=*/0, /*gfmc=*/1), 0u);
+}
+
+class DemandMonotoneP : public ::testing::TestWithParam<double> {};
+
+// Property: demand is monotone in the FTHR gap — a workload missing its
+// target by more demands at least as much.
+TEST_P(DemandMonotoneP, DemandMonotoneInGap) {
+  const double fthr_hi = GetParam();
+  QosTracker worse(20'000);
+  QosTracker better(20'000);
+  worse.record_epoch(10.0 * fthr_hi * 0.5, 10.0 * (1 - fthr_hi * 0.5));
+  better.record_epoch(10.0 * fthr_hi, 10.0 * (1 - fthr_hi));
+  const std::uint64_t gfmc = 10'000;
+  EXPECT_GE(worse.demand(4000, gfmc), better.demand(4000, gfmc));
+}
+
+INSTANTIATE_TEST_SUITE_P(Fthrs, DemandMonotoneP,
+                         ::testing::Values(0.2, 0.5, 0.8, 1.0));
+
+}  // namespace
+}  // namespace vulcan::core

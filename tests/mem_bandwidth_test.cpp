@@ -1,0 +1,63 @@
+#include "mem/bandwidth_model.hpp"
+
+#include <gtest/gtest.h>
+
+namespace vulcan::mem {
+namespace {
+
+TEST(BandwidthModel, UnloadedLatencyAtZeroLoad) {
+  BandwidthModel m(70, 205.0);
+  EXPECT_EQ(m.loaded_latency_ns(0.0), 70u);
+}
+
+TEST(BandwidthModel, LatencyGrowsWithUtilization) {
+  BandwidthModel m(70, 205.0);
+  sim::Nanos prev = 0;
+  for (double u = 0.0; u <= 0.95; u += 0.05) {
+    const sim::Nanos lat = m.loaded_latency_ns(u);
+    EXPECT_GE(lat, prev);
+    prev = lat;
+  }
+}
+
+TEST(BandwidthModel, HockeyStickShape) {
+  BandwidthModel m(100, 100.0);
+  // Flat region: below 50% load the inflation is < 5%.
+  EXPECT_LT(m.loaded_latency_ns(0.4), 105u);
+  // Steep region: at 95% load the inflation is substantial.
+  EXPECT_GT(m.loaded_latency_ns(0.95), 150u);
+}
+
+TEST(BandwidthModel, UtilizationFromBytes) {
+  BandwidthModel m(70, 100.0);  // 100 GB/s peak
+  // 50 bytes over 1 ns == 50 GB/s == 50% of peak.
+  EXPECT_DOUBLE_EQ(m.utilization(50.0, 1.0), 0.5);
+  // Saturates below 1.0.
+  EXPECT_LT(m.utilization(1e9, 1.0), 1.0);
+  EXPECT_EQ(m.utilization(10.0, 0.0), 0.0);
+}
+
+TEST(BandwidthModel, OverloadIsClampedNotInfinite) {
+  BandwidthModel m(70, 25.0);
+  const sim::Nanos lat = m.loaded_latency_ns(5.0);  // clamped internally
+  EXPECT_GT(lat, 70u);
+  EXPECT_LT(lat, 70u * 100);
+}
+
+class LoadedLatencyP : public ::testing::TestWithParam<sim::Nanos> {};
+
+// Property: loaded latency never drops below unloaded latency and scales
+// linearly with the unloaded latency parameter.
+TEST_P(LoadedLatencyP, NeverBelowUnloaded) {
+  const sim::Nanos base = GetParam();
+  BandwidthModel m(base, 50.0);
+  for (double u : {0.0, 0.1, 0.5, 0.8, 0.97}) {
+    EXPECT_GE(m.loaded_latency_ns(u), base);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Bases, LoadedLatencyP,
+                         ::testing::Values(1, 70, 162, 350, 1000));
+
+}  // namespace
+}  // namespace vulcan::mem

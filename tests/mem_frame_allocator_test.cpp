@@ -1,0 +1,95 @@
+#include "mem/frame_allocator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "sim/rng.hpp"
+
+namespace vulcan::mem {
+namespace {
+
+TEST(FrameAllocator, AllocatesUniquePfnsUntilFull) {
+  FrameAllocator a(kFastTier, 16);
+  std::set<Pfn> seen;
+  for (int i = 0; i < 16; ++i) {
+    auto pfn = a.allocate();
+    ASSERT_TRUE(pfn.has_value());
+    EXPECT_TRUE(seen.insert(*pfn).second) << "duplicate PFN";
+    EXPECT_EQ(tier_of(*pfn), kFastTier);
+  }
+  EXPECT_FALSE(a.allocate().has_value());
+  EXPECT_EQ(a.used(), 16u);
+  EXPECT_EQ(a.free_pages(), 0u);
+}
+
+TEST(FrameAllocator, FreeMakesFrameReusable) {
+  FrameAllocator a(kSlowTier, 1);
+  const Pfn p = *a.allocate();
+  EXPECT_FALSE(a.allocate().has_value());
+  a.free(p);
+  EXPECT_EQ(a.used(), 0u);
+  EXPECT_EQ(*a.allocate(), p);
+}
+
+TEST(FrameAllocator, TierEncodingRoundTrips) {
+  FrameAllocator a(kSlowTier, 4);
+  const Pfn p = *a.allocate();
+  EXPECT_EQ(tier_of(p), kSlowTier);
+  EXPECT_LT(index_of(p), 4u);
+  EXPECT_EQ(make_pfn(tier_of(p), index_of(p)), p);
+}
+
+TEST(FrameAllocator, WatermarkDetection) {
+  FrameAllocator a(kFastTier, 100);
+  EXPECT_FALSE(a.below_watermark(0.10));
+  for (int i = 0; i < 95; ++i) a.allocate();
+  EXPECT_TRUE(a.below_watermark(0.10));   // 5 free < 10
+  EXPECT_FALSE(a.below_watermark(0.02));  // 5 free >= 2
+}
+
+TEST(FrameAllocator, UtilizationTracksUsage) {
+  FrameAllocator a(kFastTier, 10);
+  EXPECT_DOUBLE_EQ(a.utilization(), 0.0);
+  for (int i = 0; i < 5; ++i) a.allocate();
+  EXPECT_DOUBLE_EQ(a.utilization(), 0.5);
+}
+
+TEST(FrameAllocator, ZeroCapacity) {
+  FrameAllocator a(kFastTier, 0);
+  EXPECT_FALSE(a.allocate().has_value());
+  EXPECT_DOUBLE_EQ(a.utilization(), 0.0);
+}
+
+class AllocatorChurnP : public ::testing::TestWithParam<std::uint64_t> {};
+
+// Property: under random alloc/free churn, used() + free_pages() ==
+// capacity, no PFN is handed out twice while live, and every free PFN is
+// eventually reusable.
+TEST_P(AllocatorChurnP, ConservationUnderChurn) {
+  sim::Rng rng(GetParam());
+  constexpr std::uint64_t kCap = 256;
+  FrameAllocator a(kFastTier, kCap);
+  std::vector<Pfn> live;
+  for (int step = 0; step < 10'000; ++step) {
+    if ((rng.chance(0.55) && a.free_pages() > 0) || live.empty()) {
+      auto pfn = a.allocate();
+      ASSERT_TRUE(pfn.has_value());
+      for (Pfn other : live) ASSERT_NE(*pfn, other);
+      live.push_back(*pfn);
+    } else {
+      const std::size_t pick = rng.below(live.size());
+      a.free(live[pick]);
+      live.erase(live.begin() + static_cast<std::ptrdiff_t>(pick));
+    }
+    ASSERT_EQ(a.used(), live.size());
+    ASSERT_EQ(a.used() + a.free_pages(), kCap);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AllocatorChurnP,
+                         ::testing::Values(1, 7, 42, 2025));
+
+}  // namespace
+}  // namespace vulcan::mem

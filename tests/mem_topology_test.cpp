@@ -1,0 +1,77 @@
+#include "mem/topology.hpp"
+
+#include <gtest/gtest.h>
+
+namespace vulcan::mem {
+namespace {
+
+TEST(Topology, PaperTestbedShape) {
+  Topology topo = Topology::paper_testbed();
+  ASSERT_EQ(topo.tier_count(), 2u);
+  EXPECT_EQ(topo.config(kFastTier).name, "fast-dram");
+  EXPECT_EQ(topo.config(kSlowTier).name, "slow-cxl");
+  EXPECT_EQ(topo.capacity_pages(kFastTier), 8192u);
+  EXPECT_EQ(topo.capacity_pages(kSlowTier), 65536u);
+  EXPECT_EQ(topo.config(kFastTier).unloaded_latency_ns, 70u);
+  EXPECT_EQ(topo.config(kSlowTier).unloaded_latency_ns, 162u);
+}
+
+TEST(Topology, AllocationsLandInRequestedTier) {
+  Topology topo = Topology::paper_testbed();
+  const Pfn fast = *topo.allocator(kFastTier).allocate();
+  const Pfn slow = *topo.allocator(kSlowTier).allocate();
+  EXPECT_EQ(tier_of(fast), kFastTier);
+  EXPECT_EQ(tier_of(slow), kSlowTier);
+  EXPECT_EQ(topo.unloaded_latency_ns(fast), 70u);
+  EXPECT_EQ(topo.unloaded_latency_ns(slow), 162u);
+}
+
+TEST(Topology, FreePagesTrackAllocations) {
+  Topology topo = Topology::paper_testbed();
+  const auto before = topo.free_pages(kFastTier);
+  const Pfn p = *topo.allocator(kFastTier).allocate();
+  EXPECT_EQ(topo.free_pages(kFastTier), before - 1);
+  topo.allocator(kFastTier).free(p);
+  EXPECT_EQ(topo.free_pages(kFastTier), before);
+}
+
+TEST(Topology, CustomTopologyThreeTiers) {
+  std::vector<TierConfig> tiers{
+      {"hbm", 100, 40, 400.0},
+      {"dram", 1000, 80, 200.0},
+      {"cxl", 10000, 180, 25.0},
+  };
+  Topology topo(std::move(tiers), 25.0);
+  EXPECT_EQ(topo.tier_count(), 3u);
+  const Pfn p = *topo.allocator(2).allocate();
+  EXPECT_EQ(topo.unloaded_latency_ns(p), 180u);
+}
+
+TEST(Topology, UtilizationStartsAtZero) {
+  Topology topo = Topology::paper_testbed();
+  EXPECT_DOUBLE_EQ(topo.utilization(kFastTier), 0.0);
+  EXPECT_EQ(topo.loaded_latency_ns(kFastTier), 70u);
+  EXPECT_EQ(topo.loaded_latency_ns(kSlowTier), 162u);
+}
+
+TEST(Topology, PublishedUtilizationInflatesLoadedLatency) {
+  Topology topo = Topology::paper_testbed();
+  topo.set_utilization(kFastTier, 0.95);
+  EXPECT_GT(topo.loaded_latency_ns(kFastTier), 100u);
+  EXPECT_EQ(topo.loaded_latency_ns(kSlowTier), 162u)
+      << "tiers are independent";
+  // Contention can invert the tiers — the condition the Colloid gate
+  // (§3.6) watches for.
+  EXPECT_GT(topo.loaded_latency_ns(kFastTier) * 2,
+            topo.loaded_latency_ns(kSlowTier));
+}
+
+TEST(Topology, LatencyModelsReflectTierConfigs) {
+  Topology topo = Topology::paper_testbed();
+  EXPECT_EQ(topo.latency_model(kFastTier).unloaded_ns(), 70u);
+  EXPECT_EQ(topo.latency_model(kSlowTier).unloaded_ns(), 162u);
+  EXPECT_DOUBLE_EQ(topo.link().peak_gbps(), 25.0);
+}
+
+}  // namespace
+}  // namespace vulcan::mem

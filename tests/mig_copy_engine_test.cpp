@@ -1,0 +1,112 @@
+#include "mig/copy_engine.hpp"
+
+#include <gtest/gtest.h>
+
+namespace vulcan::mig {
+namespace {
+
+TEST(DirtyProbability, ZeroForPureReads) {
+  PromotionScenario s;
+  s.read_ratio = 1.0;
+  EXPECT_DOUBLE_EQ(dirty_probability(s), 0.0);
+}
+
+TEST(DirtyProbability, OneForPureWrites) {
+  PromotionScenario s;
+  s.read_ratio = 0.0;
+  EXPECT_NEAR(dirty_probability(s), 1.0, 1e-9);
+}
+
+TEST(DirtyProbability, MonotoneInWriteRatio) {
+  double prev = -1.0;
+  for (double r = 1.0; r >= 0.0; r -= 0.1) {
+    PromotionScenario s;
+    s.read_ratio = r;
+    const double p = dirty_probability(s);
+    EXPECT_GE(p, prev);
+    prev = p;
+  }
+}
+
+TEST(PromoteSync, InsensitiveToWriteRatio) {
+  PromotionScenario a, b;
+  a.read_ratio = 1.0;
+  b.read_ratio = 0.0;
+  EXPECT_DOUBLE_EQ(promote_sync(a).ops, promote_sync(b).ops);
+  EXPECT_DOUBLE_EQ(promote_sync(a).migrate_prob, 1.0);
+}
+
+TEST(PromoteSync, StallReducesOps) {
+  PromotionScenario cheap, dear;
+  cheap.sync_stall = 10'000;
+  dear.sync_stall = 1'000'000;
+  EXPECT_GT(promote_sync(cheap).ops, promote_sync(dear).ops);
+  EXPECT_EQ(promote_sync(dear).app_stall, 1'000'000u);
+}
+
+TEST(PromoteAsync, NeverStallsTheApp) {
+  PromotionScenario s;
+  s.read_ratio = 0.2;
+  EXPECT_EQ(promote_async(s).app_stall, 0u);
+}
+
+TEST(Observation4, AsyncWinsReadIntensive) {
+  PromotionScenario s;
+  s.read_ratio = 1.0;
+  EXPECT_GT(promote_async(s).ops, promote_sync(s).ops);
+  EXPECT_NEAR(promote_async(s).migrate_prob, 1.0, 1e-9);
+  EXPECT_NEAR(promote_async(s).expected_copies, 1.0, 1e-9);
+}
+
+TEST(Observation4, SyncWinsWriteIntensive) {
+  PromotionScenario s;
+  s.read_ratio = 0.2;  // 80% writes
+  EXPECT_GT(promote_sync(s).ops, promote_async(s).ops);
+  EXPECT_LT(promote_async(s).migrate_prob, 0.5)
+      << "write-hot async promotions mostly fail";
+  EXPECT_GT(promote_async(s).expected_copies, 1.5)
+      << "dirty pages force repeated copying";
+}
+
+TEST(Observation4, CrossoverExistsBetweenExtremes) {
+  // Somewhere between all-reads and all-writes the winner flips.
+  bool async_won = false, sync_won = false;
+  for (double r = 0.0; r <= 1.0; r += 0.05) {
+    PromotionScenario s;
+    s.read_ratio = r;
+    const double a = promote_async(s).ops;
+    const double y = promote_sync(s).ops;
+    (a > y ? async_won : sync_won) = true;
+  }
+  EXPECT_TRUE(async_won);
+  EXPECT_TRUE(sync_won);
+}
+
+class AsyncRetryP : public ::testing::TestWithParam<unsigned> {};
+
+// Property: more retries raise the migration probability and the expected
+// copy count, never lowering throughput for read-dominated mixes.
+TEST_P(AsyncRetryP, RetriesImproveSuccess) {
+  const unsigned k = GetParam();
+  PromotionScenario s;
+  s.read_ratio = 0.7;
+  s.max_retries = k;
+  PromotionScenario s_more = s;
+  s_more.max_retries = k + 1;
+  EXPECT_LE(promote_async(s).migrate_prob, promote_async(s_more).migrate_prob);
+  EXPECT_LE(promote_async(s).expected_copies,
+            promote_async(s_more).expected_copies);
+}
+
+INSTANTIATE_TEST_SUITE_P(Retries, AsyncRetryP, ::testing::Values(1, 2, 3, 5));
+
+TEST(AsyncSuccessProbability, WriteIntensityMatters) {
+  const double read_heavy = async_success_probability(false, 3);
+  const double write_heavy = async_success_probability(true, 3);
+  EXPECT_GT(read_heavy, 0.95);
+  EXPECT_LT(write_heavy, read_heavy);
+  EXPECT_GT(write_heavy, 0.0);
+}
+
+}  // namespace
+}  // namespace vulcan::mig

@@ -1,0 +1,98 @@
+#include "mig/mechanism.hpp"
+
+#include <gtest/gtest.h>
+
+namespace vulcan::mig {
+namespace {
+
+TEST(Mechanism, BaselineSinglePageMatchesFig2Anchors) {
+  sim::CostModel cost;
+  MigrationMechanism m2(cost, {.online_cpus = 2});
+  MigrationMechanism m32(cost, {.online_cpus = 32});
+  const auto b2 = m2.single_page(1, 1);
+  const auto b32 = m32.single_page(31, 31);
+  EXPECT_NEAR(static_cast<double>(b2.total()), 50e3, 10e3);
+  EXPECT_NEAR(static_cast<double>(b32.total()), 750e3, 80e3);
+  EXPECT_NEAR(b2.prep_share(), 0.383, 0.05);
+  EXPECT_NEAR(b32.prep_share(), 0.769, 0.05);
+}
+
+TEST(Mechanism, OptimizedPrepShrinksTotal) {
+  sim::CostModel cost;
+  MigrationMechanism base(cost, {.optimized_prep = false, .online_cpus = 32});
+  MigrationMechanism opt(cost, {.optimized_prep = true, .online_cpus = 32});
+  EXPECT_LT(opt.single_page(7, 7).total(), base.single_page(7, 7).total());
+  EXPECT_LT(opt.batch(64, 7, 7).total(), base.batch(64, 7, 7).total());
+}
+
+TEST(Mechanism, TargetedShootdownUsesSharerSet) {
+  sim::CostModel cost;
+  MigrationMechanism broadcast(cost,
+                               {.targeted_shootdown = false, .online_cpus = 32});
+  MigrationMechanism targeted(cost,
+                              {.targeted_shootdown = true, .online_cpus = 32});
+  // A private page (1 sharer) in an 8-core process.
+  const auto b = broadcast.single_page(/*process=*/7, /*sharers=*/1);
+  const auto t = targeted.single_page(7, 1);
+  EXPECT_LT(t.shootdown, b.shootdown);
+  EXPECT_EQ(t.prep, b.prep) << "prep orthogonal to shootdown targeting";
+  // A fully shared page gains nothing.
+  EXPECT_EQ(targeted.single_page(7, 7).shootdown,
+            broadcast.single_page(7, 7).shootdown);
+}
+
+TEST(Mechanism, TargetedNeverExceedsProcessSet) {
+  sim::CostModel cost;
+  MigrationMechanism targeted(cost,
+                              {.targeted_shootdown = true, .online_cpus = 32});
+  // Corrupt ownership data claiming more sharers than process cores must
+  // still clamp to the process set.
+  EXPECT_EQ(targeted.single_page(3, 100).shootdown,
+            cost.shootdown_cold(3));
+}
+
+TEST(Mechanism, BatchSharesPrepAcrossPages) {
+  sim::CostModel cost;
+  MigrationMechanism m(cost, {.online_cpus = 32});
+  const auto b1 = m.batch(1, 7, 7);
+  const auto b64 = m.batch(64, 7, 7);
+  EXPECT_EQ(b1.prep, b64.prep);
+  const double per_page_1 = static_cast<double>(b1.total());
+  const double per_page_64 = static_cast<double>(b64.total()) / 64.0;
+  EXPECT_LT(per_page_64, per_page_1);
+}
+
+TEST(Mechanism, Fig7ShapeSpeedupsDecreaseWithBatchSize) {
+  sim::CostModel cost;
+  MigrationMechanism baseline(cost, {.online_cpus = 32});
+  MigrationMechanism prep_opt(cost,
+                              {.optimized_prep = true, .online_cpus = 32});
+  MigrationMechanism both(cost, {.optimized_prep = true,
+                                 .targeted_shootdown = true,
+                                 .online_cpus = 32});
+  double prev_speedup = 1e18;
+  for (std::uint64_t pages : {2ull, 8ull, 32ull, 128ull, 512ull}) {
+    const double base = static_cast<double>(baseline.batch(pages, 7, 2).total());
+    const double opt1 = static_cast<double>(prep_opt.batch(pages, 7, 2).total());
+    const double opt2 = static_cast<double>(both.batch(pages, 7, 2).total());
+    const double s1 = base / opt1;
+    const double s2 = base / opt2;
+    EXPECT_GT(s1, 1.0);
+    EXPECT_GE(s2, s1) << "adding TLB opt must not hurt";
+    EXPECT_LE(s1, prev_speedup * 1.02) << "speedup shrinks as copying grows";
+    prev_speedup = s1;
+  }
+}
+
+TEST(PhaseBreakdown, SharesSumBelowOne) {
+  sim::CostModel cost;
+  MigrationMechanism m(cost, {.online_cpus = 16});
+  const auto b = m.single_page(15, 15);
+  EXPECT_GT(b.prep_share(), 0.0);
+  EXPECT_GT(b.shootdown_share(), 0.0);
+  EXPECT_LE(b.prep_share() + b.shootdown_share(), 1.0);
+  EXPECT_EQ(b.total(), b.prep + b.unmap + b.shootdown + b.copy + b.remap);
+}
+
+}  // namespace
+}  // namespace vulcan::mig

@@ -1,0 +1,95 @@
+#include "mig/shadow.hpp"
+
+#include <gtest/gtest.h>
+
+namespace vulcan::mig {
+namespace {
+
+class ShadowTest : public ::testing::Test {
+ protected:
+  ShadowTest() : topo_(make_topo()), reg_(topo_) {}
+
+  static mem::Topology make_topo() {
+    std::vector<mem::TierConfig> tiers{
+        {"fast", 64, 70, 205.0},
+        {"slow", 256, 162, 25.0},
+    };
+    return mem::Topology(std::move(tiers));
+  }
+
+  mem::Pfn slow_frame() { return *topo_.allocator(mem::kSlowTier).allocate(); }
+
+  mem::Topology topo_;
+  ShadowRegistry reg_;
+};
+
+TEST_F(ShadowTest, InstallPeekConsume) {
+  const mem::Pfn pfn = slow_frame();
+  reg_.install(100, pfn);
+  EXPECT_TRUE(reg_.has(100));
+  EXPECT_EQ(reg_.peek(100), std::optional<mem::Pfn>(pfn));
+  EXPECT_EQ(reg_.consume(100), std::optional<mem::Pfn>(pfn));
+  EXPECT_FALSE(reg_.has(100));
+  EXPECT_EQ(reg_.consume(100), std::nullopt);
+  // Consumed frame belongs to the caller; return it manually.
+  topo_.allocator(mem::kSlowTier).free(pfn);
+}
+
+TEST_F(ShadowTest, InvalidateFreesFrame) {
+  const auto used_before = topo_.allocator(mem::kSlowTier).used();
+  reg_.install(1, slow_frame());
+  EXPECT_EQ(topo_.allocator(mem::kSlowTier).used(), used_before + 1);
+  reg_.invalidate(1);
+  EXPECT_EQ(topo_.allocator(mem::kSlowTier).used(), used_before);
+  EXPECT_EQ(reg_.stats().invalidated, 1u);
+}
+
+TEST_F(ShadowTest, InvalidateUnknownIsNoop) {
+  reg_.invalidate(999);
+  EXPECT_EQ(reg_.stats().invalidated, 0u);
+}
+
+TEST_F(ShadowTest, ReinstallReplacesAndFreesOld) {
+  const auto used_before = topo_.allocator(mem::kSlowTier).used();
+  reg_.install(5, slow_frame());
+  const mem::Pfn second = slow_frame();
+  reg_.install(5, second);
+  EXPECT_EQ(reg_.peek(5), std::optional<mem::Pfn>(second));
+  EXPECT_EQ(topo_.allocator(mem::kSlowTier).used(), used_before + 1)
+      << "old shadow frame was freed";
+}
+
+TEST_F(ShadowTest, ClearReleasesEverything) {
+  const auto used_before = topo_.allocator(mem::kSlowTier).used();
+  for (vm::Vpn v = 0; v < 10; ++v) reg_.install(v, slow_frame());
+  EXPECT_EQ(reg_.size(), 10u);
+  reg_.clear();
+  EXPECT_EQ(reg_.size(), 0u);
+  EXPECT_EQ(topo_.allocator(mem::kSlowTier).used(), used_before);
+  EXPECT_EQ(reg_.stats().evicted, 10u);
+}
+
+TEST_F(ShadowTest, DestructorReleasesFrames) {
+  const auto used_before = topo_.allocator(mem::kSlowTier).used();
+  {
+    ShadowRegistry local(topo_);
+    local.install(1, slow_frame());
+    local.install(2, slow_frame());
+  }
+  EXPECT_EQ(topo_.allocator(mem::kSlowTier).used(), used_before);
+}
+
+TEST_F(ShadowTest, StatsCountLifecycle) {
+  const mem::Pfn a = slow_frame();
+  reg_.install(1, a);
+  reg_.install(2, slow_frame());
+  reg_.consume(1);
+  reg_.invalidate(2);
+  EXPECT_EQ(reg_.stats().installed, 2u);
+  EXPECT_EQ(reg_.stats().consumed, 1u);
+  EXPECT_EQ(reg_.stats().invalidated, 1u);
+  topo_.allocator(mem::kSlowTier).free(a);
+}
+
+}  // namespace
+}  // namespace vulcan::mig

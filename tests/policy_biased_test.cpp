@@ -1,0 +1,148 @@
+#include "policy/biased.hpp"
+
+#include <gtest/gtest.h>
+
+namespace vulcan::policy {
+namespace {
+
+mig::MigrationRequest req(vm::Vpn vpn, bool shared, bool write_intensive,
+                          double heat = 1.0) {
+  mig::MigrationRequest r;
+  r.vpn = vpn;
+  r.to = mem::kFastTier;
+  r.shared = shared;
+  r.write_intensive = write_intensive;
+  r.heat = heat;
+  return r;
+}
+
+TEST(BiasedQueues, Table1QueueMapping) {
+  // private+read > shared+read > private+write > shared+write.
+  EXPECT_EQ(BiasedQueues::base_queue(false, false), 0u);
+  EXPECT_EQ(BiasedQueues::base_queue(true, false), 1u);
+  EXPECT_EQ(BiasedQueues::base_queue(false, true), 2u);
+  EXPECT_EQ(BiasedQueues::base_queue(true, true), 3u);
+}
+
+TEST(BiasedQueues, Table1StrategyMapping) {
+  EXPECT_EQ(BiasedQueues::mode_for(false), mig::CopyMode::kAsync);
+  EXPECT_EQ(BiasedQueues::mode_for(true), mig::CopyMode::kSync);
+}
+
+TEST(BiasedQueues, DrainFollowsPriorityOrder) {
+  BiasedQueues q;
+  q.push(req(1, true, true));     // queue 3
+  q.push(req(2, false, true));    // queue 2
+  q.push(req(3, true, false));    // queue 1
+  q.push(req(4, false, false));   // queue 0
+  const auto out = q.drain(4);
+  ASSERT_EQ(out.size(), 4u);
+  EXPECT_EQ(out[0].vpn, 4u);
+  EXPECT_EQ(out[1].vpn, 3u);
+  EXPECT_EQ(out[2].vpn, 2u);
+  EXPECT_EQ(out[3].vpn, 1u);
+}
+
+TEST(BiasedQueues, HeatOrdersWithinQueue) {
+  BiasedQueues q;
+  q.push(req(1, false, false, 1.0));
+  q.push(req(2, false, false, 9.0));
+  q.push(req(3, false, false, 5.0));
+  const auto out = q.drain(3);
+  ASSERT_EQ(out.size(), 3u);
+  EXPECT_EQ(out[0].vpn, 2u);
+  EXPECT_EQ(out[1].vpn, 3u);
+  EXPECT_EQ(out[2].vpn, 1u);
+}
+
+TEST(BiasedQueues, BudgetLeavesBacklog) {
+  BiasedQueues q;
+  for (vm::Vpn v = 0; v < 10; ++v) q.push(req(v, false, false));
+  const auto out = q.drain(4);
+  EXPECT_EQ(out.size(), 4u);
+  EXPECT_EQ(q.backlog(), 6u);
+}
+
+TEST(BiasedQueues, CopyModeForcedByClass) {
+  BiasedQueues q;
+  auto r = req(1, false, true);
+  r.mode = mig::CopyMode::kAsync;  // wrong on purpose
+  q.push(r);
+  const auto out = q.drain(1);
+  EXPECT_EQ(out[0].mode, mig::CopyMode::kSync)
+      << "write-intensive must be sync-copied per Table 1";
+}
+
+TEST(BiasedQueues, MlfqBoostsScorchingPages) {
+  BiasedQueues q(BiasedQueues::Params{.mlfq_boost_heat = 10.0});
+  // A shared+read page (base queue 1) with huge heat jumps to queue 0.
+  EXPECT_EQ(q.effective_queue(req(1, true, false, 50.0)), 0u);
+  EXPECT_EQ(q.effective_queue(req(1, true, false, 5.0)), 1u);
+  // Queue 0 cannot be boosted further.
+  EXPECT_EQ(q.effective_queue(req(1, false, false, 50.0)), 0u);
+}
+
+TEST(BiasedQueues, MlfqBoostChangesDrainOrder) {
+  BiasedQueues q(BiasedQueues::Params{.mlfq_boost_heat = 10.0});
+  q.push(req(1, false, false, 1.0));  // queue 0, lukewarm
+  q.push(req(2, true, true, 100.0)); // base queue 3, boosted to 2
+  q.push(req(3, true, true, 1.0));   // queue 3
+  const auto out = q.drain(3);
+  EXPECT_EQ(out[0].vpn, 1u);
+  EXPECT_EQ(out[1].vpn, 2u) << "boosted entry beats its base-queue sibling";
+  EXPECT_EQ(out[2].vpn, 3u);
+}
+
+TEST(BiasedQueues, DuplicatePushIgnored) {
+  BiasedQueues q;
+  EXPECT_TRUE(q.push(req(7, false, false)));
+  EXPECT_FALSE(q.push(req(7, true, true)));
+  EXPECT_EQ(q.backlog(), 1u);
+  q.drain(1);
+  EXPECT_TRUE(q.push(req(7, false, false))) << "drained vpn can requeue";
+}
+
+TEST(BiasedQueues, RefreshReRanksByFreshHeat) {
+  BiasedQueues q(BiasedQueues::Params{.mlfq_boost_heat = 10.0});
+  q.push(req(1, true, false, 1.0));  // queue 1
+  EXPECT_EQ(q.backlog(1), 1u);
+  q.refresh([](vm::Vpn) { return 99.0; });  // page got hot
+  EXPECT_EQ(q.backlog(0), 1u) << "refreshed heat boosts the entry";
+  EXPECT_EQ(q.backlog(1), 0u);
+}
+
+TEST(BiasedQueues, ClearEmptiesEverything) {
+  BiasedQueues q;
+  q.push(req(1, false, false));
+  q.push(req(2, true, true));
+  q.clear();
+  EXPECT_EQ(q.backlog(), 0u);
+  EXPECT_TRUE(q.push(req(1, false, false)));
+}
+
+class Table1PropertyP
+    : public ::testing::TestWithParam<std::tuple<bool, bool>> {};
+
+// Property: for any class, private read-intensive pages never drain after
+// pages of that class, and the strategy matches Table 1.
+TEST_P(Table1PropertyP, PrivateReadAlwaysFirst) {
+  const auto [shared, write] = GetParam();
+  // Disable the MLFQ boost so pure Table 1 ordering is observable.
+  BiasedQueues q(BiasedQueues::Params{.mlfq_boost_heat = 1e18});
+  q.push(req(100, shared, write, 1000.0));  // very hot, any class
+  q.push(req(1, false, false, 0.1));        // barely warm private read
+  const auto out = q.drain(2);
+  ASSERT_EQ(out.size(), 2u);
+  if (shared || write) {
+    EXPECT_EQ(out[0].vpn, 1u)
+        << "private+read precedes all other classes regardless of heat";
+  }
+  EXPECT_EQ(out[0].mode, mig::CopyMode::kAsync);
+}
+
+INSTANTIATE_TEST_SUITE_P(Classes, Table1PropertyP,
+                         ::testing::Combine(::testing::Bool(),
+                                            ::testing::Bool()));
+
+}  // namespace
+}  // namespace vulcan::policy

@@ -1,0 +1,156 @@
+#include <gtest/gtest.h>
+
+#include "prof/hint_fault.hpp"
+#include "prof/hybrid.hpp"
+#include "prof/pebs.hpp"
+#include "prof/pt_scan.hpp"
+
+namespace vulcan::prof {
+namespace {
+
+mem::Topology make_topo() {
+  std::vector<mem::TierConfig> tiers{
+      {"fast", 4096, 70, 205.0},
+      {"slow", 16384, 162, 25.0},
+  };
+  return mem::Topology(std::move(tiers));
+}
+
+vm::AddressSpace::Config as_config(std::uint64_t pages) {
+  vm::AddressSpace::Config cfg;
+  cfg.pid = 1;
+  cfg.rss_pages = pages;
+  cfg.thp = false;
+  return cfg;
+}
+
+TEST(Pebs, SampledHeatIsUnbiased) {
+  HeatTracker t(10);
+  PebsProfiler p(t, /*period=*/4);
+  sim::Rng rng(1);
+  constexpr int kN = 100'000;
+  for (int i = 0; i < kN; ++i) p.observe({.page = 2}, 1.0, rng);
+  // Probabilistic 1/4 sampling scaled back up by 4: expectation = kN.
+  EXPECT_NEAR(t.heat(2), static_cast<double>(kN), 0.03 * kN);
+}
+
+TEST(Pebs, PeriodOneSeesEverything) {
+  HeatTracker t(10);
+  PebsProfiler p(t, /*period=*/1);
+  sim::Rng rng(2);
+  for (int i = 0; i < 50; ++i) p.observe({.page = 3}, 2.0, rng);
+  EXPECT_DOUBLE_EQ(t.heat(3), 100.0);
+}
+
+TEST(Pebs, MissesRarePages) {
+  HeatTracker t(100);
+  PebsProfiler p(t, /*period=*/64);
+  sim::Rng rng(2);
+  // A page touched fewer times than the period can be missed entirely.
+  for (int i = 0; i < 10; ++i) p.observe({.page = 7}, 1.0, rng);
+  EXPECT_DOUBLE_EQ(t.heat(7), 0.0) << "false negative by design";
+}
+
+TEST(Pebs, EpochOverheadScalesWithSamples) {
+  auto topo = make_topo();
+  vm::AddressSpace as(as_config(10), topo);
+  HeatTracker t(10);
+  PebsProfiler p(t, /*period=*/1, /*cycles_per_sample=*/400);
+  sim::Rng rng(3);
+  for (int i = 0; i < 40; ++i) p.observe({.page = 0}, 1.0, rng);
+  EXPECT_EQ(p.on_epoch(as), 40u * 400u);
+  EXPECT_EQ(p.on_epoch(as), 0u) << "sample counter reset after epoch";
+}
+
+TEST(PtScan, SeesAccessedBitsAndClearsThem) {
+  auto topo = make_topo();
+  vm::AddressSpace as(as_config(20), topo);
+  const auto th = as.add_thread();
+  for (int i = 0; i < 20; ++i) as.fault(as.vpn_at(i), th, false, mem::kFastTier);
+  // Touch pages 3 (read) and 5 (write); clear others' accessed bits.
+  for (int i = 0; i < 20; ++i) {
+    as.clear_accessed(as.vpn_at(i));
+    as.clear_dirty(as.vpn_at(i));
+  }
+  as.access(as.vpn_at(3), th, false);
+  as.access(as.vpn_at(5), th, true);
+
+  HeatTracker t(20);
+  PtScanProfiler p(t);
+  sim::Rng rng(4);
+  EXPECT_EQ(p.observe({.page = 3}, 1.0, rng), 0u) << "scanning is passive";
+  const auto cost = p.on_epoch(as);
+  EXPECT_EQ(cost, 20u * 30u);
+  EXPECT_GT(t.heat(3), 0.0);
+  EXPECT_GT(t.heat(5), 0.0);
+  EXPECT_DOUBLE_EQ(t.heat(4), 0.0);
+  EXPECT_GT(t.write_rate(5), 0.0);
+  EXPECT_DOUBLE_EQ(t.write_rate(3), 0.0);
+  // Bits were cleared: a second scan sees nothing.
+  const double before = t.heat(3);
+  p.on_epoch(as);
+  EXPECT_DOUBLE_EQ(t.heat(3), before);
+}
+
+TEST(HintFault, PoisonedAccessFaultsOnceAndRecords) {
+  auto topo = make_topo();
+  vm::AddressSpace as(as_config(100), topo);
+  const auto th = as.add_thread();
+  for (int i = 0; i < 100; ++i) {
+    as.fault(as.vpn_at(i), th, false, mem::kFastTier);
+  }
+  HeatTracker t(100);
+  sim::CostModel cost;
+  HintFaultProfiler p(t, cost, /*poison_fraction=*/1.0);
+  sim::Rng rng(5);
+  p.on_epoch(as);  // poison everything
+  EXPECT_TRUE(p.poisoned(42));
+  const auto fault_cost = p.observe({.page = 42}, 1.0, rng);
+  EXPECT_EQ(fault_cost, cost.minor_fault());
+  EXPECT_GT(t.heat(42), 0.0);
+  // Unpoisoned after the fault: second access is free.
+  EXPECT_EQ(p.observe({.page = 42}, 1.0, rng), 0u);
+}
+
+TEST(HintFault, RotatingWindowCoversSpaceOverEpochs) {
+  auto topo = make_topo();
+  vm::AddressSpace as(as_config(100), topo);
+  const auto th = as.add_thread();
+  for (int i = 0; i < 100; ++i) {
+    as.fault(as.vpn_at(i), th, false, mem::kFastTier);
+  }
+  HeatTracker t(100);
+  sim::CostModel cost;
+  HintFaultProfiler p(t, cost, /*poison_fraction=*/0.25);
+  std::vector<bool> ever(100, false);
+  for (int e = 0; e < 4; ++e) {
+    p.on_epoch(as);
+    for (int i = 0; i < 100; ++i) {
+      if (p.poisoned(i)) ever[i] = true;
+    }
+  }
+  int covered = 0;
+  for (const bool b : ever) covered += b;
+  EXPECT_EQ(covered, 100) << "rotation must cover the whole RSS";
+}
+
+TEST(Hybrid, CombinesBothMechanisms) {
+  auto topo = make_topo();
+  vm::AddressSpace as(as_config(50), topo);
+  const auto th = as.add_thread();
+  for (int i = 0; i < 50; ++i) as.fault(as.vpn_at(i), th, false, mem::kFastTier);
+  HeatTracker t(50);
+  sim::CostModel cost;
+  HybridProfiler p(t, cost, /*pebs_period=*/8, /*poison_fraction=*/1.0);
+  sim::Rng rng(6);
+  p.on_epoch(as);
+  // First observe of a poisoned page faults (hint path)...
+  EXPECT_EQ(p.observe({.page = 9}, 1.0, rng), cost.minor_fault());
+  // ...and after 8 observes PEBS contributes too.
+  for (int i = 0; i < 8; ++i) p.observe({.page = 9}, 1.0, rng);
+  EXPECT_GT(t.heat(9), 1.0);
+  EXPECT_EQ(p.name(), "hybrid");
+}
+
+}  // namespace
+}  // namespace vulcan::prof

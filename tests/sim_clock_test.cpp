@@ -1,0 +1,58 @@
+#include "sim/clock.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sim/config.hpp"
+
+namespace vulcan::sim {
+namespace {
+
+TEST(CpuClock, RoundTripsWholeMicroseconds) {
+  for (std::uint64_t us : {1ULL, 7ULL, 100ULL, 12345ULL}) {
+    const Cycles c = CpuClock::from_micros(us);
+    EXPECT_EQ(CpuClock::to_nanos(c), us * 1000);
+  }
+}
+
+TEST(CpuClock, PaperLatenciesConvert) {
+  // 3 GHz: 70 ns fast tier = 210 cycles, 162 ns slow tier = 486 cycles.
+  EXPECT_EQ(CpuClock::from_nanos(70), 210u);
+  EXPECT_EQ(CpuClock::from_nanos(162), 486u);
+}
+
+TEST(CpuClock, SecondsConversion) {
+  EXPECT_DOUBLE_EQ(CpuClock::to_seconds(3'000'000'000ULL), 1.0);
+  EXPECT_DOUBLE_EQ(CpuClock::to_seconds(CpuClock::from_millis(250)), 0.25);
+}
+
+class ClockMonotoneP : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ClockMonotoneP, ConversionIsMonotoneAndConsistent) {
+  const std::uint64_t ns = GetParam();
+  const Cycles c = CpuClock::from_nanos(ns);
+  EXPECT_LE(CpuClock::from_nanos(ns > 0 ? ns - 1 : 0), c);
+  // to_nanos(from_nanos(x)) may round down by < 1 cycle's worth of ns.
+  EXPECT_LE(CpuClock::to_nanos(c), ns);
+  EXPECT_GE(CpuClock::to_nanos(c) + 1, ns);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, ClockMonotoneP,
+                         ::testing::Values(0, 1, 2, 3, 69, 70, 71, 162, 1000,
+                                           999'999, 1'000'000'000ULL));
+
+TEST(SimScale, CapacityScalingMatchesPaperRatios) {
+  const MachineConfig mc;
+  // 32 GB : 256 GB ratio preserved after scaling.
+  EXPECT_EQ(mc.slow_bytes / mc.fast_bytes, 8u);
+  EXPECT_EQ(mc.fast_pages(), 8192u);
+  EXPECT_EQ(mc.slow_pages(), 65536u);
+}
+
+TEST(SimScale, ScaledGibHandlesFractions) {
+  // 51 GB Memcached RSS -> 51 MB -> 13056 pages.
+  EXPECT_EQ(bytes_to_pages(scaled_gib(51)), 13056u);
+  EXPECT_EQ(bytes_to_pages(scaled_gib(0.5)), 128u);
+}
+
+}  // namespace
+}  // namespace vulcan::sim

@@ -1,0 +1,97 @@
+#include "sim/cost_model.hpp"
+
+#include <gtest/gtest.h>
+
+namespace vulcan::sim {
+namespace {
+
+TEST(CostModel, Fig2AnchorsMatchPaper) {
+  const CostModel m;
+  const CalibrationCheck c = check_calibration(m);
+  // Paper: ~50K cycles at 2 CPUs, ~750K at 32 CPUs (single base page).
+  EXPECT_NEAR(static_cast<double>(c.total_2cpu), 50'000.0, 10'000.0);
+  EXPECT_NEAR(static_cast<double>(c.total_32cpu), 750'000.0, 80'000.0);
+  // Preparation share 38.3% -> 76.9%.
+  EXPECT_NEAR(c.prep_share_2cpu, 0.383, 0.05);
+  EXPECT_NEAR(c.prep_share_32cpu, 0.769, 0.05);
+}
+
+TEST(CostModel, Fig2PrepGrowsThirtyFold) {
+  const CostModel m;
+  const double ratio = static_cast<double>(m.prep_baseline(32)) /
+                       static_cast<double>(m.prep_baseline(2));
+  EXPECT_NEAR(ratio, 30.0, 3.0);
+}
+
+TEST(CostModel, Fig3TlbShareAnchor) {
+  const CostModel m;
+  const CalibrationCheck c = check_calibration(m);
+  // Paper: TLB operations ~65% of migration time at 32 threads x 512 pages.
+  EXPECT_NEAR(c.tlb_share_512p_32t, 0.65, 0.05);
+}
+
+TEST(CostModel, OptimizedPrepIsMuchCheaper) {
+  const CostModel m;
+  for (unsigned cpus : {2u, 8u, 16u, 32u}) {
+    EXPECT_LT(m.prep_optimized(cpus), m.prep_baseline(cpus));
+  }
+  // The optimisation matters most at high core counts.
+  const double save32 = 1.0 - static_cast<double>(m.prep_optimized(32)) /
+                                  static_cast<double>(m.prep_baseline(32));
+  EXPECT_GT(save32, 0.5);
+}
+
+TEST(CostModel, LocalOnlyShootdownIsCheapest) {
+  const CostModel m;
+  EXPECT_LT(m.shootdown_cold(0), m.shootdown_cold(1));
+  EXPECT_LT(m.shootdown_batched(8, 0), m.shootdown_batched(8, 1));
+}
+
+class ShootdownMonotoneP
+    : public ::testing::TestWithParam<std::tuple<unsigned, unsigned>> {};
+
+// Property: shootdown cost is monotone in both page count and target cores.
+TEST_P(ShootdownMonotoneP, MonotoneInPagesAndCores) {
+  const auto [pages, cores] = GetParam();
+  const CostModel m;
+  EXPECT_LE(m.shootdown_batched(pages, cores),
+            m.shootdown_batched(pages + 1, cores));
+  EXPECT_LE(m.shootdown_batched(pages, cores),
+            m.shootdown_batched(pages, cores + 1));
+  EXPECT_LE(m.shootdown_cold(cores), m.shootdown_cold(cores + 1));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, ShootdownMonotoneP,
+    ::testing::Combine(::testing::Values(1u, 2u, 64u, 512u),
+                       ::testing::Values(0u, 1u, 7u, 31u)));
+
+TEST(CostModel, BatchedCopyAmortises) {
+  const CostModel m;
+  // Per-page cost declines with batch size...
+  const double per1 = static_cast<double>(m.copy_batched(1));
+  const double per512 = static_cast<double>(m.copy_batched(512)) / 512.0;
+  EXPECT_LT(per512, per1);
+  // ...but total cost is still monotone in pages.
+  for (std::uint64_t p : {1ull, 2ull, 8ull, 64ull, 511ull}) {
+    EXPECT_LT(m.copy_batched(p), m.copy_batched(p + 1));
+  }
+  EXPECT_EQ(m.copy_batched(0), 0u);
+}
+
+TEST(CostModel, TlbShareGrowsWithPagesAndThreads) {
+  const CostModel m;
+  const auto share = [&](std::uint64_t pages, unsigned cores) {
+    const double tlb = static_cast<double>(m.shootdown_batched(pages, cores));
+    const double copy = static_cast<double>(m.copy_batched(pages));
+    return tlb / (tlb + copy);
+  };
+  // Copy dominates for few pages (Observation #3's first clause)...
+  EXPECT_LT(share(2, 31), 0.5);
+  // ...and TLB share is monotone in pages and threads.
+  EXPECT_LT(share(2, 31), share(512, 31));
+  EXPECT_LT(share(512, 1), share(512, 31));
+}
+
+}  // namespace
+}  // namespace vulcan::sim

@@ -1,0 +1,99 @@
+#include "sim/engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace vulcan::sim {
+namespace {
+
+TEST(Engine, ClockStartsAtZero) {
+  Engine e;
+  EXPECT_EQ(e.now(), 0u);
+}
+
+TEST(Engine, AdvancesToEventTimes) {
+  Engine e;
+  std::vector<Cycles> seen;
+  e.at(100, [&] { seen.push_back(e.now()); });
+  e.at(250, [&] { seen.push_back(e.now()); });
+  e.run();
+  EXPECT_EQ(seen, (std::vector<Cycles>{100, 250}));
+  EXPECT_EQ(e.now(), 250u);
+}
+
+TEST(Engine, AfterSchedulesRelative) {
+  Engine e;
+  Cycles inner = 0;
+  e.at(50, [&] { e.after(25, [&] { inner = e.now(); }); });
+  e.run();
+  EXPECT_EQ(inner, 75u);
+}
+
+TEST(Engine, PastSchedulingClampsToNow) {
+  Engine e;
+  Cycles fired_at = 0;
+  e.at(100, [&] {
+    e.at(10, [&] { fired_at = e.now(); });  // "10" is in the past
+  });
+  e.run();
+  EXPECT_EQ(fired_at, 100u);
+}
+
+TEST(Engine, RunUntilStopsAtDeadline) {
+  Engine e;
+  int fired = 0;
+  e.at(10, [&] { ++fired; });
+  e.at(20, [&] { ++fired; });
+  e.at(30, [&] { ++fired; });
+  EXPECT_EQ(e.run_until(20), 2u);
+  EXPECT_EQ(fired, 2);
+  EXPECT_EQ(e.now(), 20u);
+  EXPECT_EQ(e.pending(), 1u);
+  e.run();
+  EXPECT_EQ(fired, 3);
+}
+
+TEST(Engine, DeadlineAdvancesClockEvenWithoutEvents) {
+  Engine e;
+  e.at(100, [] {});
+  e.run_until(40);
+  EXPECT_EQ(e.now(), 40u);
+}
+
+TEST(Engine, CancelledEventNeverFires) {
+  Engine e;
+  bool fired = false;
+  const EventId id = e.at(5, [&] { fired = true; });
+  EXPECT_TRUE(e.cancel(id));
+  e.run();
+  EXPECT_FALSE(fired);
+}
+
+TEST(Engine, SelfPerpetuatingChainRespectsDeadline) {
+  Engine e;
+  int ticks = 0;
+  std::function<void()> tick = [&] {
+    ++ticks;
+    e.after(10, tick);
+  };
+  e.after(10, tick);
+  e.run_until(100);
+  EXPECT_EQ(ticks, 10);  // fires at 10,20,...,100
+  EXPECT_EQ(e.now(), 100u);
+}
+
+TEST(Engine, StepFiresExactlyOne) {
+  Engine e;
+  int fired = 0;
+  e.at(1, [&] { ++fired; });
+  e.at(2, [&] { ++fired; });
+  EXPECT_TRUE(e.step());
+  EXPECT_EQ(fired, 1);
+  EXPECT_TRUE(e.step());
+  EXPECT_EQ(fired, 2);
+  EXPECT_FALSE(e.step());
+}
+
+}  // namespace
+}  // namespace vulcan::sim

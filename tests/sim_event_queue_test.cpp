@@ -1,0 +1,122 @@
+#include "sim/event_queue.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/rng.hpp"
+
+namespace vulcan::sim {
+namespace {
+
+TEST(EventQueue, StartsEmpty) {
+  EventQueue q;
+  EXPECT_TRUE(q.empty());
+  EXPECT_EQ(q.size(), 0u);
+}
+
+TEST(EventQueue, PopsInTimeOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  q.schedule(30, [&] { order.push_back(3); });
+  q.schedule(10, [&] { order.push_back(1); });
+  q.schedule(20, [&] { order.push_back(2); });
+  while (!q.empty()) q.pop_next().action();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueue, TiesBreakByScheduleOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    q.schedule(5, [&order, i] { order.push_back(i); });
+  }
+  while (!q.empty()) q.pop_next().action();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(EventQueue, CancelPreventsFiring) {
+  EventQueue q;
+  bool fired = false;
+  const EventId id = q.schedule(1, [&] { fired = true; });
+  EXPECT_TRUE(q.cancel(id));
+  EXPECT_TRUE(q.empty());
+  EXPECT_FALSE(fired);
+}
+
+TEST(EventQueue, CancelTwiceFails) {
+  EventQueue q;
+  const EventId id = q.schedule(1, [] {});
+  EXPECT_TRUE(q.cancel(id));
+  EXPECT_FALSE(q.cancel(id));
+}
+
+TEST(EventQueue, CancelAfterFireFails) {
+  EventQueue q;
+  const EventId id = q.schedule(1, [] {});
+  q.pop_next();
+  EXPECT_FALSE(q.cancel(id));
+}
+
+TEST(EventQueue, CancelUnknownIdFails) {
+  EventQueue q;
+  EXPECT_FALSE(q.cancel(0));
+  EXPECT_FALSE(q.cancel(12345));
+}
+
+TEST(EventQueue, CancelledMiddleEventIsSkipped) {
+  EventQueue q;
+  std::vector<int> order;
+  q.schedule(1, [&] { order.push_back(1); });
+  const EventId mid = q.schedule(2, [&] { order.push_back(2); });
+  q.schedule(3, [&] { order.push_back(3); });
+  q.cancel(mid);
+  EXPECT_EQ(q.size(), 2u);
+  while (!q.empty()) q.pop_next().action();
+  EXPECT_EQ(order, (std::vector<int>{1, 3}));
+}
+
+TEST(EventQueue, NextTimeSkipsCancelledFront) {
+  EventQueue q;
+  const EventId front = q.schedule(1, [] {});
+  q.schedule(9, [] {});
+  q.cancel(front);
+  EXPECT_EQ(q.next_time(), 9u);
+}
+
+class EventQueueRandomP : public ::testing::TestWithParam<std::uint64_t> {};
+
+// Property: for any mix of schedules and cancels, surviving events pop in
+// nondecreasing time order and every survivor pops exactly once.
+TEST_P(EventQueueRandomP, RandomScheduleCancelInvariants) {
+  Rng rng(GetParam());
+  EventQueue q;
+  std::vector<EventId> live;
+  int expected = 0;
+  for (int i = 0; i < 2000; ++i) {
+    if (rng.chance(0.7) || live.empty()) {
+      live.push_back(q.schedule(rng.below(1000), [] {}));
+      ++expected;
+    } else {
+      const std::size_t pick = rng.below(live.size());
+      if (q.cancel(live[pick])) --expected;
+      live.erase(live.begin() + static_cast<std::ptrdiff_t>(pick));
+    }
+  }
+  EXPECT_EQ(q.size(), static_cast<std::size_t>(expected));
+  Cycles last = 0;
+  int fired = 0;
+  while (!q.empty()) {
+    auto f = q.pop_next();
+    EXPECT_GE(f.time, last);
+    last = f.time;
+    ++fired;
+  }
+  EXPECT_EQ(fired, expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EventQueueRandomP,
+                         ::testing::Values(1, 2, 3, 42, 1234, 99999));
+
+}  // namespace
+}  // namespace vulcan::sim

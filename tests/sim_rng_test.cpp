@@ -1,0 +1,116 @@
+#include "sim/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <set>
+
+namespace vulcan::sim {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) same += (a() == b());
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(7);
+  double lo = 1.0, hi = 0.0;
+  for (int i = 0; i < 100'000; ++i) {
+    const double u = rng.uniform();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    lo = std::min(lo, u);
+    hi = std::max(hi, u);
+  }
+  EXPECT_LT(lo, 0.001);
+  EXPECT_GT(hi, 0.999);
+}
+
+TEST(Rng, UniformMeanNearHalf) {
+  Rng rng(11);
+  double sum = 0.0;
+  constexpr int kN = 200'000;
+  for (int i = 0; i < kN; ++i) sum += rng.uniform();
+  EXPECT_NEAR(sum / kN, 0.5, 0.01);
+}
+
+class RngBoundP : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RngBoundP, BelowStaysInRangeAndCoversIt) {
+  const std::uint64_t bound = GetParam();
+  Rng rng(bound * 2654435761ULL + 3);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 5000; ++i) {
+    const std::uint64_t v = rng.below(bound);
+    ASSERT_LT(v, bound);
+    if (bound <= 16) {
+      seen.insert(v);
+    }
+  }
+  if (bound <= 16) {
+    EXPECT_EQ(seen.size(), bound) << "all values reachable";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Bounds, RngBoundP,
+                         ::testing::Values(1, 2, 3, 10, 16, 1000, 1u << 20,
+                                           1ULL << 40));
+
+TEST(Rng, BetweenInclusive) {
+  Rng rng(5);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 10'000; ++i) {
+    const auto v = rng.between(10, 13);
+    ASSERT_GE(v, 10u);
+    ASSERT_LE(v, 13u);
+    saw_lo |= v == 10;
+    saw_hi |= v == 13;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, ChanceExtremes) {
+  Rng rng(9);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_FALSE(rng.chance(0.0));
+    EXPECT_TRUE(rng.chance(1.0));
+  }
+}
+
+TEST(Rng, ChanceFrequency) {
+  Rng rng(13);
+  int hits = 0;
+  constexpr int kN = 100'000;
+  for (int i = 0; i < kN; ++i) hits += rng.chance(0.3);
+  EXPECT_NEAR(static_cast<double>(hits) / kN, 0.3, 0.01);
+}
+
+TEST(Rng, ForkedStreamsAreIndependentButDeterministic) {
+  Rng parent1(99), parent2(99);
+  Rng child1 = parent1.fork();
+  Rng child2 = parent2.fork();
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(child1(), child2());
+  // Child differs from what the parent produces next.
+  EXPECT_NE(child1(), parent1());
+}
+
+TEST(Splitmix64, KnownExpansionIsStable) {
+  std::uint64_t s1 = 0, s2 = 0;
+  std::array<std::uint64_t, 4> a{}, b{};
+  for (auto& w : a) w = splitmix64(s1);
+  for (auto& w : b) w = splitmix64(s2);
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a[0], a[1]);
+}
+
+}  // namespace
+}  // namespace vulcan::sim

@@ -1,0 +1,116 @@
+#include "vm/pte.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sim/rng.hpp"
+
+namespace vulcan::vm {
+namespace {
+
+TEST(Pte, DefaultIsNonPresent) {
+  Pte p;
+  EXPECT_FALSE(p.present());
+  EXPECT_EQ(p.raw(), 0u);
+}
+
+TEST(Pte, MakeSetsFields) {
+  const Pte p = Pte::make(/*pfn=*/0x1234, /*writable=*/true, /*thread=*/5);
+  EXPECT_TRUE(p.present());
+  EXPECT_TRUE(p.writable());
+  EXPECT_FALSE(p.accessed());
+  EXPECT_FALSE(p.dirty());
+  EXPECT_EQ(p.pfn(), 0x1234u);
+  EXPECT_EQ(p.thread(), 5u);
+  EXPECT_FALSE(p.shared());
+}
+
+TEST(Pte, SharedSentinelIsAllOnes) {
+  const Pte p = Pte::make(1, true, Pte::kThreadShared);
+  EXPECT_TRUE(p.shared());
+  EXPECT_EQ(p.thread(), 0x7Fu);
+}
+
+TEST(Pte, ThreadFieldOccupiesBits52To58) {
+  const Pte p = Pte::make(0, false, 0x7F);
+  EXPECT_EQ(p.raw() & Pte::kThreadMask, 0x7FULL << 52);
+  // Thread bits must not clash with the PFN field or software bits.
+  EXPECT_EQ(Pte::kThreadMask & Pte::kPfnMask, 0u);
+  EXPECT_EQ(Pte::kThreadMask & Pte::kHintPoison, 0u);
+  EXPECT_EQ(Pte::kThreadMask & Pte::kShadowed, 0u);
+}
+
+TEST(Pte, WithBitsTogglesIndependently) {
+  Pte p = Pte::make(9, true, 1);
+  p = p.with(Pte::kAccessed);
+  EXPECT_TRUE(p.accessed());
+  EXPECT_FALSE(p.dirty());
+  p = p.with(Pte::kDirty);
+  EXPECT_TRUE(p.dirty());
+  p = p.with(Pte::kAccessed, false);
+  EXPECT_FALSE(p.accessed());
+  EXPECT_TRUE(p.dirty());
+  EXPECT_EQ(p.pfn(), 9u);
+  EXPECT_EQ(p.thread(), 1u);
+}
+
+TEST(Pte, WithPfnPreservesEverythingElse) {
+  const Pte p = Pte::make(7, true, 3).with(Pte::kAccessed).with(Pte::kDirty);
+  const Pte q = p.with_pfn(1ULL << 36);  // a slow-tier PFN
+  EXPECT_EQ(q.pfn(), 1ULL << 36);
+  EXPECT_TRUE(q.accessed());
+  EXPECT_TRUE(q.dirty());
+  EXPECT_EQ(q.thread(), 3u);
+  EXPECT_TRUE(q.writable());
+}
+
+TEST(Pte, WithThreadPreservesEverythingElse) {
+  const Pte p = Pte::make(7, true, 3).with(Pte::kDirty);
+  const Pte q = p.with_thread(Pte::kThreadShared);
+  EXPECT_TRUE(q.shared());
+  EXPECT_EQ(q.pfn(), 7u);
+  EXPECT_TRUE(q.dirty());
+}
+
+TEST(Pte, SoftwareBits) {
+  Pte p = Pte::make(1, true, 0);
+  EXPECT_FALSE(p.hint_poisoned());
+  EXPECT_FALSE(p.shadowed());
+  p = p.with(Pte::kHintPoison);
+  EXPECT_TRUE(p.hint_poisoned());
+  p = p.with(Pte::kShadowed);
+  EXPECT_TRUE(p.shadowed());
+  p = p.with(Pte::kHintPoison, false);
+  EXPECT_FALSE(p.hint_poisoned());
+  EXPECT_TRUE(p.shadowed());
+}
+
+class PteRoundTripP : public ::testing::TestWithParam<std::uint64_t> {};
+
+// Property: for random (pfn, thread, flags) combinations, field accessors
+// return exactly what was stored and fields never bleed into each other.
+TEST_P(PteRoundTripP, RandomFieldRoundTrip) {
+  sim::Rng rng(GetParam());
+  for (int i = 0; i < 5000; ++i) {
+    const mem::Pfn pfn = rng() & ((1ULL << 40) - 1);
+    const auto thread = static_cast<std::uint8_t>(rng.below(0x80));
+    const bool writable = rng.chance(0.5);
+    Pte p = Pte::make(pfn, writable, thread);
+    if (rng.chance(0.5)) p = p.with(Pte::kAccessed);
+    if (rng.chance(0.5)) p = p.with(Pte::kDirty);
+    if (rng.chance(0.3)) p = p.with(Pte::kHintPoison);
+    ASSERT_EQ(p.pfn(), pfn);
+    ASSERT_EQ(p.thread(), thread);
+    ASSERT_EQ(p.writable(), writable);
+    ASSERT_TRUE(p.present());
+    // Mutating the thread field must not disturb the PFN and vice versa.
+    const auto t2 = static_cast<std::uint8_t>(rng.below(0x80));
+    const mem::Pfn f2 = rng() & ((1ULL << 40) - 1);
+    ASSERT_EQ(p.with_thread(t2).pfn(), pfn);
+    ASSERT_EQ(p.with_pfn(f2).thread(), thread);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PteRoundTripP, ::testing::Values(1, 2, 3, 4));
+
+}  // namespace
+}  // namespace vulcan::vm

@@ -1,0 +1,164 @@
+#include "vm/replicated_page_table.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sim/rng.hpp"
+
+namespace vulcan::vm {
+namespace {
+
+TEST(ReplicatedPageTable, ThreadsGetSequentialIds) {
+  ReplicatedPageTable rpt;
+  EXPECT_EQ(rpt.add_thread(), 0);
+  EXPECT_EQ(rpt.add_thread(), 1);
+  EXPECT_EQ(rpt.thread_count(), 2u);
+}
+
+TEST(ReplicatedPageTable, MappingVisibleThroughAllTrees) {
+  ReplicatedPageTable rpt;
+  const ThreadId t0 = rpt.add_thread();
+  const ThreadId t1 = rpt.add_thread();
+  rpt.map(100, Pte::make(7, true, t0));
+  EXPECT_TRUE(rpt.process_table().get(100).present());
+  EXPECT_TRUE(rpt.thread_table(t0).get(100).present());
+  EXPECT_TRUE(rpt.thread_table(t1).get(100).present());
+}
+
+TEST(ReplicatedPageTable, LateThreadSeesExistingMappings) {
+  ReplicatedPageTable rpt;
+  rpt.add_thread();
+  rpt.map(100, Pte::make(7, true, 0));
+  rpt.map(100'000, Pte::make(8, true, 0));
+  const ThreadId late = rpt.add_thread();
+  EXPECT_EQ(rpt.thread_table(late).get(100).pfn(), 7u);
+  EXPECT_EQ(rpt.thread_table(late).get(100'000).pfn(), 8u);
+}
+
+TEST(ReplicatedPageTable, LeafTablesAreSharedNotCopied) {
+  ReplicatedPageTable rpt;
+  const ThreadId t0 = rpt.add_thread();
+  const ThreadId t1 = rpt.add_thread();
+  rpt.map(100, Pte::make(7, true, t0));
+  // One shared leaf; a write through the process view is seen by threads.
+  EXPECT_EQ(rpt.shared_leaf_count(), 1u);
+  rpt.set(100, rpt.get(100).with(Pte::kDirty));
+  EXPECT_TRUE(rpt.thread_table(t1).get(100).dirty());
+  EXPECT_EQ(rpt.thread_table(t0).leaf_of(100),
+            rpt.thread_table(t1).leaf_of(100));
+}
+
+TEST(ReplicatedPageTable, UpperNodesReplicatePerThread) {
+  ReplicatedPageTable rpt;
+  rpt.map(100, Pte::make(7, true, 0));
+  const auto base = rpt.total_upper_nodes();  // process tree only
+  rpt.add_thread();
+  const auto one = rpt.total_upper_nodes();
+  rpt.add_thread();
+  const auto two = rpt.total_upper_nodes();
+  EXPECT_GT(one, base);
+  EXPECT_EQ(two - one, one - base) << "each thread adds identical uppers";
+}
+
+TEST(ReplicatedPageTable, OwnershipStartsWithFirstToucher) {
+  ReplicatedPageTable rpt;
+  const ThreadId t0 = rpt.add_thread();
+  rpt.add_thread();
+  rpt.map(50, Pte::make(1, true, t0));
+  EXPECT_EQ(rpt.exclusive_owner(50), std::optional<ThreadId>(t0));
+}
+
+TEST(ReplicatedPageTable, SecondThreadSharesOwnership) {
+  ReplicatedPageTable rpt;
+  const ThreadId t0 = rpt.add_thread();
+  const ThreadId t1 = rpt.add_thread();
+  rpt.map(50, Pte::make(1, true, t0));
+  rpt.record_access(50, t0, false);
+  EXPECT_EQ(rpt.exclusive_owner(50), std::optional<ThreadId>(t0));
+  rpt.record_access(50, t1, false);
+  EXPECT_EQ(rpt.exclusive_owner(50), std::nullopt);
+  EXPECT_TRUE(rpt.get(50).shared());
+  // Sharing is sticky: the original owner touching again doesn't reclaim.
+  rpt.record_access(50, t0, false);
+  EXPECT_TRUE(rpt.get(50).shared());
+}
+
+TEST(ReplicatedPageTable, RecordAccessSetsAccessedAndDirty) {
+  ReplicatedPageTable rpt;
+  const ThreadId t0 = rpt.add_thread();
+  rpt.map(50, Pte::make(1, true, t0));
+  rpt.set(50, rpt.get(50).with(Pte::kAccessed, false));
+  Pte p = rpt.record_access(50, t0, /*is_write=*/false);
+  EXPECT_TRUE(p.accessed());
+  EXPECT_FALSE(p.dirty());
+  p = rpt.record_access(50, t0, /*is_write=*/true);
+  EXPECT_TRUE(p.dirty());
+}
+
+TEST(ReplicatedPageTable, UnmapHidesEverywhere) {
+  ReplicatedPageTable rpt;
+  const ThreadId t0 = rpt.add_thread();
+  rpt.map(50, Pte::make(1, true, t0));
+  rpt.unmap(50);
+  EXPECT_FALSE(rpt.get(50).present());
+  EXPECT_FALSE(rpt.thread_table(t0).get(50).present());
+  EXPECT_EQ(rpt.exclusive_owner(50), std::nullopt);
+}
+
+TEST(ReplicatedPageTable, ReplicationDisabledKeepsSingleTree) {
+  ReplicatedPageTable rpt(/*replicate=*/false);
+  rpt.map(100, Pte::make(7, true, 0));
+  const auto base = rpt.total_upper_nodes();
+  rpt.add_thread();
+  rpt.add_thread();
+  // Thread trees exist but stay empty: no replication cost.
+  EXPECT_EQ(rpt.total_upper_nodes(), base + 2);  // just the two empty PGDs
+  // Ownership tracking still works.
+  rpt.record_access(100, 0, false);
+  EXPECT_EQ(rpt.exclusive_owner(100), std::optional<ThreadId>(0));
+}
+
+class OwnershipRandomP : public ::testing::TestWithParam<std::uint64_t> {};
+
+// Property: a page's exclusive owner is the unique thread that ever touched
+// it; pages touched by >= 2 distinct threads are shared forever after.
+TEST_P(OwnershipRandomP, OwnerIsUniqueToucher) {
+  sim::Rng rng(GetParam());
+  ReplicatedPageTable rpt;
+  constexpr unsigned kThreads = 8;
+  for (unsigned t = 0; t < kThreads; ++t) rpt.add_thread();
+  constexpr Vpn kPages = 128;
+  std::vector<std::vector<bool>> touched(kPages,
+                                         std::vector<bool>(kThreads, false));
+  for (Vpn v = 0; v < kPages; ++v) {
+    const auto first = static_cast<ThreadId>(rng.below(kThreads));
+    rpt.map(v, Pte::make(v, true, first));
+    touched[v][first] = true;
+  }
+  for (int step = 0; step < 5000; ++step) {
+    const Vpn v = rng.below(kPages);
+    const auto t = static_cast<ThreadId>(rng.below(kThreads));
+    rpt.record_access(v, t, rng.chance(0.3));
+    touched[v][t] = true;
+  }
+  for (Vpn v = 0; v < kPages; ++v) {
+    unsigned distinct = 0;
+    ThreadId owner = 0;
+    for (unsigned t = 0; t < kThreads; ++t) {
+      if (touched[v][t]) {
+        ++distinct;
+        owner = static_cast<ThreadId>(t);
+      }
+    }
+    if (distinct == 1) {
+      ASSERT_EQ(rpt.exclusive_owner(v), std::optional<ThreadId>(owner));
+    } else {
+      ASSERT_EQ(rpt.exclusive_owner(v), std::nullopt);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, OwnershipRandomP,
+                         ::testing::Values(5, 15, 25, 35));
+
+}  // namespace
+}  // namespace vulcan::vm

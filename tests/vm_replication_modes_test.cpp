@@ -1,0 +1,120 @@
+// The three replication modes compared: process-wide (vanilla), Vulcan's
+// shared-leaf per-thread uppers (§3.4, Fig. 6), and RadixVM-style full
+// replication — memory footprint and maintenance-cost trade-offs.
+#include <gtest/gtest.h>
+
+#include "sim/rng.hpp"
+#include "vm/replicated_page_table.hpp"
+
+namespace vulcan::vm {
+namespace {
+
+constexpr unsigned kThreads = 8;
+constexpr Vpn kPages = 4096;  // 8 leaf tables
+
+ReplicatedPageTable build(ReplicationMode mode, std::uint64_t pages = kPages) {
+  ReplicatedPageTable rpt(mode);
+  for (unsigned t = 0; t < kThreads; ++t) rpt.add_thread();
+  for (Vpn v = 0; v < pages; ++v) {
+    rpt.map(v, Pte::make(v, true, static_cast<ThreadId>(v % kThreads)));
+  }
+  return rpt;
+}
+
+TEST(ReplicationModes, AllModesAgreeOnContent) {
+  for (const auto mode :
+       {ReplicationMode::kProcessWide, ReplicationMode::kSharedLeaves,
+        ReplicationMode::kFullReplica}) {
+    auto rpt = build(mode);
+    for (Vpn v = 0; v < kPages; v += 97) {
+      ASSERT_EQ(rpt.get(v).pfn(), v) << static_cast<int>(mode);
+    }
+  }
+}
+
+TEST(ReplicationModes, FullReplicaThreadsSeeMappings) {
+  auto rpt = build(ReplicationMode::kFullReplica);
+  for (unsigned t = 0; t < kThreads; ++t) {
+    EXPECT_EQ(rpt.thread_table(static_cast<ThreadId>(t)).get(100).pfn(), 100u);
+  }
+  // Updates propagate to every replica.
+  rpt.set(100, rpt.get(100).with(Pte::kDirty));
+  for (unsigned t = 0; t < kThreads; ++t) {
+    EXPECT_TRUE(rpt.thread_table(static_cast<ThreadId>(t)).get(100).dirty());
+  }
+}
+
+TEST(ReplicationModes, MemoryFootprintOrdering) {
+  const auto none = build(ReplicationMode::kProcessWide).total_nodes();
+  const auto shared = build(ReplicationMode::kSharedLeaves).total_nodes();
+  const auto full = build(ReplicationMode::kFullReplica).total_nodes();
+  EXPECT_LT(none, shared);
+  EXPECT_LT(shared, full);
+  // The paper's Fig. 6 claim: last-level tables are the bulk of page-table
+  // memory, so sharing them keeps the per-thread overhead small, while
+  // full replication multiplies the footprint by ~thread count.
+  const double shared_overhead =
+      double(shared - none) / double(none);
+  const double full_overhead = double(full - none) / double(none);
+  EXPECT_LT(shared_overhead, 2.5) << "shared leaves: only uppers replicate";
+  EXPECT_GT(full_overhead, 5.0) << "full replication: ~x(threads)";
+}
+
+TEST(ReplicationModes, MaintenanceCostOrdering) {
+  const auto none = build(ReplicationMode::kProcessWide).pte_write_ops();
+  const auto shared = build(ReplicationMode::kSharedLeaves).pte_write_ops();
+  const auto full = build(ReplicationMode::kFullReplica).pte_write_ops();
+  EXPECT_EQ(none, kPages);
+  EXPECT_EQ(shared, kPages) << "one shared-leaf write serves all threads";
+  EXPECT_EQ(full, kPages * (1 + kThreads))
+      << "full replication writes every replica";
+}
+
+TEST(ReplicationModes, LateThreadFullCopyIsCharged) {
+  ReplicatedPageTable rpt(ReplicationMode::kFullReplica);
+  rpt.add_thread();
+  for (Vpn v = 0; v < 100; ++v) {
+    rpt.map(v, Pte::make(v, true, 0));
+  }
+  const auto before = rpt.pte_write_ops();
+  rpt.add_thread();  // must copy 100 mappings into the new replica
+  EXPECT_EQ(rpt.pte_write_ops(), before + 100);
+  EXPECT_EQ(rpt.thread_table(1).get(50).pfn(), 50u);
+}
+
+TEST(ReplicationModes, OwnershipSemanticsIdenticalAcrossModes) {
+  sim::Rng rng(9);
+  for (const auto mode :
+       {ReplicationMode::kProcessWide, ReplicationMode::kSharedLeaves,
+        ReplicationMode::kFullReplica}) {
+    ReplicatedPageTable rpt(mode);
+    for (unsigned t = 0; t < 4; ++t) rpt.add_thread();
+    rpt.map(10, Pte::make(1, true, 2));
+    rpt.record_access(10, 2, false);
+    EXPECT_EQ(rpt.exclusive_owner(10), std::optional<ThreadId>(2));
+    rpt.record_access(10, 3, true);
+    EXPECT_EQ(rpt.exclusive_owner(10), std::nullopt);
+    EXPECT_TRUE(rpt.get(10).dirty());
+  }
+}
+
+TEST(ReplicationModes, UnmapPropagatesToReplicas) {
+  auto rpt = build(ReplicationMode::kFullReplica, 64);
+  rpt.unmap(13);
+  EXPECT_FALSE(rpt.get(13).present());
+  for (unsigned t = 0; t < kThreads; ++t) {
+    EXPECT_FALSE(rpt.thread_table(static_cast<ThreadId>(t)).get(13).present());
+  }
+}
+
+TEST(ReplicationModes, RecordAccessSkipsRedundantWrites) {
+  auto rpt = build(ReplicationMode::kFullReplica, 64);
+  rpt.record_access(5, 5 % kThreads, false);
+  const auto ops = rpt.pte_write_ops();
+  // Same thread, same bits: the PTE is unchanged, no replica writes.
+  rpt.record_access(5, 5 % kThreads, false);
+  EXPECT_EQ(rpt.pte_write_ops(), ops);
+}
+
+}  // namespace
+}  // namespace vulcan::vm

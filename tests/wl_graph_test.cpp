@@ -1,0 +1,77 @@
+#include "wl/graph.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace vulcan::wl {
+namespace {
+
+TEST(CsrGraph, ShapeMatchesParams) {
+  CsrGraph g({/*nodes=*/1000, /*mean_degree=*/8.0, /*degree_skew=*/2.0,
+              /*seed=*/1});
+  EXPECT_EQ(g.node_count(), 1000u);
+  EXPECT_GT(g.edge_count(), 0u);
+  // Mean degree in the right ballpark (Pareto sampling is noisy).
+  const double mean =
+      static_cast<double>(g.edge_count()) / static_cast<double>(g.node_count());
+  EXPECT_GT(mean, 3.0);
+  EXPECT_LT(mean, 24.0);
+}
+
+TEST(CsrGraph, EdgesTargetValidNodes) {
+  CsrGraph g({500, 10.0, 2.0, 2});
+  for (std::uint64_t n = 0; n < g.node_count(); ++n) {
+    for (const std::uint32_t t : g.out_edges(n)) {
+      ASSERT_LT(t, g.node_count());
+    }
+  }
+}
+
+TEST(CsrGraph, DeterministicForSeed) {
+  CsrGraph a({200, 8.0, 2.0, 7});
+  CsrGraph b({200, 8.0, 2.0, 7});
+  ASSERT_EQ(a.edge_count(), b.edge_count());
+  for (std::uint64_t n = 0; n < a.node_count(); ++n) {
+    const auto ea = a.out_edges(n);
+    const auto eb = b.out_edges(n);
+    ASSERT_TRUE(std::equal(ea.begin(), ea.end(), eb.begin(), eb.end()));
+  }
+}
+
+TEST(CsrGraph, PowerLawDegreeTail) {
+  CsrGraph g({5000, 16.0, 1.8, 3});
+  std::uint64_t max_deg = 0;
+  for (std::uint64_t n = 0; n < g.node_count(); ++n) {
+    max_deg = std::max(max_deg, g.out_degree(n));
+  }
+  const double mean =
+      static_cast<double>(g.edge_count()) / static_cast<double>(g.node_count());
+  EXPECT_GT(static_cast<double>(max_deg), 5.0 * mean)
+      << "heavy tail: hub nodes far above the mean";
+}
+
+TEST(CsrGraph, TargetsBiasedTowardLowIds) {
+  CsrGraph g({1000, 16.0, 2.0, 4});
+  std::uint64_t low = 0, total = 0;
+  for (std::uint64_t n = 0; n < g.node_count(); ++n) {
+    for (const std::uint32_t t : g.out_edges(n)) {
+      low += t < 100;
+      ++total;
+    }
+  }
+  // Quadratic bias: the lowest 10% of ids should receive far more than 10%.
+  EXPECT_GT(static_cast<double>(low) / static_cast<double>(total), 0.2);
+}
+
+TEST(CsrGraph, ByteOffsetsAreMonotone) {
+  CsrGraph g({100, 8.0, 2.0, 5});
+  for (std::uint64_t n = 0; n + 1 < g.node_count(); ++n) {
+    EXPECT_LE(g.edge_byte_offset(n), g.edge_byte_offset(n + 1));
+  }
+  EXPECT_EQ(g.edge_byte_offset(0), 0u);
+  EXPECT_EQ(g.edges_bytes(), g.edge_count() * sizeof(std::uint32_t));
+}
+
+}  // namespace
+}  // namespace vulcan::wl

@@ -1,0 +1,142 @@
+#include "wl/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "wl/apps.hpp"
+
+namespace vulcan::wl {
+namespace {
+
+TEST(TraceRecordPacking, RoundTripsAllFields) {
+  sim::Rng rng(1);
+  for (int i = 0; i < 10'000; ++i) {
+    TraceRecord r{rng.below(1ULL << 40),
+                  static_cast<std::uint8_t>(rng.below(256)), rng.chance(0.5)};
+    const TraceRecord u = TraceRecord::unpack(r.pack());
+    ASSERT_EQ(u.page, r.page);
+    ASSERT_EQ(u.thread, r.thread);
+    ASSERT_EQ(u.is_write, r.is_write);
+  }
+}
+
+TEST(Trace, SaveLoadRoundTrip) {
+  Trace trace(4096, 8);
+  sim::Rng rng(2);
+  for (int i = 0; i < 1000; ++i) {
+    trace.append({rng.below(4096), static_cast<std::uint8_t>(rng.below(8)),
+                  rng.chance(0.3)});
+  }
+  std::stringstream buf;
+  const auto bytes = trace.save(buf);
+  EXPECT_EQ(bytes, 24u + 1000u * 8u);
+
+  const Trace loaded = Trace::load(buf);
+  EXPECT_EQ(loaded.rss_pages(), 4096u);
+  EXPECT_EQ(loaded.threads(), 8u);
+  ASSERT_EQ(loaded.size(), trace.size());
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    ASSERT_EQ(loaded.records()[i].pack(), trace.records()[i].pack());
+  }
+}
+
+TEST(Trace, LoadRejectsGarbage) {
+  std::stringstream buf("not a trace at all");
+  EXPECT_THROW(Trace::load(buf), std::runtime_error);
+}
+
+TEST(Trace, LoadRejectsTruncation) {
+  Trace trace(64, 2);
+  trace.append({1, 0, false});
+  trace.append({2, 1, true});
+  std::stringstream buf;
+  trace.save(buf);
+  const std::string full = buf.str();
+  std::stringstream cut(full.substr(0, full.size() - 4));
+  EXPECT_THROW(Trace::load(cut), std::runtime_error);
+}
+
+TEST(RecordingWorkload, CapturesExactStream) {
+  Trace trace(0, 0);
+  auto inner = std::make_unique<MicrobenchWorkload>(
+      MicrobenchWorkload::Params{.rss_pages = 1024, .wss_pages = 256});
+  auto reference = std::make_unique<MicrobenchWorkload>(
+      MicrobenchWorkload::Params{.rss_pages = 1024, .wss_pages = 256});
+  RecordingWorkload rec(std::move(inner), trace);
+  std::vector<WorkloadAccess> seen;
+  for (int i = 0; i < 500; ++i) {
+    seen.push_back(rec.next_access(i % 8));
+  }
+  ASSERT_EQ(trace.size(), 500u);
+  for (int i = 0; i < 500; ++i) {
+    const auto expect = reference->next_access(i % 8);
+    ASSERT_EQ(trace.records()[i].page, expect.page) << i;
+    ASSERT_EQ(trace.records()[i].is_write, expect.is_write) << i;
+    ASSERT_EQ(trace.records()[i].thread, i % 8) << i;
+    ASSERT_EQ(seen[i].page, expect.page);
+  }
+}
+
+TEST(RecordingWorkload, ForwardsSpecAndModulation) {
+  Trace trace;
+  RecordingWorkload rec(make_memcached(5), trace);
+  EXPECT_EQ(rec.spec().name, "memcached");
+  EXPECT_NE(rec.rate_multiplier(5.0), 1.0)
+      << "inner workload's demand oscillation must pass through";
+}
+
+TEST(ReplayWorkload, ReplaysInOrderAndWraps) {
+  Trace trace(128, 4);
+  trace.append({10, 0, false});
+  trace.append({20, 1, true});
+  trace.append({30, 2, false});
+  ReplayWorkload replay(trace);
+  EXPECT_EQ(replay.next_access(0).page, 10u);
+  const auto second = replay.next_access(0);
+  EXPECT_EQ(second.page, 20u);
+  EXPECT_TRUE(second.is_write);
+  EXPECT_EQ(replay.last_thread(), 1u);
+  EXPECT_EQ(replay.next_access(0).page, 30u);
+  EXPECT_EQ(replay.next_access(0).page, 10u) << "wraps to the start";
+}
+
+TEST(ReplayWorkload, SpecForcedToTraceDimensions) {
+  Trace trace(777, 3);
+  WorkloadSpec spec;
+  spec.name = "imported";
+  spec.rss_pages = 1;   // wrong on purpose
+  spec.threads = 99;    // wrong on purpose
+  ReplayWorkload replay(trace, spec);
+  EXPECT_EQ(replay.spec().name, "imported");
+  EXPECT_EQ(replay.spec().rss_pages, 777u);
+  EXPECT_EQ(replay.spec().threads, 3u);
+}
+
+TEST(ReplayWorkload, EmptyTraceIsSafe) {
+  ReplayWorkload replay(Trace(10, 1));
+  EXPECT_EQ(replay.next_access(0).page, 0u);
+}
+
+TEST(TraceEndToEnd, RecordReplayProducesIdenticalHeat) {
+  // Record a run, replay it, and verify the page histogram matches — the
+  // property that makes traces useful for cross-policy comparisons.
+  Trace trace(1024, 8);
+  {
+    auto inner = std::make_unique<MicrobenchWorkload>(
+        MicrobenchWorkload::Params{.rss_pages = 1024, .wss_pages = 512});
+    RecordingWorkload rec(std::move(inner), trace);
+    for (int i = 0; i < 2000; ++i) rec.next_access(i % 8);
+  }
+  std::stringstream buf;
+  trace.save(buf);
+  ReplayWorkload replay(Trace::load(buf));
+
+  std::vector<int> recorded(1024, 0), replayed(1024, 0);
+  for (const auto& r : trace.records()) ++recorded[r.page];
+  for (int i = 0; i < 2000; ++i) ++replayed[replay.next_access(0).page];
+  EXPECT_EQ(recorded, replayed);
+}
+
+}  // namespace
+}  // namespace vulcan::wl

@@ -1,0 +1,190 @@
+#include "wl/workload.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sim/config.hpp"
+#include "wl/apps.hpp"
+
+namespace vulcan::wl {
+namespace {
+
+std::unique_ptr<Workload> make_generic(double shared_fraction) {
+  WorkloadSpec s;
+  s.name = "generic";
+  s.rss_pages = 1000;
+  s.wss_pages = 1000;
+  s.threads = 4;
+  s.shared_access_fraction = shared_fraction;
+  return std::make_unique<Workload>(
+      s, /*shared_pages=*/200,
+      std::make_unique<UniformPattern>(200, 0.1),
+      std::make_unique<UniformPattern>(200, 0.1), /*seed=*/1);
+}
+
+TEST(Workload, RegionLayout) {
+  auto w = make_generic(0.5);
+  EXPECT_EQ(w->shared_pages(), 200u);
+  EXPECT_EQ(w->private_pages_per_thread(), 200u);  // (1000-200)/4
+}
+
+TEST(Workload, AccessesStayInsideRss) {
+  auto w = make_generic(0.5);
+  for (int i = 0; i < 50'000; ++i) {
+    for (unsigned t = 0; t < 4; ++t) {
+      ASSERT_LT(w->next_access(t).page, 1000u);
+    }
+  }
+}
+
+TEST(Workload, PrivateAccessesLandInOwnSlice) {
+  auto w = make_generic(0.0);  // never shared
+  for (unsigned t = 0; t < 4; ++t) {
+    for (int i = 0; i < 5000; ++i) {
+      const auto a = w->next_access(t);
+      ASSERT_GE(a.page, 200u + t * 200u);
+      ASSERT_LT(a.page, 200u + (t + 1) * 200u);
+    }
+  }
+}
+
+TEST(Workload, SharedFractionHonoured) {
+  auto w = make_generic(0.3);
+  int shared = 0;
+  constexpr int kN = 100'000;
+  for (int i = 0; i < kN; ++i) shared += w->next_access(1).page < 200;
+  EXPECT_NEAR(static_cast<double>(shared) / kN, 0.3, 0.01);
+}
+
+TEST(Workload, PerformanceModelMonotoneInLatency) {
+  auto w = make_generic(0.5);
+  EXPECT_LT(w->cycles_per_access(70.0), w->cycles_per_access(162.0));
+  EXPECT_DOUBLE_EQ(w->cycles_per_access(70.0),
+                   w->ideal_cycles_per_access(70.0));
+}
+
+TEST(Workload, LatencyExposureDampensSensitivity) {
+  WorkloadSpec exposed;
+  exposed.rss_pages = 100;
+  exposed.threads = 1;
+  exposed.latency_exposure = 1.0;
+  exposed.compute_cycles_per_access = 50;
+  WorkloadSpec hidden = exposed;
+  hidden.latency_exposure = 0.25;
+  Workload we(exposed, 100, std::make_unique<UniformPattern>(100, 0.1),
+              std::make_unique<UniformPattern>(100, 0.1), 1);
+  Workload wh(hidden, 100, std::make_unique<UniformPattern>(100, 0.1),
+              std::make_unique<UniformPattern>(100, 0.1), 1);
+  const double slowdown_exposed =
+      we.cycles_per_access(162.0) / we.cycles_per_access(70.0);
+  const double slowdown_hidden =
+      wh.cycles_per_access(162.0) / wh.cycles_per_access(70.0);
+  EXPECT_GT(slowdown_exposed, slowdown_hidden)
+      << "streaming workloads must tolerate slow tiers better";
+}
+
+// ------------------------------------------------------------- applications
+
+TEST(Apps, Table2RssValues) {
+  // Paper Table 2 (scaled 1/1024): Memcached 51 GB, PageRank 42 GB,
+  // Liblinear 69 GB.
+  EXPECT_EQ(MemcachedModel::default_spec().rss_pages,
+            sim::bytes_to_pages(sim::scaled_gib(51)));
+  EXPECT_EQ(PageRankModel::default_spec().rss_pages,
+            sim::bytes_to_pages(sim::scaled_gib(42)));
+  EXPECT_EQ(LiblinearModel::default_spec().rss_pages,
+            sim::bytes_to_pages(sim::scaled_gib(69)));
+}
+
+TEST(Apps, ServiceClasses) {
+  EXPECT_EQ(MemcachedModel::default_spec().service_class,
+            ServiceClass::kLatencyCritical);
+  EXPECT_EQ(PageRankModel::default_spec().service_class,
+            ServiceClass::kBestEffort);
+  EXPECT_EQ(LiblinearModel::default_spec().service_class,
+            ServiceClass::kBestEffort);
+}
+
+TEST(Apps, BeWorkloadsOutpaceTheLcWorkload) {
+  // The cold-page dilemma requires the BE co-runners to generate more
+  // absolute memory traffic than the LC service.
+  MemcachedModel mc;
+  LiblinearModel ll;
+  PageRankModel pr;
+  EXPECT_GT(ll.total_access_rate(), 3.0 * mc.total_access_rate());
+  EXPECT_GT(pr.total_access_rate(), mc.total_access_rate());
+}
+
+TEST(Apps, AllAppsGenerateInRangeAccesses) {
+  MemcachedModel mc(1);
+  PageRankModel pr(2);
+  LiblinearModel ll(3);
+  for (int i = 0; i < 20'000; ++i) {
+    for (unsigned t = 0; t < 8; ++t) {
+      ASSERT_LT(mc.next_access(t).page, mc.spec().rss_pages);
+      ASSERT_LT(pr.next_access(t).page, pr.spec().rss_pages);
+      ASSERT_LT(ll.next_access(t).page, ll.spec().rss_pages);
+    }
+  }
+}
+
+TEST(Apps, MemcachedAccessesAreSkewed) {
+  MemcachedModel mc(4);
+  std::vector<std::uint32_t> counts(mc.spec().rss_pages, 0);
+  constexpr int kN = 400'000;
+  for (int i = 0; i < kN; ++i) ++counts[mc.next_access(i % 8).page];
+  // The hot key set (20% of the store, 90% of requests): the top quintile
+  // of pages should hold the bulk of the accesses.
+  std::sort(counts.begin(), counts.end(), std::greater<>());
+  std::uint64_t top = 0, total = 0;
+  const std::size_t quintile = counts.size() / 5;
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    total += counts[i];
+    if (i < quintile) top += counts[i];
+  }
+  EXPECT_GT(static_cast<double>(top) / static_cast<double>(total), 0.75);
+}
+
+TEST(Apps, LiblinearIsStreaming) {
+  LiblinearModel ll(5);
+  // Consecutive private accesses from one thread are mostly sequential.
+  std::uint64_t prev = 0;
+  int sequential = 0, priv = 0;
+  for (int i = 0; i < 20'000; ++i) {
+    const auto a = ll.next_access(0);
+    if (a.page >= ll.shared_pages()) {
+      sequential += (a.page == prev + 1);
+      prev = a.page;
+      ++priv;
+    }
+  }
+  EXPECT_GT(static_cast<double>(sequential) / priv, 0.8);
+}
+
+TEST(Microbench, WssBoundsAccesses) {
+  MicrobenchWorkload::Params p;
+  p.rss_pages = 4096;
+  p.wss_pages = 256;
+  MicrobenchWorkload w(p);
+  for (int i = 0; i < 20'000; ++i) {
+    ASSERT_LT(w.next_access(0).page, 256u);
+  }
+  EXPECT_EQ(w.spec().rss_pages, 4096u);
+}
+
+class MicrobenchWriteRatioP : public ::testing::TestWithParam<double> {};
+
+TEST_P(MicrobenchWriteRatioP, WriteRatioFlowsThrough) {
+  MicrobenchWorkload::Params p;
+  p.write_ratio = GetParam();
+  MicrobenchWorkload w(p);
+  int writes = 0;
+  constexpr int kN = 60'000;
+  for (int i = 0; i < kN; ++i) writes += w.next_access(0).is_write;
+  EXPECT_NEAR(static_cast<double>(writes) / kN, GetParam(), 0.02);
+}
+
+INSTANTIATE_TEST_SUITE_P(Ratios, MicrobenchWriteRatioP,
+                         ::testing::Values(0.0, 0.2, 0.5, 1.0));
+
+}  // namespace
+}  // namespace vulcan::wl

@@ -1,0 +1,101 @@
+#include "wl/zipf.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace vulcan::wl {
+namespace {
+
+TEST(Zipfian, StaysInRange) {
+  ZipfianGenerator z(100, 0.99);
+  sim::Rng rng(1);
+  for (int i = 0; i < 50'000; ++i) ASSERT_LT(z.next(rng), 100u);
+}
+
+TEST(Zipfian, RankZeroIsMostPopular) {
+  ZipfianGenerator z(1000, 0.99);
+  sim::Rng rng(2);
+  std::vector<int> counts(1000, 0);
+  for (int i = 0; i < 200'000; ++i) ++counts[z.next(rng)];
+  EXPECT_GT(counts[0], counts[1]);
+  EXPECT_GT(counts[0], counts[10]);
+  EXPECT_GT(counts[0], counts[100]);
+}
+
+TEST(Zipfian, FrequenciesMatchPmf) {
+  ZipfianGenerator z(100, 0.99);
+  sim::Rng rng(3);
+  constexpr int kN = 500'000;
+  std::vector<int> counts(100, 0);
+  for (int i = 0; i < kN; ++i) ++counts[z.next(rng)];
+  for (std::uint64_t k : {0ull, 1ull, 5ull, 20ull}) {
+    const double observed = static_cast<double>(counts[k]) / kN;
+    EXPECT_NEAR(observed, z.pmf(k), 0.25 * z.pmf(k) + 0.002)
+        << "rank " << k;
+  }
+}
+
+TEST(Zipfian, SkewConcentratesMass) {
+  sim::Rng rng(4);
+  const auto top_decile_share = [&](double theta) {
+    ZipfianGenerator z(1000, theta);
+    int hot = 0;
+    constexpr int kN = 100'000;
+    for (int i = 0; i < kN; ++i) hot += z.next(rng) < 100;
+    return static_cast<double>(hot) / kN;
+  };
+  const double low = top_decile_share(0.5);
+  const double high = top_decile_share(0.99);
+  EXPECT_GT(high, low) << "higher theta must concentrate accesses";
+  EXPECT_GT(high, 0.6) << "theta=0.99: top 10% of items get most accesses";
+}
+
+TEST(Zipfian, SingleItemDegenerate) {
+  ZipfianGenerator z(1, 0.99);
+  sim::Rng rng(5);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(z.next(rng), 0u);
+}
+
+class ZipfMonotoneP : public ::testing::TestWithParam<double> {};
+
+// Property: empirical frequency is (statistically) nonincreasing in rank.
+TEST_P(ZipfMonotoneP, FrequencyMonotoneInRank) {
+  ZipfianGenerator z(64, GetParam());
+  sim::Rng rng(6);
+  std::vector<int> counts(64, 0);
+  for (int i = 0; i < 300'000; ++i) ++counts[z.next(rng)];
+  // Compare decade buckets to smooth sampling noise.
+  const auto bucket = [&](int lo, int hi) {
+    int s = 0;
+    for (int i = lo; i < hi; ++i) s += counts[i];
+    return s / (hi - lo);
+  };
+  EXPECT_GE(bucket(0, 4), bucket(4, 16));
+  EXPECT_GE(bucket(4, 16), bucket(16, 64));
+}
+
+INSTANTIATE_TEST_SUITE_P(Thetas, ZipfMonotoneP,
+                         ::testing::Values(0.5, 0.8, 0.99));
+
+TEST(ScrambledZipfian, SameRangeScatteredHotItems) {
+  ScrambledZipfianGenerator z(1000, 0.99);
+  sim::Rng rng(7);
+  std::vector<int> counts(1000, 0);
+  for (int i = 0; i < 200'000; ++i) {
+    const auto v = z.next(rng);
+    ASSERT_LT(v, 1000u);
+    ++counts[v];
+  }
+  // The hottest item should NOT be item 0 with overwhelming likelihood —
+  // scrambling scatters popularity across the space.
+  int hottest = 0;
+  for (int i = 1; i < 1000; ++i) {
+    if (counts[i] > counts[hottest]) hottest = i;
+  }
+  // Skew preserved: hottest item clearly above median count.
+  EXPECT_GT(counts[hottest], 200'000 / 1000 * 5);
+}
+
+}  // namespace
+}  // namespace vulcan::wl

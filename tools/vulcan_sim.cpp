@@ -1,0 +1,251 @@
+// vulcan_sim — command-line experiment driver.
+//
+// Run any policy against the paper's scenarios or a parameterised
+// microbenchmark without writing code:
+//
+//   vulcan_sim --policy vulcan --scenario paper --seconds 160 --csv out.csv
+//   vulcan_sim --policy memtis --scenario dilemma --seconds 40
+//   vulcan_sim --policy tpp --rss 16384 --wss 8192 --write-ratio 0.3
+//              --rate 3e6 --seconds 20 --profiler pt-scan
+//
+// Prints a per-workload summary and (optionally) the full per-epoch CSV.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <optional>
+#include <string>
+
+#include <vulcan/vulcan.hpp>
+
+using namespace vulcan;
+
+namespace {
+
+struct Options {
+  std::string policy = "vulcan";
+  std::string scenario = "paper";  // paper | dilemma | micro
+  std::string profiler = "hybrid";
+  std::string csv;
+  double seconds = 60.0;
+  std::uint64_t seed = 42;
+  double epoch_ms = 250.0;
+  std::uint64_t samples = 10'000;
+  // microbenchmark knobs
+  std::uint64_t rss = 16'384;
+  std::uint64_t wss = 8'192;
+  double write_ratio = 0.2;
+  double rate = 3e6;
+  double drift = 0.0;
+  std::string record_trace;  // capture workload 0's accesses to this file
+  std::string replay_trace;  // replace the scenario with this trace file
+  bool help = false;
+};
+
+void usage() {
+  std::puts(
+      "vulcan_sim — tiered-memory co-location simulator\n"
+      "\n"
+      "  --policy P       vulcan | tpp | memtis | nomad    [vulcan]\n"
+      "  --scenario S     paper | dilemma | micro          [paper]\n"
+      "                   paper:   Memcached@0s, PageRank@50s, Liblinear@110s\n"
+      "                   dilemma: LC hot-set service + BE scanner@10s\n"
+      "                   micro:   one Zipfian microbenchmark (see knobs)\n"
+      "  --profiler K     pebs | pt-scan | hint-fault | hybrid |\n"
+      "                   telescope | chrono                [hybrid]\n"
+      "  --seconds T      simulated seconds                 [60]\n"
+      "  --epoch-ms M     epoch length                      [250]\n"
+      "  --samples N      access samples per epoch          [10000]\n"
+      "  --seed N         RNG seed                          [42]\n"
+      "  --csv FILE       write per-epoch metrics CSV\n"
+      "  micro knobs: --rss P --wss P --write-ratio R --rate A/s/thread\n"
+      "               --drift pages/s\n"
+      "  traces:      --record-trace FILE  (capture workload 0)\n"
+      "               --replay-trace FILE  (run a captured trace)\n");
+}
+
+bool parse(int argc, char** argv, Options& o) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string flag = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "missing value for %s\n", flag.c_str());
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (flag == "--help" || flag == "-h") o.help = true;
+    else if (flag == "--policy") o.policy = next();
+    else if (flag == "--scenario") o.scenario = next();
+    else if (flag == "--profiler") o.profiler = next();
+    else if (flag == "--csv") o.csv = next();
+    else if (flag == "--seconds") o.seconds = std::atof(next());
+    else if (flag == "--epoch-ms") o.epoch_ms = std::atof(next());
+    else if (flag == "--samples") o.samples = std::strtoull(next(), nullptr, 10);
+    else if (flag == "--seed") o.seed = std::strtoull(next(), nullptr, 10);
+    else if (flag == "--rss") o.rss = std::strtoull(next(), nullptr, 10);
+    else if (flag == "--wss") o.wss = std::strtoull(next(), nullptr, 10);
+    else if (flag == "--write-ratio") o.write_ratio = std::atof(next());
+    else if (flag == "--rate") o.rate = std::atof(next());
+    else if (flag == "--drift") o.drift = std::atof(next());
+    else if (flag == "--record-trace") o.record_trace = next();
+    else if (flag == "--replay-trace") o.replay_trace = next();
+    else {
+      std::fprintf(stderr, "unknown flag: %s\n", flag.c_str());
+      return false;
+    }
+  }
+  return true;
+}
+
+runtime::ProfilerKind profiler_kind(const std::string& name) {
+  if (name == "pebs") return runtime::ProfilerKind::kPebs;
+  if (name == "pt-scan") return runtime::ProfilerKind::kPtScan;
+  if (name == "hint-fault") return runtime::ProfilerKind::kHintFault;
+  if (name == "hybrid") return runtime::ProfilerKind::kHybrid;
+  if (name == "telescope") return runtime::ProfilerKind::kTelescope;
+  if (name == "chrono") return runtime::ProfilerKind::kChrono;
+  std::fprintf(stderr, "unknown profiler: %s\n", name.c_str());
+  std::exit(2);
+}
+
+std::unique_ptr<wl::Workload> dilemma_lc(std::uint64_t seed) {
+  wl::WorkloadSpec s;
+  s.name = "lc-service";
+  s.service_class = wl::ServiceClass::kLatencyCritical;
+  s.rss_pages = 8192;
+  s.wss_pages = 8192;
+  s.threads = 8;
+  s.accesses_per_sec_per_thread = 2e5;
+  s.latency_exposure = 1.0;
+  s.shared_access_fraction = 1.0;
+  return std::make_unique<wl::Workload>(
+      s, s.rss_pages,
+      std::make_unique<wl::HotsetPattern>(s.rss_pages, 0.10, 0.90, 0.10),
+      std::make_unique<wl::UniformPattern>(s.rss_pages, 0.10), seed);
+}
+
+std::unique_ptr<wl::Workload> dilemma_be(std::uint64_t seed) {
+  wl::WorkloadSpec s;
+  s.name = "be-scanner";
+  s.rss_pages = 12'288;
+  s.wss_pages = 12'288;
+  s.threads = 8;
+  s.accesses_per_sec_per_thread = 6e6;
+  s.latency_exposure = 0.3;
+  s.shared_access_fraction = 1.0;
+  return std::make_unique<wl::Workload>(
+      s, s.rss_pages,
+      std::make_unique<wl::SequentialPattern>(s.rss_pages, 0.05),
+      std::make_unique<wl::UniformPattern>(s.rss_pages, 0.05), seed);
+}
+
+std::vector<runtime::StagedWorkload> make_scenario(const Options& o) {
+  std::vector<runtime::StagedWorkload> stages;
+  if (o.scenario == "paper") {
+    return runtime::paper_colocation(o.seed);
+  }
+  if (o.scenario == "dilemma") {
+    stages.push_back({0.0, dilemma_lc(o.seed * 7 + 1)});
+    stages.push_back({10.0, dilemma_be(o.seed * 7 + 2)});
+    return stages;
+  }
+  if (o.scenario == "micro") {
+    wl::MicrobenchWorkload::Params p;
+    p.rss_pages = o.rss;
+    p.wss_pages = o.wss;
+    p.write_ratio = o.write_ratio;
+    p.access_rate_per_thread = o.rate;
+    p.drift_pages_per_sec = o.drift;
+    p.seed = o.seed * 7 + 3;
+    stages.push_back({0.0, std::make_unique<wl::MicrobenchWorkload>(p)});
+    return stages;
+  }
+  std::fprintf(stderr, "unknown scenario: %s\n", o.scenario.c_str());
+  std::exit(2);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options o;
+  if (!parse(argc, argv, o)) return 2;
+  if (o.help) {
+    usage();
+    return 0;
+  }
+
+  runtime::TieredSystem::Config config;
+  config.seed = o.seed;
+  config.epoch = sim::CpuClock::from_nanos(
+      static_cast<std::uint64_t>(o.epoch_ms * 1e6));
+  config.samples_per_epoch = o.samples;
+  config.profiler = profiler_kind(o.profiler);
+
+  runtime::TieredSystem sys(config, runtime::make_policy(o.policy));
+  std::printf("policy=%s scenario=%s seed=%llu epoch=%.0fms "
+              "budget=%llu pages/epoch\n\n",
+              o.policy.c_str(), o.scenario.c_str(),
+              (unsigned long long)o.seed, o.epoch_ms,
+              (unsigned long long)sys.migration_budget_pages());
+
+  auto stages = make_scenario(o);
+  wl::Trace trace;
+  if (!o.replay_trace.empty()) {
+    std::ifstream in(o.replay_trace, std::ios::binary);
+    if (!in) {
+      std::fprintf(stderr, "cannot open %s\n", o.replay_trace.c_str());
+      return 1;
+    }
+    wl::WorkloadSpec spec;
+    spec.name = "trace:" + o.replay_trace;
+    spec.accesses_per_sec_per_thread = o.rate;
+    stages.clear();
+    stages.push_back({0.0, std::make_unique<wl::ReplayWorkload>(
+                               wl::Trace::load(in), spec)});
+  } else if (!o.record_trace.empty() && !stages.empty()) {
+    auto inner = std::move(stages[0].workload);
+    trace = wl::Trace(inner->spec().rss_pages, inner->spec().threads);
+    stages[0].workload =
+        std::make_unique<wl::RecordingWorkload>(std::move(inner), trace);
+  }
+
+  runtime::run_staged(sys, std::move(stages), o.seconds);
+
+  if (!o.record_trace.empty()) {
+    std::ofstream out(o.record_trace, std::ios::binary);
+    const auto bytes = trace.save(out);
+    std::printf("recorded %zu accesses (%llu bytes) to %s\n\n", trace.size(),
+                (unsigned long long)bytes, o.record_trace.c_str());
+  }
+
+  const auto& m = sys.metrics();
+  std::printf("%-14s %8s %8s %12s %12s %10s\n", "workload", "FTHR", "perf",
+              "fast pages", "slow pages", "migrated");
+  for (unsigned w = 0; w < sys.workload_count(); ++w) {
+    const std::size_t from = m.epochs().size() / 2;
+    double migrated = 0;
+    for (const auto& e : m.epochs()) {
+      if (w < e.workloads.size()) migrated += double(e.workloads[w].migrated);
+    }
+    std::printf("%-14s %8.3f %8.3f %12llu %12llu %10.0f\n",
+                sys.workload(w).spec().name.c_str(), m.mean_fthr(w, from),
+                m.mean_performance(w, from),
+                (unsigned long long)sys.address_space(w).pages_in_tier(
+                    mem::kFastTier),
+                (unsigned long long)sys.address_space(w).pages_in_tier(
+                    mem::kSlowTier),
+                migrated);
+  }
+  std::printf("\nfairness (FTHR-weighted CFI): %.3f\n", sys.fairness_cfi());
+  std::printf("TLB shootdowns: %llu ops, %llu IPIs\n",
+              (unsigned long long)sys.shootdowns().stats().shootdowns,
+              (unsigned long long)sys.shootdowns().stats().ipis);
+
+  if (!o.csv.empty()) {
+    std::ofstream out(o.csv);
+    m.write_csv(out);
+    std::printf("wrote %s (%zu epochs)\n", o.csv.c_str(), m.epochs().size());
+  }
+  return 0;
+}
