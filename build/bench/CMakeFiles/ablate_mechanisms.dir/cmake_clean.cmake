@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablate_mechanisms.dir/ablate_mechanisms.cpp.o"
+  "CMakeFiles/ablate_mechanisms.dir/ablate_mechanisms.cpp.o.d"
+  "ablate_mechanisms"
+  "ablate_mechanisms.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablate_mechanisms.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablate_partitioning.dir/ablate_partitioning.cpp.o"
+  "CMakeFiles/ablate_partitioning.dir/ablate_partitioning.cpp.o.d"
+  "ablate_partitioning"
+  "ablate_partitioning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablate_partitioning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

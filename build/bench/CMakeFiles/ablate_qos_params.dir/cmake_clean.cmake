@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablate_qos_params.dir/ablate_qos_params.cpp.o"
+  "CMakeFiles/ablate_qos_params.dir/ablate_qos_params.cpp.o.d"
+  "ablate_qos_params"
+  "ablate_qos_params.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablate_qos_params.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/compare_all_policies.dir/compare_all_policies.cpp.o"
+  "CMakeFiles/compare_all_policies.dir/compare_all_policies.cpp.o.d"
+  "compare_all_policies"
+  "compare_all_policies.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/compare_all_policies.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_perf_fairness.dir/fig10_perf_fairness.cpp.o"
+  "CMakeFiles/fig10_perf_fairness.dir/fig10_perf_fairness.cpp.o.d"
+  "fig10_perf_fairness"
+  "fig10_perf_fairness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_perf_fairness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig1_cold_page_dilemma.dir/fig1_cold_page_dilemma.cpp.o"
+  "CMakeFiles/fig1_cold_page_dilemma.dir/fig1_cold_page_dilemma.cpp.o.d"
+  "fig1_cold_page_dilemma"
+  "fig1_cold_page_dilemma.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_cold_page_dilemma.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_tlb_vs_copy.dir/fig3_tlb_vs_copy.cpp.o"
+  "CMakeFiles/fig3_tlb_vs_copy.dir/fig3_tlb_vs_copy.cpp.o.d"
+  "fig3_tlb_vs_copy"
+  "fig3_tlb_vs_copy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_tlb_vs_copy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig3_tlb_vs_copy.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_sync_vs_async.dir/fig4_sync_vs_async.cpp.o"
+  "CMakeFiles/fig4_sync_vs_async.dir/fig4_sync_vs_async.cpp.o.d"
+  "fig4_sync_vs_async"
+  "fig4_sync_vs_async.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_sync_vs_async.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_mechanism_speedup.dir/fig7_mechanism_speedup.cpp.o"
+  "CMakeFiles/fig7_mechanism_speedup.dir/fig7_mechanism_speedup.cpp.o.d"
+  "fig7_mechanism_speedup"
+  "fig7_mechanism_speedup.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_mechanism_speedup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

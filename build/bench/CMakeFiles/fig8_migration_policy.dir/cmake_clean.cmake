@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_migration_policy.dir/fig8_migration_policy.cpp.o"
+  "CMakeFiles/fig8_migration_policy.dir/fig8_migration_policy.cpp.o.d"
+  "fig8_migration_policy"
+  "fig8_migration_policy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_migration_policy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

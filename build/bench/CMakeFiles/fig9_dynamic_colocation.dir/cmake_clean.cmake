@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9_dynamic_colocation.dir/fig9_dynamic_colocation.cpp.o"
+  "CMakeFiles/fig9_dynamic_colocation.dir/fig9_dynamic_colocation.cpp.o.d"
+  "fig9_dynamic_colocation"
+  "fig9_dynamic_colocation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_dynamic_colocation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/profiler_comparison.dir/profiler_comparison.cpp.o"
+  "CMakeFiles/profiler_comparison.dir/profiler_comparison.cpp.o.d"
+  "profiler_comparison"
+  "profiler_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/profiler_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/replication_overhead.dir/replication_overhead.cpp.o"
+  "CMakeFiles/replication_overhead.dir/replication_overhead.cpp.o.d"
+  "replication_overhead"
+  "replication_overhead.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/replication_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

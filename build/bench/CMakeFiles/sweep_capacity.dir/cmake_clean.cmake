@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sweep_capacity.dir/sweep_capacity.cpp.o"
+  "CMakeFiles/sweep_capacity.dir/sweep_capacity.cpp.o.d"
+  "sweep_capacity"
+  "sweep_capacity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sweep_capacity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/colocation_fairness.dir/colocation_fairness.cpp.o"
+  "CMakeFiles/colocation_fairness.dir/colocation_fairness.cpp.o.d"
+  "colocation_fairness"
+  "colocation_fairness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/colocation_fairness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

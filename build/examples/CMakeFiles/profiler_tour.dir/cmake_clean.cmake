@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/profiler_tour.dir/profiler_tour.cpp.o"
+  "CMakeFiles/profiler_tour.dir/profiler_tour.cpp.o.d"
+  "profiler_tour"
+  "profiler_tour.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/profiler_tour.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

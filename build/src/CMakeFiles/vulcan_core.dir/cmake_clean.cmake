@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vulcan_core.dir/core/cbfrp.cpp.o"
+  "CMakeFiles/vulcan_core.dir/core/cbfrp.cpp.o.d"
+  "CMakeFiles/vulcan_core.dir/core/fairness.cpp.o"
+  "CMakeFiles/vulcan_core.dir/core/fairness.cpp.o.d"
+  "CMakeFiles/vulcan_core.dir/core/manager.cpp.o"
+  "CMakeFiles/vulcan_core.dir/core/manager.cpp.o.d"
+  "libvulcan_core.a"
+  "libvulcan_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vulcan_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

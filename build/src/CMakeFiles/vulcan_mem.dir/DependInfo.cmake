@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mem/frame_allocator.cpp" "src/CMakeFiles/vulcan_mem.dir/mem/frame_allocator.cpp.o" "gcc" "src/CMakeFiles/vulcan_mem.dir/mem/frame_allocator.cpp.o.d"
+  "/root/repo/src/mem/topology.cpp" "src/CMakeFiles/vulcan_mem.dir/mem/topology.cpp.o" "gcc" "src/CMakeFiles/vulcan_mem.dir/mem/topology.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/vulcan_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vulcan_mem.dir/mem/frame_allocator.cpp.o"
+  "CMakeFiles/vulcan_mem.dir/mem/frame_allocator.cpp.o.d"
+  "CMakeFiles/vulcan_mem.dir/mem/topology.cpp.o"
+  "CMakeFiles/vulcan_mem.dir/mem/topology.cpp.o.d"
+  "libvulcan_mem.a"
+  "libvulcan_mem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vulcan_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vulcan_mig.dir/mig/migrator.cpp.o"
+  "CMakeFiles/vulcan_mig.dir/mig/migrator.cpp.o.d"
+  "libvulcan_mig.a"
+  "libvulcan_mig.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vulcan_mig.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/policy/biased.cpp" "src/CMakeFiles/vulcan_policy.dir/policy/biased.cpp.o" "gcc" "src/CMakeFiles/vulcan_policy.dir/policy/biased.cpp.o.d"
+  "/root/repo/src/policy/cascade.cpp" "src/CMakeFiles/vulcan_policy.dir/policy/cascade.cpp.o" "gcc" "src/CMakeFiles/vulcan_policy.dir/policy/cascade.cpp.o.d"
+  "/root/repo/src/policy/memtis.cpp" "src/CMakeFiles/vulcan_policy.dir/policy/memtis.cpp.o" "gcc" "src/CMakeFiles/vulcan_policy.dir/policy/memtis.cpp.o.d"
+  "/root/repo/src/policy/mtm.cpp" "src/CMakeFiles/vulcan_policy.dir/policy/mtm.cpp.o" "gcc" "src/CMakeFiles/vulcan_policy.dir/policy/mtm.cpp.o.d"
+  "/root/repo/src/policy/nomad.cpp" "src/CMakeFiles/vulcan_policy.dir/policy/nomad.cpp.o" "gcc" "src/CMakeFiles/vulcan_policy.dir/policy/nomad.cpp.o.d"
+  "/root/repo/src/policy/policy.cpp" "src/CMakeFiles/vulcan_policy.dir/policy/policy.cpp.o" "gcc" "src/CMakeFiles/vulcan_policy.dir/policy/policy.cpp.o.d"
+  "/root/repo/src/policy/tpp.cpp" "src/CMakeFiles/vulcan_policy.dir/policy/tpp.cpp.o" "gcc" "src/CMakeFiles/vulcan_policy.dir/policy/tpp.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/vulcan_prof.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vulcan_mig.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vulcan_wl.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vulcan_vm.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vulcan_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vulcan_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

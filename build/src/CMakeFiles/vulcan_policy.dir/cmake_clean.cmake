@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vulcan_policy.dir/policy/biased.cpp.o"
+  "CMakeFiles/vulcan_policy.dir/policy/biased.cpp.o.d"
+  "CMakeFiles/vulcan_policy.dir/policy/cascade.cpp.o"
+  "CMakeFiles/vulcan_policy.dir/policy/cascade.cpp.o.d"
+  "CMakeFiles/vulcan_policy.dir/policy/memtis.cpp.o"
+  "CMakeFiles/vulcan_policy.dir/policy/memtis.cpp.o.d"
+  "CMakeFiles/vulcan_policy.dir/policy/mtm.cpp.o"
+  "CMakeFiles/vulcan_policy.dir/policy/mtm.cpp.o.d"
+  "CMakeFiles/vulcan_policy.dir/policy/nomad.cpp.o"
+  "CMakeFiles/vulcan_policy.dir/policy/nomad.cpp.o.d"
+  "CMakeFiles/vulcan_policy.dir/policy/policy.cpp.o"
+  "CMakeFiles/vulcan_policy.dir/policy/policy.cpp.o.d"
+  "CMakeFiles/vulcan_policy.dir/policy/tpp.cpp.o"
+  "CMakeFiles/vulcan_policy.dir/policy/tpp.cpp.o.d"
+  "libvulcan_policy.a"
+  "libvulcan_policy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vulcan_policy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

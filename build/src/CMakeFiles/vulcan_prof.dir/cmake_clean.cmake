@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vulcan_prof.dir/prof/heat.cpp.o"
+  "CMakeFiles/vulcan_prof.dir/prof/heat.cpp.o.d"
+  "libvulcan_prof.a"
+  "libvulcan_prof.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vulcan_prof.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vulcan_runtime.dir/runtime/experiment.cpp.o"
+  "CMakeFiles/vulcan_runtime.dir/runtime/experiment.cpp.o.d"
+  "CMakeFiles/vulcan_runtime.dir/runtime/metrics.cpp.o"
+  "CMakeFiles/vulcan_runtime.dir/runtime/metrics.cpp.o.d"
+  "CMakeFiles/vulcan_runtime.dir/runtime/system.cpp.o"
+  "CMakeFiles/vulcan_runtime.dir/runtime/system.cpp.o.d"
+  "libvulcan_runtime.a"
+  "libvulcan_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vulcan_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

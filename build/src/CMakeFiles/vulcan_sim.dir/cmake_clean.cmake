@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vulcan_sim.dir/sim/cost_model.cpp.o"
+  "CMakeFiles/vulcan_sim.dir/sim/cost_model.cpp.o.d"
+  "CMakeFiles/vulcan_sim.dir/sim/engine.cpp.o"
+  "CMakeFiles/vulcan_sim.dir/sim/engine.cpp.o.d"
+  "CMakeFiles/vulcan_sim.dir/sim/event_queue.cpp.o"
+  "CMakeFiles/vulcan_sim.dir/sim/event_queue.cpp.o.d"
+  "CMakeFiles/vulcan_sim.dir/sim/stats.cpp.o"
+  "CMakeFiles/vulcan_sim.dir/sim/stats.cpp.o.d"
+  "libvulcan_sim.a"
+  "libvulcan_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vulcan_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/vm/address_space.cpp" "src/CMakeFiles/vulcan_vm.dir/vm/address_space.cpp.o" "gcc" "src/CMakeFiles/vulcan_vm.dir/vm/address_space.cpp.o.d"
+  "/root/repo/src/vm/page_table.cpp" "src/CMakeFiles/vulcan_vm.dir/vm/page_table.cpp.o" "gcc" "src/CMakeFiles/vulcan_vm.dir/vm/page_table.cpp.o.d"
+  "/root/repo/src/vm/replicated_page_table.cpp" "src/CMakeFiles/vulcan_vm.dir/vm/replicated_page_table.cpp.o" "gcc" "src/CMakeFiles/vulcan_vm.dir/vm/replicated_page_table.cpp.o.d"
+  "/root/repo/src/vm/shootdown.cpp" "src/CMakeFiles/vulcan_vm.dir/vm/shootdown.cpp.o" "gcc" "src/CMakeFiles/vulcan_vm.dir/vm/shootdown.cpp.o.d"
+  "/root/repo/src/vm/tlb.cpp" "src/CMakeFiles/vulcan_vm.dir/vm/tlb.cpp.o" "gcc" "src/CMakeFiles/vulcan_vm.dir/vm/tlb.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/vulcan_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vulcan_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vulcan_vm.dir/vm/address_space.cpp.o"
+  "CMakeFiles/vulcan_vm.dir/vm/address_space.cpp.o.d"
+  "CMakeFiles/vulcan_vm.dir/vm/page_table.cpp.o"
+  "CMakeFiles/vulcan_vm.dir/vm/page_table.cpp.o.d"
+  "CMakeFiles/vulcan_vm.dir/vm/replicated_page_table.cpp.o"
+  "CMakeFiles/vulcan_vm.dir/vm/replicated_page_table.cpp.o.d"
+  "CMakeFiles/vulcan_vm.dir/vm/shootdown.cpp.o"
+  "CMakeFiles/vulcan_vm.dir/vm/shootdown.cpp.o.d"
+  "CMakeFiles/vulcan_vm.dir/vm/tlb.cpp.o"
+  "CMakeFiles/vulcan_vm.dir/vm/tlb.cpp.o.d"
+  "libvulcan_vm.a"
+  "libvulcan_vm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vulcan_vm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/wl/apps.cpp" "src/CMakeFiles/vulcan_wl.dir/wl/apps.cpp.o" "gcc" "src/CMakeFiles/vulcan_wl.dir/wl/apps.cpp.o.d"
+  "/root/repo/src/wl/graph.cpp" "src/CMakeFiles/vulcan_wl.dir/wl/graph.cpp.o" "gcc" "src/CMakeFiles/vulcan_wl.dir/wl/graph.cpp.o.d"
+  "/root/repo/src/wl/trace.cpp" "src/CMakeFiles/vulcan_wl.dir/wl/trace.cpp.o" "gcc" "src/CMakeFiles/vulcan_wl.dir/wl/trace.cpp.o.d"
+  "/root/repo/src/wl/workload.cpp" "src/CMakeFiles/vulcan_wl.dir/wl/workload.cpp.o" "gcc" "src/CMakeFiles/vulcan_wl.dir/wl/workload.cpp.o.d"
+  "/root/repo/src/wl/zipf.cpp" "src/CMakeFiles/vulcan_wl.dir/wl/zipf.cpp.o" "gcc" "src/CMakeFiles/vulcan_wl.dir/wl/zipf.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/vulcan_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

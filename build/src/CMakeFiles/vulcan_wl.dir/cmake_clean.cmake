@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vulcan_wl.dir/wl/apps.cpp.o"
+  "CMakeFiles/vulcan_wl.dir/wl/apps.cpp.o.d"
+  "CMakeFiles/vulcan_wl.dir/wl/graph.cpp.o"
+  "CMakeFiles/vulcan_wl.dir/wl/graph.cpp.o.d"
+  "CMakeFiles/vulcan_wl.dir/wl/trace.cpp.o"
+  "CMakeFiles/vulcan_wl.dir/wl/trace.cpp.o.d"
+  "CMakeFiles/vulcan_wl.dir/wl/workload.cpp.o"
+  "CMakeFiles/vulcan_wl.dir/wl/workload.cpp.o.d"
+  "CMakeFiles/vulcan_wl.dir/wl/zipf.cpp.o"
+  "CMakeFiles/vulcan_wl.dir/wl/zipf.cpp.o.d"
+  "libvulcan_wl.a"
+  "libvulcan_wl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vulcan_wl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

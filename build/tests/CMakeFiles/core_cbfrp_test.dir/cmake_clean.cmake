@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_cbfrp_test.dir/core_cbfrp_test.cpp.o"
+  "CMakeFiles/core_cbfrp_test.dir/core_cbfrp_test.cpp.o.d"
+  "core_cbfrp_test"
+  "core_cbfrp_test.pdb"
+  "core_cbfrp_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_cbfrp_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mem_frame_allocator_test.dir/mem_frame_allocator_test.cpp.o"
+  "CMakeFiles/mem_frame_allocator_test.dir/mem_frame_allocator_test.cpp.o.d"
+  "mem_frame_allocator_test"
+  "mem_frame_allocator_test.pdb"
+  "mem_frame_allocator_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mem_frame_allocator_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

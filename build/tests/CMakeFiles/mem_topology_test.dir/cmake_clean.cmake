@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mem_topology_test.dir/mem_topology_test.cpp.o"
+  "CMakeFiles/mem_topology_test.dir/mem_topology_test.cpp.o.d"
+  "mem_topology_test"
+  "mem_topology_test.pdb"
+  "mem_topology_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mem_topology_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mig_chunk_promotion_test.dir/mig_chunk_promotion_test.cpp.o"
+  "CMakeFiles/mig_chunk_promotion_test.dir/mig_chunk_promotion_test.cpp.o.d"
+  "mig_chunk_promotion_test"
+  "mig_chunk_promotion_test.pdb"
+  "mig_chunk_promotion_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mig_chunk_promotion_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

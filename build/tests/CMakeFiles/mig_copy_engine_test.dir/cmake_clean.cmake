@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mig_copy_engine_test.dir/mig_copy_engine_test.cpp.o"
+  "CMakeFiles/mig_copy_engine_test.dir/mig_copy_engine_test.cpp.o.d"
+  "mig_copy_engine_test"
+  "mig_copy_engine_test.pdb"
+  "mig_copy_engine_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mig_copy_engine_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

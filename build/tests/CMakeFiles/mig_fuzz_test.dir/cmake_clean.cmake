@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mig_fuzz_test.dir/mig_fuzz_test.cpp.o"
+  "CMakeFiles/mig_fuzz_test.dir/mig_fuzz_test.cpp.o.d"
+  "mig_fuzz_test"
+  "mig_fuzz_test.pdb"
+  "mig_fuzz_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mig_fuzz_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mig_mechanism_test.dir/mig_mechanism_test.cpp.o"
+  "CMakeFiles/mig_mechanism_test.dir/mig_mechanism_test.cpp.o.d"
+  "mig_mechanism_test"
+  "mig_mechanism_test.pdb"
+  "mig_mechanism_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mig_mechanism_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

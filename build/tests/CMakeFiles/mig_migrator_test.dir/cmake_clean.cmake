@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mig_migrator_test.dir/mig_migrator_test.cpp.o"
+  "CMakeFiles/mig_migrator_test.dir/mig_migrator_test.cpp.o.d"
+  "mig_migrator_test"
+  "mig_migrator_test.pdb"
+  "mig_migrator_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mig_migrator_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

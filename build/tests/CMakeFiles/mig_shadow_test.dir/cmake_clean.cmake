@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mig_shadow_test.dir/mig_shadow_test.cpp.o"
+  "CMakeFiles/mig_shadow_test.dir/mig_shadow_test.cpp.o.d"
+  "mig_shadow_test"
+  "mig_shadow_test.pdb"
+  "mig_shadow_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mig_shadow_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

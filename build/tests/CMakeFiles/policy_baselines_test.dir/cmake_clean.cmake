@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/policy_baselines_test.dir/policy_baselines_test.cpp.o"
+  "CMakeFiles/policy_baselines_test.dir/policy_baselines_test.cpp.o.d"
+  "policy_baselines_test"
+  "policy_baselines_test.pdb"
+  "policy_baselines_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/policy_baselines_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

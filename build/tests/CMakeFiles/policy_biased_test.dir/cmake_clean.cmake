@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/policy_biased_test.dir/policy_biased_test.cpp.o"
+  "CMakeFiles/policy_biased_test.dir/policy_biased_test.cpp.o.d"
+  "policy_biased_test"
+  "policy_biased_test.pdb"
+  "policy_biased_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/policy_biased_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

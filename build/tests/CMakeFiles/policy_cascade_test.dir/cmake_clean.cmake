@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/policy_cascade_test.dir/policy_cascade_test.cpp.o"
+  "CMakeFiles/policy_cascade_test.dir/policy_cascade_test.cpp.o.d"
+  "policy_cascade_test"
+  "policy_cascade_test.pdb"
+  "policy_cascade_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/policy_cascade_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/policy_mtm_test.dir/policy_mtm_test.cpp.o"
+  "CMakeFiles/policy_mtm_test.dir/policy_mtm_test.cpp.o.d"
+  "policy_mtm_test"
+  "policy_mtm_test.pdb"
+  "policy_mtm_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/policy_mtm_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prof_advanced_test.dir/prof_advanced_test.cpp.o"
+  "CMakeFiles/prof_advanced_test.dir/prof_advanced_test.cpp.o.d"
+  "prof_advanced_test"
+  "prof_advanced_test.pdb"
+  "prof_advanced_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prof_advanced_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prof_heat_test.dir/prof_heat_test.cpp.o"
+  "CMakeFiles/prof_heat_test.dir/prof_heat_test.cpp.o.d"
+  "prof_heat_test"
+  "prof_heat_test.pdb"
+  "prof_heat_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prof_heat_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

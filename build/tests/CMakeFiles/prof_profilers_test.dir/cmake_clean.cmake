@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prof_profilers_test.dir/prof_profilers_test.cpp.o"
+  "CMakeFiles/prof_profilers_test.dir/prof_profilers_test.cpp.o.d"
+  "prof_profilers_test"
+  "prof_profilers_test.pdb"
+  "prof_profilers_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prof_profilers_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/runtime_invariants_test.dir/runtime_invariants_test.cpp.o"
+  "CMakeFiles/runtime_invariants_test.dir/runtime_invariants_test.cpp.o.d"
+  "runtime_invariants_test"
+  "runtime_invariants_test.pdb"
+  "runtime_invariants_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/runtime_invariants_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

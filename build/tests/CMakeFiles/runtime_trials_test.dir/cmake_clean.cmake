@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/runtime_trials_test.dir/runtime_trials_test.cpp.o"
+  "CMakeFiles/runtime_trials_test.dir/runtime_trials_test.cpp.o.d"
+  "runtime_trials_test"
+  "runtime_trials_test.pdb"
+  "runtime_trials_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/runtime_trials_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sim_clock_test.dir/sim_clock_test.cpp.o"
+  "CMakeFiles/sim_clock_test.dir/sim_clock_test.cpp.o.d"
+  "sim_clock_test"
+  "sim_clock_test.pdb"
+  "sim_clock_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sim_clock_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/sim_event_queue_test.cpp" "tests/CMakeFiles/sim_event_queue_test.dir/sim_event_queue_test.cpp.o" "gcc" "tests/CMakeFiles/sim_event_queue_test.dir/sim_event_queue_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/vulcan_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vulcan_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vulcan_policy.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vulcan_prof.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vulcan_mig.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vulcan_vm.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vulcan_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vulcan_wl.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vulcan_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

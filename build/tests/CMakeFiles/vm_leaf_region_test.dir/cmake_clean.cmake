@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vm_leaf_region_test.dir/vm_leaf_region_test.cpp.o"
+  "CMakeFiles/vm_leaf_region_test.dir/vm_leaf_region_test.cpp.o.d"
+  "vm_leaf_region_test"
+  "vm_leaf_region_test.pdb"
+  "vm_leaf_region_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vm_leaf_region_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vm_page_table_test.dir/vm_page_table_test.cpp.o"
+  "CMakeFiles/vm_page_table_test.dir/vm_page_table_test.cpp.o.d"
+  "vm_page_table_test"
+  "vm_page_table_test.pdb"
+  "vm_page_table_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vm_page_table_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vm_pte_test.dir/vm_pte_test.cpp.o"
+  "CMakeFiles/vm_pte_test.dir/vm_pte_test.cpp.o.d"
+  "vm_pte_test"
+  "vm_pte_test.pdb"
+  "vm_pte_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vm_pte_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vm_replicated_pt_test.dir/vm_replicated_pt_test.cpp.o"
+  "CMakeFiles/vm_replicated_pt_test.dir/vm_replicated_pt_test.cpp.o.d"
+  "vm_replicated_pt_test"
+  "vm_replicated_pt_test.pdb"
+  "vm_replicated_pt_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vm_replicated_pt_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

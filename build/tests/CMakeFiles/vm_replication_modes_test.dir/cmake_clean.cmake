@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vm_replication_modes_test.dir/vm_replication_modes_test.cpp.o"
+  "CMakeFiles/vm_replication_modes_test.dir/vm_replication_modes_test.cpp.o.d"
+  "vm_replication_modes_test"
+  "vm_replication_modes_test.pdb"
+  "vm_replication_modes_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vm_replication_modes_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

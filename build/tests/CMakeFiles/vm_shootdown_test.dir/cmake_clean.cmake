@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vm_shootdown_test.dir/vm_shootdown_test.cpp.o"
+  "CMakeFiles/vm_shootdown_test.dir/vm_shootdown_test.cpp.o.d"
+  "vm_shootdown_test"
+  "vm_shootdown_test.pdb"
+  "vm_shootdown_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vm_shootdown_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

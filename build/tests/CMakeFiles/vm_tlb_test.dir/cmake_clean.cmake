@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vm_tlb_test.dir/vm_tlb_test.cpp.o"
+  "CMakeFiles/vm_tlb_test.dir/vm_tlb_test.cpp.o.d"
+  "vm_tlb_test"
+  "vm_tlb_test.pdb"
+  "vm_tlb_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vm_tlb_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

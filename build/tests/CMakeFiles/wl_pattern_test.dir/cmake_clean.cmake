@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wl_pattern_test.dir/wl_pattern_test.cpp.o"
+  "CMakeFiles/wl_pattern_test.dir/wl_pattern_test.cpp.o.d"
+  "wl_pattern_test"
+  "wl_pattern_test.pdb"
+  "wl_pattern_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wl_pattern_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

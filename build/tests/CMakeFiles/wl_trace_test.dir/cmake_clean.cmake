@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wl_trace_test.dir/wl_trace_test.cpp.o"
+  "CMakeFiles/wl_trace_test.dir/wl_trace_test.cpp.o.d"
+  "wl_trace_test"
+  "wl_trace_test.pdb"
+  "wl_trace_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wl_trace_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wl_zipf_test.dir/wl_zipf_test.cpp.o"
+  "CMakeFiles/wl_zipf_test.dir/wl_zipf_test.cpp.o.d"
+  "wl_zipf_test"
+  "wl_zipf_test.pdb"
+  "wl_zipf_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wl_zipf_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vulcan_sim_cli.dir/vulcan_sim.cpp.o"
+  "CMakeFiles/vulcan_sim_cli.dir/vulcan_sim.cpp.o.d"
+  "vulcan_sim"
+  "vulcan_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vulcan_sim_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
