@@ -5,36 +5,58 @@
 #include <cstdio>
 #include <fstream>
 #include <string>
+#include <utility>
 #include <vector>
+
+#include "obs/exporter.hpp"
 
 namespace vulcan::bench {
 
 /// Accumulates rows and writes them as `<name>.csv` in the working
-/// directory, while the harness prints a human-readable table.
+/// directory, while the harness prints a human-readable table. Output goes
+/// through obs::CsvExporter — the same backend as runtime metrics and
+/// `vulcan_sim --csv` — with the cells kept as caller-formatted strings so
+/// the bytes match the historical printf-based files exactly.
 class CsvSink {
  public:
   explicit CsvSink(std::string name, std::string header)
-      : path_(std::move(name) + ".csv") {
-    rows_.push_back(std::move(header));
-  }
+      : path_(std::move(name) + ".csv"), columns_(split(header)) {}
 
   template <typename... Args>
   void row(const char* fmt, Args... args) {
     char buf[512];
     std::snprintf(buf, sizeof(buf), fmt, args...);
-    rows_.emplace_back(buf);
+    std::vector<obs::Value> cells;
+    for (auto& cell : split(buf)) cells.emplace_back(std::move(cell));
+    rows_.push_back(std::move(cells));
   }
 
   ~CsvSink() {
     std::ofstream out(path_);
-    for (const auto& r : rows_) out << r << '\n';
+    obs::CsvExporter csv(out);
+    csv.begin(columns_);
+    for (const auto& r : rows_) csv.row(r);
+    csv.end();
     std::fprintf(stderr, "[csv] wrote %s (%zu rows)\n", path_.c_str(),
-                 rows_.size() - 1);
+                 rows_.size());
   }
 
  private:
+  static std::vector<std::string> split(const std::string& line) {
+    std::vector<std::string> cells;
+    std::size_t start = 0;
+    while (true) {
+      const std::size_t comma = line.find(',', start);
+      cells.push_back(line.substr(start, comma - start));
+      if (comma == std::string::npos) break;
+      start = comma + 1;
+    }
+    return cells;
+  }
+
   std::string path_;
-  std::vector<std::string> rows_;
+  std::vector<std::string> columns_;
+  std::vector<std::vector<obs::Value>> rows_;
 };
 
 inline void header(const char* title, const char* paper_ref) {

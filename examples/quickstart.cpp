@@ -4,10 +4,11 @@
 //   $ ./quickstart
 //
 // What it shows:
-//   * constructing the paper-testbed topology implicitly via TieredSystem
+//   * configuring the paper-testbed system through runtime::SystemBuilder
 //   * registering workloads (one LC key-value store, one BE scanner)
 //   * running epochs and reading FTHR / performance / fairness
 #include <cstdio>
+#include <cstdlib>
 
 #include <vulcan/vulcan.hpp>
 
@@ -15,21 +16,28 @@ using namespace vulcan;
 
 int main() {
   // A system managed by the Vulcan policy (QoS-aware fair partitioning,
-  // biased migration, per-thread page-table replication).
-  runtime::TieredSystem::Config config;
-  config.seed = 7;
-  runtime::TieredSystem sys(config, runtime::make_policy("vulcan"));
-
+  // biased migration, per-thread page-table replication). The builder
+  // validates at build(): misconfigurations come back as error strings.
+  //
   // Workload 1: the paper's Memcached model — latency-critical, skewed
-  // hot set, bursty demand.
-  const unsigned mc = sys.add_workload(wl::make_memcached());
-
-  // Workload 2: the paper's Liblinear model — best-effort, streaming
-  // scans over a training matrix larger than the fast tier.
-  const unsigned ll = sys.add_workload(wl::make_liblinear());
+  // hot set, bursty demand. Workload 2: the Liblinear model — best-effort,
+  // streaming scans over a training matrix larger than the fast tier.
+  auto built = runtime::SystemBuilder{}
+                   .seed(7)
+                   .policy("vulcan")
+                   .add_workload(wl::make_memcached())
+                   .add_workload(wl::make_liblinear())
+                   .build();
+  if (!built) {
+    std::fprintf(stderr, "bad configuration: %s\n", built.error().c_str());
+    return 1;
+  }
+  runtime::TieredSystem& sys = *built.value();
+  const unsigned mc = 0, ll = 1;  // add_workload order above
 
   std::printf("running 120 epochs (%.1f simulated seconds)...\n",
-              120 * sim::CpuClock::to_seconds(config.epoch));
+              120 * sim::CpuClock::to_seconds(
+                        sim::CpuClock::from_millis(250)));
   sys.run_epochs(120);
 
   const auto& m = sys.metrics();
@@ -49,5 +57,13 @@ int main() {
               sys.fairness_cfi());
   std::printf("migration budget: %llu pages/epoch over the CXL link\n",
               static_cast<unsigned long long>(sys.migration_budget_pages()));
+  std::printf("registry: %llu epochs run, %llu shootdown IPIs, %llu pages "
+              "migrated\n",
+              static_cast<unsigned long long>(
+                  sys.obs_registry().counter_value("runtime.epochs")),
+              static_cast<unsigned long long>(
+                  sys.obs_registry().counter_value("vm.shootdown.ipis")),
+              static_cast<unsigned long long>(
+                  sys.obs_registry().counter_value("mig.pages_migrated")));
   return 0;
 }

@@ -11,16 +11,19 @@
 //   vulcan::wl       workload models (Memcached, PageRank, Liblinear, ...)
 //   vulcan::policy   tiering policies (TPP, Memtis, Nomad, biased queues)
 //   vulcan::core     Vulcan's contribution: QoS, CBFRP, classifier, manager
+//   vulcan::obs      metrics registry, structured trace, export backends
 //   vulcan::runtime  the co-location system harness and experiment helpers
 //
 // Quick start:
 //
 //   #include <vulcan/vulcan.hpp>
 //   using namespace vulcan;
-//   runtime::TieredSystem sys({}, runtime::make_policy("vulcan"));
-//   sys.add_workload(wl::make_memcached());
-//   sys.run_epochs(100);
-//   std::cout << sys.metrics().mean_fthr(0) << "\n";
+//   auto built = runtime::SystemBuilder{}
+//                    .policy("vulcan")
+//                    .add_workload(wl::make_memcached())
+//                    .build();
+//   built.value()->run_epochs(100);
+//   std::cout << built.value()->metrics().mean_fthr(0) << "\n";
 #pragma once
 
 #include "core/advisor.hpp"
@@ -34,6 +37,10 @@
 #include "mig/mechanism.hpp"
 #include "mig/migration_thread.hpp"
 #include "mig/migrator.hpp"
+#include "obs/exporter.hpp"
+#include "obs/metrics.hpp"
+#include "obs/scope.hpp"
+#include "obs/trace.hpp"
 #include "policy/biased.hpp"
 #include "policy/cascade.hpp"
 #include "policy/memtis.hpp"
@@ -47,6 +54,7 @@
 #include "prof/pebs.hpp"
 #include "prof/pt_scan.hpp"
 #include "prof/telescope.hpp"
+#include "runtime/builder.hpp"
 #include "runtime/experiment.hpp"
 #include "runtime/metrics.hpp"
 #include "runtime/system.hpp"

@@ -236,6 +236,20 @@ void VulcanManager::plan_epoch(std::span<policy::WorkloadView> all_views,
     for (std::size_t i = 0; i < n; ++i) {
       state_[workloads(i).index].credits = result.credits[i];
     }
+    // Observability: per-workload partition outcome (a demand fully
+    // covered is a promotion, a shortfall a rejection), plus the round's
+    // surplus-transfer and LC-reclaim counts.
+    obs().counter("cbfrp.transfers").inc(result.transfers);
+    obs().counter("cbfrp.reclaims").inc(result.reclaims);
+    for (std::size_t i = 0; i < n; ++i) {
+      const auto& view = workloads(i);
+      obs()
+          .for_workload(static_cast<std::int32_t>(view.index))
+          .event(result.alloc[i] >= inputs[i].demand
+                     ? obs::EventKind::kCbfrpPromotion
+                     : obs::EventKind::kCbfrpRejection,
+                 result.alloc[i], inputs[i].demand, result.credits[i]);
+    }
     // Work conservation: capacity nobody demanded stays usable by anyone
     // (the physical allocator arbitrates). Strict quotas only bind under
     // contention, when total demand consumes the managed capacity.

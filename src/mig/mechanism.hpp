@@ -13,7 +13,9 @@
 #pragma once
 
 #include <algorithm>
+#include <array>
 
+#include "obs/scope.hpp"
 #include "sim/cost_model.hpp"
 
 namespace vulcan::mig {
@@ -53,6 +55,20 @@ class MigrationMechanism {
   const MechanismOptions& options() const { return opts_; }
   const sim::CostModel& cost_model() const { return *cost_; }
 
+  /// Attach observability: every single_page()/batch() composition records
+  /// its per-phase cycles as `<scope>.<phase>_cycles` counters (plus ops /
+  /// pages totals) and emits mig_phase_begin/end trace events.
+  void set_obs(obs::Scope scope) {
+    obs_ = std::move(scope);
+    for (std::size_t p = 0; p < kPhases; ++p) {
+      phase_cycles_[p] = &obs_.counter(
+          std::string(obs::mig_phase_name(static_cast<obs::MigPhase>(p))) +
+          "_cycles");
+    }
+    ops_ = &obs_.counter("operations");
+    pages_ = &obs_.counter("pages");
+  }
+
   sim::Cycles prep_cost() const {
     return opts_.optimized_prep ? cost_->prep_optimized(opts_.online_cpus)
                                 : cost_->prep_baseline(opts_.online_cpus);
@@ -73,6 +89,7 @@ class MigrationMechanism {
     b.shootdown = cost_->shootdown_cold(targets);
     b.copy = cost_->copy_single();
     b.remap = cost_->remap(1);
+    record(b, 1);
     return b;
   }
 
@@ -99,12 +116,38 @@ class MigrationMechanism {
     }
     b.copy = cost_->copy_batched(pages);
     b.remap = cost_->remap(pages);
+    record(b, pages);
     return b;
   }
 
  private:
+  static constexpr std::size_t kPhases = 5;
+
+  /// Account one composed operation into the attached scope. Const because
+  /// cost composition is logically pure; only the external sinks mutate.
+  void record(const PhaseBreakdown& b, std::uint64_t pages) const {
+    if (!obs_.active()) return;
+    const std::array<sim::Cycles, kPhases> cycles{b.prep, b.unmap,
+                                                  b.shootdown, b.copy,
+                                                  b.remap};
+    for (std::size_t p = 0; p < kPhases; ++p) {
+      phase_cycles_[p]->inc(cycles[p]);
+      obs_.event(obs::EventKind::kMigPhaseBegin, p, pages);
+      obs_.event(obs::EventKind::kMigPhaseEnd, p, cycles[p]);
+    }
+    ops_->inc();
+    pages_->inc(pages);
+  }
+
   const sim::CostModel* cost_;
   MechanismOptions opts_;
+  obs::Scope obs_;
+  std::array<obs::Counter*, kPhases> phase_cycles_{
+      &obs::detail::dummy_counter, &obs::detail::dummy_counter,
+      &obs::detail::dummy_counter, &obs::detail::dummy_counter,
+      &obs::detail::dummy_counter};
+  obs::Counter* ops_ = &obs::detail::dummy_counter;
+  obs::Counter* pages_ = &obs::detail::dummy_counter;
 };
 
 }  // namespace vulcan::mig

@@ -15,6 +15,31 @@ Migrator::Migrator(vm::AddressSpace& as, mem::Topology& topo,
       config_(std::move(config)),
       shadows_(topo) {}
 
+void Migrator::set_obs(obs::Scope scope) {
+  obs_ = std::move(scope);
+  for (std::size_t p = 0; p < phase_cycles_.size(); ++p) {
+    phase_cycles_[p] = &obs_.counter(
+        std::string(obs::mig_phase_name(static_cast<obs::MigPhase>(p))) +
+        "_cycles");
+  }
+  obs_migrated_ = &obs_.counter("pages_migrated");
+  obs_failed_ = &obs_.counter("pages_failed");
+  obs_shadow_remaps_ = &obs_.counter("shadow_remaps");
+  obs_bytes_ = &obs_.counter("bytes_copied");
+}
+
+sim::Cycles Migrator::phase(obs::MigPhase p, std::uint64_t pages,
+                            sim::Cycles cycles) {
+  phase_cycles_[static_cast<std::size_t>(p)]->inc(cycles);
+  if (obs_.tracing()) {
+    obs_.event(obs::EventKind::kMigPhaseBegin,
+               static_cast<std::uint64_t>(p), pages);
+    obs_.event(obs::EventKind::kMigPhaseEnd, static_cast<std::uint64_t>(p),
+               cycles);
+  }
+  return cycles;
+}
+
 std::vector<vm::CoreId> Migrator::shootdown_targets(
     const MigrationRequest& req, vm::CoreId initiator) const {
   std::vector<vm::CoreId> targets;
@@ -74,12 +99,17 @@ bool Migrator::execute_chunk(const MigrationRequest& req, sim::Rng& rng,
 
   // Batched mechanics: one flush round for the whole chunk, amortised
   // per-page unmap/copy/remap.
-  bucket += cost.unmap_batched(moved.size());
-  bucket += shootdowns_->shoot_batch(initiator, targets, as_->pid(), moved);
-  bucket += config_.dma_copy
-                ? moved.size() * cost.params().dma_setup_cycles
-                : cost.copy_batched(moved.size());
-  bucket += cost.remap_batched(moved.size());
+  bucket += phase(obs::MigPhase::kUnmap, moved.size(),
+                  cost.unmap_batched(moved.size()));
+  bucket += phase(
+      obs::MigPhase::kShootdown, moved.size(),
+      shootdowns_->shoot_batch(initiator, targets, as_->pid(), moved));
+  bucket += phase(obs::MigPhase::kCopy, moved.size(),
+                  config_.dma_copy
+                      ? moved.size() * cost.params().dma_setup_cycles
+                      : cost.copy_batched(moved.size()));
+  bucket += phase(obs::MigPhase::kRemap, moved.size(),
+                  cost.remap_batched(moved.size()));
   stats.bytes_copied += moved.size() * sim::kPageSize;
   stats.migrated += moved.size();
 
@@ -117,12 +147,13 @@ bool Migrator::execute_one(const MigrationRequest& req, sim::Rng& rng,
   // back onto its slow-tier copy — no content copy at all.
   if (demotion && !dirty && config_.shadowing) {
     if (auto shadow = shadows_.consume(req.vpn)) {
-      bucket += cost.unmap(1);
-      bucket += shootdowns_->shoot_single(initiator, targets, as_->pid(),
-                                          req.vpn);
+      bucket += phase(obs::MigPhase::kUnmap, 1, cost.unmap(1));
+      bucket += phase(obs::MigPhase::kShootdown, 1,
+                      shootdowns_->shoot_single(initiator, targets,
+                                                as_->pid(), req.vpn));
       const mem::Pfn old = as_->remap(req.vpn, *shadow);
       topo_->allocator(mem::tier_of(old)).free(old);
-      bucket += cost.remap(1);
+      bucket += phase(obs::MigPhase::kRemap, 1, cost.remap(1));
       ++stats.shadow_remaps;
       ++stats.migrated;
       return true;
@@ -142,7 +173,8 @@ bool Migrator::execute_one(const MigrationRequest& req, sim::Rng& rng,
       const unsigned extra = static_cast<unsigned>(
           rng.uniform() * config_.async_max_retries * (1.0 - p_success));
       stats.retries += extra;
-      bucket += extra * cost.copy_single();
+      bucket += phase(obs::MigPhase::kCopy, extra,
+                      extra * cost.copy_single());
       stats.bytes_copied += extra * sim::kPageSize;
     }
     if (!rng.chance(p_success)) {
@@ -152,15 +184,18 @@ bool Migrator::execute_one(const MigrationRequest& req, sim::Rng& rng,
     }
   }
 
-  bucket += cost.unmap(1);
-  bucket += shootdowns_->shoot_single(initiator, targets, as_->pid(), req.vpn);
+  bucket += phase(obs::MigPhase::kUnmap, 1, cost.unmap(1));
+  bucket += phase(obs::MigPhase::kShootdown, 1,
+                  shootdowns_->shoot_single(initiator, targets, as_->pid(),
+                                            req.vpn));
   // HeMem-style DMA offload: the engine streams the page while the CPU
   // only pays descriptor setup; otherwise the CPU performs the copy.
-  bucket += config_.dma_copy ? cost.params().dma_setup_cycles
-                             : cost.copy_single();
+  bucket += phase(obs::MigPhase::kCopy, 1,
+                  config_.dma_copy ? cost.params().dma_setup_cycles
+                                   : cost.copy_single());
   stats.bytes_copied += sim::kPageSize;
   const mem::Pfn old = as_->remap(req.vpn, *dest);
-  bucket += cost.remap(1);
+  bucket += phase(obs::MigPhase::kRemap, 1, cost.remap(1));
   if (!req.shared) ++stats.private_migrated;
 
   const bool promotion_from_slow =
@@ -187,14 +222,24 @@ MigrationStats Migrator::execute(std::span<const MigrationRequest> requests,
   // Migration preparation is paid once per migrate_pages() invocation; sync
   // and async requests travel in separate invocations (app context vs the
   // migration thread).
-  if (any_sync) stats.stall_cycles += mechanism_.prep_cost();
-  if (any_async) stats.daemon_cycles += mechanism_.prep_cost();
+  if (any_sync) {
+    stats.stall_cycles +=
+        phase(obs::MigPhase::kPrep, requests.size(), mechanism_.prep_cost());
+  }
+  if (any_async) {
+    stats.daemon_cycles +=
+        phase(obs::MigPhase::kPrep, requests.size(), mechanism_.prep_cost());
+  }
 
   for (const auto& req : requests) {
     ++stats.attempted;
     execute_one(req, rng, stats);
   }
   totals_ += stats;
+  obs_migrated_->inc(stats.migrated);
+  obs_failed_->inc(stats.failed);
+  obs_shadow_remaps_->inc(stats.shadow_remaps);
+  obs_bytes_->inc(stats.bytes_copied);
   return stats;
 }
 

@@ -5,6 +5,7 @@
 // the remaps and TLB shootdowns, and maintains shadow copies.
 #pragma once
 
+#include <array>
 #include <span>
 #include <vector>
 
@@ -57,6 +58,10 @@ class Migrator {
   const MigrationStats& totals() const { return totals_; }
   const Config& config() const { return config_; }
 
+  /// Attach observability: per-phase cycle counters + begin/end trace
+  /// events for every executed request, and outcome counters.
+  void set_obs(obs::Scope scope);
+
   /// Runtime toggle for targeted shootdowns — the §3.6 adaptive
   /// replication knob (per-thread tables can be consulted or ignored
   /// per-epoch based on measured benefit).
@@ -82,6 +87,9 @@ class Migrator {
   /// Remote-core target set for a request's shootdown.
   std::vector<vm::CoreId> shootdown_targets(const MigrationRequest& req,
                                             vm::CoreId initiator) const;
+  /// Account `cycles` of work in `phase` against the attached scope and
+  /// return the cycles (so call sites charge their bucket in one line).
+  sim::Cycles phase(obs::MigPhase p, std::uint64_t pages, sim::Cycles cycles);
 
   vm::AddressSpace* as_;
   mem::Topology* topo_;
@@ -90,6 +98,15 @@ class Migrator {
   Config config_;
   ShadowRegistry shadows_;
   MigrationStats totals_;
+  obs::Scope obs_;
+  std::array<obs::Counter*, 5> phase_cycles_{
+      &obs::detail::dummy_counter, &obs::detail::dummy_counter,
+      &obs::detail::dummy_counter, &obs::detail::dummy_counter,
+      &obs::detail::dummy_counter};
+  obs::Counter* obs_migrated_ = &obs::detail::dummy_counter;
+  obs::Counter* obs_failed_ = &obs::detail::dummy_counter;
+  obs::Counter* obs_shadow_remaps_ = &obs::detail::dummy_counter;
+  obs::Counter* obs_bytes_ = &obs::detail::dummy_counter;
 };
 
 }  // namespace vulcan::mig

@@ -1,0 +1,67 @@
+#include "obs/exporter.hpp"
+
+namespace vulcan::obs {
+
+namespace {
+
+void write_csv_value(std::ostream& out, const Value& v) {
+  std::visit([&](const auto& x) { out << x; }, v);
+}
+
+void write_json_value(std::ostream& out, const Value& v) {
+  if (const auto* s = std::get_if<std::string>(&v)) {
+    out << '"';
+    for (const char c : *s) {
+      switch (c) {
+        case '"': out << "\\\""; break;
+        case '\\': out << "\\\\"; break;
+        case '\n': out << "\\n"; break;
+        case '\t': out << "\\t"; break;
+        default: out << c;
+      }
+    }
+    out << '"';
+    return;
+  }
+  if (const auto* d = std::get_if<double>(&v)) {
+    if (*d != *d) {
+      out << "null";  // JSON has no NaN
+      return;
+    }
+  }
+  std::visit([&](const auto& x) { out << x; }, v);
+}
+
+}  // namespace
+
+void CsvExporter::begin(std::span<const std::string> columns) {
+  for (std::size_t i = 0; i < columns.size(); ++i) {
+    if (i) *out_ << ',';
+    *out_ << columns[i];
+  }
+  *out_ << '\n';
+}
+
+void CsvExporter::row(std::span<const Value> values) {
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    if (i) *out_ << ',';
+    write_csv_value(*out_, values[i]);
+  }
+  *out_ << '\n';
+}
+
+void JsonlExporter::begin(std::span<const std::string> columns) {
+  columns_.assign(columns.begin(), columns.end());
+}
+
+void JsonlExporter::row(std::span<const Value> values) {
+  *out_ << '{';
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    if (i) *out_ << ',';
+    *out_ << '"' << (i < columns_.size() ? columns_[i] : "col") << "\":";
+    write_json_value(*out_, values[i]);
+  }
+  *out_ << "}\n";
+}
+
+}  // namespace vulcan::obs

@@ -1,0 +1,63 @@
+// obs::Exporter — the single tabular export surface.
+//
+// Every exported table in the repo (per-epoch runtime metrics, bench CSVs,
+// vulcan_sim --csv) flows through this interface: a header of column names
+// followed by typed rows. Two implementations ship: CSV (byte-compatible
+// with the legacy writers) and JSONL (one object per row).
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+#include <span>
+#include <string>
+#include <variant>
+#include <vector>
+
+namespace vulcan::obs {
+
+/// One cell. Strings are written raw by the CSV backend (caller formats),
+/// and quoted/escaped by the JSONL backend.
+using Value = std::variant<std::uint64_t, std::int64_t, double, std::string>;
+
+class Exporter {
+ public:
+  virtual ~Exporter() = default;
+
+  /// Declare the column names. Must precede the first row.
+  virtual void begin(std::span<const std::string> columns) = 0;
+
+  /// Emit one row; `values` aligns with the declared columns.
+  virtual void row(std::span<const Value> values) = 0;
+
+  /// Optional flush/trailer hook.
+  virtual void end() {}
+};
+
+/// Comma-separated output. Number formatting matches `operator<<` defaults,
+/// which keeps the output byte-identical with the legacy hand-rolled
+/// writers it replaces.
+class CsvExporter final : public Exporter {
+ public:
+  explicit CsvExporter(std::ostream& out) : out_(&out) {}
+
+  void begin(std::span<const std::string> columns) override;
+  void row(std::span<const Value> values) override;
+
+ private:
+  std::ostream* out_;
+};
+
+/// One JSON object per row: {"col": value, ...}.
+class JsonlExporter final : public Exporter {
+ public:
+  explicit JsonlExporter(std::ostream& out) : out_(&out) {}
+
+  void begin(std::span<const std::string> columns) override;
+  void row(std::span<const Value> values) override;
+
+ private:
+  std::ostream* out_;
+  std::vector<std::string> columns_;
+};
+
+}  // namespace vulcan::obs

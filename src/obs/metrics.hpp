@@ -1,0 +1,108 @@
+// Deterministic metrics registry: counters, gauges and fixed-bucket
+// histograms keyed by `subsystem.name{label}` strings.
+//
+// Design goals, in order:
+//   * determinism — iteration is always in lexicographic key order, so two
+//     identical-seed runs serialise byte-identical snapshots;
+//   * stable handles — instruments live behind node-based storage, so a
+//     subsystem can resolve its counters once (at wiring time) and bump a
+//     pointer on the hot path ("lock-free in spirit": no lookup, no lock,
+//     just an increment — the simulator is single-threaded by contract);
+//   * one namespace — a key names exactly one instrument of exactly one
+//     type; re-registering with a different type is a programming error and
+//     throws.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <ostream>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace vulcan::obs {
+
+/// Monotonically increasing integer metric.
+struct Counter {
+  std::uint64_t value = 0;
+  void inc(std::uint64_t n = 1) { value += n; }
+};
+
+/// Point-in-time floating value.
+struct Gauge {
+  double value = 0.0;
+  void set(double v) { value = v; }
+  void add(double v) { value += v; }
+};
+
+/// Fixed-bucket histogram. Bucket i counts observations <= bounds[i];
+/// one implicit overflow bucket counts the rest. Bounds are fixed at
+/// registration so repeated lookups cannot disagree about the shape.
+class Histogram {
+ public:
+  explicit Histogram(std::vector<double> upper_bounds)
+      : bounds_(std::move(upper_bounds)), counts_(bounds_.size() + 1, 0) {}
+
+  void observe(double v) {
+    std::size_t i = 0;
+    while (i < bounds_.size() && v > bounds_[i]) ++i;
+    ++counts_[i];
+    ++count_;
+    sum_ += v;
+  }
+
+  std::span<const double> bounds() const { return bounds_; }
+  /// Per-bucket counts; the last entry is the overflow bucket.
+  std::span<const std::uint64_t> counts() const { return counts_; }
+  std::uint64_t count() const { return count_; }
+  double sum() const { return sum_; }
+
+ private:
+  std::vector<double> bounds_;
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t count_ = 0;
+  double sum_ = 0.0;
+};
+
+/// Owns every instrument. Registration is idempotent per (key, type);
+/// a key that already names an instrument of another type throws
+/// std::logic_error (label collision).
+class Registry {
+ public:
+  Counter& counter(std::string_view key);
+  Gauge& gauge(std::string_view key);
+  Histogram& histogram(std::string_view key, std::span<const double> bounds);
+
+  /// Read-side accessors for harnesses: 0 / nullptr when absent.
+  std::uint64_t counter_value(std::string_view key) const;
+  double gauge_value(std::string_view key) const;
+  const Histogram* find_histogram(std::string_view key) const;
+
+  std::size_t size() const {
+    return counters_.size() + gauges_.size() + histograms_.size();
+  }
+
+  /// Visit every instrument in deterministic (sorted-key) order.
+  template <typename CounterFn, typename GaugeFn, typename HistFn>
+  void for_each(CounterFn&& on_counter, GaugeFn&& on_gauge,
+                HistFn&& on_hist) const {
+    for (const auto& [k, c] : counters_) on_counter(k, c);
+    for (const auto& [k, g] : gauges_) on_gauge(k, g);
+    for (const auto& [k, h] : histograms_) on_hist(k, h);
+  }
+
+  /// Serialise the whole registry as one JSON object with sorted keys
+  /// (deterministic: identical runs produce identical bytes).
+  void write_json(std::ostream& out) const;
+
+ private:
+  void check_unique(std::string_view key, int self_kind) const;
+
+  // std::map: sorted iteration + reference stability under insertion.
+  std::map<std::string, Counter, std::less<>> counters_;
+  std::map<std::string, Gauge, std::less<>> gauges_;
+  std::map<std::string, Histogram, std::less<>> histograms_;
+};
+
+}  // namespace vulcan::obs

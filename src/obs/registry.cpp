@@ -1,0 +1,110 @@
+#include "obs/metrics.hpp"
+
+#include <stdexcept>
+
+namespace vulcan::obs {
+
+namespace {
+constexpr int kCounter = 0;
+constexpr int kGauge = 1;
+constexpr int kHistogram = 2;
+
+void write_json_double(std::ostream& out, double v) {
+  // Doubles round-trip through ostream default formatting; JSON has no
+  // inf/nan, map those to null.
+  if (v != v) {
+    out << "null";
+    return;
+  }
+  out << v;
+}
+}  // namespace
+
+void Registry::check_unique(std::string_view key, int self_kind) const {
+  const std::string k(key);
+  if (self_kind != kCounter && counters_.count(k)) {
+    throw std::logic_error("obs: key already registered as counter: " + k);
+  }
+  if (self_kind != kGauge && gauges_.count(k)) {
+    throw std::logic_error("obs: key already registered as gauge: " + k);
+  }
+  if (self_kind != kHistogram && histograms_.count(k)) {
+    throw std::logic_error("obs: key already registered as histogram: " + k);
+  }
+}
+
+Counter& Registry::counter(std::string_view key) {
+  if (auto it = counters_.find(key); it != counters_.end()) return it->second;
+  check_unique(key, kCounter);
+  return counters_.emplace(std::string(key), Counter{}).first->second;
+}
+
+Gauge& Registry::gauge(std::string_view key) {
+  if (auto it = gauges_.find(key); it != gauges_.end()) return it->second;
+  check_unique(key, kGauge);
+  return gauges_.emplace(std::string(key), Gauge{}).first->second;
+}
+
+Histogram& Registry::histogram(std::string_view key,
+                               std::span<const double> bounds) {
+  if (auto it = histograms_.find(key); it != histograms_.end()) {
+    return it->second;
+  }
+  check_unique(key, kHistogram);
+  return histograms_
+      .emplace(std::string(key),
+               Histogram(std::vector<double>(bounds.begin(), bounds.end())))
+      .first->second;
+}
+
+std::uint64_t Registry::counter_value(std::string_view key) const {
+  const auto it = counters_.find(key);
+  return it == counters_.end() ? 0 : it->second.value;
+}
+
+double Registry::gauge_value(std::string_view key) const {
+  const auto it = gauges_.find(key);
+  return it == gauges_.end() ? 0.0 : it->second.value;
+}
+
+const Histogram* Registry::find_histogram(std::string_view key) const {
+  const auto it = histograms_.find(key);
+  return it == histograms_.end() ? nullptr : &it->second;
+}
+
+void Registry::write_json(std::ostream& out) const {
+  out << "{\n  \"counters\": {";
+  bool first = true;
+  for (const auto& [k, c] : counters_) {
+    out << (first ? "" : ",") << "\n    \"" << k << "\": " << c.value;
+    first = false;
+  }
+  out << (first ? "" : "\n  ") << "},\n  \"gauges\": {";
+  first = true;
+  for (const auto& [k, g] : gauges_) {
+    out << (first ? "" : ",") << "\n    \"" << k << "\": ";
+    write_json_double(out, g.value);
+    first = false;
+  }
+  out << (first ? "" : "\n  ") << "},\n  \"histograms\": {";
+  first = true;
+  for (const auto& [k, h] : histograms_) {
+    out << (first ? "" : ",") << "\n    \"" << k << "\": {\"bounds\": [";
+    for (std::size_t i = 0; i < h.bounds().size(); ++i) {
+      if (i) out << ", ";
+      write_json_double(out, h.bounds()[i]);
+    }
+    out << "], \"counts\": [";
+    for (std::size_t i = 0; i < h.counts().size(); ++i) {
+      if (i) out << ", ";
+      out << h.counts()[i];
+    }
+    out << "], \"count\": " << h.count() << ", \"sum\": ";
+    write_json_double(out, h.sum());
+    out << "}";
+    first = false;
+  }
+  out << (first ? "" : "\n  ") << "}\n}\n";
+}
+
+}  // namespace vulcan::obs

@@ -1,0 +1,98 @@
+// obs::Scope — the handle the runtime threads into each subsystem.
+//
+// A Scope bundles the registry, the trace ring, a virtual-clock pointer and
+// a key prefix (plus an optional workload index for per-app subsystems).
+// Default-constructed Scopes are inert: instruments resolve to shared
+// throwaway sinks and events vanish, so subsystems instrument
+// unconditionally with zero configuration and near-zero cost when
+// observability is off.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <utility>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace vulcan::obs {
+
+namespace detail {
+/// Shared sinks for inert scopes. Their values are meaningless and never
+/// read; they only make the null case branch-free for callers.
+inline Counter dummy_counter;
+inline Gauge dummy_gauge;
+inline Histogram dummy_histogram{{}};
+}  // namespace detail
+
+class Scope {
+ public:
+  Scope() = default;
+  Scope(Registry* registry, TraceRing* trace, const sim::Cycles* clock,
+        std::string prefix, std::int32_t workload = -1)
+      : registry_(registry),
+        trace_(trace),
+        clock_(clock),
+        prefix_(std::move(prefix)),
+        workload_(workload) {}
+
+  bool active() const { return registry_ != nullptr || trace_ != nullptr; }
+  std::int32_t workload() const { return workload_; }
+  const std::string& prefix() const { return prefix_; }
+
+  /// Derived scope with `suffix` appended to the key prefix.
+  Scope sub(std::string_view suffix) const {
+    Scope s = *this;
+    s.prefix_ = prefix_.empty() ? std::string(suffix)
+                                : prefix_ + "." + std::string(suffix);
+    return s;
+  }
+
+  /// Derived scope bound to one workload index.
+  Scope for_workload(std::int32_t w) const {
+    Scope s = *this;
+    s.workload_ = w;
+    return s;
+  }
+
+  Counter& counter(std::string_view name) const {
+    return registry_ ? registry_->counter(key(name)) : detail::dummy_counter;
+  }
+  Gauge& gauge(std::string_view name) const {
+    return registry_ ? registry_->gauge(key(name)) : detail::dummy_gauge;
+  }
+  Histogram& histogram(std::string_view name,
+                       std::span<const double> bounds) const {
+    return registry_ ? registry_->histogram(key(name), bounds)
+                     : detail::dummy_histogram;
+  }
+
+  /// Emit a trace event stamped with the scope's clock and workload.
+  void event(EventKind kind, std::uint64_t a = 0, std::uint64_t b = 0,
+             double v = 0.0) const {
+    if (!trace_) return;
+    TraceEvent e;
+    e.time = clock_ ? *clock_ : 0;
+    e.kind = kind;
+    e.workload = workload_;
+    e.a = a;
+    e.b = b;
+    e.v = v;
+    trace_->emit(e);
+  }
+  bool tracing() const { return trace_ != nullptr; }
+
+ private:
+  std::string key(std::string_view name) const {
+    return prefix_.empty() ? std::string(name)
+                           : prefix_ + "." + std::string(name);
+  }
+
+  Registry* registry_ = nullptr;
+  TraceRing* trace_ = nullptr;
+  const sim::Cycles* clock_ = nullptr;
+  std::string prefix_;
+  std::int32_t workload_ = -1;
+};
+
+}  // namespace vulcan::obs

@@ -1,0 +1,119 @@
+#include "obs/trace.hpp"
+
+#include <array>
+#include <charconv>
+#include <cstdlib>
+#include <string>
+#include <string_view>
+
+namespace vulcan::obs {
+
+namespace {
+
+/// Per-kind JSONL field names for the generic payload slots. `v_name` is
+/// null when the kind carries no floating payload.
+struct KindInfo {
+  EventKind kind;
+  const char* name;
+  const char* a_name;
+  const char* b_name;
+  const char* v_name;  // nullptr => omitted
+};
+
+constexpr std::array<KindInfo, 9> kKinds{{
+    {EventKind::kEpochStart, "epoch_start", "epoch", "workloads", nullptr},
+    {EventKind::kEpochEnd, "epoch_end", "epoch", "workloads", "cfi"},
+    {EventKind::kMigPhaseBegin, "mig_phase_begin", "phase", "pages", nullptr},
+    {EventKind::kMigPhaseEnd, "mig_phase_end", "phase", "cycles", nullptr},
+    {EventKind::kShootdownIssue, "shootdown_issue", "targets", "pages",
+     nullptr},
+    {EventKind::kShootdownAck, "shootdown_ack", "targets", "cycles", nullptr},
+    {EventKind::kPolicyQuota, "policy_quota", "quota", "fast_pages", nullptr},
+    {EventKind::kCbfrpPromotion, "cbfrp_promotion", "granted", "demand",
+     "credits"},
+    {EventKind::kCbfrpRejection, "cbfrp_rejection", "granted", "demand",
+     "credits"},
+}};
+
+const KindInfo& info_of(EventKind kind) {
+  return kKinds[static_cast<std::size_t>(kind)];
+}
+
+const KindInfo* info_by_name(std::string_view name) {
+  for (const auto& k : kKinds) {
+    if (name == k.name) return &k;
+  }
+  return nullptr;
+}
+
+/// Find `"key":` in `line` and return the raw token after it (up to the
+/// next ',' or '}'). Empty view when absent.
+std::string_view raw_field(std::string_view line, std::string_view key) {
+  const std::string needle = "\"" + std::string(key) + "\":";
+  const auto pos = line.find(needle);
+  if (pos == std::string_view::npos) return {};
+  auto start = pos + needle.size();
+  auto end = start;
+  bool in_string = false;
+  while (end < line.size()) {
+    const char c = line[end];
+    if (c == '"') in_string = !in_string;
+    if (!in_string && (c == ',' || c == '}')) break;
+    ++end;
+  }
+  return line.substr(start, end - start);
+}
+
+std::uint64_t parse_u64(std::string_view tok) {
+  std::uint64_t v = 0;
+  std::from_chars(tok.data(), tok.data() + tok.size(), v);
+  return v;
+}
+
+std::int64_t parse_i64(std::string_view tok) {
+  std::int64_t v = 0;
+  std::from_chars(tok.data(), tok.data() + tok.size(), v);
+  return v;
+}
+
+double parse_double(std::string_view tok) {
+  return std::strtod(std::string(tok).c_str(), nullptr);
+}
+
+}  // namespace
+
+void TraceRing::write_jsonl(std::ostream& out) const {
+  for (const TraceEvent& e : events()) {
+    const KindInfo& ki = info_of(e.kind);
+    out << "{\"seq\":" << e.seq << ",\"t\":" << e.time << ",\"kind\":\""
+        << ki.name << "\",\"w\":" << e.workload << ",\"" << ki.a_name
+        << "\":" << e.a << ",\"" << ki.b_name << "\":" << e.b;
+    if (ki.v_name) out << ",\"" << ki.v_name << "\":" << e.v;
+    out << "}\n";
+  }
+}
+
+std::vector<TraceEvent> TraceRing::read_jsonl(std::istream& in) {
+  std::vector<TraceEvent> out;
+  std::string line;
+  while (std::getline(in, line)) {
+    const std::string_view lv(line);
+    std::string_view kind_tok = raw_field(lv, "kind");
+    if (kind_tok.size() < 2 || kind_tok.front() != '"') continue;
+    kind_tok = kind_tok.substr(1, kind_tok.size() - 2);
+    const KindInfo* ki = info_by_name(kind_tok);
+    if (!ki) continue;
+    TraceEvent e;
+    e.kind = ki->kind;
+    e.seq = parse_u64(raw_field(lv, "seq"));
+    e.time = parse_u64(raw_field(lv, "t"));
+    e.workload = static_cast<std::int32_t>(parse_i64(raw_field(lv, "w")));
+    e.a = parse_u64(raw_field(lv, ki->a_name));
+    e.b = parse_u64(raw_field(lv, ki->b_name));
+    if (ki->v_name) e.v = parse_double(raw_field(lv, ki->v_name));
+    out.push_back(e);
+  }
+  return out;
+}
+
+}  // namespace vulcan::obs

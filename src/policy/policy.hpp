@@ -15,6 +15,7 @@
 
 #include "mem/topology.hpp"
 #include "mig/migration_thread.hpp"
+#include "obs/scope.hpp"
 #include "prof/heat.hpp"
 #include "sim/rng.hpp"
 #include "vm/address_space.hpp"
@@ -60,6 +61,17 @@ class SystemPolicy {
   virtual mig::Migrator::Config migrator_config() const = 0;
 
   virtual std::string_view name() const = 0;
+
+  /// Attach observability. The runtime calls this once at system
+  /// construction; policies may cache instruments off `obs()` and emit
+  /// decision events (quota grants, CBFRP outcomes) during plan_epoch().
+  void set_obs(obs::Scope scope) { obs_ = std::move(scope); }
+
+ protected:
+  const obs::Scope& obs() const { return obs_; }
+
+ private:
+  obs::Scope obs_;
 };
 
 /// Helper shared by policies: build a request for `page` of `view`.

@@ -1,0 +1,160 @@
+// SystemBuilder: the fluent public construction API for TieredSystem.
+//
+//   auto built = runtime::SystemBuilder{}
+//                    .machine({.cores = 32})
+//                    .epoch_ms(250)
+//                    .profiler(runtime::ProfilerKind::kHybrid)
+//                    .seed(42)
+//                    .policy("vulcan")
+//                    .add_workload(wl::make_memcached())
+//                    .build();
+//   if (!built) { /* built.error() explains what was wrong */ }
+//   runtime::TieredSystem& sys = *built.value();
+//
+// All validation happens at build() and is reported as an expected-style
+// result instead of asserting: misconfigurations (slowest tier first, zero
+// samples, zero cores, unknown policy name, ...) come back as messages the
+// caller can print.
+//
+// The raw `TieredSystem::Config` + constructor remain available as a thin
+// deprecated shim for older harnesses; new code should use the builder.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "runtime/system.hpp"
+
+namespace vulcan::runtime {
+
+/// Minimal expected-style result (the repo targets C++20; std::expected is
+/// C++23). Holds either a value or an error message.
+template <typename T>
+class Expected {
+ public:
+  Expected(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  static Expected failure(std::string message) {
+    Expected e;
+    e.error_ = std::move(message);
+    return e;
+  }
+
+  bool ok() const { return value_.has_value(); }
+  explicit operator bool() const { return ok(); }
+
+  /// Valid only when ok().
+  T& value() { return *value_; }
+  const T& value() const { return *value_; }
+  /// Empty when ok().
+  const std::string& error() const { return error_; }
+
+ private:
+  Expected() = default;
+  std::optional<T> value_;
+  std::string error_;
+};
+
+using BuildResult = Expected<std::unique_ptr<TieredSystem>>;
+
+class SystemBuilder {
+ public:
+  SystemBuilder() = default;
+
+  SystemBuilder& machine(sim::MachineConfig m) {
+    config_.machine = m;
+    return *this;
+  }
+  /// Arbitrary topology override (HBM + DRAM + CXL, ...). Tier 0 must be
+  /// the fastest; build() enforces it.
+  SystemBuilder& tiers(std::vector<mem::TierConfig> tiers) {
+    config_.custom_tiers = std::move(tiers);
+    return *this;
+  }
+  SystemBuilder& epoch(sim::Cycles cycles) {
+    config_.epoch = cycles;
+    return *this;
+  }
+  SystemBuilder& epoch_ms(double ms) {
+    config_.epoch = sim::CpuClock::from_nanos(
+        static_cast<std::uint64_t>(ms * 1e6));
+    return *this;
+  }
+  SystemBuilder& samples_per_epoch(std::uint64_t samples) {
+    config_.samples_per_epoch = samples;
+    return *this;
+  }
+  SystemBuilder& cores_per_workload(unsigned cores) {
+    config_.cores_per_workload = cores;
+    return *this;
+  }
+  SystemBuilder& heat_decay(double decay) {
+    config_.heat_decay = decay;
+    return *this;
+  }
+  SystemBuilder& profiler(ProfilerKind kind) {
+    config_.profiler = kind;
+    return *this;
+  }
+  SystemBuilder& thp(bool on) {
+    config_.thp = on;
+    return *this;
+  }
+  SystemBuilder& seed(std::uint64_t seed) {
+    config_.seed = seed;
+    return *this;
+  }
+  SystemBuilder& migration_budget(std::uint64_t pages_per_epoch) {
+    config_.migration_budget_override = pages_per_epoch;
+    return *this;
+  }
+  SystemBuilder& charge_daemon_to_app(bool on) {
+    config_.charge_daemon_to_app = on;
+    return *this;
+  }
+  SystemBuilder& trace_capacity(std::size_t events) {
+    config_.trace_capacity = events;
+    return *this;
+  }
+
+  /// Install a concrete policy instance...
+  SystemBuilder& policy(std::unique_ptr<policy::SystemPolicy> policy) {
+    policy_ = std::move(policy);
+    policy_name_.clear();
+    return *this;
+  }
+  /// ...or name one ("vulcan", "tpp", "memtis", "nomad", "mtm", "cascade").
+  /// Unknown names surface as build() errors, not exceptions.
+  SystemBuilder& policy(std::string_view name) {
+    policy_name_ = std::string(name);
+    policy_.reset();
+    return *this;
+  }
+
+  /// Stage a workload; it is registered (in staging order) on the freshly
+  /// built system, so indices are 0, 1, ... as with TieredSystem directly.
+  SystemBuilder& add_workload(std::unique_ptr<wl::Workload> workload,
+                              std::optional<ProfilerKind> profiler =
+                                  std::nullopt) {
+    staged_.push_back({std::move(workload), profiler});
+    return *this;
+  }
+
+  /// Validate and construct. Consumes the staged policy and workloads.
+  BuildResult build();
+
+ private:
+  struct Staged {
+    std::unique_ptr<wl::Workload> workload;
+    std::optional<ProfilerKind> profiler;
+  };
+
+  TieredSystem::Config config_;
+  std::unique_ptr<policy::SystemPolicy> policy_;
+  std::string policy_name_ = "vulcan";
+  std::vector<Staged> staged_;
+};
+
+}  // namespace vulcan::runtime

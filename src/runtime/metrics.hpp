@@ -6,6 +6,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/exporter.hpp"
 #include "sim/clock.hpp"
 
 namespace vulcan::runtime {
@@ -65,7 +66,16 @@ class MetricsRecorder {
                 [](const WorkloadEpochMetrics& m) { return m.fthr; }, from);
   }
 
-  /// Write everything as CSV (one row per epoch x workload).
+  /// Column names of the per-epoch-per-workload table (shared by every
+  /// export backend).
+  static const std::vector<std::string>& columns();
+
+  /// Stream the whole table (one row per epoch x workload) through any
+  /// obs::Exporter backend — CSV, JSONL, or a future sink.
+  void write(obs::Exporter& exporter) const;
+
+  /// Legacy CSV writer, kept verbatim so its output can be asserted
+  /// byte-identical with `write(CsvExporter)` (see runtime_metrics_test).
   void write_csv(std::ostream& out) const;
 
  private:

@@ -11,6 +11,7 @@ namespace vulcan::runtime {
 TieredSystem::TieredSystem(Config config,
                            std::unique_ptr<policy::SystemPolicy> policy)
     : config_(config),
+      trace_(config.trace_capacity),
       policy_(std::move(policy)),
       topo_(std::make_unique<mem::Topology>(
           config.custom_tiers.has_value()
@@ -18,8 +19,12 @@ TieredSystem::TieredSystem(Config config,
                               config.machine.slow_bw_gbps)
               : mem::Topology::paper_testbed(config.machine))),
       rng_(config.seed) {
+  const obs::Scope root(&registry_, &trace_, &now_, "");
   tlbs_.resize(config_.machine.cores);
+  for (auto& tlb : tlbs_) tlb.set_obs(root.sub("vm.tlb"));
   shootdowns_ = std::make_unique<vm::ShootdownController>(cost_, &tlbs_);
+  shootdowns_->set_obs(root.sub("vm.shootdown"));
+  policy_->set_obs(root.sub("policy"));
   tier_utilization_.assign(topo_->tier_count(), 0.0);
   if (config_.migration_budget_override > 0) {
     migration_budget_ = config_.migration_budget_override;
@@ -96,6 +101,8 @@ unsigned TieredSystem::add_workload(std::unique_ptr<wl::Workload> workload,
   mig_cfg.daemon_core = mw->cores.back();
   mw->migrator = std::make_unique<mig::Migrator>(*mw->as, *topo_,
                                                  *shootdowns_, cost_, mig_cfg);
+  mw->migrator->set_obs(obs::Scope(&registry_, &trace_, &now_, "mig",
+                                   static_cast<std::int32_t>(index)));
   mw->migration_thread = std::make_unique<mig::MigrationThread>(*mw->migrator);
 
   policy::WorkloadView view;
@@ -187,6 +194,8 @@ void TieredSystem::simulate_accesses(ManagedWorkload& mw,
 
 void TieredSystem::run_one_epoch() {
   const double epoch_seconds = sim::CpuClock::to_seconds(config_.epoch);
+  const obs::Scope root(&registry_, &trace_, &now_, "runtime");
+  root.event(obs::EventKind::kEpochStart, epoch_index_, workloads_.size());
 
   // (1) Access generation + accounting. Sample quotas are proportional to
   // each workload's access rate (the fastest workload gets the configured
@@ -247,6 +256,13 @@ void TieredSystem::run_one_epoch() {
     views_[i].epoch_slow_accesses = workloads_[i]->epoch_slow;
   }
   policy_->plan_epoch(views_, *topo_, rng_);
+  // Quota decisions become part of the structured trace regardless of
+  // which policy produced them (baselines leave quotas unbounded).
+  for (std::size_t i = 0; i < views_.size(); ++i) {
+    root.for_workload(static_cast<std::int32_t>(i))
+        .event(obs::EventKind::kPolicyQuota, views_[i].fast_quota,
+               workloads_[i]->as->pages_in_tier(mem::kFastTier));
+  }
 
   // (5) Execute migrations within the epoch's link budget, split across
   // workloads proportionally to backlog.
@@ -315,6 +331,18 @@ void TieredSystem::run_one_epoch() {
   }
   cfi_.record_epoch(alloc_shares, fthrs);
   metrics_.record(std::move(epoch));
+
+  // Registry snapshot of the system-level signals the figures explain.
+  root.counter("epochs").inc();
+  registry_.gauge("core.fairness.cfi").set(cfi_.cfi());
+  for (std::size_t t = 0; t < topo_->tier_count(); ++t) {
+    registry_
+        .gauge("mem.tier_utilization{tier=" + std::to_string(t) + "}")
+        .set(tier_utilization_[t]);
+  }
+  root.event(obs::EventKind::kEpochEnd, epoch_index_, workloads_.size(),
+             cfi_.cfi());
+  ++epoch_index_;
 
   // (7) Heat decay closes the epoch.
   for (auto& mw : workloads_) mw->tracker->decay_epoch();

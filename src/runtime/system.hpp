@@ -17,6 +17,9 @@
 #include "core/fairness.hpp"
 #include "mem/topology.hpp"
 #include "mig/migration_thread.hpp"
+#include "obs/metrics.hpp"
+#include "obs/scope.hpp"
+#include "obs/trace.hpp"
 #include "policy/policy.hpp"
 #include "prof/chrono.hpp"
 #include "prof/hybrid.hpp"
@@ -42,6 +45,10 @@ enum class ProfilerKind : std::uint8_t {
 
 class TieredSystem {
  public:
+  /// Deprecated construction shim: prefer runtime::SystemBuilder
+  /// (runtime/builder.hpp), which validates at build() time and reports
+  /// errors instead of silently accepting bad setups. Kept so existing
+  /// harnesses keep compiling; the builder fills in this struct.
   struct Config {
     sim::MachineConfig machine;
     /// Override the two-tier paper testbed with an arbitrary topology
@@ -65,6 +72,8 @@ class TieredSystem {
     /// Migration threads and profiling daemons run on the application's
     /// dedicated cores (§3.2), so their cycles steal app throughput.
     bool charge_daemon_to_app = true;
+    /// Structured-trace ring capacity (events retained; oldest dropped).
+    std::size_t trace_capacity = 1 << 16;
   };
 
   TieredSystem(Config config, std::unique_ptr<policy::SystemPolicy> policy);
@@ -100,6 +109,12 @@ class TieredSystem {
   mem::Topology& topology() { return *topo_; }
   core::CfiAccumulator& cfi() { return cfi_; }
 
+  /// The system-wide metrics registry every subsystem reports into.
+  obs::Registry& obs_registry() { return registry_; }
+  const obs::Registry& obs_registry() const { return registry_; }
+  /// The structured event trace (epoch/migration/shootdown/policy records).
+  const obs::TraceRing& obs_trace() const { return trace_; }
+
   /// Eq. 4 fairness over everything run so far.
   double fairness_cfi() const { return cfi_.cfi(); }
 
@@ -134,6 +149,9 @@ class TieredSystem {
                                                 ProfilerKind kind);
 
   Config config_;
+  // Declared before the subsystems that cache instrument pointers into them.
+  obs::Registry registry_;
+  obs::TraceRing trace_;
   std::unique_ptr<policy::SystemPolicy> policy_;
   std::unique_ptr<mem::Topology> topo_;
   std::vector<vm::Tlb> tlbs_;
@@ -145,6 +163,7 @@ class TieredSystem {
   core::CfiAccumulator cfi_;
   sim::Rng rng_;
   sim::Cycles now_ = 0;
+  std::uint64_t epoch_index_ = 0;
   std::uint64_t migration_budget_ = 0;
   unsigned next_core_ = 0;
   // Previous-epoch tier utilisation drives this epoch's loaded latencies.

@@ -13,6 +13,7 @@ bool Engine::step(Cycles deadline) {
   // Events scheduled "in the past" relative to an already-advanced clock
   // were clamped at insertion; the queue is monotone by construction.
   now_ = fired.time;
+  fired_->inc();
   fired.action();
   return true;
 }

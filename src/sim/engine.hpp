@@ -5,6 +5,7 @@
 #include <functional>
 #include <limits>
 
+#include "obs/scope.hpp"
 #include "sim/clock.hpp"
 #include "sim/event_queue.hpp"
 
@@ -21,16 +22,30 @@ class Engine {
 
   /// Schedule at an absolute time (clamped to now()).
   EventId at(Cycles when, std::function<void()> action) {
+    scheduled_->inc();
     return queue_.schedule(when < now_ ? now_ : when, std::move(action));
   }
 
   /// Schedule after a relative delay from now().
   EventId after(Cycles delay, std::function<void()> action) {
+    scheduled_->inc();
     return queue_.schedule(now_ + delay, std::move(action));
   }
 
   /// Cancel a scheduled event; false if it already fired or was cancelled.
-  bool cancel(EventId id) { return queue_.cancel(id); }
+  bool cancel(EventId id) {
+    const bool ok = queue_.cancel(id);
+    if (ok) cancelled_->inc();
+    return ok;
+  }
+
+  /// Attach observability: counts of scheduled / fired / cancelled events
+  /// land under `<scope>.events_*`.
+  void set_obs(const obs::Scope& scope) {
+    scheduled_ = &scope.counter("events_scheduled");
+    fired_ = &scope.counter("events_fired");
+    cancelled_ = &scope.counter("events_cancelled");
+  }
 
   /// Run until the queue drains or the clock would pass `deadline`
   /// (inclusive). Returns the number of events fired.
@@ -51,6 +66,9 @@ class Engine {
  private:
   EventQueue queue_;
   Cycles now_ = 0;
+  obs::Counter* scheduled_ = &obs::detail::dummy_counter;
+  obs::Counter* fired_ = &obs::detail::dummy_counter;
+  obs::Counter* cancelled_ = &obs::detail::dummy_counter;
 };
 
 }  // namespace vulcan::sim

@@ -2,6 +2,24 @@
 
 namespace vulcan::vm {
 
+void ShootdownController::set_obs(obs::Scope scope) {
+  obs_ = std::move(scope);
+  obs_ops_ = &obs_.counter("operations");
+  obs_ipis_ = &obs_.counter("ipis");
+  obs_pages_ = &obs_.counter("pages");
+  obs_cycles_ = &obs_.counter("cycles");
+}
+
+void ShootdownController::record(unsigned targets, std::uint64_t pages,
+                                 sim::Cycles cost) {
+  obs_ops_->inc();
+  obs_ipis_->inc(targets);
+  obs_pages_->inc(pages);
+  obs_cycles_->inc(cost);
+  obs_.event(obs::EventKind::kShootdownIssue, targets, pages);
+  obs_.event(obs::EventKind::kShootdownAck, targets, cost);
+}
+
 void ShootdownController::invalidate_targets(CoreId initiator,
                                              std::span<const CoreId> targets,
                                              ProcessId pid, Vpn vpn) {
@@ -23,6 +41,7 @@ sim::Cycles ShootdownController::shoot_single(CoreId initiator,
   stats_.ipis += targets.size();
   if (targets.empty()) ++stats_.local_only;
   stats_.cycles += cost;
+  record(static_cast<unsigned>(targets.size()), 1, cost);
   return cost;
 }
 
@@ -39,6 +58,8 @@ sim::Cycles ShootdownController::shoot_batch(CoreId initiator,
   stats_.ipis += targets.size() * (vpns.empty() ? 0 : 1);
   if (targets.empty()) ++stats_.local_only;
   stats_.cycles += cost;
+  record(vpns.empty() ? 0 : static_cast<unsigned>(targets.size()),
+         vpns.size(), cost);
   return cost;
 }
 

@@ -12,6 +12,7 @@
 #include <span>
 #include <vector>
 
+#include "obs/scope.hpp"
 #include "sim/cost_model.hpp"
 #include "vm/tlb.hpp"
 #include "vm/types.hpp"
@@ -44,13 +45,23 @@ class ShootdownController {
   const Stats& stats() const { return stats_; }
   void reset_stats() { stats_ = {}; }
 
+  /// Attach observability: counters under the scope plus issue/ack trace
+  /// events per shootdown operation.
+  void set_obs(obs::Scope scope);
+
  private:
   void invalidate_targets(CoreId initiator, std::span<const CoreId> targets,
                           ProcessId pid, Vpn vpn);
+  void record(unsigned targets, std::uint64_t pages, sim::Cycles cost);
 
   const sim::CostModel* cost_;
   std::vector<Tlb>* tlbs_;
   Stats stats_;
+  obs::Scope obs_;
+  obs::Counter* obs_ops_ = &obs::detail::dummy_counter;
+  obs::Counter* obs_ipis_ = &obs::detail::dummy_counter;
+  obs::Counter* obs_pages_ = &obs::detail::dummy_counter;
+  obs::Counter* obs_cycles_ = &obs::detail::dummy_counter;
 };
 
 }  // namespace vulcan::vm

@@ -75,8 +75,10 @@ bool Tlb::lookup(ProcessId pid, Vpn vpn) {
                    huge_.lookup(make_tag(pid, huge_chunk_of(vpn)), tick_);
   if (hit) {
     ++stats_.hits;
+    obs_hits_->inc();
   } else {
     ++stats_.misses;
+    obs_misses_->inc();
   }
   return hit;
 }
@@ -93,12 +95,14 @@ void Tlb::invalidate(ProcessId pid, Vpn vpn) {
   base_.invalidate(make_tag(pid, vpn));
   huge_.invalidate(make_tag(pid, huge_chunk_of(vpn)));
   ++stats_.invalidations;
+  obs_invalidations_->inc();
 }
 
 void Tlb::flush_all() {
   base_.clear();
   huge_.clear();
   ++stats_.full_flushes;
+  obs_full_flushes_->inc();
 }
 
 }  // namespace vulcan::vm

@@ -5,6 +5,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "obs/scope.hpp"
 #include "vm/types.hpp"
 
 namespace vulcan::vm {
@@ -47,6 +48,15 @@ class Tlb {
   const Stats& stats() const { return stats_; }
   const Config& config() const { return config_; }
 
+  /// Attach observability. Per-core TLBs typically share one scope, so the
+  /// registry aggregates hits/misses/invalidations across the socket.
+  void set_obs(const obs::Scope& scope) {
+    obs_hits_ = &scope.counter("hits");
+    obs_misses_ = &scope.counter("misses");
+    obs_invalidations_ = &scope.counter("invalidations");
+    obs_full_flushes_ = &scope.counter("full_flushes");
+  }
+
  private:
   struct Entry {
     std::uint64_t tag = 0;  // (pid << 40) | page-number; 0 == invalid
@@ -74,6 +84,10 @@ class Tlb {
   SetArray huge_;
   Stats stats_;
   std::uint64_t tick_ = 0;
+  obs::Counter* obs_hits_ = &obs::detail::dummy_counter;
+  obs::Counter* obs_misses_ = &obs::detail::dummy_counter;
+  obs::Counter* obs_invalidations_ = &obs::detail::dummy_counter;
+  obs::Counter* obs_full_flushes_ = &obs::detail::dummy_counter;
 };
 
 }  // namespace vulcan::vm

@@ -1,0 +1,146 @@
+#include "obs/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "obs/scope.hpp"
+
+namespace vulcan::obs {
+namespace {
+
+TEST(Counter, StartsAtZeroAndAccumulates) {
+  Registry reg;
+  Counter& c = reg.counter("sim.events_fired");
+  EXPECT_EQ(c.value, 0u);
+  c.inc();
+  c.inc(41);
+  EXPECT_EQ(c.value, 42u);
+  EXPECT_EQ(reg.counter_value("sim.events_fired"), 42u);
+}
+
+TEST(Gauge, SetAndAdd) {
+  Registry reg;
+  Gauge& g = reg.gauge("core.fairness.cfi");
+  g.set(0.75);
+  EXPECT_DOUBLE_EQ(reg.gauge_value("core.fairness.cfi"), 0.75);
+  g.add(0.25);
+  EXPECT_DOUBLE_EQ(g.value, 1.0);
+}
+
+TEST(Histogram, BucketsByUpperBoundWithOverflow) {
+  Registry reg;
+  const std::vector<double> bounds{1.0, 10.0, 100.0};
+  Histogram& h = reg.histogram("mig.latency", bounds);
+  h.observe(0.5);    // <= 1
+  h.observe(1.0);    // <= 1 (bounds are inclusive)
+  h.observe(5.0);    // <= 10
+  h.observe(1000.0); // overflow
+  ASSERT_EQ(h.counts().size(), 4u);
+  EXPECT_EQ(h.counts()[0], 2u);
+  EXPECT_EQ(h.counts()[1], 1u);
+  EXPECT_EQ(h.counts()[2], 0u);
+  EXPECT_EQ(h.counts()[3], 1u);
+  EXPECT_EQ(h.count(), 4u);
+  EXPECT_DOUBLE_EQ(h.sum(), 1006.5);
+}
+
+TEST(Registry, RegistrationIsIdempotentPerKey) {
+  Registry reg;
+  Counter& a = reg.counter("vm.tlb.hits");
+  a.inc(7);
+  Counter& b = reg.counter("vm.tlb.hits");
+  EXPECT_EQ(&a, &b) << "same key must resolve to the same instrument";
+  EXPECT_EQ(b.value, 7u);
+}
+
+TEST(Registry, CrossTypeKeyCollisionThrows) {
+  Registry reg;
+  reg.counter("policy.quota");
+  EXPECT_THROW(reg.gauge("policy.quota"), std::logic_error);
+  EXPECT_THROW(reg.histogram("policy.quota", std::vector<double>{1.0}),
+               std::logic_error);
+  reg.gauge("mem.util");
+  EXPECT_THROW(reg.counter("mem.util"), std::logic_error);
+}
+
+TEST(Registry, HandlesStayValidAcrossInsertions) {
+  // Subsystems cache instrument pointers at wiring time; later
+  // registrations must not invalidate them (node-based storage).
+  Registry reg;
+  Counter& first = reg.counter("a.first");
+  for (int i = 0; i < 256; ++i) {
+    reg.counter("z.filler." + std::to_string(i));
+  }
+  first.inc(3);
+  EXPECT_EQ(reg.counter_value("a.first"), 3u);
+}
+
+TEST(Registry, IterationIsSortedAndDeterministic) {
+  Registry reg;
+  reg.counter("zeta.ops").inc(1);
+  reg.counter("alpha.ops").inc(2);
+  reg.counter("mid.ops{tier=1}").inc(3);
+  std::vector<std::string> keys;
+  reg.for_each([&](const std::string& k, const Counter&) { keys.push_back(k); },
+               [](const std::string&, const Gauge&) {},
+               [](const std::string&, const Histogram&) {});
+  const std::vector<std::string> expect{"alpha.ops", "mid.ops{tier=1}",
+                                        "zeta.ops"};
+  EXPECT_EQ(keys, expect);
+}
+
+TEST(Registry, JsonSnapshotIsStableAcrossInsertionOrder) {
+  Registry a;
+  a.counter("x.n").inc(5);
+  a.gauge("y.g").set(2.5);
+  a.counter("b.n").inc(1);
+
+  Registry b;  // same instruments, different insertion order
+  b.counter("b.n").inc(1);
+  b.gauge("y.g").set(2.5);
+  b.counter("x.n").inc(5);
+
+  std::ostringstream ja, jb;
+  a.write_json(ja);
+  b.write_json(jb);
+  EXPECT_EQ(ja.str(), jb.str());
+  EXPECT_NE(ja.str().find("\"x.n\": 5"), std::string::npos);
+}
+
+TEST(Scope, PrefixesKeysAndNests) {
+  Registry reg;
+  sim::Cycles clock = 0;
+  const Scope root(&reg, nullptr, &clock, "");
+  const Scope vm = root.sub("vm").sub("tlb");
+  vm.counter("hits").inc(9);
+  EXPECT_EQ(reg.counter_value("vm.tlb.hits"), 9u);
+}
+
+TEST(Scope, InertScopeIsSafeAndRegistersNothing) {
+  const Scope inert;
+  EXPECT_FALSE(inert.active());
+  inert.counter("anything").inc();          // must not crash
+  inert.event(EventKind::kEpochStart, 1, 2);  // must not crash
+  Registry reg;
+  EXPECT_EQ(reg.size(), 0u);
+}
+
+TEST(Scope, EventsCarryClockAndWorkload) {
+  Registry reg;
+  TraceRing ring(8);
+  sim::Cycles clock = 1234;
+  const Scope s(&reg, &ring, &clock, "mig", 3);
+  s.event(EventKind::kMigPhaseBegin, 2, 10);
+  const auto events = ring.events();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].time, 1234u);
+  EXPECT_EQ(events[0].workload, 3);
+  EXPECT_EQ(events[0].a, 2u);
+  EXPECT_EQ(events[0].b, 10u);
+}
+
+}  // namespace
+}  // namespace vulcan::obs

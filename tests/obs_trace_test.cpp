@@ -1,0 +1,124 @@
+#include "obs/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <vector>
+
+namespace vulcan::obs {
+namespace {
+
+TraceEvent make_event(std::uint64_t i) {
+  TraceEvent e;
+  e.time = i * 100;
+  e.kind = EventKind::kMigPhaseEnd;
+  e.workload = static_cast<std::int32_t>(i % 3);
+  e.a = i;
+  e.b = i * 2;
+  return e;
+}
+
+TEST(TraceRing, KeepsEverythingUnderCapacity) {
+  TraceRing ring(16);
+  for (std::uint64_t i = 0; i < 10; ++i) ring.emit(make_event(i));
+  EXPECT_EQ(ring.size(), 10u);
+  EXPECT_EQ(ring.dropped(), 0u);
+  const auto events = ring.events();
+  for (std::uint64_t i = 0; i < 10; ++i) {
+    EXPECT_EQ(events[i].seq, i) << "sequence numbers assigned in order";
+  }
+}
+
+TEST(TraceRing, OverflowDropsOldestKeepsNewest) {
+  TraceRing ring(4);
+  for (std::uint64_t i = 0; i < 10; ++i) ring.emit(make_event(i));
+  EXPECT_EQ(ring.size(), 4u);
+  EXPECT_EQ(ring.total_emitted(), 10u);
+  EXPECT_EQ(ring.dropped(), 6u);
+  const auto events = ring.events();
+  ASSERT_EQ(events.size(), 4u);
+  // The newest four events (seq 6..9), oldest first.
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(events[i].seq, 6u + i);
+    EXPECT_EQ(events[i].a, 6u + i);
+  }
+}
+
+TEST(TraceRing, ZeroCapacityIsClampedToOne) {
+  TraceRing ring(0);
+  ring.emit(make_event(0));
+  ring.emit(make_event(1));
+  EXPECT_EQ(ring.size(), 1u);
+  EXPECT_EQ(ring.events()[0].seq, 1u);
+}
+
+TEST(TraceJsonl, RoundTripsEveryKind) {
+  const EventKind kinds[] = {
+      EventKind::kEpochStart,     EventKind::kEpochEnd,
+      EventKind::kMigPhaseBegin,  EventKind::kMigPhaseEnd,
+      EventKind::kShootdownIssue, EventKind::kShootdownAck,
+      EventKind::kPolicyQuota,    EventKind::kCbfrpPromotion,
+      EventKind::kCbfrpRejection,
+  };
+  const auto carries_v = [](EventKind k) {
+    return k == EventKind::kEpochEnd || k == EventKind::kCbfrpPromotion ||
+           k == EventKind::kCbfrpRejection;
+  };
+  TraceRing ring(64);
+  std::uint64_t i = 0;
+  for (const EventKind kind : kinds) {
+    TraceEvent e;
+    e.time = 1000 + i;
+    e.kind = kind;
+    e.workload = (i % 2) ? static_cast<std::int32_t>(i) : -1;
+    e.a = i * 3;
+    e.b = i * 7;
+    // Only kinds with a floating payload serialise `v`; others would lose
+    // it on round-trip by design.
+    if (carries_v(kind)) e.v = 0.5 * static_cast<double>(i);
+    ring.emit(e);
+    ++i;
+  }
+
+  std::stringstream buf;
+  ring.write_jsonl(buf);
+  const std::vector<TraceEvent> parsed = TraceRing::read_jsonl(buf);
+  EXPECT_EQ(parsed, ring.events());
+}
+
+TEST(TraceJsonl, OutputIsDeterministic) {
+  const auto render = [] {
+    TraceRing ring(8);
+    for (std::uint64_t i = 0; i < 12; ++i) ring.emit(make_event(i));
+    std::ostringstream out;
+    ring.write_jsonl(out);
+    return out.str();
+  };
+  EXPECT_EQ(render(), render());
+}
+
+TEST(TraceJsonl, SkipsGarbageLines) {
+  std::stringstream buf;
+  buf << "not json at all\n"
+      << R"({"seq":0,"t":5,"kind":"epoch_start","w":-1,"epoch":1,)"
+      << R"("workloads":2})"
+      << "\n"
+      << "{\"kind\":\"no_such_kind\"}\n";
+  const auto parsed = TraceRing::read_jsonl(buf);
+  ASSERT_EQ(parsed.size(), 1u);
+  EXPECT_EQ(parsed[0].kind, EventKind::kEpochStart);
+  EXPECT_EQ(parsed[0].time, 5u);
+  EXPECT_EQ(parsed[0].a, 1u);
+  EXPECT_EQ(parsed[0].b, 2u);
+}
+
+TEST(MigPhase, NamesAreStable) {
+  EXPECT_STREQ(mig_phase_name(MigPhase::kPrep), "prep");
+  EXPECT_STREQ(mig_phase_name(MigPhase::kUnmap), "unmap");
+  EXPECT_STREQ(mig_phase_name(MigPhase::kShootdown), "shootdown");
+  EXPECT_STREQ(mig_phase_name(MigPhase::kCopy), "copy");
+  EXPECT_STREQ(mig_phase_name(MigPhase::kRemap), "remap");
+}
+
+}  // namespace
+}  // namespace vulcan::obs

@@ -1,0 +1,132 @@
+#include "runtime/builder.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "runtime/experiment.hpp"
+#include "wl/apps.hpp"
+
+namespace vulcan::runtime {
+namespace {
+
+TEST(SystemBuilder, DefaultsBuildAWorkingSystem) {
+  auto built = SystemBuilder{}.build();
+  ASSERT_TRUE(built.ok()) << built.error();
+  TieredSystem& sys = *built.value();
+  EXPECT_EQ(sys.workload_count(), 0u);
+  EXPECT_GT(sys.migration_budget_pages(), 0u);
+}
+
+TEST(SystemBuilder, StagedWorkloadsRegisterInOrder) {
+  auto built = SystemBuilder{}
+                   .seed(11)
+                   .policy("vulcan")
+                   .add_workload(wl::make_memcached(1))
+                   .add_workload(wl::make_liblinear(2))
+                   .build();
+  ASSERT_TRUE(built.ok()) << built.error();
+  TieredSystem& sys = *built.value();
+  ASSERT_EQ(sys.workload_count(), 2u);
+  EXPECT_EQ(sys.workload(0).spec().name, "memcached");
+  EXPECT_EQ(sys.workload(1).spec().name, "liblinear");
+}
+
+TEST(SystemBuilder, RejectsZeroCores) {
+  auto built = SystemBuilder{}.machine({.cores = 0}).build();
+  ASSERT_FALSE(built.ok());
+  EXPECT_NE(built.error().find("cores"), std::string::npos);
+}
+
+TEST(SystemBuilder, RejectsZeroSamples) {
+  auto built = SystemBuilder{}.samples_per_epoch(0).build();
+  ASSERT_FALSE(built.ok());
+  EXPECT_NE(built.error().find("samples"), std::string::npos);
+}
+
+TEST(SystemBuilder, RejectsZeroEpoch) {
+  EXPECT_FALSE(SystemBuilder{}.epoch(0).build().ok());
+  EXPECT_FALSE(SystemBuilder{}.epoch_ms(0.0).build().ok());
+}
+
+TEST(SystemBuilder, RejectsZeroCoresPerWorkload) {
+  EXPECT_FALSE(SystemBuilder{}.cores_per_workload(0).build().ok());
+}
+
+TEST(SystemBuilder, RejectsBadHeatDecay) {
+  EXPECT_FALSE(SystemBuilder{}.heat_decay(0.0).build().ok());
+  EXPECT_FALSE(SystemBuilder{}.heat_decay(1.5).build().ok());
+  EXPECT_TRUE(SystemBuilder{}.heat_decay(1.0).build().ok());
+}
+
+TEST(SystemBuilder, RejectsTiersWhereTierZeroIsNotFastest) {
+  auto built = SystemBuilder{}
+                   .tiers({{"cxl", 1024, 162, 25.0}, {"dram", 1024, 70, 205.0}})
+                   .build();
+  ASSERT_FALSE(built.ok());
+  EXPECT_NE(built.error().find("fastest"), std::string::npos);
+}
+
+TEST(SystemBuilder, RejectsEmptyAndZeroCapacityTiers) {
+  EXPECT_FALSE(SystemBuilder{}.tiers({}).build().ok());
+  EXPECT_FALSE(
+      SystemBuilder{}.tiers({{"dram", 0, 70, 205.0}}).build().ok());
+}
+
+TEST(SystemBuilder, AcceptsValidThreeTierTopology) {
+  auto built = SystemBuilder{}
+                   .tiers({{"hbm", 2048, 40, 400.0},
+                           {"dram", 4096, 70, 205.0},
+                           {"cxl", 8192, 162, 25.0}})
+                   .build();
+  EXPECT_TRUE(built.ok()) << built.error();
+}
+
+TEST(SystemBuilder, UnknownPolicyNameIsAnErrorNotAThrow) {
+  auto built = SystemBuilder{}.policy("colloid").build();
+  ASSERT_FALSE(built.ok());
+  EXPECT_NE(built.error().find("colloid"), std::string::npos);
+}
+
+TEST(SystemBuilder, AcceptsConcretePolicyInstance) {
+  auto built = SystemBuilder{}.policy(make_policy("tpp")).build();
+  ASSERT_TRUE(built.ok()) << built.error();
+  EXPECT_EQ(built.value()->policy().name(), "tpp");
+}
+
+TEST(SystemBuilder, MatchesLegacyConfigConstructionExactly) {
+  // The builder is a veneer over TieredSystem::Config; identical settings
+  // must give an identical (deterministic) simulation.
+  const std::uint64_t kSeed = 97;
+  const unsigned kEpochs = 6;
+
+  TieredSystem::Config config;
+  config.seed = kSeed;
+  config.samples_per_epoch = 2000;
+  TieredSystem legacy(config, make_policy("vulcan"));
+  legacy.add_workload(wl::make_memcached(5));
+  legacy.run_epochs(kEpochs);
+
+  auto built = SystemBuilder{}
+                   .seed(kSeed)
+                   .samples_per_epoch(2000)
+                   .policy("vulcan")
+                   .add_workload(wl::make_memcached(5))
+                   .build();
+  ASSERT_TRUE(built.ok()) << built.error();
+  TieredSystem& sys = *built.value();
+  sys.run_epochs(kEpochs);
+
+  std::ostringstream a, b;
+  legacy.metrics().write_csv(a);
+  sys.metrics().write_csv(b);
+  EXPECT_EQ(a.str(), b.str());
+
+  std::ostringstream ja, jb;
+  legacy.obs_registry().write_json(ja);
+  sys.obs_registry().write_json(jb);
+  EXPECT_EQ(ja.str(), jb.str());
+}
+
+}  // namespace
+}  // namespace vulcan::runtime

@@ -7,6 +7,8 @@
 //   vulcan_sim --policy memtis --scenario dilemma --seconds 40
 //   vulcan_sim --policy tpp --rss 16384 --wss 8192 --write-ratio 0.3
 //              --rate 3e6 --seconds 20 --profiler pt-scan
+//   vulcan_sim --policy vulcan --scenario paper --seconds 20
+//              --trace t.jsonl --metrics m.json
 //
 // Prints a per-workload summary and (optionally) the full per-epoch CSV.
 #include <cstdio>
@@ -27,6 +29,8 @@ struct Options {
   std::string scenario = "paper";  // paper | dilemma | micro
   std::string profiler = "hybrid";
   std::string csv;
+  std::string trace_out;    // structured event trace (JSONL)
+  std::string metrics_out;  // obs::Registry snapshot (JSON)
   double seconds = 60.0;
   std::uint64_t seed = 42;
   double epoch_ms = 250.0;
@@ -58,6 +62,8 @@ void usage() {
       "  --samples N      access samples per epoch          [10000]\n"
       "  --seed N         RNG seed                          [42]\n"
       "  --csv FILE       write per-epoch metrics CSV\n"
+      "  --trace FILE     write the structured event trace (JSONL)\n"
+      "  --metrics FILE   write the metrics-registry snapshot (JSON)\n"
       "  micro knobs: --rss P --wss P --write-ratio R --rate A/s/thread\n"
       "               --drift pages/s\n"
       "  traces:      --record-trace FILE  (capture workload 0)\n"
@@ -79,6 +85,8 @@ bool parse(int argc, char** argv, Options& o) {
     else if (flag == "--scenario") o.scenario = next();
     else if (flag == "--profiler") o.profiler = next();
     else if (flag == "--csv") o.csv = next();
+    else if (flag == "--trace") o.trace_out = next();
+    else if (flag == "--metrics") o.metrics_out = next();
     else if (flag == "--seconds") o.seconds = std::atof(next());
     else if (flag == "--epoch-ms") o.epoch_ms = std::atof(next());
     else if (flag == "--samples") o.samples = std::strtoull(next(), nullptr, 10);
@@ -175,14 +183,19 @@ int main(int argc, char** argv) {
     return 0;
   }
 
-  runtime::TieredSystem::Config config;
-  config.seed = o.seed;
-  config.epoch = sim::CpuClock::from_nanos(
-      static_cast<std::uint64_t>(o.epoch_ms * 1e6));
-  config.samples_per_epoch = o.samples;
-  config.profiler = profiler_kind(o.profiler);
-
-  runtime::TieredSystem sys(config, runtime::make_policy(o.policy));
+  auto built = runtime::SystemBuilder{}
+                   .seed(o.seed)
+                   .epoch_ms(o.epoch_ms)
+                   .samples_per_epoch(o.samples)
+                   .profiler(profiler_kind(o.profiler))
+                   .policy(std::string_view(o.policy))
+                   .build();
+  if (!built) {
+    std::fprintf(stderr, "invalid configuration: %s\n",
+                 built.error().c_str());
+    return 2;
+  }
+  runtime::TieredSystem& sys = *built.value();
   std::printf("policy=%s scenario=%s seed=%llu epoch=%.0fms "
               "budget=%llu pages/epoch\n\n",
               o.policy.c_str(), o.scenario.c_str(),
@@ -244,8 +257,22 @@ int main(int argc, char** argv) {
 
   if (!o.csv.empty()) {
     std::ofstream out(o.csv);
-    m.write_csv(out);
+    obs::CsvExporter exporter(out);
+    m.write(exporter);
     std::printf("wrote %s (%zu epochs)\n", o.csv.c_str(), m.epochs().size());
+  }
+  if (!o.trace_out.empty()) {
+    std::ofstream out(o.trace_out);
+    sys.obs_trace().write_jsonl(out);
+    std::printf("wrote %s (%zu events, %llu dropped)\n", o.trace_out.c_str(),
+                sys.obs_trace().size(),
+                (unsigned long long)sys.obs_trace().dropped());
+  }
+  if (!o.metrics_out.empty()) {
+    std::ofstream out(o.metrics_out);
+    sys.obs_registry().write_json(out);
+    std::printf("wrote %s (%zu instruments)\n", o.metrics_out.c_str(),
+                sys.obs_registry().size());
   }
   return 0;
 }
