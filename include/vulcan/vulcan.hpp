@@ -11,7 +11,8 @@
 //   vulcan::wl       workload models (Memcached, PageRank, Liblinear, ...)
 //   vulcan::policy   tiering policies (TPP, Memtis, Nomad, biased queues)
 //   vulcan::core     Vulcan's contribution: QoS, CBFRP, classifier, manager
-//   vulcan::obs      metrics registry, structured trace, export backends
+//   vulcan::obs      metrics registry, structured trace, timeline spans,
+//                    per-app attribution, export backends + fairness report
 //   vulcan::runtime  the co-location system harness and experiment helpers
 //
 // Quick start:
@@ -37,9 +38,13 @@
 #include "mig/mechanism.hpp"
 #include "mig/migration_thread.hpp"
 #include "mig/migrator.hpp"
+#include "obs/app_stats.hpp"
 #include "obs/exporter.hpp"
 #include "obs/metrics.hpp"
+#include "obs/perfetto.hpp"
+#include "obs/report.hpp"
 #include "obs/scope.hpp"
+#include "obs/span.hpp"
 #include "obs/trace.hpp"
 #include "policy/biased.hpp"
 #include "policy/cascade.hpp"

@@ -4,16 +4,6 @@
 
 namespace vulcan::core {
 
-double jain_index(std::span<const double> x) {
-  double sum = 0.0, sum_sq = 0.0;
-  for (const double v : x) {
-    sum += v;
-    sum_sq += v * v;
-  }
-  if (x.empty() || sum_sq <= 0.0) return 1.0;
-  return sum * sum / (static_cast<double>(x.size()) * sum_sq);
-}
-
 void CfiAccumulator::record_epoch(std::span<const double> alloc,
                                   std::span<const double> fthr) {
   assert(alloc.size() == fthr.size());

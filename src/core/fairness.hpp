@@ -17,8 +17,17 @@
 namespace vulcan::core {
 
 /// Jain's index over any non-negative vector. Returns 1.0 for empty/all-zero
-/// input (vacuously fair).
-double jain_index(std::span<const double> x);
+/// input (vacuously fair). Inline so header-only consumers (obs::AppStats,
+/// vulcan_report) share the one definition the fairness tests exercise.
+inline double jain_index(std::span<const double> x) {
+  double sum = 0.0, sum_sq = 0.0;
+  for (const double v : x) {
+    sum += v;
+    sum_sq += v * v;
+  }
+  if (x.empty() || sum_sq <= 0.0) return 1.0;
+  return sum * sum / (static_cast<double>(x.size()) * sum_sq);
+}
 
 /// Accumulates Eq. 4 over epochs.
 class CfiAccumulator {

@@ -243,12 +243,18 @@ void VulcanManager::plan_epoch(std::span<policy::WorkloadView> all_views,
     obs().counter("cbfrp.reclaims").inc(result.reclaims);
     for (std::size_t i = 0; i < n; ++i) {
       const auto& view = workloads(i);
+      const bool won = result.alloc[i] >= inputs[i].demand;
       obs()
           .for_workload(static_cast<std::int32_t>(view.index))
-          .event(result.alloc[i] >= inputs[i].demand
-                     ? obs::EventKind::kCbfrpPromotion
+          .event(won ? obs::EventKind::kCbfrpPromotion
                      : obs::EventKind::kCbfrpRejection,
                  result.alloc[i], inputs[i].demand, result.credits[i]);
+      // Per-app partition outcome counters, keyed the same way the
+      // attribution layer keys its metrics (vulcan_report joins on them).
+      obs()
+          .counter(std::string(won ? "cbfrp.promotions" : "cbfrp.rejections") +
+                   "{app=" + std::to_string(view.index) + "}")
+          .inc();
     }
     // Work conservation: capacity nobody demanded stays usable by anyone
     // (the physical allocator arbitrates). Strict quotas only bind under
@@ -286,13 +292,22 @@ void VulcanManager::plan_epoch(std::span<policy::WorkloadView> all_views,
                                       pw.advisor.replication_worthwhile());
     }
 
-    if (gated) {
-      // Suspend promotions; still honour quota overflows (demotions
-      // relieve the very contention that tripped the gate).
-      const std::uint64_t in_fast = view.as->pages_in_tier(mem::kFastTier);
-      if (in_fast > quotas[i]) plan_workload(view, pw, quotas[i]);
-    } else {
-      plan_workload(view, pw, quotas[i]);
+    {
+      // One plan span per workload (arg = granted quota) so the timeline
+      // shows which app each slice of the policy round worked for.
+      obs::ScopedSpan plan_span =
+          obs()
+              .for_workload(static_cast<std::int32_t>(view.index))
+              .span(obs::SpanKind::kPlanWorkload,
+                    static_cast<double>(quotas[i]));
+      if (gated) {
+        // Suspend promotions; still honour quota overflows (demotions
+        // relieve the very contention that tripped the gate).
+        const std::uint64_t in_fast = view.as->pages_in_tier(mem::kFastTier);
+        if (in_fast > quotas[i]) plan_workload(view, pw, quotas[i]);
+      } else {
+        plan_workload(view, pw, quotas[i]);
+      }
     }
 
     WorkloadQos& q = qos_snapshot_[view.index];

@@ -40,6 +40,7 @@ struct MigrationStats {
   std::uint64_t shadow_remaps = 0;   ///< demotions satisfied by a shadow copy
   std::uint64_t retries = 0;         ///< async dirty re-copies
   std::uint64_t private_migrated = 0;  ///< migrations of exclusively-owned pages
+  std::uint64_t shootdown_ipis = 0;  ///< remote cores interrupted on our behalf
   sim::Cycles stall_cycles = 0;      ///< charged to the application threads
   sim::Cycles daemon_cycles = 0;     ///< charged to migration threads
   std::uint64_t bytes_copied = 0;
@@ -51,6 +52,7 @@ struct MigrationStats {
     shadow_remaps += o.shadow_remaps;
     retries += o.retries;
     private_migrated += o.private_migrated;
+    shootdown_ipis += o.shootdown_ipis;
     stall_cycles += o.stall_cycles;
     daemon_cycles += o.daemon_cycles;
     bytes_copied += o.bytes_copied;

@@ -29,13 +29,17 @@ void Migrator::set_obs(obs::Scope scope) {
 }
 
 sim::Cycles Migrator::phase(obs::MigPhase p, std::uint64_t pages,
-                            sim::Cycles cycles) {
+                            sim::Cycles cycles, bool with_span) {
   phase_cycles_[static_cast<std::size_t>(p)]->inc(cycles);
   if (obs_.tracing()) {
     obs_.event(obs::EventKind::kMigPhaseBegin,
                static_cast<std::uint64_t>(p), pages);
     obs_.event(obs::EventKind::kMigPhaseEnd, static_cast<std::uint64_t>(p),
                cycles);
+  }
+  if (with_span) {
+    obs_.span(obs::span_kind_for(p), static_cast<double>(pages))
+        .close(cycles);
   }
   return cycles;
 }
@@ -70,6 +74,9 @@ bool Migrator::execute_chunk(const MigrationRequest& req, sim::Rng& rng,
   const vm::CoreId initiator =
       sync ? core_of(req.owner) : config_.daemon_core;
   const auto targets = shootdown_targets(req, initiator);
+  obs::ScopedSpan op_span =
+      obs_.span(obs::SpanKind::kMigrationOp,
+                static_cast<double>(sim::kPagesPerHuge), req.to, req.owner);
 
   const vm::Vpn base = as_->chunk_base(req.vpn);
   std::vector<vm::Vpn> moved;
@@ -101,9 +108,18 @@ bool Migrator::execute_chunk(const MigrationRequest& req, sim::Rng& rng,
   // per-page unmap/copy/remap.
   bucket += phase(obs::MigPhase::kUnmap, moved.size(),
                   cost.unmap_batched(moved.size()));
-  bucket += phase(
-      obs::MigPhase::kShootdown, moved.size(),
-      shootdowns_->shoot_batch(initiator, targets, as_->pid(), moved));
+  {
+    // The shootdown phase span wraps the controller call so the IPI-round
+    // span it records nests inside; the controller advances the cursor.
+    obs::ScopedSpan sd_span =
+        obs_.span(obs::span_kind_for(obs::MigPhase::kShootdown),
+                  static_cast<double>(moved.size()), req.to);
+    const sim::Cycles sd_cost =
+        shootdowns_->shoot_batch(initiator, targets, as_->pid(), moved);
+    bucket += phase(obs::MigPhase::kShootdown, moved.size(), sd_cost,
+                    /*with_span=*/false);
+    stats.shootdown_ipis += targets.size();
+  }
   bucket += phase(obs::MigPhase::kCopy, moved.size(),
                   config_.dma_copy
                       ? moved.size() * cost.params().dma_setup_cycles
@@ -133,10 +149,14 @@ bool Migrator::execute_one(const MigrationRequest& req, sim::Rng& rng,
   const vm::Pte pte = as_->tables().get(req.vpn);
   if (!pte.present() || mem::tier_of(pte.pfn()) == req.to) return false;
 
+  obs::ScopedSpan op_span = obs_.span(obs::SpanKind::kMigrationOp,
+                                      /*arg=*/1.0, req.to, req.owner);
+
   // THP split precedes any base-page migration of a huge-mapped chunk.
   if (as_->is_huge(req.vpn)) {
     as_->split_chunk(req.vpn);
     bucket += config_.huge_split_cycles;
+    op_span.advance(config_.huge_split_cycles);
   }
 
   const auto targets = shootdown_targets(req, initiator);
@@ -148,9 +168,16 @@ bool Migrator::execute_one(const MigrationRequest& req, sim::Rng& rng,
   if (demotion && !dirty && config_.shadowing) {
     if (auto shadow = shadows_.consume(req.vpn)) {
       bucket += phase(obs::MigPhase::kUnmap, 1, cost.unmap(1));
-      bucket += phase(obs::MigPhase::kShootdown, 1,
-                      shootdowns_->shoot_single(initiator, targets,
-                                                as_->pid(), req.vpn));
+      {
+        obs::ScopedSpan sd_span =
+            obs_.span(obs::span_kind_for(obs::MigPhase::kShootdown),
+                      /*arg=*/1.0, req.to);
+        bucket += phase(obs::MigPhase::kShootdown, 1,
+                        shootdowns_->shoot_single(initiator, targets,
+                                                  as_->pid(), req.vpn),
+                        /*with_span=*/false);
+        stats.shootdown_ipis += targets.size();
+      }
       const mem::Pfn old = as_->remap(req.vpn, *shadow);
       topo_->allocator(mem::tier_of(old)).free(old);
       bucket += phase(obs::MigPhase::kRemap, 1, cost.remap(1));
@@ -185,9 +212,16 @@ bool Migrator::execute_one(const MigrationRequest& req, sim::Rng& rng,
   }
 
   bucket += phase(obs::MigPhase::kUnmap, 1, cost.unmap(1));
-  bucket += phase(obs::MigPhase::kShootdown, 1,
-                  shootdowns_->shoot_single(initiator, targets, as_->pid(),
-                                            req.vpn));
+  {
+    obs::ScopedSpan sd_span =
+        obs_.span(obs::span_kind_for(obs::MigPhase::kShootdown),
+                  /*arg=*/1.0, req.to);
+    bucket += phase(obs::MigPhase::kShootdown, 1,
+                    shootdowns_->shoot_single(initiator, targets, as_->pid(),
+                                              req.vpn),
+                    /*with_span=*/false);
+    stats.shootdown_ipis += targets.size();
+  }
   // HeMem-style DMA offload: the engine streams the page while the CPU
   // only pays descriptor setup; otherwise the CPU performs the copy.
   bucket += phase(obs::MigPhase::kCopy, 1,

@@ -89,7 +89,12 @@ class Migrator {
                                             vm::CoreId initiator) const;
   /// Account `cycles` of work in `phase` against the attached scope and
   /// return the cycles (so call sites charge their bucket in one line).
-  sim::Cycles phase(obs::MigPhase p, std::uint64_t pages, sim::Cycles cycles);
+  /// By default also records a timeline span advancing the cursor by
+  /// `cycles`; pass `with_span = false` when the call site wraps the work
+  /// in its own span (the shootdown phase, whose cursor is advanced by the
+  /// controller's nested span).
+  sim::Cycles phase(obs::MigPhase p, std::uint64_t pages, sim::Cycles cycles,
+                    bool with_span = true);
 
   vm::AddressSpace* as_;
   mem::Topology* topo_;

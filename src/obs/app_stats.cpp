@@ -1,0 +1,91 @@
+#include "obs/app_stats.hpp"
+
+#include <string>
+
+// Header-only on purpose: obs sits below core in the library graph, and
+// jain_index is inline so sharing the definition costs no link dependency.
+#include "core/fairness.hpp"
+
+namespace vulcan::obs {
+
+namespace {
+
+std::string key(const char* name, std::int32_t app) {
+  return "app." + std::string(name) + "{app=" + std::to_string(app) + "}";
+}
+
+// Slowdown distribution: 1.0 = no slowdown; the tail buckets capture the
+// unfair >2x outliers the paper's figures highlight.
+constexpr double kSlowdownBounds[] = {1.05, 1.1, 1.25, 1.5, 2.0, 3.0, 5.0};
+
+}  // namespace
+
+AppStats::PerApp& AppStats::app(std::int32_t index) {
+  const auto i = static_cast<std::size_t>(index);
+  if (i >= per_app_.size()) per_app_.resize(i + 1);
+  PerApp& pa = per_app_[i];
+  if (!pa.fast_pages) {
+    pa.fast_page_epochs = &registry_->counter(key("fast_page_epochs", index));
+    pa.stall_cycles = &registry_->counter(key("migration_stall_cycles", index));
+    pa.daemon_cycles =
+        &registry_->counter(key("migration_daemon_cycles", index));
+    pa.shootdown_ipis = &registry_->counter(key("shootdown_ipis", index));
+    pa.fast_pages = &registry_->gauge(key("fast_pages", index));
+    pa.slowdown = &registry_->gauge(key("slowdown", index));
+    pa.slowdown_mean = &registry_->gauge(key("slowdown_mean", index));
+    pa.slowdown_hist =
+        &registry_->histogram(key("slowdown_hist", index), kSlowdownBounds);
+    for (std::size_t k = 0; k < kSpanKindCount; ++k) {
+      pa.span_cycles[k] = &registry_->counter(
+          key((std::string("span.") +
+               span_kind_name(static_cast<SpanKind>(k)) + "_cycles")
+                  .c_str(),
+              index));
+    }
+  }
+  return pa;
+}
+
+void AppStats::record_epoch(std::span<const AppEpochSample> samples) {
+  if (!registry_ || samples.empty()) return;
+
+  std::vector<double> progress(samples.size(), 0.0);
+  for (std::size_t i = 0; i < samples.size(); ++i) {
+    const AppEpochSample& s = samples[i];
+    PerApp& pa = app(s.app);
+    pa.fast_page_epochs->inc(s.fast_pages);
+    pa.stall_cycles->inc(s.stall_cycles);
+    pa.daemon_cycles->inc(s.daemon_cycles);
+    pa.shootdown_ipis->inc(s.shootdown_ipis);
+    pa.fast_pages->set(static_cast<double>(s.fast_pages));
+    const double slowdown = s.slowdown >= 1.0 ? s.slowdown : 1.0;
+    pa.slowdown->set(slowdown);
+    pa.slowdown_hist->observe(slowdown);
+    pa.slowdown_sum += slowdown;
+    ++pa.epochs;
+    pa.slowdown_mean->set(pa.slowdown_sum / static_cast<double>(pa.epochs));
+    progress[i] = 1.0 / slowdown;
+  }
+  jain_epoch_ = core::jain_index(progress);
+
+  std::vector<double> cumulative;
+  cumulative.reserve(per_app_.size());
+  for (const PerApp& pa : per_app_) {
+    if (pa.epochs == 0) continue;
+    cumulative.push_back(static_cast<double>(pa.epochs) / pa.slowdown_sum);
+  }
+  jain_cumulative_ = core::jain_index(cumulative);
+
+  registry_->gauge("app.fairness.jain").set(jain_epoch_);
+  registry_->gauge("app.fairness.jain_cumulative").set(jain_cumulative_);
+}
+
+void AppStats::on_span_closed(std::int32_t workload, SpanKind kind,
+                              sim::Cycles duration) {
+  if (!registry_ || workload < 0) return;
+  const auto k = static_cast<std::size_t>(kind);
+  if (k >= kSpanKindCount) return;
+  app(workload).span_cycles[k]->inc(duration);
+}
+
+}  // namespace vulcan::obs

@@ -1,0 +1,90 @@
+// Per-application fairness attribution (the paper's whole thesis is
+// *per-app* slowdown; system-wide aggregates cannot show who paid for a
+// migration or a shootdown).
+//
+// AppStats rolls two streams into the shared metrics registry:
+//
+//  * per-epoch samples pushed by the runtime — fast-tier residency,
+//    migration stall/daemon cycles, shootdown IPIs absorbed, and the
+//    slowdown-vs-isolated estimate from the cost model (the inverse of the
+//    normalised performance metric);
+//  * closing spans (as a SpanSink) — per-app per-kind cycle totals, so the
+//    timeline's cost attribution and the registry always agree.
+//
+// Every instrument is keyed `app.<name>{app=N}`; fairness over the apps is
+// published as Jain's index over per-app progress (1/slowdown), both for
+// the latest epoch and cumulatively.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "obs/span.hpp"
+#include "sim/clock.hpp"
+
+namespace vulcan::obs {
+
+/// One app's measurements for one epoch, as attributed by the runtime.
+struct AppEpochSample {
+  std::int32_t app = 0;
+  std::uint64_t fast_pages = 0;        ///< fast-tier residency at epoch end
+  std::uint64_t stall_cycles = 0;      ///< migration stalls charged to the app
+  std::uint64_t daemon_cycles = 0;     ///< migration-thread cycles
+  std::uint64_t shootdown_ipis = 0;    ///< remote cores interrupted for it
+  /// Estimated slowdown vs running isolated all-fast (>= 1.0): the cost
+  /// model's actual cycles-per-access over the ideal.
+  double slowdown = 1.0;
+};
+
+class AppStats final : public SpanSink {
+ public:
+  AppStats() = default;
+  explicit AppStats(Registry* registry) : registry_(registry) {}
+
+  bool active() const { return registry_ != nullptr; }
+
+  /// Fold one epoch of per-app samples into the registry and refresh the
+  /// fairness gauges.
+  void record_epoch(std::span<const AppEpochSample> samples);
+
+  /// SpanSink: attribute a closing span's cycles to its app.
+  void on_span_closed(std::int32_t workload, SpanKind kind,
+                      sim::Cycles duration) override;
+
+  /// Jain's index over per-app progress (1/slowdown) for the last recorded
+  /// epoch; 1.0 before any epoch.
+  double jain_epoch() const { return jain_epoch_; }
+  /// Jain's index over per-app mean progress across all epochs.
+  double jain_cumulative() const { return jain_cumulative_; }
+
+  std::size_t apps() const { return per_app_.size(); }
+
+ private:
+  struct PerApp {
+    // Cached instrument handles (resolved on first sight of the app).
+    Counter* fast_page_epochs = nullptr;
+    Counter* stall_cycles = nullptr;
+    Counter* daemon_cycles = nullptr;
+    Counter* shootdown_ipis = nullptr;
+    Gauge* fast_pages = nullptr;
+    Gauge* slowdown = nullptr;
+    Gauge* slowdown_mean = nullptr;
+    Histogram* slowdown_hist = nullptr;
+    std::array<Counter*, kSpanKindCount> span_cycles{};
+    // Accumulators for the cumulative fairness index.
+    double slowdown_sum = 0.0;
+    std::uint64_t epochs = 0;
+  };
+
+  PerApp& app(std::int32_t index);
+
+  Registry* registry_ = nullptr;
+  std::vector<PerApp> per_app_;
+  double jain_epoch_ = 1.0;
+  double jain_cumulative_ = 1.0;
+};
+
+}  // namespace vulcan::obs

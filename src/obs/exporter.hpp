@@ -15,8 +15,10 @@
 
 namespace vulcan::obs {
 
-/// One cell. Strings are written raw by the CSV backend (caller formats),
-/// and quoted/escaped by the JSONL backend.
+/// One cell. Strings are RFC 4180-quoted by the CSV backend only when they
+/// contain a comma, quote or line break (clean cells stay raw, keeping
+/// byte-compatibility with the legacy writers), and always quoted/escaped
+/// by the JSONL backend.
 using Value = std::variant<std::uint64_t, std::int64_t, double, std::string>;
 
 class Exporter {

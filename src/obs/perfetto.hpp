@@ -1,0 +1,45 @@
+// Timeline export backends for the span stream (obs/span.hpp):
+//
+//  * write_perfetto — Chrome trace_event JSON (the format chrome://tracing
+//    and https://ui.perfetto.dev open directly). Spans become "B"/"E"
+//    duration events on one track per (app, thread); flat trace events
+//    become "i" instant events. Timestamps are virtual time converted to
+//    microseconds; output is deterministic for identical-seed runs.
+//
+//  * write_folded — collapsed flamegraph stacks ("frame;frame;frame self")
+//    aggregating each span's self cycles, the input format of
+//    flamegraph.pl / speedscope / inferno.
+//
+// Both exporters rebuild the span forest first; a trace whose ring dropped
+// events is exported leniently (orphan ends skipped, dangling begins
+// closed) and the loss is reported via the diagnostics stream so a
+// truncated timeline is never silently presented as complete.
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+#include <span>
+
+#include "obs/trace.hpp"
+
+namespace vulcan::obs {
+
+struct PerfettoOptions {
+  /// Events the ring dropped before export (TraceRing::dropped()). When
+  /// nonzero the exporter switches to lenient span pairing and embeds the
+  /// count in the trace metadata.
+  std::uint64_t dropped = 0;
+  /// Where to print the one-line truncation warning (nullptr = silent).
+  std::ostream* diag = nullptr;
+};
+
+/// Serialise `events` as trace_event JSON. Returns false when the span
+/// stream was malformed beyond lenient repair (nothing sensible written).
+bool write_perfetto(std::span<const TraceEvent> events, std::ostream& out,
+                    const PerfettoOptions& opts = {});
+
+/// Serialise the span tree as folded flamegraph stacks (self cycles).
+void write_folded(std::span<const TraceEvent> events, std::ostream& out,
+                  const PerfettoOptions& opts = {});
+
+}  // namespace vulcan::obs

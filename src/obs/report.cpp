@@ -1,0 +1,269 @@
+#include "obs/report.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <iomanip>
+#include <set>
+#include <sstream>
+
+#include "obs/span.hpp"
+#include "sim/clock.hpp"
+
+// Header-only on purpose: obs sits below core in the library graph and
+// jain_index is inline, so sharing the definition costs no link dependency.
+#include "core/fairness.hpp"
+
+namespace vulcan::obs {
+
+namespace {
+
+// ------------------------------------------------------------- JSON reader
+//
+// A scanner for the one JSON dialect Registry::write_json emits: two flat
+// string->number sections named "counters" and "gauges". Keys contain no
+// escapes (registry keys are instrument names), values are plain number
+// tokens or null.
+
+struct Cursor {
+  const std::string& s;
+  std::size_t pos = 0;
+
+  void skip_ws() {
+    while (pos < s.size() && (s[pos] == ' ' || s[pos] == '\n' ||
+                              s[pos] == '\r' || s[pos] == '\t')) {
+      ++pos;
+    }
+  }
+  bool accept(char c) {
+    skip_ws();
+    if (pos < s.size() && s[pos] == c) {
+      ++pos;
+      return true;
+    }
+    return false;
+  }
+  bool read_string(std::string& out) {
+    skip_ws();
+    if (pos >= s.size() || s[pos] != '"') return false;
+    const std::size_t end = s.find('"', pos + 1);
+    if (end == std::string::npos) return false;
+    out.assign(s, pos + 1, end - pos - 1);
+    pos = end + 1;
+    return true;
+  }
+  bool read_number(double& out) {
+    skip_ws();
+    if (s.compare(pos, 4, "null") == 0) {
+      out = 0.0;
+      pos += 4;
+      return true;
+    }
+    const char* begin = s.c_str() + pos;
+    char* end = nullptr;
+    out = std::strtod(begin, &end);
+    if (end == begin) return false;
+    pos += static_cast<std::size_t>(end - begin);
+    return true;
+  }
+};
+
+template <typename Store>
+bool parse_section(Cursor& c, const char* name, Store&& store) {
+  const std::size_t at = c.s.find("\"" + std::string(name) + "\"", c.pos);
+  if (at == std::string::npos) return false;
+  c.pos = at + std::string(name).size() + 2;
+  if (!c.accept(':') || !c.accept('{')) return false;
+  if (c.accept('}')) return true;  // empty section
+  do {
+    std::string key;
+    double value = 0.0;
+    if (!c.read_string(key) || !c.accept(':') || !c.read_number(value)) {
+      return false;
+    }
+    store(std::move(key), value);
+  } while (c.accept(','));
+  return c.accept('}');
+}
+
+// --------------------------------------------------------------- reporting
+
+/// `app.<name>{app=N}` registry key.
+std::string app_key(const char* name, std::int32_t app) {
+  return "app." + std::string(name) + "{app=" + std::to_string(app) + "}";
+}
+
+struct AppRow {
+  std::int32_t app = 0;
+  std::uint64_t fast_pages = 0;
+  std::uint64_t page_epochs = 0;
+  std::uint64_t stall_cycles = 0;
+  std::uint64_t daemon_cycles = 0;
+  std::uint64_t ipis = 0;
+  std::uint64_t promotions = 0;
+  std::uint64_t rejections = 0;
+  double slowdown = 1.0;
+};
+
+std::string frame_label(const SpanNode& n) {
+  std::string label;
+  if (n.workload >= 0) label = "app" + std::to_string(n.workload) + ":";
+  label += span_kind_name(n.attrs.kind);
+  return label;
+}
+
+void find_costliest(const SpanNode& n, std::int32_t app,
+                    std::vector<const SpanNode*>& path, sim::Cycles& best,
+                    std::vector<const SpanNode*>& best_path) {
+  path.push_back(&n);
+  if (n.workload == app && n.duration() > best) {
+    best = n.duration();
+    best_path = path;
+  }
+  for (const SpanNode& child : n.children) {
+    find_costliest(child, app, path, best, best_path);
+  }
+  path.pop_back();
+}
+
+}  // namespace
+
+bool MetricsSnapshot::parse_json(std::istream& in) {
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  const std::string text = buf.str();
+  Cursor c{text};
+  const bool got_counters =
+      parse_section(c, "counters", [&](std::string key, double value) {
+        counters[std::move(key)] = static_cast<std::uint64_t>(value);
+      });
+  const bool got_gauges =
+      parse_section(c, "gauges", [&](std::string key, double value) {
+        gauges[std::move(key)] = value;
+      });
+  return got_counters && got_gauges;
+}
+
+std::vector<std::int32_t> MetricsSnapshot::app_ids() const {
+  std::set<std::int32_t> ids;
+  const auto scan = [&](const std::string& key) {
+    if (key.rfind("app.", 0) != 0) return;
+    const std::size_t at = key.rfind("{app=");
+    if (at == std::string::npos || key.back() != '}') return;
+    ids.insert(static_cast<std::int32_t>(
+        std::strtol(key.c_str() + at + 5, nullptr, 10)));
+  };
+  for (const auto& [key, _] : counters) scan(key);
+  for (const auto& [key, _] : gauges) scan(key);
+  return {ids.begin(), ids.end()};
+}
+
+double report_jain(const MetricsSnapshot& snapshot) {
+  std::vector<double> progress;
+  for (const std::int32_t app : snapshot.app_ids()) {
+    const double slowdown = snapshot.gauge(app_key("slowdown_mean", app));
+    progress.push_back(slowdown > 0.0 ? 1.0 / slowdown : 0.0);
+  }
+  return core::jain_index(progress);
+}
+
+void write_fairness_report(const MetricsSnapshot& snapshot,
+                           std::span<const TraceEvent> events,
+                           std::ostream& out) {
+  const std::vector<std::int32_t> apps = snapshot.app_ids();
+
+  std::vector<AppRow> rows;
+  for (const std::int32_t app : apps) {
+    AppRow r;
+    r.app = app;
+    r.fast_pages = static_cast<std::uint64_t>(
+        snapshot.gauge(app_key("fast_pages", app)));
+    r.page_epochs = snapshot.counter(app_key("fast_page_epochs", app));
+    r.stall_cycles = snapshot.counter(app_key("migration_stall_cycles", app));
+    r.daemon_cycles =
+        snapshot.counter(app_key("migration_daemon_cycles", app));
+    r.ipis = snapshot.counter(app_key("shootdown_ipis", app));
+    r.promotions = snapshot.counter("policy.cbfrp.promotions{app=" +
+                                    std::to_string(app) + "}");
+    r.rejections = snapshot.counter("policy.cbfrp.rejections{app=" +
+                                    std::to_string(app) + "}");
+    r.slowdown = snapshot.gauge(app_key("slowdown_mean", app));
+    rows.push_back(r);
+  }
+
+  out << "vulcan fairness report\n"
+      << "======================\n"
+      << "epochs: " << snapshot.counter("runtime.epochs")
+      << "   apps: " << rows.size() << "\n\n";
+
+  out << std::left << std::setw(5) << "app" << std::right << std::setw(11)
+      << "fast_pages" << std::setw(13) << "page-epochs" << std::setw(15)
+      << "stall_cycles" << std::setw(15) << "daemon_cycles" << std::setw(10)
+      << "ipis" << std::setw(8) << "promo" << std::setw(8) << "reject"
+      << std::setw(11) << "slowdown" << "\n";
+  out << std::string(96, '-') << "\n";
+  out << std::fixed << std::setprecision(4);
+  for (const AppRow& r : rows) {
+    out << std::left << std::setw(5) << r.app << std::right << std::setw(11)
+        << r.fast_pages << std::setw(13) << r.page_epochs << std::setw(15)
+        << r.stall_cycles << std::setw(15) << r.daemon_cycles << std::setw(10)
+        << r.ipis << std::setw(8) << r.promotions << std::setw(8)
+        << r.rejections << std::setw(11) << r.slowdown << "\n";
+  }
+  out << "\n";
+
+  out << "jain (per-app mean progress):  " << report_jain(snapshot) << "\n"
+      << "jain (last epoch):             "
+      << snapshot.gauge("app.fairness.jain") << "\n"
+      << "jain (cumulative):             "
+      << snapshot.gauge("app.fairness.jain_cumulative") << "\n"
+      << "cfi (FTHR-weighted):           "
+      << snapshot.gauge("core.fairness.cfi") << "\n";
+
+  if (rows.empty()) return;
+
+  // Worst offender: the app with the highest mean slowdown (lowest id on
+  // ties, so the report is stable).
+  const AppRow* worst = &rows.front();
+  for (const AppRow& r : rows) {
+    if (r.slowdown > worst->slowdown) worst = &r;
+  }
+  out << "\nworst offender: app " << worst->app << " (mean slowdown x"
+      << worst->slowdown << ")\n";
+
+  if (events.empty()) return;
+  const SpanForest forest = build_span_forest(events, /*strict=*/false);
+  if (forest.skipped > 0) {
+    out << "note: trace was truncated; " << forest.skipped
+        << " span records repaired\n";
+  }
+
+  // Critical path: the costliest span charged to the worst offender, shown
+  // with its ancestry, then its greedy most-expensive descent.
+  sim::Cycles best = 0;
+  std::vector<const SpanNode*> path, best_path;
+  for (const SpanNode& root : forest.roots) {
+    find_costliest(root, worst->app, path, best, best_path);
+  }
+  if (best_path.empty()) {
+    out << "critical path: no spans recorded for app " << worst->app << "\n";
+    return;
+  }
+  for (const SpanNode* n = best_path.back(); n != nullptr;) {
+    const SpanNode* next = nullptr;
+    for (const SpanNode& child : n->children) {
+      if (!next || child.duration() > next->duration()) next = &child;
+    }
+    best_path.push_back(next);
+    n = next;
+  }
+  best_path.pop_back();  // the trailing nullptr
+
+  out << "critical path (cycles total / self):\n";
+  for (std::size_t depth = 0; depth < best_path.size(); ++depth) {
+    const SpanNode& n = *best_path[depth];
+    out << "  " << std::string(depth * 2, ' ') << frame_label(n) << "  "
+        << n.duration() << " / " << n.self_cycles() << "\n";
+  }
+}
+
+}  // namespace vulcan::obs

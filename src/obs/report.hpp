@@ -1,0 +1,59 @@
+// Offline fairness reporting: turn one run's exported artefacts (the
+// registry JSON + the JSONL trace) back into the per-app accounting the
+// paper argues from — who held the fast tier, who paid the migration and
+// shootdown bills, and how even the resulting slowdowns were.
+//
+// Everything here is deterministic: the snapshot parser preserves the
+// registry's sorted key order and the report writer formats with fixed
+// widths/precision, so identical-seed runs produce byte-identical reports
+// (asserted by obs_report_test).
+#pragma once
+
+#include <cstdint>
+#include <istream>
+#include <map>
+#include <ostream>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "obs/trace.hpp"
+
+namespace vulcan::obs {
+
+/// Parsed form of Registry::write_json output (histograms are skipped; the
+/// report only reads scalar instruments).
+struct MetricsSnapshot {
+  std::map<std::string, std::uint64_t> counters;
+  std::map<std::string, double> gauges;
+
+  /// Parse the exact format Registry::write_json emits. Returns false on a
+  /// stream that is not such a document (best-effort: recognised sections
+  /// parsed before the error are kept).
+  bool parse_json(std::istream& in);
+
+  std::uint64_t counter(const std::string& key) const {
+    const auto it = counters.find(key);
+    return it == counters.end() ? 0 : it->second;
+  }
+  double gauge(const std::string& key) const {
+    const auto it = gauges.find(key);
+    return it == gauges.end() ? 0.0 : it->second;
+  }
+  /// App indices mentioned by any `app.*{app=N}` instrument, ascending.
+  std::vector<std::int32_t> app_ids() const;
+};
+
+/// Jain's fairness index over per-app progress (1 / app.slowdown_mean) as
+/// recorded in the snapshot — the quantity the report prints, exposed so
+/// tests can check it against core::jain_index directly.
+double report_jain(const MetricsSnapshot& snapshot);
+
+/// Write the per-app fairness report: one table row per app, the fairness
+/// indices, and the worst offender's critical path through the span tree.
+/// `events` may be empty (the critical-path section is then omitted).
+void write_fairness_report(const MetricsSnapshot& snapshot,
+                           std::span<const TraceEvent> events,
+                           std::ostream& out);
+
+}  // namespace vulcan::obs

@@ -13,6 +13,7 @@
 #include <utility>
 
 #include "obs/metrics.hpp"
+#include "obs/span.hpp"
 #include "obs/trace.hpp"
 
 namespace vulcan::obs {
@@ -29,10 +30,12 @@ class Scope {
  public:
   Scope() = default;
   Scope(Registry* registry, TraceRing* trace, const sim::Cycles* clock,
-        std::string prefix, std::int32_t workload = -1)
+        std::string prefix, std::int32_t workload = -1,
+        SpanRecorder* spans = nullptr)
       : registry_(registry),
         trace_(trace),
         clock_(clock),
+        spans_(spans),
         prefix_(std::move(prefix)),
         workload_(workload) {}
 
@@ -82,6 +85,17 @@ class Scope {
   }
   bool tracing() const { return trace_ != nullptr; }
 
+  /// The shared span recorder; nullptr when spans are unwired.
+  SpanRecorder* spans() const { return spans_; }
+
+  /// Open a timeline span tagged with the scope's workload. Inert (returns
+  /// a no-op handle) when no recorder is wired.
+  ScopedSpan span(SpanKind kind, double arg = 0.0, std::uint8_t tier = 0,
+                  std::uint16_t thread = 0) const {
+    if (!spans_) return {};
+    return {spans_, spans_->begin(kind, workload_, arg, tier, thread)};
+  }
+
  private:
   std::string key(std::string_view name) const {
     return prefix_.empty() ? std::string(name)
@@ -91,6 +105,7 @@ class Scope {
   Registry* registry_ = nullptr;
   TraceRing* trace_ = nullptr;
   const sim::Cycles* clock_ = nullptr;
+  SpanRecorder* spans_ = nullptr;
   std::string prefix_;
   std::int32_t workload_ = -1;
 };

@@ -1,0 +1,123 @@
+#include "obs/span.hpp"
+
+#include <algorithm>
+
+namespace vulcan::obs {
+
+SpanId SpanRecorder::begin(SpanKind kind, std::int32_t workload, double arg,
+                           std::uint8_t tier, std::uint16_t thread) {
+  if (!ring_) return 0;
+  sync();
+  const SpanId id = next_id_++;
+  const SpanAttrs attrs{kind, tier, thread};
+  TraceEvent e;
+  e.time = cursor_;
+  e.kind = EventKind::kSpanBegin;
+  e.workload = workload;
+  e.a = attrs.encode();
+  e.b = id;
+  e.v = arg;
+  ring_->emit(e);
+  open_.push_back({id, e.a, workload, cursor_});
+  return id;
+}
+
+void SpanRecorder::end(SpanId id, double arg) {
+  if (!ring_ || id == 0) return;
+  // Ends arrive LIFO in correct code; search from the back so a missed end
+  // (programming error) cannot wedge the stack.
+  auto it = std::find_if(open_.rbegin(), open_.rend(),
+                         [&](const Open& o) { return o.id == id; });
+  if (it == open_.rend()) return;  // unknown id: ignore
+  const Open o = *it;
+  open_.erase(std::next(it).base());
+  TraceEvent e;
+  e.time = cursor_;
+  e.kind = EventKind::kSpanEnd;
+  e.workload = o.workload;
+  e.a = o.attrs;
+  e.b = o.id;
+  e.v = arg;
+  ring_->emit(e);
+  if (sink_) {
+    sink_->on_span_closed(o.workload, SpanAttrs::decode(o.attrs).kind,
+                          cursor_ - o.begin_time);
+  }
+}
+
+SpanForest build_span_forest(std::span<const TraceEvent> events, bool strict) {
+  SpanForest forest;
+  // Stack of open spans; completed spans attach to their parent (the span
+  // open beneath them) or become roots.
+  std::vector<SpanNode> stack;
+  sim::Cycles last_time = 0;
+
+  auto close_top = [&](double end_arg, sim::Cycles end_time) {
+    SpanNode done = std::move(stack.back());
+    stack.pop_back();
+    done.end_time = end_time;
+    done.end_arg = end_arg;
+    if (stack.empty()) {
+      forest.roots.push_back(std::move(done));
+    } else {
+      stack.back().children.push_back(std::move(done));
+    }
+  };
+
+  for (const TraceEvent& e : events) {
+    if (e.kind != EventKind::kSpanBegin && e.kind != EventKind::kSpanEnd) {
+      continue;
+    }
+    last_time = e.time;
+    if (e.kind == EventKind::kSpanBegin) {
+      SpanNode n;
+      n.id = e.b;
+      n.attrs = SpanAttrs::decode(e.a);
+      n.workload = e.workload;
+      n.begin_time = e.time;
+      n.begin_arg = e.v;
+      stack.push_back(std::move(n));
+      continue;
+    }
+    // span_end: must close the innermost open span.
+    if (stack.empty() || stack.back().id != e.b) {
+      if (strict) {
+        forest.error = "span_end #" + std::to_string(e.b) +
+                       " (seq " + std::to_string(e.seq) + ") has no matching "
+                       "span_begin on the open stack";
+        return forest;
+      }
+      // Lenient: an orphan end whose begin was dropped from the ring, or a
+      // mis-nested end deeper in the stack. Close intervening spans if the
+      // id exists below; otherwise skip the record.
+      const auto openly = std::find_if(
+          stack.rbegin(), stack.rend(),
+          [&](const SpanNode& n) { return n.id == e.b; });
+      if (openly == stack.rend()) {
+        ++forest.skipped;
+        continue;
+      }
+      while (stack.back().id != e.b) {
+        close_top(0.0, e.time);
+        ++forest.skipped;
+      }
+    }
+    close_top(e.v, e.time);
+  }
+
+  if (!stack.empty()) {
+    if (strict) {
+      forest.error = "span_begin #" + std::to_string(stack.back().id) +
+                     " was never ended";
+      forest.roots.clear();
+      return forest;
+    }
+    while (!stack.empty()) {
+      close_top(0.0, last_time);
+      ++forest.skipped;
+    }
+  }
+  return forest;
+}
+
+}  // namespace vulcan::obs

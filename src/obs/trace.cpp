@@ -20,7 +20,7 @@ struct KindInfo {
   const char* v_name;  // nullptr => omitted
 };
 
-constexpr std::array<KindInfo, 9> kKinds{{
+constexpr std::array<KindInfo, 11> kKinds{{
     {EventKind::kEpochStart, "epoch_start", "epoch", "workloads", nullptr},
     {EventKind::kEpochEnd, "epoch_end", "epoch", "workloads", "cfi"},
     {EventKind::kMigPhaseBegin, "mig_phase_begin", "phase", "pages", nullptr},
@@ -33,6 +33,8 @@ constexpr std::array<KindInfo, 9> kKinds{{
      "credits"},
     {EventKind::kCbfrpRejection, "cbfrp_rejection", "granted", "demand",
      "credits"},
+    {EventKind::kSpanBegin, "span_begin", "attrs", "span", "arg"},
+    {EventKind::kSpanEnd, "span_end", "attrs", "span", "arg"},
 }};
 
 const KindInfo& info_of(EventKind kind) {

@@ -28,6 +28,11 @@ enum class EventKind : std::uint8_t {
   kPolicyQuota,
   kCbfrpPromotion,
   kCbfrpRejection,
+  // Hierarchical timeline spans (obs/span.hpp). `a` packs the span
+  // attributes (kind | tier << 8 | thread << 16), `b` is the span id that
+  // pairs a begin with its end, `v` is a kind-specific argument.
+  kSpanBegin,
+  kSpanEnd,
 };
 
 /// The five phases of one migration operation (§2.1): kernel trap /

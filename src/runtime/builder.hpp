@@ -118,6 +118,12 @@ class SystemBuilder {
     config_.trace_capacity = events;
     return *this;
   }
+  /// Toggle hierarchical timeline spans (on by default; see
+  /// Config::record_spans).
+  SystemBuilder& spans(bool on) {
+    config_.record_spans = on;
+    return *this;
+  }
 
   /// Install a concrete policy instance...
   SystemBuilder& policy(std::unique_ptr<policy::SystemPolicy> policy) {

@@ -19,7 +19,13 @@ TieredSystem::TieredSystem(Config config,
                               config.machine.slow_bw_gbps)
               : mem::Topology::paper_testbed(config.machine))),
       rng_(config.seed) {
-  const obs::Scope root(&registry_, &trace_, &now_, "");
+  if (config_.record_spans) {
+    spans_ = obs::SpanRecorder(&trace_, &now_);
+    app_stats_ = obs::AppStats(&registry_);
+    spans_.set_sink(&app_stats_);
+  }
+  obs::SpanRecorder* spans = config_.record_spans ? &spans_ : nullptr;
+  const obs::Scope root(&registry_, &trace_, &now_, "", -1, spans);
   tlbs_.resize(config_.machine.cores);
   for (auto& tlb : tlbs_) tlb.set_obs(root.sub("vm.tlb"));
   shootdowns_ = std::make_unique<vm::ShootdownController>(cost_, &tlbs_);
@@ -101,8 +107,9 @@ unsigned TieredSystem::add_workload(std::unique_ptr<wl::Workload> workload,
   mig_cfg.daemon_core = mw->cores.back();
   mw->migrator = std::make_unique<mig::Migrator>(*mw->as, *topo_,
                                                  *shootdowns_, cost_, mig_cfg);
-  mw->migrator->set_obs(obs::Scope(&registry_, &trace_, &now_, "mig",
-                                   static_cast<std::int32_t>(index)));
+  mw->migrator->set_obs(obs::Scope(
+      &registry_, &trace_, &now_, "mig", static_cast<std::int32_t>(index),
+      config_.record_spans ? &spans_ : nullptr));
   mw->migration_thread = std::make_unique<mig::MigrationThread>(*mw->migrator);
 
   policy::WorkloadView view;
@@ -194,8 +201,11 @@ void TieredSystem::simulate_accesses(ManagedWorkload& mw,
 
 void TieredSystem::run_one_epoch() {
   const double epoch_seconds = sim::CpuClock::to_seconds(config_.epoch);
-  const obs::Scope root(&registry_, &trace_, &now_, "runtime");
+  const obs::Scope root(&registry_, &trace_, &now_, "runtime", -1,
+                        config_.record_spans ? &spans_ : nullptr);
   root.event(obs::EventKind::kEpochStart, epoch_index_, workloads_.size());
+  obs::ScopedSpan epoch_span =
+      root.span(obs::SpanKind::kEpoch, static_cast<double>(epoch_index_));
 
   // (1) Access generation + accounting. Sample quotas are proportional to
   // each workload's access rate (the fastest workload gets the configured
@@ -255,7 +265,12 @@ void TieredSystem::run_one_epoch() {
     views_[i].epoch_fast_accesses = workloads_[i]->epoch_fast;
     views_[i].epoch_slow_accesses = workloads_[i]->epoch_slow;
   }
-  policy_->plan_epoch(views_, *topo_, rng_);
+  {
+    // The policy span wraps whichever SystemPolicy is installed; Vulcan's
+    // manager nests its per-workload plan spans inside it.
+    obs::ScopedSpan policy_span = root.span(obs::SpanKind::kPolicy);
+    policy_->plan_epoch(views_, *topo_, rng_);
+  }
   // Quota decisions become part of the structured trace regardless of
   // which policy produced them (baselines leave quotas unbounded).
   for (std::size_t i = 0; i < views_.size(); ++i) {
@@ -291,6 +306,7 @@ void TieredSystem::run_one_epoch() {
   EpochMetrics epoch;
   epoch.time_s = now_seconds();
   std::vector<double> alloc_shares, fthrs;
+  std::vector<obs::AppEpochSample> app_samples;
   for (std::size_t i = 0; i < workloads_.size(); ++i) {
     auto& mw = *workloads_[i];
     WorkloadEpochMetrics m;
@@ -328,9 +344,19 @@ void TieredSystem::run_one_epoch() {
 
     alloc_shares.push_back(static_cast<double>(m.fast_pages));
     fthrs.push_back(m.fthr);
+
+    obs::AppEpochSample sample;
+    sample.app = static_cast<std::int32_t>(i);
+    sample.fast_pages = m.fast_pages;
+    sample.stall_cycles = m.stall_cycles;
+    sample.daemon_cycles = m.daemon_cycles;
+    sample.shootdown_ipis = mw.epoch_migration.shootdown_ipis;
+    sample.slowdown = m.performance > 0 ? 1.0 / m.performance : 1.0;
+    app_samples.push_back(sample);
   }
   cfi_.record_epoch(alloc_shares, fthrs);
   metrics_.record(std::move(epoch));
+  if (app_stats_.active()) app_stats_.record_epoch(app_samples);
 
   // Registry snapshot of the system-level signals the figures explain.
   root.counter("epochs").inc();
@@ -340,6 +366,13 @@ void TieredSystem::run_one_epoch() {
         .gauge("mem.tier_utilization{tier=" + std::to_string(t) + "}")
         .set(tier_utilization_[t]);
   }
+  // Satellite of the trace ring: overflow is visible in the registry too,
+  // so exporters (and CI) can warn that a serialized trace lost events.
+  if (trace_.dropped() > dropped_reported_) {
+    registry_.counter("obs.trace.dropped_events")
+        .inc(trace_.dropped() - dropped_reported_);
+    dropped_reported_ = trace_.dropped();
+  }
   root.event(obs::EventKind::kEpochEnd, epoch_index_, workloads_.size(),
              cfi_.cfi());
   ++epoch_index_;
@@ -348,6 +381,11 @@ void TieredSystem::run_one_epoch() {
   for (auto& mw : workloads_) mw->tracker->decay_epoch();
 
   now_ += config_.epoch;
+  // Close the epoch span at the advanced clock (or at the timeline cursor
+  // if in-epoch work overran the epoch), so consecutive epoch spans tile
+  // the run without overlap.
+  spans_.sync();
+  epoch_span.end();
 }
 
 void TieredSystem::run_epochs(unsigned count) {

@@ -17,8 +17,10 @@
 #include "core/fairness.hpp"
 #include "mem/topology.hpp"
 #include "mig/migration_thread.hpp"
+#include "obs/app_stats.hpp"
 #include "obs/metrics.hpp"
 #include "obs/scope.hpp"
+#include "obs/span.hpp"
 #include "obs/trace.hpp"
 #include "policy/policy.hpp"
 #include "prof/chrono.hpp"
@@ -74,6 +76,10 @@ class TieredSystem {
     bool charge_daemon_to_app = true;
     /// Structured-trace ring capacity (events retained; oldest dropped).
     std::size_t trace_capacity = 1 << 16;
+    /// Record hierarchical timeline spans (epoch -> policy -> migration ->
+    /// phases -> shootdowns) into the trace ring, and roll them up into the
+    /// per-app attribution metrics. Cheap; off only for span-free traces.
+    bool record_spans = true;
   };
 
   TieredSystem(Config config, std::unique_ptr<policy::SystemPolicy> policy);
@@ -114,6 +120,10 @@ class TieredSystem {
   const obs::Registry& obs_registry() const { return registry_; }
   /// The structured event trace (epoch/migration/shootdown/policy records).
   const obs::TraceRing& obs_trace() const { return trace_; }
+  /// The shared span recorder (inert when Config::record_spans is false).
+  const obs::SpanRecorder& obs_spans() const { return spans_; }
+  /// Per-app fairness attribution rolled up from epochs and closing spans.
+  const obs::AppStats& app_stats() const { return app_stats_; }
 
   /// Eq. 4 fairness over everything run so far.
   double fairness_cfi() const { return cfi_.cfi(); }
@@ -152,6 +162,8 @@ class TieredSystem {
   // Declared before the subsystems that cache instrument pointers into them.
   obs::Registry registry_;
   obs::TraceRing trace_;
+  obs::SpanRecorder spans_;
+  obs::AppStats app_stats_;
   std::unique_ptr<policy::SystemPolicy> policy_;
   std::unique_ptr<mem::Topology> topo_;
   std::vector<vm::Tlb> tlbs_;
@@ -164,6 +176,8 @@ class TieredSystem {
   sim::Rng rng_;
   sim::Cycles now_ = 0;
   std::uint64_t epoch_index_ = 0;
+  // Ring drops already surfaced as the obs.trace.dropped_events counter.
+  std::uint64_t dropped_reported_ = 0;
   std::uint64_t migration_budget_ = 0;
   unsigned next_core_ = 0;
   // Previous-epoch tier utilisation drives this epoch's loaded latencies.

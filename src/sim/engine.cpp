@@ -14,7 +14,14 @@ bool Engine::step(Cycles deadline) {
   // were clamped at insertion; the queue is monotone by construction.
   now_ = fired.time;
   fired_->inc();
-  fired.action();
+  {
+    // One timeline span per handler firing; handlers that perform costed
+    // work advance the shared cursor themselves, so the span brackets
+    // whatever they charge.
+    obs::ScopedSpan span =
+        obs_.span(obs::SpanKind::kSimEvent, static_cast<double>(fired.time));
+    fired.action();
+  }
   return true;
 }
 

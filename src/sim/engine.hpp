@@ -40,8 +40,10 @@ class Engine {
   }
 
   /// Attach observability: counts of scheduled / fired / cancelled events
-  /// land under `<scope>.events_*`.
+  /// land under `<scope>.events_*`, and (when the scope carries a span
+  /// recorder) each handler firing is recorded as a `sim_event` span.
   void set_obs(const obs::Scope& scope) {
+    obs_ = scope;
     scheduled_ = &scope.counter("events_scheduled");
     fired_ = &scope.counter("events_fired");
     cancelled_ = &scope.counter("events_cancelled");
@@ -66,6 +68,7 @@ class Engine {
  private:
   EventQueue queue_;
   Cycles now_ = 0;
+  obs::Scope obs_;
   obs::Counter* scheduled_ = &obs::detail::dummy_counter;
   obs::Counter* fired_ = &obs::detail::dummy_counter;
   obs::Counter* cancelled_ = &obs::detail::dummy_counter;

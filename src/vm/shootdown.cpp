@@ -34,6 +34,11 @@ void ShootdownController::invalidate_targets(CoreId initiator,
 sim::Cycles ShootdownController::shoot_single(CoreId initiator,
                                               std::span<const CoreId> targets,
                                               ProcessId pid, Vpn vpn) {
+  // One IPI round = one timeline span (nested inside the caller's
+  // phase_shootdown span); `thread` carries the remote-target count.
+  obs::ScopedSpan span =
+      obs_.span(obs::SpanKind::kShootdown, /*arg=*/1.0, /*tier=*/0,
+                static_cast<std::uint16_t>(targets.size()));
   invalidate_targets(initiator, targets, pid, vpn);
   const sim::Cycles cost =
       cost_->shootdown_cold(static_cast<unsigned>(targets.size()));
@@ -42,6 +47,7 @@ sim::Cycles ShootdownController::shoot_single(CoreId initiator,
   if (targets.empty()) ++stats_.local_only;
   stats_.cycles += cost;
   record(static_cast<unsigned>(targets.size()), 1, cost);
+  span.close(cost, static_cast<double>(cost));
   return cost;
 }
 
@@ -49,6 +55,10 @@ sim::Cycles ShootdownController::shoot_batch(CoreId initiator,
                                              std::span<const CoreId> targets,
                                              ProcessId pid,
                                              std::span<const Vpn> vpns) {
+  obs::ScopedSpan span =
+      obs_.span(obs::SpanKind::kShootdown,
+                /*arg=*/static_cast<double>(vpns.size()), /*tier=*/0,
+                static_cast<std::uint16_t>(targets.size()));
   for (const Vpn vpn : vpns) {
     invalidate_targets(initiator, targets, pid, vpn);
   }
@@ -60,6 +70,7 @@ sim::Cycles ShootdownController::shoot_batch(CoreId initiator,
   stats_.cycles += cost;
   record(vpns.empty() ? 0 : static_cast<unsigned>(targets.size()),
          vpns.size(), cost);
+  span.close(cost, static_cast<double>(cost));
   return cost;
 }
 

@@ -1,0 +1,150 @@
+#include "obs/report.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/fairness.hpp"
+#include "obs/metrics.hpp"
+#include "runtime/builder.hpp"
+#include "wl/apps.hpp"
+
+namespace vulcan::obs {
+namespace {
+
+TEST(MetricsSnapshot, RoundTripsRegistryJson) {
+  Registry reg;
+  reg.counter("app.fast_page_epochs{app=0}").inc(123);
+  reg.counter("runtime.epochs").inc(9);
+  reg.gauge("app.slowdown_mean{app=0}").set(1.25);
+  reg.gauge("core.fairness.cfi").set(0.875);
+  constexpr double kBounds[] = {1.0, 2.0};
+  reg.histogram("app.slowdown_hist{app=0}", kBounds).observe(1.5);
+
+  std::stringstream buf;
+  reg.write_json(buf);
+
+  MetricsSnapshot snap;
+  ASSERT_TRUE(snap.parse_json(buf));
+  EXPECT_EQ(snap.counter("app.fast_page_epochs{app=0}"), 123u);
+  EXPECT_EQ(snap.counter("runtime.epochs"), 9u);
+  EXPECT_DOUBLE_EQ(snap.gauge("app.slowdown_mean{app=0}"), 1.25);
+  EXPECT_DOUBLE_EQ(snap.gauge("core.fairness.cfi"), 0.875);
+  // Absent keys read as zero.
+  EXPECT_EQ(snap.counter("no.such.key"), 0u);
+  EXPECT_DOUBLE_EQ(snap.gauge("no.such.key"), 0.0);
+}
+
+TEST(MetricsSnapshot, RejectsNonSnapshotInput) {
+  std::stringstream buf("this is not a metrics snapshot\n");
+  MetricsSnapshot snap;
+  EXPECT_FALSE(snap.parse_json(buf));
+}
+
+TEST(MetricsSnapshot, ListsAppIdsAscending) {
+  Registry reg;
+  reg.counter("app.fast_page_epochs{app=2}").inc();
+  reg.counter("app.fast_page_epochs{app=0}").inc();
+  reg.gauge("app.slowdown{app=1}").set(1.0);
+  reg.gauge("core.fairness.cfi").set(1.0);  // not an app.* key
+
+  std::stringstream buf;
+  reg.write_json(buf);
+  MetricsSnapshot snap;
+  ASSERT_TRUE(snap.parse_json(buf));
+  EXPECT_EQ(snap.app_ids(), (std::vector<std::int32_t>{0, 1, 2}));
+}
+
+TEST(ReportJain, MatchesCoreDefinition) {
+  Registry reg;
+  reg.gauge("app.slowdown_mean{app=0}").set(1.0);
+  reg.gauge("app.slowdown_mean{app=1}").set(2.0);
+  reg.gauge("app.slowdown_mean{app=2}").set(4.0);
+
+  std::stringstream buf;
+  reg.write_json(buf);
+  MetricsSnapshot snap;
+  ASSERT_TRUE(snap.parse_json(buf));
+
+  const std::vector<double> progress{1.0, 0.5, 0.25};
+  EXPECT_DOUBLE_EQ(report_jain(snap), core::jain_index(progress));
+}
+
+runtime::BuildResult build_fixed() {
+  return runtime::SystemBuilder{}
+      .seed(11)
+      .samples_per_epoch(2000)
+      .policy("vulcan")
+      .add_workload(wl::make_memcached(1))
+      .add_workload(wl::make_liblinear(2))
+      .build();
+}
+
+std::string render_report(unsigned epochs) {
+  auto built = build_fixed();
+  EXPECT_TRUE(built.ok()) << built.error();
+  runtime::TieredSystem& sys = *built.value();
+  sys.run_epochs(epochs);
+
+  std::stringstream metrics;
+  sys.obs_registry().write_json(metrics);
+  MetricsSnapshot snap;
+  EXPECT_TRUE(snap.parse_json(metrics));
+
+  std::ostringstream out;
+  write_fairness_report(snap, sys.obs_trace().events(), out);
+  return out.str();
+}
+
+TEST(FairnessReport, ContainsPerAppTableAndIndices) {
+  const std::string report = render_report(8);
+  EXPECT_NE(report.find("vulcan fairness report"), std::string::npos);
+  EXPECT_NE(report.find("epochs: 8"), std::string::npos);
+  EXPECT_NE(report.find("apps: 2"), std::string::npos);
+  EXPECT_NE(report.find("jain"), std::string::npos);
+  EXPECT_NE(report.find("cfi"), std::string::npos);
+  EXPECT_NE(report.find("worst offender: app "), std::string::npos);
+  EXPECT_NE(report.find("critical path"), std::string::npos);
+}
+
+TEST(FairnessReport, ByteIdenticalForIdenticalSeeds) {
+  EXPECT_EQ(render_report(6), render_report(6));
+}
+
+TEST(FairnessReport, OmitsCriticalPathWithoutTrace) {
+  auto built = build_fixed();
+  ASSERT_TRUE(built.ok()) << built.error();
+  built.value()->run_epochs(3);
+
+  std::stringstream metrics;
+  built.value()->obs_registry().write_json(metrics);
+  MetricsSnapshot snap;
+  ASSERT_TRUE(snap.parse_json(metrics));
+
+  std::ostringstream out;
+  write_fairness_report(snap, {}, out);
+  const std::string report = out.str();
+  EXPECT_NE(report.find("worst offender"), std::string::npos);
+  EXPECT_EQ(report.find("critical path"), std::string::npos);
+}
+
+TEST(FairnessReport, JainLineAgreesWithAppStats) {
+  auto built = build_fixed();
+  ASSERT_TRUE(built.ok()) << built.error();
+  runtime::TieredSystem& sys = *built.value();
+  sys.run_epochs(5);
+
+  std::stringstream metrics;
+  sys.obs_registry().write_json(metrics);
+  MetricsSnapshot snap;
+  ASSERT_TRUE(snap.parse_json(metrics));
+
+  // The offline reconstruction (mean-slowdown gauges) must agree with the
+  // online accumulator to report precision.
+  EXPECT_NEAR(report_jain(snap), sys.app_stats().jain_cumulative(), 5e-4);
+}
+
+}  // namespace
+}  // namespace vulcan::obs

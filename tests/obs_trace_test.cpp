@@ -58,11 +58,13 @@ TEST(TraceJsonl, RoundTripsEveryKind) {
       EventKind::kMigPhaseBegin,  EventKind::kMigPhaseEnd,
       EventKind::kShootdownIssue, EventKind::kShootdownAck,
       EventKind::kPolicyQuota,    EventKind::kCbfrpPromotion,
-      EventKind::kCbfrpRejection,
+      EventKind::kCbfrpRejection, EventKind::kSpanBegin,
+      EventKind::kSpanEnd,
   };
   const auto carries_v = [](EventKind k) {
     return k == EventKind::kEpochEnd || k == EventKind::kCbfrpPromotion ||
-           k == EventKind::kCbfrpRejection;
+           k == EventKind::kCbfrpRejection || k == EventKind::kSpanBegin ||
+           k == EventKind::kSpanEnd;
   };
   TraceRing ring(64);
   std::uint64_t i = 0;

@@ -8,13 +8,17 @@
 //   vulcan_sim --policy tpp --rss 16384 --wss 8192 --write-ratio 0.3
 //              --rate 3e6 --seconds 20 --profiler pt-scan
 //   vulcan_sim --policy vulcan --scenario paper --seconds 20
-//              --trace t.jsonl --metrics m.json
+//              --trace t.jsonl --metrics m.json --perfetto timeline.json
 //
 // Prints a per-workload summary and (optionally) the full per-epoch CSV.
+// `--trace`, `--metrics`, `--perfetto` and `--folded` accept `-` to write
+// to stdout (the human-readable notices then move to stderr).
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <iostream>
 #include <optional>
 #include <string>
 
@@ -31,6 +35,10 @@ struct Options {
   std::string csv;
   std::string trace_out;    // structured event trace (JSONL)
   std::string metrics_out;  // obs::Registry snapshot (JSON)
+  std::string perfetto_out;  // Chrome/Perfetto trace_event JSON
+  std::string folded_out;    // folded flamegraph stacks
+  std::string bench_json;    // machine-readable benchmark summary
+  bool no_spans = false;
   double seconds = 60.0;
   std::uint64_t seed = 42;
   double epoch_ms = 250.0;
@@ -64,6 +72,12 @@ void usage() {
       "  --csv FILE       write per-epoch metrics CSV\n"
       "  --trace FILE     write the structured event trace (JSONL)\n"
       "  --metrics FILE   write the metrics-registry snapshot (JSON)\n"
+      "  --perfetto FILE  write the span timeline as Chrome/Perfetto\n"
+      "                   trace_event JSON (open at ui.perfetto.dev)\n"
+      "  --folded FILE    write folded flamegraph stacks (self cycles)\n"
+      "  --bench-json F   write a machine-readable benchmark summary\n"
+      "  --no-spans       do not record timeline spans\n"
+      "  (--trace/--metrics/--perfetto/--folded accept '-' for stdout)\n"
       "  micro knobs: --rss P --wss P --write-ratio R --rate A/s/thread\n"
       "               --drift pages/s\n"
       "  traces:      --record-trace FILE  (capture workload 0)\n"
@@ -87,6 +101,10 @@ bool parse(int argc, char** argv, Options& o) {
     else if (flag == "--csv") o.csv = next();
     else if (flag == "--trace") o.trace_out = next();
     else if (flag == "--metrics") o.metrics_out = next();
+    else if (flag == "--perfetto") o.perfetto_out = next();
+    else if (flag == "--folded") o.folded_out = next();
+    else if (flag == "--bench-json") o.bench_json = next();
+    else if (flag == "--no-spans") o.no_spans = true;
     else if (flag == "--seconds") o.seconds = std::atof(next());
     else if (flag == "--epoch-ms") o.epoch_ms = std::atof(next());
     else if (flag == "--samples") o.samples = std::strtoull(next(), nullptr, 10);
@@ -173,6 +191,29 @@ std::vector<runtime::StagedWorkload> make_scenario(const Options& o) {
   std::exit(2);
 }
 
+/// Open `path` ("-" = stdout) and run `fn` against it. Unwritable paths and
+/// failed writes are reported and turn into a nonzero exit.
+template <typename Fn>
+bool write_output(const std::string& path, Fn&& fn) {
+  if (path == "-") {
+    fn(std::cout);
+    std::cout.flush();
+    return std::cout.good();
+  }
+  std::ofstream out(path);
+  if (!out) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return false;
+  }
+  fn(out);
+  out.flush();
+  if (!out.good()) {
+    std::fprintf(stderr, "error while writing %s\n", path.c_str());
+    return false;
+  }
+  return true;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -183,11 +224,19 @@ int main(int argc, char** argv) {
     return 0;
   }
 
+  // Any artefact routed to stdout moves the human-readable notices to
+  // stderr so the machine-readable stream stays clean.
+  const bool stdout_taken = o.trace_out == "-" || o.metrics_out == "-" ||
+                            o.perfetto_out == "-" || o.folded_out == "-" ||
+                            o.csv == "-" || o.bench_json == "-";
+  FILE* info = stdout_taken ? stderr : stdout;
+
   auto built = runtime::SystemBuilder{}
                    .seed(o.seed)
                    .epoch_ms(o.epoch_ms)
                    .samples_per_epoch(o.samples)
                    .profiler(profiler_kind(o.profiler))
+                   .spans(!o.no_spans)
                    .policy(std::string_view(o.policy))
                    .build();
   if (!built) {
@@ -196,11 +245,12 @@ int main(int argc, char** argv) {
     return 2;
   }
   runtime::TieredSystem& sys = *built.value();
-  std::printf("policy=%s scenario=%s seed=%llu epoch=%.0fms "
-              "budget=%llu pages/epoch\n\n",
-              o.policy.c_str(), o.scenario.c_str(),
-              (unsigned long long)o.seed, o.epoch_ms,
-              (unsigned long long)sys.migration_budget_pages());
+  std::fprintf(info,
+               "policy=%s scenario=%s seed=%llu epoch=%.0fms "
+               "budget=%llu pages/epoch\n\n",
+               o.policy.c_str(), o.scenario.c_str(),
+               (unsigned long long)o.seed, o.epoch_ms,
+               (unsigned long long)sys.migration_budget_pages());
 
   auto stages = make_scenario(o);
   wl::Trace trace;
@@ -223,56 +273,114 @@ int main(int argc, char** argv) {
         std::make_unique<wl::RecordingWorkload>(std::move(inner), trace);
   }
 
+  const auto wall_start = std::chrono::steady_clock::now();
   runtime::run_staged(sys, std::move(stages), o.seconds);
+  const double wall_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    wall_start)
+          .count();
 
   if (!o.record_trace.empty()) {
     std::ofstream out(o.record_trace, std::ios::binary);
     const auto bytes = trace.save(out);
-    std::printf("recorded %zu accesses (%llu bytes) to %s\n\n", trace.size(),
-                (unsigned long long)bytes, o.record_trace.c_str());
+    std::fprintf(info, "recorded %zu accesses (%llu bytes) to %s\n\n",
+                 trace.size(), (unsigned long long)bytes,
+                 o.record_trace.c_str());
   }
 
   const auto& m = sys.metrics();
-  std::printf("%-14s %8s %8s %12s %12s %10s\n", "workload", "FTHR", "perf",
-              "fast pages", "slow pages", "migrated");
+  std::fprintf(info, "%-14s %8s %8s %12s %12s %10s\n", "workload", "FTHR",
+               "perf", "fast pages", "slow pages", "migrated");
+  const std::size_t from = m.epochs().size() / 2;
+  std::vector<double> mean_progress;
   for (unsigned w = 0; w < sys.workload_count(); ++w) {
-    const std::size_t from = m.epochs().size() / 2;
     double migrated = 0;
     for (const auto& e : m.epochs()) {
       if (w < e.workloads.size()) migrated += double(e.workloads[w].migrated);
     }
-    std::printf("%-14s %8.3f %8.3f %12llu %12llu %10.0f\n",
-                sys.workload(w).spec().name.c_str(), m.mean_fthr(w, from),
-                m.mean_performance(w, from),
-                (unsigned long long)sys.address_space(w).pages_in_tier(
-                    mem::kFastTier),
-                (unsigned long long)sys.address_space(w).pages_in_tier(
-                    mem::kSlowTier),
-                migrated);
+    mean_progress.push_back(m.mean_performance(w, from));
+    std::fprintf(info, "%-14s %8.3f %8.3f %12llu %12llu %10.0f\n",
+                 sys.workload(w).spec().name.c_str(), m.mean_fthr(w, from),
+                 m.mean_performance(w, from),
+                 (unsigned long long)sys.address_space(w).pages_in_tier(
+                     mem::kFastTier),
+                 (unsigned long long)sys.address_space(w).pages_in_tier(
+                     mem::kSlowTier),
+                 migrated);
   }
-  std::printf("\nfairness (FTHR-weighted CFI): %.3f\n", sys.fairness_cfi());
-  std::printf("TLB shootdowns: %llu ops, %llu IPIs\n",
-              (unsigned long long)sys.shootdowns().stats().shootdowns,
-              (unsigned long long)sys.shootdowns().stats().ipis);
+  std::fprintf(info, "\nfairness (FTHR-weighted CFI): %.3f\n",
+               sys.fairness_cfi());
+  std::fprintf(info, "jain (per-app progress, cumulative): %.3f\n",
+               sys.app_stats().jain_cumulative());
+  std::fprintf(info, "TLB shootdowns: %llu ops, %llu IPIs\n",
+               (unsigned long long)sys.shootdowns().stats().shootdowns,
+               (unsigned long long)sys.shootdowns().stats().ipis);
 
+  bool ok = true;
+  const std::uint64_t dropped = sys.obs_trace().dropped();
   if (!o.csv.empty()) {
-    std::ofstream out(o.csv);
-    obs::CsvExporter exporter(out);
-    m.write(exporter);
-    std::printf("wrote %s (%zu epochs)\n", o.csv.c_str(), m.epochs().size());
+    ok &= write_output(o.csv, [&](std::ostream& out) {
+      obs::CsvExporter exporter(out);
+      m.write(exporter);
+    });
+    std::fprintf(info, "wrote %s (%zu epochs)\n", o.csv.c_str(),
+                 m.epochs().size());
   }
   if (!o.trace_out.empty()) {
-    std::ofstream out(o.trace_out);
-    sys.obs_trace().write_jsonl(out);
-    std::printf("wrote %s (%zu events, %llu dropped)\n", o.trace_out.c_str(),
-                sys.obs_trace().size(),
-                (unsigned long long)sys.obs_trace().dropped());
+    ok &= write_output(o.trace_out, [&](std::ostream& out) {
+      sys.obs_trace().write_jsonl(out);
+    });
+    std::fprintf(info, "wrote %s (%zu events, %llu dropped)\n",
+                 o.trace_out.c_str(), sys.obs_trace().size(),
+                 (unsigned long long)dropped);
+    if (dropped > 0) {
+      std::fprintf(stderr,
+                   "warning: trace ring dropped %llu events; the serialized "
+                   "trace is truncated (oldest events lost)\n",
+                   (unsigned long long)dropped);
+    }
   }
   if (!o.metrics_out.empty()) {
-    std::ofstream out(o.metrics_out);
-    sys.obs_registry().write_json(out);
-    std::printf("wrote %s (%zu instruments)\n", o.metrics_out.c_str(),
-                sys.obs_registry().size());
+    ok &= write_output(o.metrics_out, [&](std::ostream& out) {
+      sys.obs_registry().write_json(out);
+    });
+    std::fprintf(info, "wrote %s (%zu instruments)\n", o.metrics_out.c_str(),
+                 sys.obs_registry().size());
   }
-  return 0;
+  if (!o.perfetto_out.empty()) {
+    const auto events = sys.obs_trace().events();
+    ok &= write_output(o.perfetto_out, [&](std::ostream& out) {
+      obs::write_perfetto(events, out, {.dropped = dropped,
+                                        .diag = &std::cerr});
+    });
+    std::fprintf(info, "wrote %s (perfetto timeline)\n",
+                 o.perfetto_out.c_str());
+  }
+  if (!o.folded_out.empty()) {
+    const auto events = sys.obs_trace().events();
+    ok &= write_output(o.folded_out, [&](std::ostream& out) {
+      obs::write_folded(events, out, {.dropped = dropped,
+                                      .diag = &std::cerr});
+    });
+    std::fprintf(info, "wrote %s (folded stacks)\n", o.folded_out.c_str());
+  }
+  if (!o.bench_json.empty()) {
+    ok &= write_output(o.bench_json, [&](std::ostream& out) {
+      out << "{\"wall_time_s\": " << wall_s
+          << ", \"simulated_s\": " << o.seconds
+          << ", \"cfi\": " << sys.fairness_cfi()
+          << ", \"jain\": " << sys.app_stats().jain_cumulative()
+          << ", \"apps\": [";
+      for (unsigned w = 0; w < sys.workload_count(); ++w) {
+        const double perf = mean_progress[w];
+        out << (w ? ", " : "") << "{\"name\": \""
+            << sys.workload(w).spec().name << "\", \"slowdown\": "
+            << (perf > 0 ? 1.0 / perf : 1.0) << "}";
+      }
+      out << "]}\n";
+    });
+    std::fprintf(info, "wrote %s (benchmark summary)\n",
+                 o.bench_json.c_str());
+  }
+  return ok ? 0 : 1;
 }
