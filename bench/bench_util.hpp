@@ -4,6 +4,8 @@
 
 #include <cstdio>
 #include <fstream>
+#include <iostream>
+#include <ostream>
 #include <string>
 #include <utility>
 #include <vector>
@@ -16,11 +18,21 @@ namespace vulcan::bench {
 /// directory, while the harness prints a human-readable table. Output goes
 /// through obs::CsvExporter — the same backend as runtime metrics and
 /// `vulcan_sim --csv` — with the cells kept as caller-formatted strings so
-/// the bytes match the historical printf-based files exactly.
+/// the bytes match the historical printf-based files exactly, preceded by a
+/// `# schema:` comment line naming the producer and column count
+/// (scripts/plot_results.py skips `#` lines).
+///
+/// Progress notices go to `diag` (std::cerr by default), never to the CSV
+/// stream, so `harness > table.txt 2> log.txt` keeps data and diagnostics
+/// apart even when a harness is re-pointed at stdout.
 class CsvSink {
  public:
-  explicit CsvSink(std::string name, std::string header)
-      : path_(std::move(name) + ".csv"), columns_(split(header)) {}
+  explicit CsvSink(std::string name, std::string header,
+                   std::ostream& diag = std::cerr)
+      : name_(std::move(name)),
+        path_(name_ + ".csv"),
+        columns_(split(header)),
+        diag_(diag) {}
 
   template <typename... Args>
   void row(const char* fmt, Args... args) {
@@ -33,12 +45,13 @@ class CsvSink {
 
   ~CsvSink() {
     std::ofstream out(path_);
+    out << "# schema: vulcan-bench/" << name_ << " v1, " << columns_.size()
+        << " columns\n";
     obs::CsvExporter csv(out);
     csv.begin(columns_);
     for (const auto& r : rows_) csv.row(r);
     csv.end();
-    std::fprintf(stderr, "[csv] wrote %s (%zu rows)\n", path_.c_str(),
-                 rows_.size());
+    diag_ << "[csv] wrote " << path_ << " (" << rows_.size() << " rows)\n";
   }
 
  private:
@@ -54,8 +67,10 @@ class CsvSink {
     return cells;
   }
 
+  std::string name_;
   std::string path_;
   std::vector<std::string> columns_;
+  std::ostream& diag_;
   std::vector<std::vector<obs::Value>> rows_;
 };
 

@@ -39,6 +39,7 @@
 #include "mig/migration_thread.hpp"
 #include "mig/migrator.hpp"
 #include "obs/app_stats.hpp"
+#include "obs/diff.hpp"
 #include "obs/exporter.hpp"
 #include "obs/metrics.hpp"
 #include "obs/perfetto.hpp"
@@ -46,6 +47,7 @@
 #include "obs/scope.hpp"
 #include "obs/span.hpp"
 #include "obs/trace.hpp"
+#include "obs/whatif.hpp"
 #include "policy/biased.hpp"
 #include "policy/cascade.hpp"
 #include "policy/memtis.hpp"

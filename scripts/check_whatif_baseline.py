@@ -1,0 +1,62 @@
+#!/usr/bin/env python3
+"""Compare a fresh BENCH_whatif.json against the committed baseline.
+
+The what-if engine is deterministic in (seed, grid), so on one machine the
+bytes match exactly; across compilers the simulated arithmetic may round
+differently in the last ulps. The whatif-smoke CI job therefore fails only
+when a `whatif.*` sensitivity key drifts beyond a relative tolerance
+(default 0.5%, with a small absolute floor for near-zero slopes), when a
+key appears/disappears, or when the per-app top-knob ranking changes.
+
+Usage:
+    python3 scripts/check_whatif_baseline.py <fresh.json> <baseline.json>
+"""
+
+import json
+import sys
+
+REL_TOL = 0.005  # 0.5 %
+ABS_FLOOR = 1e-6  # slopes this small are "zero" for tolerance purposes
+
+
+def fail(msg):
+    print(f"whatif baseline check FAILED: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def main():
+    if len(sys.argv) != 3:
+        print(__doc__, file=sys.stderr)
+        sys.exit(2)
+    with open(sys.argv[1]) as f:
+        fresh = json.load(f)
+    with open(sys.argv[2]) as f:
+        base = json.load(f)
+
+    fresh_keys = fresh.get("whatif", {})
+    base_keys = base.get("whatif", {})
+    if set(fresh_keys) != set(base_keys):
+        only_fresh = sorted(set(fresh_keys) - set(base_keys))
+        only_base = sorted(set(base_keys) - set(fresh_keys))
+        fail(f"key sets differ (new: {only_fresh}, missing: {only_base})")
+
+    drifted = []
+    for key in sorted(base_keys):
+        want, got = base_keys[key], fresh_keys[key]
+        tol = max(REL_TOL * abs(want), ABS_FLOOR)
+        if abs(got - want) > tol:
+            drifted.append(f"  {key}: baseline {want!r}, got {got!r}")
+    if drifted:
+        fail("sensitivity drift beyond 0.5%:\n" + "\n".join(drifted))
+
+    if fresh.get("top_knob") != base.get("top_knob"):
+        fail(
+            f"top-knob ranking changed: baseline {base.get('top_knob')}, "
+            f"got {fresh.get('top_knob')}"
+        )
+
+    print(f"whatif baseline ok: {len(base_keys)} keys within 0.5%")
+
+
+if __name__ == "__main__":
+    main()

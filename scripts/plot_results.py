@@ -18,7 +18,9 @@ from collections import defaultdict
 
 def read_csv(path):
     with open(path, newline="") as fh:
-        return list(csv.DictReader(fh))
+        # CsvSink prepends a `# schema:` comment line; DictReader must not
+        # mistake it for the header row.
+        return list(csv.DictReader(ln for ln in fh if not ln.startswith("#")))
 
 
 def group(rows, key):

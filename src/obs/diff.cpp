@@ -1,0 +1,229 @@
+#include "obs/diff.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <iomanip>
+#include <map>
+
+namespace vulcan::obs {
+
+MetricsSnapshot snapshot_registry(const Registry& registry) {
+  MetricsSnapshot snap;
+  registry.for_each(
+      [&](const std::string& k, const Counter& c) {
+        snap.counters[k] = c.value;
+      },
+      [&](const std::string& k, const Gauge& g) { snap.gauges[k] = g.value; },
+      [&](const std::string& k, const Histogram& h) {
+        HistogramSummary s;
+        s.count = h.count();
+        s.sum = h.sum();
+        s.p50 = h.quantile(0.50);
+        s.p95 = h.quantile(0.95);
+        s.p99 = h.quantile(0.99);
+        snap.histograms[k] = s;
+      });
+  return snap;
+}
+
+SnapshotDiff diff_snapshots(const MetricsSnapshot& before,
+                            const MetricsSnapshot& after) {
+  // Fold both snapshots into one sorted key -> (value, present) view per
+  // side. Counters and gauges cannot collide (registry uniqueness), so a
+  // plain merge is faithful.
+  std::map<std::string, std::pair<double, double>> merged;  // before, after
+  std::map<std::string, int> presence;  // bit 0 = before, bit 1 = after
+  const auto fold = [&](const MetricsSnapshot& s, int bit) {
+    const auto store = [&](const std::string& k, double v) {
+      auto& slot = merged[k];
+      (bit == 1 ? slot.first : slot.second) = v;
+      presence[k] |= bit;
+    };
+    for (const auto& [k, v] : s.counters) store(k, static_cast<double>(v));
+    for (const auto& [k, v] : s.gauges) store(k, v);
+  };
+  fold(before, 1);
+  fold(after, 2);
+
+  SnapshotDiff diff;
+  diff.entries.reserve(merged.size());
+  for (const auto& [k, pair] : merged) {
+    DiffEntry e;
+    e.key = k;
+    e.before = pair.first;
+    e.after = pair.second;
+    e.only_before = presence[k] == 1;
+    e.only_after = presence[k] == 2;
+    if (e.delta() != 0.0 || e.only_before || e.only_after) ++diff.changed;
+    diff.entries.push_back(std::move(e));
+  }
+  return diff;
+}
+
+std::vector<std::size_t> SnapshotDiff::top(std::size_t n) const {
+  std::vector<std::size_t> idx;
+  idx.reserve(entries.size());
+  for (std::size_t i = 0; i < entries.size(); ++i) {
+    const DiffEntry& e = entries[i];
+    if (e.delta() != 0.0 || e.only_before || e.only_after) idx.push_back(i);
+  }
+  std::sort(idx.begin(), idx.end(), [&](std::size_t a, std::size_t b) {
+    const double ra = std::fabs(entries[a].rel());
+    const double rb = std::fabs(entries[b].rel());
+    if (ra != rb) return ra > rb;
+    return entries[a].key < entries[b].key;
+  });
+  if (idx.size() > n) idx.resize(n);
+  return idx;
+}
+
+void write_snapshot_diff(const SnapshotDiff& diff, std::ostream& out,
+                         std::size_t top) {
+  out << "registry diff: " << diff.entries.size() << " keys, " << diff.changed
+      << " changed\n";
+  const std::vector<std::size_t> movers = diff.top(top);
+  if (movers.empty()) {
+    out << "(no differences)\n";
+    return;
+  }
+  out << std::left << std::setw(52) << "key" << std::right << std::setw(16)
+      << "before" << std::setw(16) << "after" << std::setw(14) << "delta"
+      << std::setw(10) << "rel%" << "\n";
+  out << std::string(108, '-') << "\n";
+  const auto num = [&](double v) {
+    out << std::setw(16) << std::fixed << std::setprecision(4) << v;
+  };
+  for (const std::size_t i : movers) {
+    const DiffEntry& e = diff.entries[i];
+    out << std::left << std::setw(52) << e.key << std::right;
+    num(e.before);
+    num(e.after);
+    out << std::setw(14) << std::fixed << std::setprecision(4) << e.delta()
+        << std::setw(9) << std::setprecision(2) << 100.0 * e.rel() << "%";
+    if (e.only_before) out << "  (removed)";
+    if (e.only_after) out << "  (added)";
+    out << "\n";
+  }
+}
+
+// -------------------------------------------------------------- span diff
+
+std::string SpanTreeDelta::label() const {
+  std::string l;
+  if (workload >= 0) l = "app" + std::to_string(workload) + ":";
+  l += span_kind_name(kind);
+  return l;
+}
+
+namespace {
+
+/// Aggregate one forest's nodes into the merged tree, keyed by
+/// (workload, kind) at each level.
+struct MergeNode {
+  std::uint64_t count[2] = {0, 0};
+  sim::Cycles cycles[2] = {0, 0};
+  // std::map keyed by (workload, kind): sorted, deterministic.
+  std::map<std::pair<std::int32_t, int>, MergeNode> children;
+};
+
+void fold_node(const SpanNode& n, MergeNode& into, int side) {
+  MergeNode& slot =
+      into.children[{n.workload, static_cast<int>(n.attrs.kind)}];
+  slot.count[side] += 1;
+  slot.cycles[side] += n.duration();
+  for (const SpanNode& child : n.children) fold_node(child, slot, side);
+}
+
+SpanTreeDelta to_delta(std::int32_t workload, SpanKind kind,
+                       const MergeNode& m) {
+  SpanTreeDelta d;
+  d.workload = workload;
+  d.kind = kind;
+  d.count_before = m.count[0];
+  d.count_after = m.count[1];
+  d.cycles_before = m.cycles[0];
+  d.cycles_after = m.cycles[1];
+  d.children.reserve(m.children.size());
+  for (const auto& [key, child] : m.children) {
+    d.children.push_back(
+        to_delta(key.first, static_cast<SpanKind>(key.second), child));
+  }
+  return d;
+}
+
+void write_delta_node(const SpanTreeDelta& n, std::ostream& out,
+                      std::size_t depth, double min_cycles) {
+  if (std::fabs(n.delta()) < min_cycles && depth > 0) return;
+  out << "  " << std::string(depth * 2, ' ') << std::left << std::setw(40)
+      << n.label() << std::right << std::setw(16) << n.cycles_before
+      << std::setw(16) << n.cycles_after << std::setw(16) << std::fixed
+      << std::setprecision(0) << n.delta() << "\n";
+  for (const SpanTreeDelta& child : n.children) {
+    write_delta_node(child, out, depth + 1, min_cycles);
+  }
+}
+
+}  // namespace
+
+SpanTreeDelta diff_span_forests(const SpanForest& before,
+                                const SpanForest& after) {
+  MergeNode root;
+  for (const SpanNode& n : before.roots) fold_node(n, root, 0);
+  for (const SpanNode& n : after.roots) fold_node(n, root, 1);
+  SpanTreeDelta d = to_delta(-1, SpanKind::kEpoch, root);
+  // The synthetic root's totals are the sums of its children (roots have no
+  // common parent span to measure).
+  for (const SpanTreeDelta& child : d.children) {
+    d.count_before += child.count_before;
+    d.count_after += child.count_after;
+    d.cycles_before += child.cycles_before;
+    d.cycles_after += child.cycles_after;
+  }
+  return d;
+}
+
+std::vector<std::string> attribution_path(const SpanTreeDelta& root,
+                                          double min_share) {
+  std::vector<std::string> path;
+  const SpanTreeDelta* node = &root;
+  if (node->delta() == 0.0) return path;
+  while (true) {
+    const SpanTreeDelta* best = nullptr;
+    for (const SpanTreeDelta& child : node->children) {
+      if (!best || std::fabs(child.delta()) > std::fabs(best->delta())) {
+        best = &child;
+      }
+    }
+    if (!best ||
+        std::fabs(best->delta()) < min_share * std::fabs(node->delta())) {
+      break;
+    }
+    path.push_back(best->label());
+    node = best;
+  }
+  return path;
+}
+
+void write_span_diff(const SpanTreeDelta& root, std::ostream& out,
+                     double min_cycles) {
+  out << "span timeline diff (cycles by subtree)\n";
+  out << "  " << std::left << std::setw(40) << "subtree" << std::right
+      << std::setw(16) << "before" << std::setw(16) << "after"
+      << std::setw(16) << "delta" << "\n";
+  out << "  " << std::string(86, '-') << "\n";
+  for (const SpanTreeDelta& child : root.children) {
+    write_delta_node(child, out, 0, min_cycles);
+  }
+  const std::vector<std::string> path = attribution_path(root);
+  out << "attribution:";
+  if (path.empty()) {
+    out << " (no dominant subtree)\n";
+  } else {
+    for (std::size_t i = 0; i < path.size(); ++i) {
+      out << (i ? " > " : " ") << path[i];
+    }
+    out << "\n";
+  }
+}
+
+}  // namespace vulcan::obs

@@ -1,0 +1,116 @@
+// Differential run analysis — the comparison half of vulcan::obs's third
+// storey (the causal half lives in obs/whatif.hpp).
+//
+// Two identical-seed runs differing in exactly one configuration knob are
+// causally comparable: every metric delta between them is attributable to
+// that knob. This header turns a pair of runs into that attribution:
+//
+//  * `snapshot_registry` freezes a live Registry into the same
+//    MetricsSnapshot shape `vulcan_report` parses from disk, so live and
+//    offline diffs share one code path;
+//  * `diff_snapshots` is the structural diff of two snapshots — per-key
+//    before/after/delta rows in deterministic order, with keys present on
+//    only one side called out instead of silently zero-filled;
+//  * `diff_span_forests` merges two span timelines by (app, kind) path and
+//    reports, per subtree, how many cycles of the total delta it absorbed —
+//    `attribution_path` then walks the merged tree greedily to name the
+//    subtree that explains the change ("epoch > app1:migration >
+//    phase_shootdown").
+//
+// Everything is deterministic: iteration orders are sorted, and the table
+// writers use fixed widths/precision, so identical inputs produce
+// byte-identical reports (asserted by obs_diff_test).
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "obs/report.hpp"
+#include "obs/span.hpp"
+
+namespace vulcan::obs {
+
+/// Freeze a live registry into the offline snapshot shape (counters and
+/// gauges; histograms are summarised by their quantile fields).
+MetricsSnapshot snapshot_registry(const Registry& registry);
+
+/// One key's before/after pair.
+struct DiffEntry {
+  std::string key;
+  double before = 0.0;
+  double after = 0.0;
+  bool only_before = false;  ///< key absent from the second snapshot
+  bool only_after = false;   ///< key absent from the first snapshot
+
+  double delta() const { return after - before; }
+  /// Relative change against the before value (0 when before == 0 and
+  /// after == 0; signed infinity is avoided by falling back to the delta's
+  /// sign as +/-1 when before == 0).
+  double rel() const {
+    if (before == 0.0) return after == 0.0 ? 0.0 : (after > 0 ? 1.0 : -1.0);
+    return (after - before) / (before < 0 ? -before : before);
+  }
+};
+
+struct SnapshotDiff {
+  /// Every key seen in either snapshot, ascending by key.
+  std::vector<DiffEntry> entries;
+  std::size_t changed = 0;  ///< entries with delta() != 0
+
+  /// Indices of the `n` largest-|relative| changes (ties broken by key),
+  /// for "what moved" summaries.
+  std::vector<std::size_t> top(std::size_t n) const;
+};
+
+/// Structural diff of two registry snapshots. Counters and gauges share the
+/// key namespace (the registry enforces uniqueness), so both fold into one
+/// table.
+SnapshotDiff diff_snapshots(const MetricsSnapshot& before,
+                            const MetricsSnapshot& after);
+
+/// Fixed-width table of the diff: the `top` largest relative movers plus a
+/// one-line totals row. Deterministic bytes.
+void write_snapshot_diff(const SnapshotDiff& diff, std::ostream& out,
+                         std::size_t top = 24);
+
+// ------------------------------------------------------------ span diffing
+
+/// One node of the merged span tree: all spans of the same (workload, kind)
+/// at the same path position, aggregated, from both runs.
+struct SpanTreeDelta {
+  std::int32_t workload = -1;
+  SpanKind kind = SpanKind::kEpoch;
+  std::uint64_t count_before = 0, count_after = 0;
+  sim::Cycles cycles_before = 0, cycles_after = 0;
+  std::vector<SpanTreeDelta> children;  ///< sorted by (workload, kind)
+
+  /// Signed cycle delta (after - before).
+  double delta() const {
+    return static_cast<double>(cycles_after) -
+           static_cast<double>(cycles_before);
+  }
+  std::string label() const;
+};
+
+/// Merge two span forests into one delta tree. The synthetic root
+/// aggregates all roots of both forests (workload -1, kind kEpoch).
+SpanTreeDelta diff_span_forests(const SpanForest& before,
+                                const SpanForest& after);
+
+/// Causal attribution: starting at the root, descend into the child whose
+/// |delta| is largest as long as it absorbs at least `min_share` of its
+/// parent's |delta|. The returned labels name the subtree of the timeline
+/// that absorbed the change; empty when the root did not move.
+std::vector<std::string> attribution_path(const SpanTreeDelta& root,
+                                          double min_share = 0.5);
+
+/// Render the delta tree (depth-first, children already sorted), pruning
+/// subtrees whose |delta| is under `min_cycles`. Deterministic bytes.
+void write_span_diff(const SpanTreeDelta& root, std::ostream& out,
+                     double min_cycles = 0.0);
+
+}  // namespace vulcan::obs

@@ -62,4 +62,11 @@ class JsonlExporter final : public Exporter {
   std::vector<std::string> columns_;
 };
 
+class Registry;
+
+/// One row per histogram in the registry — key, count, sum and the
+/// deterministic p50/p95/p99 quantile summaries — through any Exporter
+/// backend (CSV or JSONL). Rows arrive in sorted key order.
+void write_histogram_summaries(const Registry& registry, Exporter& exporter);
+
 }  // namespace vulcan::obs

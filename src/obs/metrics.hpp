@@ -58,6 +58,30 @@ class Histogram {
   std::uint64_t count() const { return count_; }
   double sum() const { return sum_; }
 
+  /// Deterministic quantile estimate for q in [0, 1] by linear
+  /// interpolation inside the fixed buckets (the usual Prometheus-style
+  /// rule). The first bucket interpolates up from min(0, bounds[0]); the
+  /// unbounded overflow bucket clamps to the last bound. 0 when empty.
+  double quantile(double q) const {
+    if (count_ == 0 || bounds_.empty()) return 0.0;
+    q = q < 0.0 ? 0.0 : (q > 1.0 ? 1.0 : q);
+    const double rank = q * static_cast<double>(count_);
+    std::uint64_t cum = 0;
+    for (std::size_t i = 0; i < bounds_.size(); ++i) {
+      cum += counts_[i];
+      if (static_cast<double>(cum) >= rank) {
+        if (counts_[i] == 0) return bounds_[i];
+        const double lower =
+            i == 0 ? (bounds_[0] < 0.0 ? bounds_[0] : 0.0) : bounds_[i - 1];
+        const double into =
+            (rank - static_cast<double>(cum - counts_[i])) /
+            static_cast<double>(counts_[i]);
+        return lower + (bounds_[i] - lower) * into;
+      }
+    }
+    return bounds_.back();
+  }
+
  private:
   std::vector<double> bounds_;
   std::vector<std::uint64_t> counts_;

@@ -101,6 +101,14 @@ void Registry::write_json(std::ostream& out) const {
     }
     out << "], \"count\": " << h.count() << ", \"sum\": ";
     write_json_double(out, h.sum());
+    // Deterministic quantile summaries (linear interpolation over the
+    // fixed buckets) so offline consumers need not re-derive them.
+    out << ", \"p50\": ";
+    write_json_double(out, h.quantile(0.50));
+    out << ", \"p95\": ";
+    write_json_double(out, h.quantile(0.95));
+    out << ", \"p99\": ";
+    write_json_double(out, h.quantile(0.99));
     out << "}";
     first = false;
   }

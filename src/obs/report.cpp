@@ -67,6 +67,44 @@ struct Cursor {
   }
 };
 
+/// Parse the "histograms" section: values are objects whose array fields
+/// ("bounds", "counts") are skipped and whose scalar fields feed the
+/// summary. Best-effort like the scalar sections.
+bool parse_histograms(Cursor& c,
+                      std::map<std::string, HistogramSummary>& out) {
+  const std::size_t at = c.s.find("\"histograms\"", c.pos);
+  if (at == std::string::npos) return false;
+  c.pos = at + 12;
+  if (!c.accept(':') || !c.accept('{')) return false;
+  if (c.accept('}')) return true;  // empty section
+  do {
+    std::string key;
+    if (!c.read_string(key) || !c.accept(':') || !c.accept('{')) return false;
+    HistogramSummary h;
+    do {
+      std::string field;
+      if (!c.read_string(field) || !c.accept(':')) return false;
+      if (c.accept('[')) {
+        // Flat numeric array (no nesting in this dialect): skip it.
+        const std::size_t end = c.s.find(']', c.pos);
+        if (end == std::string::npos) return false;
+        c.pos = end + 1;
+        continue;
+      }
+      double value = 0.0;
+      if (!c.read_number(value)) return false;
+      if (field == "count") h.count = static_cast<std::uint64_t>(value);
+      else if (field == "sum") h.sum = value;
+      else if (field == "p50") h.p50 = value;
+      else if (field == "p95") h.p95 = value;
+      else if (field == "p99") h.p99 = value;
+    } while (c.accept(','));
+    if (!c.accept('}')) return false;
+    out[std::move(key)] = h;
+  } while (c.accept(','));
+  return c.accept('}');
+}
+
 template <typename Store>
 bool parse_section(Cursor& c, const char* name, Store&& store) {
   const std::size_t at = c.s.find("\"" + std::string(name) + "\"", c.pos);
@@ -140,6 +178,8 @@ bool MetricsSnapshot::parse_json(std::istream& in) {
       parse_section(c, "gauges", [&](std::string key, double value) {
         gauges[std::move(key)] = value;
       });
+  // Histograms are optional (older snapshots lack the quantile fields).
+  parse_histograms(c, histograms);
   return got_counters && got_gauges;
 }
 
@@ -210,6 +250,26 @@ void write_fairness_report(const MetricsSnapshot& snapshot,
         << r.rejections << std::setw(11) << r.slowdown << "\n";
   }
   out << "\n";
+
+  // Slowdown distribution tails (from the registry's deterministic
+  // histogram quantiles) — the >p95 epochs are where unfairness hides.
+  bool any_hist = false;
+  for (const AppRow& r : rows) {
+    if (snapshot.histograms.count(app_key("slowdown_hist", r.app))) {
+      any_hist = true;
+      break;
+    }
+  }
+  if (any_hist) {
+    out << "slowdown quantiles (p50 / p95 / p99):\n";
+    for (const AppRow& r : rows) {
+      const HistogramSummary h =
+          snapshot.histogram(app_key("slowdown_hist", r.app));
+      out << "  app " << r.app << ":  " << h.p50 << " / " << h.p95 << " / "
+          << h.p99 << "\n";
+    }
+    out << "\n";
+  }
 
   out << "jain (per-app mean progress):  " << report_jain(snapshot) << "\n"
       << "jain (last epoch):             "

@@ -21,11 +21,21 @@
 
 namespace vulcan::obs {
 
-/// Parsed form of Registry::write_json output (histograms are skipped; the
-/// report only reads scalar instruments).
+/// Scalar summary of one histogram: the quantile fields Registry::write_json
+/// emits (buckets themselves are not retained offline).
+struct HistogramSummary {
+  std::uint64_t count = 0;
+  double sum = 0.0;
+  double p50 = 0.0;
+  double p95 = 0.0;
+  double p99 = 0.0;
+};
+
+/// Parsed form of Registry::write_json output.
 struct MetricsSnapshot {
   std::map<std::string, std::uint64_t> counters;
   std::map<std::string, double> gauges;
+  std::map<std::string, HistogramSummary> histograms;
 
   /// Parse the exact format Registry::write_json emits. Returns false on a
   /// stream that is not such a document (best-effort: recognised sections
@@ -39,6 +49,11 @@ struct MetricsSnapshot {
   double gauge(const std::string& key) const {
     const auto it = gauges.find(key);
     return it == gauges.end() ? 0.0 : it->second;
+  }
+  /// Empty summary when absent.
+  HistogramSummary histogram(const std::string& key) const {
+    const auto it = histograms.find(key);
+    return it == histograms.end() ? HistogramSummary{} : it->second;
   }
   /// App indices mentioned by any `app.*{app=N}` instrument, ascending.
   std::vector<std::int32_t> app_ids() const;

@@ -124,6 +124,29 @@ class SystemBuilder {
     config_.record_spans = on;
     return *this;
   }
+  /// Override the paper-fitted migration cost constants (what-if
+  /// perturbations, alternative calibrations).
+  SystemBuilder& cost_params(sim::CostModelParams params) {
+    config_.cost_params = params;
+    return *this;
+  }
+
+  /// Perturbation hook: direct access to the staged configuration, so the
+  /// what-if engine (obs/whatif.hpp) can scale individual cost constants on
+  /// a clone between configure and build().
+  TieredSystem::Config& config() { return config_; }
+  const TieredSystem::Config& config() const { return config_; }
+
+  /// Clone the staged configuration and policy *selection* into a fresh
+  /// builder. Staged workloads and a concrete policy instance are
+  /// single-owner and do not transfer — re-stage workloads on the clone
+  /// (deterministic scenarios rebuild them from their seed anyway).
+  SystemBuilder clone_config() const {
+    SystemBuilder b;
+    b.config_ = config_;
+    b.policy_name_ = policy_name_;
+    return b;
+  }
 
   /// Install a concrete policy instance...
   SystemBuilder& policy(std::unique_ptr<policy::SystemPolicy> policy) {

@@ -56,6 +56,48 @@ std::vector<StagedWorkload> paper_colocation(std::uint64_t seed) {
   return stages;
 }
 
+namespace {
+
+std::unique_ptr<wl::Workload> dilemma_lc(std::uint64_t seed) {
+  wl::WorkloadSpec s;
+  s.name = "lc-service";
+  s.service_class = wl::ServiceClass::kLatencyCritical;
+  s.rss_pages = 8192;
+  s.wss_pages = 8192;
+  s.threads = 8;
+  s.accesses_per_sec_per_thread = 2e5;
+  s.latency_exposure = 1.0;
+  s.shared_access_fraction = 1.0;
+  return std::make_unique<wl::Workload>(
+      s, s.rss_pages,
+      std::make_unique<wl::HotsetPattern>(s.rss_pages, 0.10, 0.90, 0.10),
+      std::make_unique<wl::UniformPattern>(s.rss_pages, 0.10), seed);
+}
+
+std::unique_ptr<wl::Workload> dilemma_be(std::uint64_t seed) {
+  wl::WorkloadSpec s;
+  s.name = "be-scanner";
+  s.rss_pages = 12'288;
+  s.wss_pages = 12'288;
+  s.threads = 8;
+  s.accesses_per_sec_per_thread = 6e6;
+  s.latency_exposure = 0.3;
+  s.shared_access_fraction = 1.0;
+  return std::make_unique<wl::Workload>(
+      s, s.rss_pages,
+      std::make_unique<wl::SequentialPattern>(s.rss_pages, 0.05),
+      std::make_unique<wl::UniformPattern>(s.rss_pages, 0.05), seed);
+}
+
+}  // namespace
+
+std::vector<StagedWorkload> dilemma_colocation(std::uint64_t seed) {
+  std::vector<StagedWorkload> stages;
+  stages.push_back({0.0, dilemma_lc(seed * 7 + 1)});
+  stages.push_back({10.0, dilemma_be(seed * 7 + 2)});
+  return stages;
+}
+
 void run_staged(TieredSystem& sys, std::vector<StagedWorkload> stages,
                 double end_s,
                 const std::function<void(TieredSystem&)>& on_epoch) {

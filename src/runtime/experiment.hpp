@@ -26,6 +26,12 @@ struct StagedWorkload {
 /// The paper's dynamic co-location timeline (Table 2 workloads).
 std::vector<StagedWorkload> paper_colocation(std::uint64_t seed = 1);
 
+/// The two-app cold-page-dilemma co-location (Fig. 1): a latency-critical
+/// hot-set service from t=0 joined by a best-effort sequential scanner at
+/// t=10 s. Shared by `vulcan_sim --scenario dilemma`, the CI fairness
+/// smoke, and the what-if engine's built-in scenario.
+std::vector<StagedWorkload> dilemma_colocation(std::uint64_t seed = 42);
+
 /// Drive `sys` until `end_s`, admitting staged workloads at their start
 /// times; `on_epoch` (optional) observes the system after every epoch.
 void run_staged(TieredSystem& sys, std::vector<StagedWorkload> stages,

@@ -18,6 +18,7 @@ TieredSystem::TieredSystem(Config config,
               ? mem::Topology(*config.custom_tiers,
                               config.machine.slow_bw_gbps)
               : mem::Topology::paper_testbed(config.machine))),
+      cost_(config.cost_params),
       rng_(config.seed) {
   if (config_.record_spans) {
     spans_ = obs::SpanRecorder(&trace_, &now_);

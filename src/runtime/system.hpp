@@ -30,6 +30,7 @@
 #include "prof/telescope.hpp"
 #include "runtime/metrics.hpp"
 #include "sim/config.hpp"
+#include "sim/cost_model.hpp"
 #include "sim/rng.hpp"
 #include "vm/shootdown.hpp"
 #include "wl/workload.hpp"
@@ -80,6 +81,11 @@ class TieredSystem {
     /// phases -> shootdowns) into the trace ring, and roll them up into the
     /// per-app attribution metrics. Cheap; off only for span-free traces.
     bool record_spans = true;
+    /// Migration-mechanism cost constants. Defaults are the paper-fitted
+    /// calibration (sim/cost_model.hpp); the what-if engine
+    /// (obs/whatif.hpp) re-runs scenarios with individual constants scaled
+    /// to measure each mechanism's causal share of slowdown.
+    sim::CostModelParams cost_params;
   };
 
   TieredSystem(Config config, std::unique_ptr<policy::SystemPolicy> policy);

@@ -1,0 +1,155 @@
+// Differential run analysis: snapshot diffing, span-forest deltas and the
+// causal attribution path (obs/diff.hpp).
+#include "obs/diff.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "obs/metrics.hpp"
+#include "obs/span.hpp"
+#include "obs/trace.hpp"
+
+namespace vulcan::obs {
+namespace {
+
+MetricsSnapshot snapshot(
+    std::initializer_list<std::pair<const char*, double>> gauges,
+    std::initializer_list<std::pair<const char*, std::uint64_t>> counters =
+        {}) {
+  MetricsSnapshot s;
+  for (const auto& [k, v] : gauges) s.gauges[k] = v;
+  for (const auto& [k, v] : counters) s.counters[k] = v;
+  return s;
+}
+
+TEST(SnapshotDiff, ReportsDeltasInKeyOrder) {
+  const MetricsSnapshot before =
+      snapshot({{"b.gauge", 2.0}}, {{"a.counter", 10}});
+  const MetricsSnapshot after =
+      snapshot({{"b.gauge", 3.0}}, {{"a.counter", 15}});
+  const SnapshotDiff diff = diff_snapshots(before, after);
+  ASSERT_EQ(diff.entries.size(), 2u);
+  EXPECT_EQ(diff.entries[0].key, "a.counter");
+  EXPECT_DOUBLE_EQ(diff.entries[0].delta(), 5.0);
+  EXPECT_DOUBLE_EQ(diff.entries[0].rel(), 0.5);
+  EXPECT_EQ(diff.entries[1].key, "b.gauge");
+  EXPECT_DOUBLE_EQ(diff.entries[1].delta(), 1.0);
+  EXPECT_EQ(diff.changed, 2u);
+}
+
+TEST(SnapshotDiff, FlagsOneSidedKeys) {
+  const MetricsSnapshot before = snapshot({{"gone.gauge", 1.0}});
+  const MetricsSnapshot after = snapshot({{"new.gauge", 4.0}});
+  const SnapshotDiff diff = diff_snapshots(before, after);
+  ASSERT_EQ(diff.entries.size(), 2u);
+  EXPECT_TRUE(diff.entries[0].only_before);
+  EXPECT_FALSE(diff.entries[0].only_after);
+  EXPECT_EQ(diff.entries[0].key, "gone.gauge");
+  EXPECT_TRUE(diff.entries[1].only_after);
+  EXPECT_EQ(diff.entries[1].key, "new.gauge");
+}
+
+TEST(SnapshotDiff, TopRanksByRelativeChange) {
+  const MetricsSnapshot before =
+      snapshot({{"big.move", 1.0}, {"small.move", 100.0}, {"same", 5.0}});
+  const MetricsSnapshot after =
+      snapshot({{"big.move", 3.0}, {"small.move", 101.0}, {"same", 5.0}});
+  const SnapshotDiff diff = diff_snapshots(before, after);
+  const std::vector<std::size_t> top = diff.top(2);
+  ASSERT_EQ(top.size(), 2u);
+  EXPECT_EQ(diff.entries[top[0]].key, "big.move");   // rel 2.0
+  EXPECT_EQ(diff.entries[top[1]].key, "small.move");  // rel 0.01
+}
+
+TEST(SnapshotDiff, SnapshotRegistryMatchesWrittenJson) {
+  Registry reg;
+  reg.counter("mig.pages").inc(7);
+  reg.gauge("core.fairness.cfi").set(0.25);
+  const std::vector<double> bounds{1.0, 2.0, 4.0};
+  auto& h = reg.histogram("app.slowdown_hist{app=0}", bounds);
+  h.observe(1.5);
+  h.observe(1.5);
+  h.observe(3.0);
+
+  const MetricsSnapshot live = snapshot_registry(reg);
+  std::stringstream json;
+  reg.write_json(json);
+  MetricsSnapshot parsed;
+  ASSERT_TRUE(parsed.parse_json(json));
+
+  EXPECT_EQ(live.counters, parsed.counters);
+  EXPECT_EQ(live.gauges, parsed.gauges);
+  ASSERT_EQ(live.histograms.size(), 1u);
+  const HistogramSummary a = live.histogram("app.slowdown_hist{app=0}");
+  const HistogramSummary b = parsed.histogram("app.slowdown_hist{app=0}");
+  EXPECT_EQ(a.count, b.count);
+  EXPECT_DOUBLE_EQ(a.sum, b.sum);
+  EXPECT_DOUBLE_EQ(a.p50, b.p50);
+  EXPECT_DOUBLE_EQ(a.p99, b.p99);
+}
+
+TEST(SnapshotDiff, WriterIsByteDeterministic) {
+  const MetricsSnapshot before =
+      snapshot({{"x.gauge", 1.0}, {"y.gauge", 2.0}}, {{"z.counter", 3}});
+  const MetricsSnapshot after =
+      snapshot({{"x.gauge", 1.5}, {"y.gauge", 2.0}}, {{"z.counter", 9}});
+  const SnapshotDiff diff = diff_snapshots(before, after);
+  std::stringstream a, b;
+  write_snapshot_diff(diff, a);
+  write_snapshot_diff(diff, b);
+  EXPECT_FALSE(a.str().empty());
+  EXPECT_EQ(a.str(), b.str());
+}
+
+// ------------------------------------------------------------ span diffing
+
+std::vector<TraceEvent> simple_timeline(sim::Cycles shootdown_cycles) {
+  TraceRing ring(64);
+  sim::Cycles clock = 0;
+  SpanRecorder rec(&ring, &clock);
+  ScopedSpan epoch{&rec, rec.begin(SpanKind::kEpoch, -1)};
+  {
+    ScopedSpan op{&rec, rec.begin(SpanKind::kMigrationOp, 1)};
+    ScopedSpan sd{&rec, rec.begin(SpanKind::kShootdown, 1)};
+    sd.close(shootdown_cycles);
+    op.end();
+  }
+  epoch.close(100);
+  return ring.events();
+}
+
+TEST(SpanDiff, AttributesDeltaToTheSubtreeThatAbsorbedIt) {
+  const SpanForest before = build_span_forest(simple_timeline(1000));
+  const SpanForest after = build_span_forest(simple_timeline(5000));
+  const SpanTreeDelta root = diff_span_forests(before, after);
+  EXPECT_DOUBLE_EQ(root.delta(), 4000.0);
+
+  const std::vector<std::string> path = attribution_path(root);
+  ASSERT_FALSE(path.empty());
+  // The shootdown leaf absorbed the whole delta; the path must descend to
+  // it through the migration op.
+  EXPECT_NE(path.back().find("shootdown"), std::string::npos);
+}
+
+TEST(SpanDiff, IdenticalForestsYieldEmptyAttribution) {
+  const SpanForest before = build_span_forest(simple_timeline(1000));
+  const SpanForest after = build_span_forest(simple_timeline(1000));
+  const SpanTreeDelta root = diff_span_forests(before, after);
+  EXPECT_DOUBLE_EQ(root.delta(), 0.0);
+  EXPECT_TRUE(attribution_path(root).empty());
+}
+
+TEST(SpanDiff, WriterIsByteDeterministic) {
+  const SpanForest before = build_span_forest(simple_timeline(1000));
+  const SpanForest after = build_span_forest(simple_timeline(2000));
+  const SpanTreeDelta root = diff_span_forests(before, after);
+  std::stringstream a, b;
+  write_span_diff(root, a);
+  write_span_diff(root, b);
+  EXPECT_FALSE(a.str().empty());
+  EXPECT_EQ(a.str(), b.str());
+}
+
+}  // namespace
+}  // namespace vulcan::obs

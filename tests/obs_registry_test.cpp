@@ -47,6 +47,44 @@ TEST(Histogram, BucketsByUpperBoundWithOverflow) {
   EXPECT_DOUBLE_EQ(h.sum(), 1006.5);
 }
 
+TEST(Histogram, QuantilesInterpolateWithinBuckets) {
+  Registry reg;
+  const std::vector<double> bounds{10.0, 20.0, 40.0};
+  Histogram& h = reg.histogram("app.lat", bounds);
+  // 8 observations in [0,10], 2 in (10,20]: p50 lands inside the first
+  // bucket, p95/p99 inside the second.
+  for (int i = 0; i < 8; ++i) h.observe(5.0);
+  h.observe(15.0);
+  h.observe(15.0);
+  EXPECT_DOUBLE_EQ(h.quantile(0.50), 6.25);   // rank 5 of 8 through [0,10]
+  EXPECT_DOUBLE_EQ(h.quantile(0.95), 17.5);   // 1.5 of 2 through (10,20]
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), 20.0);
+  EXPECT_DOUBLE_EQ(h.quantile(0.0), 0.0);
+}
+
+TEST(Histogram, QuantileClampsOverflowToLastBound) {
+  Registry reg;
+  const std::vector<double> bounds{1.0};
+  Histogram& h = reg.histogram("app.lat2", bounds);
+  h.observe(100.0);  // overflow bucket only
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 1.0);
+  Histogram& empty = reg.histogram("app.lat3", bounds);
+  EXPECT_DOUBLE_EQ(empty.quantile(0.5), 0.0);
+}
+
+TEST(Registry, JsonHistogramsCarryQuantileSummaries) {
+  Registry reg;
+  const std::vector<double> bounds{1.0, 2.0};
+  Histogram& h = reg.histogram("app.slowdown_hist{app=0}", bounds);
+  h.observe(0.5);
+  h.observe(1.5);
+  std::ostringstream out;
+  reg.write_json(out);
+  EXPECT_NE(out.str().find("\"p50\""), std::string::npos);
+  EXPECT_NE(out.str().find("\"p95\""), std::string::npos);
+  EXPECT_NE(out.str().find("\"p99\""), std::string::npos);
+}
+
 TEST(Registry, RegistrationIsIdempotentPerKey) {
   Registry reg;
   Counter& a = reg.counter("vm.tlb.hits");

@@ -113,6 +113,21 @@ TEST(FairnessReport, ByteIdenticalForIdenticalSeeds) {
   EXPECT_EQ(render_report(6), render_report(6));
 }
 
+TEST(FairnessReport, SurfacesSlowdownQuantilesWhenHistogramsPresent) {
+  const std::string report = render_report(8);
+  EXPECT_NE(report.find("slowdown quantiles (p50 / p95 / p99):"),
+            std::string::npos);
+}
+
+TEST(FairnessReport, OmitsQuantileSectionWithoutHistograms) {
+  MetricsSnapshot snap;
+  snap.gauges["app.slowdown_mean{app=0}"] = 1.2;
+  snap.counters["core.epochs"] = 3;
+  std::ostringstream out;
+  write_fairness_report(snap, {}, out);
+  EXPECT_EQ(out.str().find("slowdown quantiles"), std::string::npos);
+}
+
 TEST(FairnessReport, OmitsCriticalPathWithoutTrace) {
   auto built = build_fixed();
   ASSERT_TRUE(built.ok()) << built.error();

@@ -181,6 +181,76 @@ TEST(SpanForest, LenientRepairsTruncatedStream) {
   EXPECT_EQ(forest.roots[0].end_time, 50u);  // closed at the last timestamp
 }
 
+TEST(SpanForest, LenientReattachesChildrenOfDroppedInteriorSpan) {
+  // The ring dropped the *begin* of an interior (non-root) span: the epoch
+  // root and the leaf phase survive, the migration op between them lost its
+  // opening record. Lenient rebuild must keep the forest usable — the leaf
+  // reattaches to its grandparent and only the orphan end is skipped.
+  auto ev = [](EventKind kind, SpanKind sk, SpanId id, sim::Cycles t,
+               std::int32_t workload) {
+    TraceEvent e;
+    e.time = t;
+    e.kind = kind;
+    e.workload = workload;
+    e.a = SpanAttrs{sk, 0, 0}.encode();
+    e.b = id;
+    return e;
+  };
+  const std::vector<TraceEvent> events{
+      ev(EventKind::kSpanBegin, SpanKind::kEpoch, 1, 0, -1),
+      // span #2 (kMigrationOp) began here, but the ring dropped it.
+      ev(EventKind::kSpanBegin, SpanKind::kPhaseCopy, 3, 20, 0),
+      ev(EventKind::kSpanEnd, SpanKind::kPhaseCopy, 3, 50, 0),
+      ev(EventKind::kSpanEnd, SpanKind::kMigrationOp, 2, 60, 0),
+      ev(EventKind::kSpanEnd, SpanKind::kEpoch, 1, 100, -1),
+  };
+  const SpanForest forest = build_span_forest(events, /*strict=*/false);
+  ASSERT_TRUE(forest.ok()) << forest.error;
+  EXPECT_EQ(forest.skipped, 1u);  // the orphan kMigrationOp end
+  ASSERT_EQ(forest.roots.size(), 1u);
+  const SpanNode& root = forest.roots[0];
+  EXPECT_EQ(root.attrs.kind, SpanKind::kEpoch);
+  EXPECT_EQ(root.duration(), 100u);
+  ASSERT_EQ(root.children.size(), 1u);
+  EXPECT_EQ(root.children[0].attrs.kind, SpanKind::kPhaseCopy);
+  EXPECT_EQ(root.children[0].duration(), 30u);
+}
+
+TEST(SpanForest, LenientSynthesisesEndForDroppedInteriorEnd) {
+  // Mirror image: the interior span's *end* was dropped. The enclosing
+  // epoch's end must close the still-open interior span at its own
+  // timestamp instead of wedging the stack.
+  auto ev = [](EventKind kind, SpanKind sk, SpanId id, sim::Cycles t,
+               std::int32_t workload) {
+    TraceEvent e;
+    e.time = t;
+    e.kind = kind;
+    e.workload = workload;
+    e.a = SpanAttrs{sk, 0, 0}.encode();
+    e.b = id;
+    return e;
+  };
+  const std::vector<TraceEvent> events{
+      ev(EventKind::kSpanBegin, SpanKind::kEpoch, 1, 0, -1),
+      ev(EventKind::kSpanBegin, SpanKind::kMigrationOp, 2, 10, 0),
+      ev(EventKind::kSpanBegin, SpanKind::kPhaseCopy, 3, 20, 0),
+      ev(EventKind::kSpanEnd, SpanKind::kPhaseCopy, 3, 50, 0),
+      // span #2's end was dropped from the ring.
+      ev(EventKind::kSpanEnd, SpanKind::kEpoch, 1, 100, -1),
+  };
+  const SpanForest forest = build_span_forest(events, /*strict=*/false);
+  ASSERT_TRUE(forest.ok()) << forest.error;
+  EXPECT_EQ(forest.skipped, 1u);  // the force-closed kMigrationOp
+  ASSERT_EQ(forest.roots.size(), 1u);
+  const SpanNode& root = forest.roots[0];
+  ASSERT_EQ(root.children.size(), 1u);
+  const SpanNode& op = root.children[0];
+  EXPECT_EQ(op.attrs.kind, SpanKind::kMigrationOp);
+  EXPECT_EQ(op.end_time, 100u);  // closed at the enclosing end's timestamp
+  ASSERT_EQ(op.children.size(), 1u);
+  EXPECT_EQ(op.children[0].attrs.kind, SpanKind::kPhaseCopy);
+}
+
 TEST(SpanJsonl, BeginEndPairingSurvivesRoundTrip) {
   TraceRing ring(64);
   sim::Cycles clock = 0;
