@@ -9,7 +9,10 @@
 // The numbers are read back from the obs::Registry the mechanism reports
 // into — the same counters the full runtime publishes — rather than from
 // the returned PhaseBreakdown, so the figure doubles as a check that the
-// instrumentation accounts every cycle.
+// instrumentation accounts every cycle. Rows come from the shared
+// runtime::migration_breakdown_battery (one independent job per CPU count,
+// merged in submission order), so the harness also exercises the exec
+// worker pool without changing a byte of output.
 #include <vulcan/vulcan.hpp>
 
 #include "bench_util.hpp"
@@ -20,39 +23,27 @@ int main() {
   bench::header("Fig. 2 — single base-page migration cost breakdown",
                 "paper §2.2 Observation #2 (Fig. 2)");
 
-  sim::CostModel cost;
   bench::CsvSink csv("fig2_migration_breakdown",
                      "cpus,prep,unmap,shootdown,copy,remap,total,prep_share");
 
+  const std::vector<unsigned> cpus_list = {2u, 4u, 8u, 16u, 24u, 32u};
+  const auto rows =
+      runtime::migration_breakdown_battery(cpus_list, /*jobs=*/0);
+
   std::printf("%5s %10s %10s %10s %10s %10s %11s %11s\n", "cpus", "prep",
               "unmap", "shootdown", "copy", "remap", "total", "prep-share");
-  for (unsigned cpus : {2u, 4u, 8u, 16u, 24u, 32u}) {
-    obs::Registry reg;
-    sim::Cycles clock = 0;
-    mig::MigrationMechanism mech(cost, {.online_cpus = cpus});
-    mech.set_obs(obs::Scope(&reg, nullptr, &clock, "mig.mechanism"));
-    // The migrating page may be cached by every other core (vanilla
-    // process-wide tables give no tighter bound).
-    (void)mech.single_page(cpus - 1, cpus - 1);
-    const auto phase = [&reg](const char* name) {
-      return reg.counter_value(std::string("mig.mechanism.") + name +
-                               "_cycles");
-    };
-    const std::uint64_t prep = phase("prep"), unmap = phase("unmap"),
-                        shoot = phase("shootdown"), copy = phase("copy"),
-                        remap = phase("remap");
-    const std::uint64_t total = prep + unmap + shoot + copy + remap;
-    const double prep_share =
-        total ? static_cast<double>(prep) / static_cast<double>(total) : 0.0;
+  for (const runtime::MigrationBreakdownRow& row : rows) {
     std::printf("%5u %10llu %10llu %10llu %10llu %10llu %11llu %10.1f%%\n",
-                cpus, (unsigned long long)prep, (unsigned long long)unmap,
-                (unsigned long long)shoot, (unsigned long long)copy,
-                (unsigned long long)remap, (unsigned long long)total,
-                100.0 * prep_share);
-    csv.row("%u,%llu,%llu,%llu,%llu,%llu,%llu,%.4f", cpus,
-            (unsigned long long)prep, (unsigned long long)unmap,
-            (unsigned long long)shoot, (unsigned long long)copy,
-            (unsigned long long)remap, (unsigned long long)total, prep_share);
+                row.cpus, (unsigned long long)row.prep,
+                (unsigned long long)row.unmap,
+                (unsigned long long)row.shootdown,
+                (unsigned long long)row.copy, (unsigned long long)row.remap,
+                (unsigned long long)row.total(), 100.0 * row.prep_share());
+    csv.row("%u,%llu,%llu,%llu,%llu,%llu,%llu,%.4f", row.cpus,
+            (unsigned long long)row.prep, (unsigned long long)row.unmap,
+            (unsigned long long)row.shootdown, (unsigned long long)row.copy,
+            (unsigned long long)row.remap, (unsigned long long)row.total(),
+            row.prep_share());
   }
 
   std::printf(

@@ -7,73 +7,42 @@
 //
 // Total cycles per variant are read back from each variant's obs::Registry
 // (sum of the five per-phase counters) instead of the raw PhaseBreakdown,
-// exercising the same accounting path as the full runtime.
+// exercising the same accounting path as the full runtime. Rows come from
+// the shared runtime::mechanism_speedup_battery (one independent job per
+// batch size, merged in submission order), so the harness also exercises
+// the exec worker pool without changing a byte of output.
 #include <vulcan/vulcan.hpp>
 
 #include "bench_util.hpp"
 
 using namespace vulcan;
 
-namespace {
-
-std::uint64_t total_cycles(const obs::Registry& reg) {
-  std::uint64_t total = 0;
-  for (const char* name : {"prep", "unmap", "shootdown", "copy", "remap"}) {
-    total += reg.counter_value(std::string("mig.mechanism.") + name +
-                               "_cycles");
-  }
-  return total;
-}
-
-}  // namespace
-
 int main() {
   bench::header("Fig. 7 — migration mechanism optimisation speedups",
                 "paper §5.2 'Migration Mechanism' (Fig. 7)");
-
-  sim::CostModel cost;
-  // The microbench setting: 32 CPUs online, the migrating process runs 8
-  // threads, and per-thread page tables prove ~1 sharer for most pages.
-  const unsigned kProcessRemote = 7;
-  const unsigned kSharerRemote = 1;
 
   bench::CsvSink csv("fig7_mechanism_speedup",
                      "pages,baseline_cycles,prep_opt_cycles,both_cycles,"
                      "speedup_prep,speedup_both");
 
+  const std::vector<std::uint64_t> pages_list = {2, 4, 8, 16, 32, 64, 128,
+                                                 256, 512};
+  const auto rows = runtime::mechanism_speedup_battery(pages_list, /*jobs=*/0);
+
   std::printf("%7s %14s %14s %14s %11s %11s\n", "pages", "baseline",
               "prep-opt", "prep+tlb", "speedup-1", "speedup-2");
-  for (std::uint64_t pages : {2ull, 4ull, 8ull, 16ull, 32ull, 64ull, 128ull,
-                              256ull, 512ull}) {
-    // Fresh registries per batch size: each variant's five phase counters
-    // sum to exactly this batch's cycles.
-    obs::Registry reg_base, reg_prep, reg_both;
-    sim::Cycles clock = 0;
-    mig::MigrationMechanism baseline(cost, {.online_cpus = 32});
-    mig::MigrationMechanism prep_opt(
-        cost, {.optimized_prep = true, .online_cpus = 32});
-    mig::MigrationMechanism both(cost, {.optimized_prep = true,
-                                        .targeted_shootdown = true,
-                                        .online_cpus = 32});
-    baseline.set_obs(obs::Scope(&reg_base, nullptr, &clock, "mig.mechanism"));
-    prep_opt.set_obs(obs::Scope(&reg_prep, nullptr, &clock, "mig.mechanism"));
-    both.set_obs(obs::Scope(&reg_both, nullptr, &clock, "mig.mechanism"));
-
-    (void)baseline.batch(pages, kProcessRemote, kSharerRemote);
-    (void)prep_opt.batch(pages, kProcessRemote, kSharerRemote);
-    (void)both.batch(pages, kProcessRemote, kSharerRemote);
-
-    const std::uint64_t b = total_cycles(reg_base);
-    const std::uint64_t o1 = total_cycles(reg_prep);
-    const std::uint64_t o2 = total_cycles(reg_both);
-    const double s1 = static_cast<double>(b) / static_cast<double>(o1);
-    const double s2 = static_cast<double>(b) / static_cast<double>(o2);
+  for (const runtime::MechanismSpeedupRow& row : rows) {
     std::printf("%7llu %14llu %14llu %14llu %10.2fx %10.2fx\n",
-                (unsigned long long)pages, (unsigned long long)b,
-                (unsigned long long)o1, (unsigned long long)o2, s1, s2);
-    csv.row("%llu,%llu,%llu,%llu,%.3f,%.3f", (unsigned long long)pages,
-            (unsigned long long)b, (unsigned long long)o1,
-            (unsigned long long)o2, s1, s2);
+                (unsigned long long)row.pages,
+                (unsigned long long)row.baseline_cycles,
+                (unsigned long long)row.prep_opt_cycles,
+                (unsigned long long)row.both_cycles, row.speedup_prep(),
+                row.speedup_both());
+    csv.row("%llu,%llu,%llu,%llu,%.3f,%.3f", (unsigned long long)row.pages,
+            (unsigned long long)row.baseline_cycles,
+            (unsigned long long)row.prep_opt_cycles,
+            (unsigned long long)row.both_cycles, row.speedup_prep(),
+            row.speedup_both());
   }
 
   std::printf(

@@ -9,8 +9,11 @@
 //   vulcan::prof     access profiling (PEBS / PT-scan / hint-fault / hybrid)
 //   vulcan::mig      migration mechanism, copy engines, shadowing
 //   vulcan::wl       workload models (Memcached, PageRank, Liblinear, ...)
-//   vulcan::policy   tiering policies (TPP, Memtis, Nomad, biased queues)
+//   vulcan::policy   tiering policies (TPP, Memtis, Nomad, MTM, Cascade,
+//                    biased queues)
 //   vulcan::core     Vulcan's contribution: QoS, CBFRP, classifier, manager
+//   vulcan::exec     parallel experiment execution (worker pool + batch
+//                    runner with deterministic submission-order merge)
 //   vulcan::obs      metrics registry, structured trace, timeline spans,
 //                    per-app attribution, export backends + fairness report
 //   vulcan::runtime  the co-location system harness and experiment helpers
@@ -29,6 +32,8 @@
 
 #include "core/advisor.hpp"
 #include "core/cbfrp.hpp"
+#include "exec/batch.hpp"
+#include "exec/thread_pool.hpp"
 #include "core/classifier.hpp"
 #include "core/fairness.hpp"
 #include "core/manager.hpp"

@@ -1,0 +1,83 @@
+#!/usr/bin/env python3
+"""Fail on dead intra-repo links in the project's markdown files.
+
+Scans the given files (or, with none, README.md plus docs/**/*.md relative
+to the repo root) for inline markdown links `[text](target)` and checks
+that every relative target resolves to an existing file or directory.
+External links (http/https/mailto) and pure in-page anchors (#...) are
+skipped; a `path#anchor` target is checked as `path`.
+
+Exit status: 0 when every link resolves, 1 otherwise (each dead link is
+printed as `file:line: dead link -> target`). Stdlib only.
+"""
+
+import argparse
+import pathlib
+import re
+import sys
+
+# Inline links only; reference-style links are not used in this repo.
+# `[text](target)` with no nested parens in the target (fine for paths).
+LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+SKIP_PREFIXES = ("http://", "https://", "mailto:")
+
+
+def iter_links(path: pathlib.Path):
+    in_fence = False
+    for lineno, line in enumerate(
+        path.read_text(encoding="utf-8").splitlines(), start=1
+    ):
+        if line.lstrip().startswith("```"):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        for match in LINK_RE.finditer(line):
+            yield lineno, match.group(1)
+
+
+def check_file(path: pathlib.Path) -> list:
+    dead = []
+    for lineno, target in iter_links(path):
+        if target.startswith(SKIP_PREFIXES) or target.startswith("#"):
+            continue
+        resolved = (path.parent / target.split("#", 1)[0]).resolve()
+        if not resolved.exists():
+            dead.append((path, lineno, target))
+    return dead
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "files",
+        nargs="*",
+        type=pathlib.Path,
+        help="markdown files to check (default: README.md + docs/**/*.md)",
+    )
+    args = parser.parse_args()
+
+    files = args.files
+    if not files:
+        root = pathlib.Path(__file__).resolve().parent.parent
+        files = [root / "README.md"] + sorted((root / "docs").glob("**/*.md"))
+
+    dead, checked = [], 0
+    for path in files:
+        if not path.exists():
+            print(f"{path}: no such file", file=sys.stderr)
+            return 1
+        dead.extend(check_file(path))
+        checked += 1
+
+    for path, lineno, target in dead:
+        print(f"{path}:{lineno}: dead link -> {target}")
+    print(
+        f"checked {checked} file(s): "
+        + (f"{len(dead)} dead link(s)" if dead else "all links resolve")
+    )
+    return 1 if dead else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,16 @@
+#include "exec/batch.hpp"
+
+namespace vulcan::exec {
+
+void BatchStats::publish(obs::Registry& registry) const {
+  registry.counter("exec.batch.batches").inc();
+  registry.counter("exec.batch.jobs").inc(jobs);
+  registry.counter("exec.batch.failures").inc(failures);
+  registry.gauge("exec.batch.workers").set(static_cast<double>(workers));
+  registry.gauge("exec.batch.wall_ms").set(wall_ms);
+  registry.gauge("exec.batch.job_wall_ms_sum").set(job_wall_ms_sum);
+  registry.gauge("exec.batch.job_wall_ms_max").set(job_wall_ms_max);
+  registry.gauge("exec.batch.speedup").set(speedup());
+}
+
+}  // namespace vulcan::exec

@@ -1,0 +1,65 @@
+// Fixed-size worker pool — the bottom half of vulcan::exec.
+//
+// The evaluation is a battery of independent deterministic simulations
+// (per-figure scenarios, seed sweeps, the what-if perturbation grid), so a
+// full run pays N× wall-clock for work with zero cross-run dependencies.
+// ThreadPool supplies the workers; BatchRunner (exec/batch.hpp) layers the
+// submission-order merge and per-job failure capture on top.
+//
+// Contract: submitted tasks must not throw — a task that lets an exception
+// escape terminates the process (BatchRunner wraps every job in a
+// try/catch precisely so its callers never face this). The pool itself is
+// deliberately dumb: no priorities, no stealing, no futures. Determinism
+// is the *caller's* property (each job owns its state and results merge in
+// submission order), so the pool only needs to run things.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace vulcan::exec {
+
+class ThreadPool {
+ public:
+  /// Spawns `threads` workers (clamped to at least 1).
+  explicit ThreadPool(unsigned threads);
+  /// Waits for queued work, then joins the workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueue a task. Safe from any thread, including from inside a task.
+  void submit(std::function<void()> task);
+
+  /// Block until the queue is empty and every worker is idle. The pool is
+  /// reusable afterwards — submit/wait cycles are the BatchRunner pattern.
+  void wait();
+
+  unsigned threads() const {
+    return static_cast<unsigned>(workers_.size());
+  }
+
+  /// Worker count for a batch of `job_count` independent jobs:
+  /// min(hardware concurrency, job_count), at least 1. The cap matters —
+  /// spawning 16 workers for a 3-point grid buys nothing but contention.
+  static unsigned recommended_workers(std::size_t job_count);
+
+ private:
+  void worker_loop();
+
+  std::mutex mu_;
+  std::condition_variable work_ready_;
+  std::condition_variable all_idle_;
+  std::deque<std::function<void()>> queue_;
+  std::size_t active_ = 0;
+  bool stop_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace vulcan::exec

@@ -52,6 +52,15 @@ std::optional<WhatIfKnob> knob_from_name(std::string_view name) {
   return std::nullopt;
 }
 
+std::string knob_vocabulary() {
+  std::string vocabulary;
+  for (std::size_t k = 0; k < kWhatIfKnobCount; ++k) {
+    if (k) vocabulary += ' ';
+    vocabulary += knob_name(static_cast<WhatIfKnob>(k));
+  }
+  return vocabulary;
+}
+
 void apply_perturbation(const Perturbation& p, runtime::SystemBuilder& b) {
   runtime::TieredSystem::Config& c = b.config();
   sim::CostModelParams& m = c.cost_params;
@@ -137,7 +146,7 @@ WhatIfEngine::WhatIfEngine(WhatIfScenario scenario)
   }
 }
 
-WhatIfRun WhatIfEngine::execute(const Perturbation* p) {
+WhatIfRun WhatIfEngine::execute(const Perturbation* p) const {
   runtime::SystemBuilder base;
   scenario_.configure(base);
   runtime::SystemBuilder b = base.clone_config();
@@ -167,8 +176,12 @@ const WhatIfRun& WhatIfEngine::baseline() {
 }
 
 WhatIfResult WhatIfEngine::run(const Perturbation& p) {
+  return reduce_against_baseline(p, execute(&p));
+}
+
+WhatIfResult WhatIfEngine::reduce_against_baseline(const Perturbation& p,
+                                                   const WhatIfRun& pert) {
   const WhatIfRun& base = baseline();
-  const WhatIfRun pert = execute(&p);
 
   WhatIfResult result;
   result.perturbation = p;
@@ -207,10 +220,31 @@ WhatIfResult WhatIfEngine::run(const Perturbation& p) {
 }
 
 std::vector<WhatIfResult> WhatIfEngine::run_grid(
-    std::span<const Perturbation> grid) {
+    std::span<const Perturbation> grid, unsigned jobs) {
+  // The baseline runs first, serially: every grid point reduces against
+  // it, and executing it once inside the fan-out would race the cache.
+  baseline();
+
+  // Fan the perturbed runs out across the workers. Each job clones the
+  // scenario's builder configuration and owns its whole system (registry,
+  // trace ring, RNG), so runs are independent; the reduction below walks
+  // the outcomes in grid order, which makes the output byte-identical for
+  // any job count.
+  exec::BatchRunner runner(jobs);
+  std::vector<std::function<WhatIfRun()>> batch;
+  batch.reserve(grid.size());
+  for (const Perturbation& p : grid) {
+    batch.push_back([this, p] { return execute(&p); });
+  }
+  const std::vector<WhatIfRun> runs =
+      exec::values_or_throw(runner.run(std::move(batch)), "what-if grid");
+  grid_stats_ = runner.stats();
+
   std::vector<WhatIfResult> results;
-  results.reserve(grid.size());
-  for (const Perturbation& p : grid) results.push_back(run(p));
+  results.reserve(runs.size());
+  for (std::size_t i = 0; i < runs.size(); ++i) {
+    results.push_back(reduce_against_baseline(grid[i], runs[i]));
+  }
   return results;
 }
 
@@ -435,7 +469,7 @@ std::vector<Perturbation> parse_plan(std::istream& in, std::string& error) {
     const std::optional<WhatIfKnob> k = knob_from_name(knob);
     if (!k) {
       error = "line " + std::to_string(lineno) + ": unknown knob \"" + knob +
-              "\"";
+              "\" (valid knobs: " + knob_vocabulary() + ")";
       return {};
     }
     double scale = 0.0;

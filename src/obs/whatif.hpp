@@ -36,6 +36,7 @@
 #include <string_view>
 #include <vector>
 
+#include "exec/batch.hpp"
 #include "obs/diff.hpp"
 #include "runtime/builder.hpp"
 #include "runtime/experiment.hpp"
@@ -60,6 +61,11 @@ inline constexpr std::size_t kWhatIfKnobCount = 8;
 
 const char* knob_name(WhatIfKnob knob);
 std::optional<WhatIfKnob> knob_from_name(std::string_view name);
+
+/// Every valid knob name, space-separated, in enum order ("shootdown copy
+/// ..."). For help text and unknown-knob error messages — anything that
+/// rejects a knob name should also say what would have been accepted.
+std::string knob_vocabulary();
 
 /// One grid point: scale `knob`'s cost by `scale` (< 1 = cheaper).
 struct Perturbation {
@@ -137,9 +143,17 @@ class WhatIfEngine {
   /// Execute one perturbed run and reduce it against the baseline.
   WhatIfResult run(const Perturbation& p);
 
-  /// Execute a whole grid in order. Deterministic: same grid, same seed,
-  /// same results.
-  std::vector<WhatIfResult> run_grid(std::span<const Perturbation> grid);
+  /// Execute a whole grid and reduce every point against the (shared)
+  /// baseline. `jobs` grid points run concurrently on an exec::BatchRunner
+  /// (0 = hardware concurrency, capped by the grid size); every point is a
+  /// self-contained simulation and results are merged in grid order, so
+  /// the output is byte-identical for any job count, including 1.
+  std::vector<WhatIfResult> run_grid(std::span<const Perturbation> grid,
+                                     unsigned jobs = 1);
+
+  /// Real-time accounting of the last run_grid (workers, wall-clock,
+  /// speedup). Never part of the deterministic artefacts.
+  const exec::BatchStats& grid_stats() const { return grid_stats_; }
 
   /// One point per mechanism knob at scale 0.9 (10 % cost reduction) —
   /// the COZ-style default sweep.
@@ -173,10 +187,13 @@ class WhatIfEngine {
   const WhatIfScenario& scenario() const { return scenario_; }
 
  private:
-  WhatIfRun execute(const Perturbation* p);
+  WhatIfRun execute(const Perturbation* p) const;
+  WhatIfResult reduce_against_baseline(const Perturbation& p,
+                                       const WhatIfRun& pert);
 
   WhatIfScenario scenario_;
   std::optional<WhatIfRun> baseline_;
+  exec::BatchStats grid_stats_;
 };
 
 /// Parse a plan file: one perturbation set per non-comment line,

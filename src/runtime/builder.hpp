@@ -141,6 +141,9 @@ class SystemBuilder {
   /// builder. Staged workloads and a concrete policy instance are
   /// single-owner and do not transfer — re-stage workloads on the clone
   /// (deterministic scenarios rebuild them from their seed anyway).
+  /// This is the per-job construction path of the exec batteries: every
+  /// parallel run clones the scenario's configuration and builds a system
+  /// of its own, so concurrent jobs share no mutable state.
   SystemBuilder clone_config() const {
     SystemBuilder b;
     b.config_ = config_;
@@ -161,6 +164,10 @@ class SystemBuilder {
     policy_.reset();
     return *this;
   }
+
+  /// Name of the staged policy selection (empty when a concrete instance
+  /// was installed instead). Battery harnesses use it to label jobs.
+  const std::string& policy_name() const { return policy_name_; }
 
   /// Stage a workload; it is registered (in staging order) on the freshly
   /// built system, so indices are 0, 1, ... as with TieredSystem directly.

@@ -1,9 +1,12 @@
 #include "runtime/experiment.hpp"
 
+#include <array>
 #include <stdexcept>
 #include <string>
 
 #include "core/manager.hpp"
+#include "mig/mechanism.hpp"
+#include "obs/scope.hpp"
 #include "policy/cascade.hpp"
 #include "policy/memtis.hpp"
 #include "policy/mtm.hpp"
@@ -46,6 +49,12 @@ std::unique_ptr<policy::SystemPolicy> make_policy(std::string_view name,
     return std::make_unique<core::VulcanManager>(p);
   }
   throw std::invalid_argument("unknown policy: " + std::string(name));
+}
+
+std::span<const std::string> all_policy_names() {
+  static const std::array<std::string, 6> kNames = {
+      "vulcan", "tpp", "memtis", "nomad", "mtm", "cascade"};
+  return kNames;
 }
 
 std::vector<StagedWorkload> paper_colocation(std::uint64_t seed) {
@@ -111,6 +120,149 @@ void run_staged(TieredSystem& sys, std::vector<StagedWorkload> stages,
     sys.run_epochs(1);
     if (on_epoch) on_epoch(sys);
   }
+}
+
+// --------------------------------------------------------------- batteries
+
+namespace {
+
+std::uint64_t phase_cycles(const obs::Registry& reg, const char* name) {
+  return reg.counter_value(std::string("mig.mechanism.") + name + "_cycles");
+}
+
+std::uint64_t mechanism_total(const obs::Registry& reg) {
+  std::uint64_t total = 0;
+  for (const char* name : {"prep", "unmap", "shootdown", "copy", "remap"}) {
+    total += phase_cycles(reg, name);
+  }
+  return total;
+}
+
+}  // namespace
+
+MigrationBreakdownRow migration_breakdown_row(
+    unsigned cpus, const sim::CostModelParams& params) {
+  obs::Registry reg;
+  sim::Cycles clock = 0;
+  const sim::CostModel cost(params);
+  mig::MigrationMechanism mech(cost, {.online_cpus = cpus});
+  mech.set_obs(obs::Scope(&reg, nullptr, &clock, "mig.mechanism"));
+  // The migrating page may be cached by every other core (vanilla
+  // process-wide tables give no tighter bound).
+  (void)mech.single_page(cpus - 1, cpus - 1);
+  MigrationBreakdownRow row;
+  row.cpus = cpus;
+  row.prep = phase_cycles(reg, "prep");
+  row.unmap = phase_cycles(reg, "unmap");
+  row.shootdown = phase_cycles(reg, "shootdown");
+  row.copy = phase_cycles(reg, "copy");
+  row.remap = phase_cycles(reg, "remap");
+  return row;
+}
+
+std::vector<MigrationBreakdownRow> migration_breakdown_battery(
+    std::span<const unsigned> cpus_list, unsigned jobs,
+    exec::BatchStats* stats) {
+  exec::BatchRunner runner(jobs);
+  std::vector<std::function<MigrationBreakdownRow()>> batch;
+  batch.reserve(cpus_list.size());
+  for (const unsigned cpus : cpus_list) {
+    batch.push_back([cpus] { return migration_breakdown_row(cpus); });
+  }
+  auto rows = exec::values_or_throw(runner.run(std::move(batch)),
+                                    "fig2 migration-breakdown battery");
+  if (stats) *stats = runner.stats();
+  return rows;
+}
+
+MechanismSpeedupRow mechanism_speedup_row(std::uint64_t pages,
+                                          const sim::CostModelParams& params) {
+  // The microbench setting: 32 CPUs online, the migrating process runs 8
+  // threads, and per-thread page tables prove ~1 sharer for most pages.
+  constexpr unsigned kProcessRemote = 7;
+  constexpr unsigned kSharerRemote = 1;
+  obs::Registry reg_base, reg_prep, reg_both;
+  sim::Cycles clock = 0;
+  const sim::CostModel cost(params);
+  mig::MigrationMechanism baseline(cost, {.online_cpus = 32});
+  mig::MigrationMechanism prep_opt(cost,
+                                   {.optimized_prep = true, .online_cpus = 32});
+  mig::MigrationMechanism both(
+      cost,
+      {.optimized_prep = true, .targeted_shootdown = true, .online_cpus = 32});
+  baseline.set_obs(obs::Scope(&reg_base, nullptr, &clock, "mig.mechanism"));
+  prep_opt.set_obs(obs::Scope(&reg_prep, nullptr, &clock, "mig.mechanism"));
+  both.set_obs(obs::Scope(&reg_both, nullptr, &clock, "mig.mechanism"));
+
+  (void)baseline.batch(pages, kProcessRemote, kSharerRemote);
+  (void)prep_opt.batch(pages, kProcessRemote, kSharerRemote);
+  (void)both.batch(pages, kProcessRemote, kSharerRemote);
+
+  MechanismSpeedupRow row;
+  row.pages = pages;
+  row.baseline_cycles = mechanism_total(reg_base);
+  row.prep_opt_cycles = mechanism_total(reg_prep);
+  row.both_cycles = mechanism_total(reg_both);
+  return row;
+}
+
+std::vector<MechanismSpeedupRow> mechanism_speedup_battery(
+    std::span<const std::uint64_t> pages_list, unsigned jobs,
+    exec::BatchStats* stats) {
+  exec::BatchRunner runner(jobs);
+  std::vector<std::function<MechanismSpeedupRow()>> batch;
+  batch.reserve(pages_list.size());
+  for (const std::uint64_t pages : pages_list) {
+    batch.push_back([pages] { return mechanism_speedup_row(pages); });
+  }
+  auto rows = exec::values_or_throw(runner.run(std::move(batch)),
+                                    "fig7 mechanism-speedup battery");
+  if (stats) *stats = runner.stats();
+  return rows;
+}
+
+std::vector<PolicyRunSummary> run_policy_battery(
+    const ScenarioSpec& spec, std::span<const std::string> policies,
+    unsigned jobs, exec::BatchStats* stats) {
+  if (!spec.stage) {
+    throw std::invalid_argument("policy battery needs a stage hook");
+  }
+  exec::BatchRunner runner(jobs);
+  std::vector<std::function<PolicyRunSummary()>> batch;
+  batch.reserve(policies.size());
+  for (const std::string& policy : policies) {
+    // `spec` outlives the (synchronous) batch; each job builds and owns a
+    // whole system, so concurrent policy runs never share state.
+    batch.push_back([&spec, policy] {
+      SystemBuilder b;
+      if (spec.configure) spec.configure(b);
+      b.seed(spec.seed).policy(std::string_view(policy));
+      BuildResult built = b.build();
+      if (!built) {
+        throw std::runtime_error(policy + ": " + built.error());
+      }
+      TieredSystem& sys = *built.value();
+      run_staged(sys, spec.stage(), spec.seconds);
+
+      PolicyRunSummary summary;
+      summary.policy = policy;
+      summary.jain = sys.app_stats().jain_cumulative();
+      summary.cfi = sys.fairness_cfi();
+      const MetricsRecorder& m = sys.metrics();
+      const std::size_t from = m.epochs().size() / 2;
+      for (unsigned w = 0; w < sys.workload_count(); ++w) {
+        const double perf = m.mean_performance(w, from);
+        summary.apps.emplace_back(sys.workload(w).spec().name,
+                                  perf > 0 ? 1.0 / perf : 1.0);
+      }
+      summary.snapshot = obs::snapshot_registry(sys.obs_registry());
+      return summary;
+    });
+  }
+  auto summaries = exec::values_or_throw(
+      runner.run(std::move(batch)), "policy battery \"" + spec.name + "\"");
+  if (stats) *stats = runner.stats();
+  return summaries;
 }
 
 }  // namespace vulcan::runtime

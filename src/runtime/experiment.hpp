@@ -1,21 +1,35 @@
 // Experiment helpers shared by the benchmark harnesses: policy factory,
-// staged workload arrival, and the paper's §5.3 co-location scenario
-// (Memcached from t=0, PageRank from t=50 s, Liblinear from t=110 s).
+// staged workload arrival, the paper's §5.3 co-location scenario
+// (Memcached from t=0, PageRank from t=50 s, Liblinear from t=110 s), and
+// the parallel experiment batteries (independent deterministic runs fanned
+// out across an exec::BatchRunner, merged in submission order).
 #pragma once
 
+#include <cstdint>
 #include <functional>
 #include <memory>
+#include <span>
+#include <string>
 #include <string_view>
+#include <utility>
 #include <vector>
 
+#include "exec/batch.hpp"
+#include "obs/diff.hpp"
+#include "runtime/builder.hpp"
 #include "runtime/system.hpp"
+#include "sim/cost_model.hpp"
 
 namespace vulcan::runtime {
 
-/// Build one of the four evaluated systems: "tpp", "memtis", "nomad",
-/// "vulcan". Throws std::invalid_argument for anything else.
+/// Build one of the evaluated systems: "tpp", "memtis", "nomad", "mtm",
+/// "cascade", "vulcan". Throws std::invalid_argument for anything else.
 std::unique_ptr<policy::SystemPolicy> make_policy(std::string_view name,
                                                   unsigned online_cpus = 32);
+
+/// Every policy name make_policy accepts, Vulcan first then the baselines
+/// in paper order — the roster `vulcan_sim --policies all` compares.
+std::span<const std::string> all_policy_names();
 
 /// A workload that joins the system at `start_s` simulated seconds.
 struct StagedWorkload {
@@ -37,5 +51,95 @@ std::vector<StagedWorkload> dilemma_colocation(std::uint64_t seed = 42);
 void run_staged(TieredSystem& sys, std::vector<StagedWorkload> stages,
                 double end_s,
                 const std::function<void(TieredSystem&)>& on_epoch = {});
+
+// --------------------------------------------------------------- batteries
+//
+// A battery is a set of independent deterministic runs. Each row/job below
+// builds its own registry (and, for full-system runs, its own
+// SystemBuilder clone, trace ring and RNG), executes on an
+// exec::BatchRunner, and merges in submission order — so battery output is
+// byte-identical for any `jobs` count, including 1. Pass `jobs` = 0 for
+// hardware concurrency (capped by the row count); pass `stats` to receive
+// the real-time accounting (never part of the deterministic results).
+
+/// One Fig. 2 row: the five-phase cost breakdown of a single base-page
+/// (4 KB) migration with `cpus` online CPUs, read back from the
+/// mig.mechanism.* counters of a fresh obs::Registry.
+struct MigrationBreakdownRow {
+  unsigned cpus = 0;
+  std::uint64_t prep = 0, unmap = 0, shootdown = 0, copy = 0, remap = 0;
+
+  std::uint64_t total() const { return prep + unmap + shootdown + copy + remap; }
+  double prep_share() const {
+    const std::uint64_t t = total();
+    return t ? static_cast<double>(prep) / static_cast<double>(t) : 0.0;
+  }
+  bool operator==(const MigrationBreakdownRow&) const = default;
+};
+
+MigrationBreakdownRow migration_breakdown_row(
+    unsigned cpus, const sim::CostModelParams& params = {});
+
+std::vector<MigrationBreakdownRow> migration_breakdown_battery(
+    std::span<const unsigned> cpus_list, unsigned jobs = 1,
+    exec::BatchStats* stats = nullptr);
+
+/// One Fig. 7 row: total migration cycles for a `pages`-page batch under
+/// the baseline mechanism, optimised preparation alone, and preparation +
+/// targeted shootdowns (the paper's microbench setting: 32 CPUs online,
+/// 8-thread process, per-thread tables proving ~1 sharer).
+struct MechanismSpeedupRow {
+  std::uint64_t pages = 0;
+  std::uint64_t baseline_cycles = 0, prep_opt_cycles = 0, both_cycles = 0;
+
+  double speedup_prep() const {
+    return prep_opt_cycles ? static_cast<double>(baseline_cycles) /
+                                 static_cast<double>(prep_opt_cycles)
+                           : 0.0;
+  }
+  double speedup_both() const {
+    return both_cycles ? static_cast<double>(baseline_cycles) /
+                             static_cast<double>(both_cycles)
+                       : 0.0;
+  }
+  bool operator==(const MechanismSpeedupRow&) const = default;
+};
+
+MechanismSpeedupRow mechanism_speedup_row(
+    std::uint64_t pages, const sim::CostModelParams& params = {});
+
+std::vector<MechanismSpeedupRow> mechanism_speedup_battery(
+    std::span<const std::uint64_t> pages_list, unsigned jobs = 1,
+    exec::BatchStats* stats = nullptr);
+
+/// A re-runnable full-system scenario for the policy battery. `stage` must
+/// rebuild the staged workloads from the seed on every call (each job
+/// stages its own copies); `configure` (optional) applies extra builder
+/// configuration before the per-job seed and policy are set.
+struct ScenarioSpec {
+  std::string name = "dilemma";
+  double seconds = 20.0;
+  std::uint64_t seed = 42;
+  std::function<void(SystemBuilder&)> configure;
+  std::function<std::vector<StagedWorkload>()> stage;
+};
+
+/// One policy's end-to-end result over a ScenarioSpec.
+struct PolicyRunSummary {
+  std::string policy;
+  double jain = 1.0;  ///< app.fairness.jain_cumulative
+  double cfi = 1.0;   ///< Eq. 4 FTHR-weighted fairness
+  /// (workload name, steady-state slowdown) in registration order,
+  /// averaged over the second half of the run like `vulcan_sim`.
+  std::vector<std::pair<std::string, double>> apps;
+  obs::MetricsSnapshot snapshot;  ///< the run's full registry
+};
+
+/// Run `spec` once per policy, fanning the runs out across `jobs` workers.
+/// Summaries come back in `policies` order; a policy whose run throws
+/// fails the whole battery with a std::runtime_error naming it.
+std::vector<PolicyRunSummary> run_policy_battery(
+    const ScenarioSpec& spec, std::span<const std::string> policies,
+    unsigned jobs = 1, exec::BatchStats* stats = nullptr);
 
 }  // namespace vulcan::runtime

@@ -1,0 +1,156 @@
+// BatchRunner unit tests: submission-order merge, per-job exception
+// capture, zero-job batches, worker resolution, values_or_throw
+// aggregation, and the exec.* stats publication.
+#include "exec/batch.hpp"
+
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/metrics.hpp"
+
+namespace vulcan::exec {
+namespace {
+
+std::vector<std::function<int()>> make_jobs(int n) {
+  std::vector<std::function<int()>> jobs;
+  for (int i = 0; i < n; ++i) {
+    jobs.push_back([i] { return i * i; });
+  }
+  return jobs;
+}
+
+TEST(BatchRunnerTest, ResultsMergeInSubmissionOrder) {
+  for (unsigned workers : {1u, 2u, 4u, 8u}) {
+    BatchRunner runner(workers);
+    const auto outcomes = runner.run(make_jobs(64));
+    ASSERT_EQ(outcomes.size(), 64u);
+    for (int i = 0; i < 64; ++i) {
+      ASSERT_TRUE(outcomes[i].ok()) << "workers=" << workers << " job=" << i;
+      EXPECT_EQ(*outcomes[i].value, i * i);
+    }
+  }
+}
+
+TEST(BatchRunnerTest, SerialAndParallelProduceIdenticalValues) {
+  BatchRunner serial(1), parallel(4);
+  const auto a = serial.run(make_jobs(32));
+  const auto b = parallel.run(make_jobs(32));
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(*a[i].value, *b[i].value);
+  }
+}
+
+TEST(BatchRunnerTest, ExceptionIsCapturedInItsSlotOnly) {
+  std::vector<std::function<int()>> jobs = make_jobs(8);
+  jobs[3] = []() -> int { throw std::runtime_error("boom"); };
+  BatchRunner runner(4);
+  const auto outcomes = runner.run(std::move(jobs));
+  ASSERT_EQ(outcomes.size(), 8u);
+  for (int i = 0; i < 8; ++i) {
+    if (i == 3) {
+      EXPECT_FALSE(outcomes[i].ok());
+      EXPECT_EQ(outcomes[i].error, "boom");
+    } else {
+      ASSERT_TRUE(outcomes[i].ok()) << "job " << i;
+      EXPECT_EQ(*outcomes[i].value, i * i);
+    }
+  }
+  EXPECT_EQ(runner.stats().failures, 1u);
+}
+
+TEST(BatchRunnerTest, NonStdExceptionBecomesUnknown) {
+  std::vector<std::function<int()>> jobs;
+  jobs.push_back([]() -> int { throw 42; });
+  jobs.push_back([] { return 7; });
+  BatchRunner runner(2);
+  const auto outcomes = runner.run(std::move(jobs));
+  EXPECT_EQ(outcomes[0].error, "unknown exception");
+  EXPECT_EQ(*outcomes[1].value, 7);
+}
+
+TEST(BatchRunnerTest, ZeroJobBatch) {
+  BatchRunner runner(4);
+  const auto outcomes = runner.run(std::vector<std::function<int()>>{});
+  EXPECT_TRUE(outcomes.empty());
+  EXPECT_EQ(runner.stats().jobs, 0u);
+  EXPECT_EQ(runner.stats().failures, 0u);
+  EXPECT_EQ(runner.stats().workers, 1u);
+  EXPECT_TRUE(values_or_throw(outcomes, "empty").empty());
+}
+
+TEST(BatchRunnerTest, ResolveWorkersSemantics) {
+  // Explicit counts cap at the job count; 0 = auto caps at both hardware
+  // concurrency and the job count; everything is at least 1.
+  EXPECT_EQ(BatchRunner(8).resolve_workers(3), 3u);
+  EXPECT_EQ(BatchRunner(2).resolve_workers(100), 2u);
+  EXPECT_EQ(BatchRunner(5).resolve_workers(1), 1u);
+  EXPECT_EQ(BatchRunner(5).resolve_workers(0), 1u);
+  const unsigned auto_w = BatchRunner(0).resolve_workers(4);
+  EXPECT_GE(auto_w, 1u);
+  EXPECT_LE(auto_w, 4u);
+  const unsigned hw = std::thread::hardware_concurrency();
+  if (hw > 0) {
+    EXPECT_LE(BatchRunner(0).resolve_workers(1'000'000), hw);
+  }
+}
+
+TEST(BatchRunnerTest, ValuesOrThrowUnwrapsInOrder) {
+  BatchRunner runner(4);
+  const auto values = values_or_throw(runner.run(make_jobs(10)), "squares");
+  ASSERT_EQ(values.size(), 10u);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(values[i], i * i);
+}
+
+TEST(BatchRunnerTest, ValuesOrThrowListsEveryFailedSlot) {
+  std::vector<std::function<int()>> jobs = make_jobs(6);
+  jobs[1] = []() -> int { throw std::runtime_error("first"); };
+  jobs[4] = []() -> int { throw std::runtime_error("second"); };
+  BatchRunner runner(3);
+  try {
+    values_or_throw(runner.run(std::move(jobs)), "my battery");
+    FAIL() << "expected std::runtime_error";
+  } catch (const std::runtime_error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("my battery"), std::string::npos);
+    EXPECT_NE(what.find("job 1: first"), std::string::npos);
+    EXPECT_NE(what.find("job 4: second"), std::string::npos);
+  }
+}
+
+TEST(BatchRunnerTest, StatsDescribeTheBatch) {
+  BatchRunner runner(2);
+  (void)runner.run(make_jobs(5));
+  const BatchStats& s = runner.stats();
+  EXPECT_EQ(s.jobs, 5u);
+  EXPECT_EQ(s.workers, 2u);
+  EXPECT_EQ(s.failures, 0u);
+  EXPECT_GE(s.wall_ms, 0.0);
+  EXPECT_GE(s.job_wall_ms_sum, s.job_wall_ms_max);
+  EXPECT_GE(s.speedup(), 0.0);
+}
+
+TEST(BatchStatsTest, PublishCreatesExecKeys) {
+  BatchRunner runner(2);
+  (void)runner.run(make_jobs(4));
+  obs::Registry reg;
+  runner.stats().publish(reg);
+  EXPECT_EQ(reg.counter_value("exec.batch.batches"), 1u);
+  EXPECT_EQ(reg.counter_value("exec.batch.jobs"), 4u);
+  EXPECT_EQ(reg.counter_value("exec.batch.failures"), 0u);
+  EXPECT_DOUBLE_EQ(reg.gauge_value("exec.batch.workers"), 2.0);
+  EXPECT_GE(reg.gauge_value("exec.batch.wall_ms"), 0.0);
+  // Publishing a second batch accumulates the counters.
+  (void)runner.run(make_jobs(3));
+  runner.stats().publish(reg);
+  EXPECT_EQ(reg.counter_value("exec.batch.batches"), 2u);
+  EXPECT_EQ(reg.counter_value("exec.batch.jobs"), 7u);
+}
+
+}  // namespace
+}  // namespace vulcan::exec

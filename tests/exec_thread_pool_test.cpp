@@ -1,0 +1,112 @@
+// ThreadPool unit tests: every submitted task runs, wait() is a reusable
+// barrier, submit is safe from inside a task, and the recommended worker
+// count caps at both hardware concurrency and the job count.
+#include "exec/thread_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+#include <thread>
+#include <vector>
+
+namespace vulcan::exec {
+namespace {
+
+TEST(ThreadPoolTest, RunsEverySubmittedTask) {
+  ThreadPool pool(4);
+  std::atomic<int> done{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.submit([&done] { done.fetch_add(1, std::memory_order_relaxed); });
+  }
+  pool.wait();
+  EXPECT_EQ(done.load(), 100);
+}
+
+TEST(ThreadPoolTest, ThreadCountClampedToAtLeastOne) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.threads(), 1u);
+  std::atomic<bool> ran{false};
+  pool.submit([&ran] { ran = true; });
+  pool.wait();
+  EXPECT_TRUE(ran.load());
+}
+
+TEST(ThreadPoolTest, WaitIsReusableAcrossCycles) {
+  ThreadPool pool(3);
+  std::atomic<int> done{0};
+  for (int cycle = 1; cycle <= 3; ++cycle) {
+    for (int i = 0; i < 10; ++i) {
+      pool.submit([&done] { done.fetch_add(1, std::memory_order_relaxed); });
+    }
+    pool.wait();
+    EXPECT_EQ(done.load(), 10 * cycle);
+  }
+}
+
+TEST(ThreadPoolTest, WaitWithNoWorkReturnsImmediately) {
+  ThreadPool pool(2);
+  pool.wait();  // must not deadlock
+  pool.wait();
+  SUCCEED();
+}
+
+TEST(ThreadPoolTest, SubmitFromInsideATask) {
+  ThreadPool pool(2);
+  std::atomic<int> done{0};
+  pool.submit([&pool, &done] {
+    done.fetch_add(1, std::memory_order_relaxed);
+    pool.submit([&done] { done.fetch_add(1, std::memory_order_relaxed); });
+  });
+  pool.wait();
+  EXPECT_EQ(done.load(), 2);
+}
+
+TEST(ThreadPoolTest, TasksActuallyFanOutAcrossThreads) {
+  // With 4 workers and tasks that block until all 4 are running, the pool
+  // must be using at least 4 distinct threads.
+  constexpr unsigned kWorkers = 4;
+  ThreadPool pool(kWorkers);
+  std::atomic<unsigned> arrived{0};
+  std::mutex mu;
+  std::set<std::thread::id> ids;
+  for (unsigned i = 0; i < kWorkers; ++i) {
+    pool.submit([&] {
+      {
+        std::lock_guard<std::mutex> lock(mu);
+        ids.insert(std::this_thread::get_id());
+      }
+      arrived.fetch_add(1);
+      while (arrived.load() < kWorkers) std::this_thread::yield();
+    });
+  }
+  pool.wait();
+  EXPECT_EQ(ids.size(), kWorkers);
+}
+
+TEST(ThreadPoolTest, DestructorDrainsPendingWork) {
+  std::atomic<int> done{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 50; ++i) {
+      pool.submit([&done] { done.fetch_add(1, std::memory_order_relaxed); });
+    }
+    // No wait(): the destructor must finish the queue before joining.
+  }
+  EXPECT_EQ(done.load(), 50);
+}
+
+TEST(ThreadPoolTest, RecommendedWorkersCapsAtJobCount) {
+  EXPECT_EQ(ThreadPool::recommended_workers(1), 1u);
+  EXPECT_LE(ThreadPool::recommended_workers(2), 2u);
+  EXPECT_GE(ThreadPool::recommended_workers(2), 1u);
+  // Zero jobs still yields a valid (>= 1) worker count.
+  EXPECT_GE(ThreadPool::recommended_workers(0), 1u);
+  const unsigned hw = std::thread::hardware_concurrency();
+  if (hw > 0) {
+    EXPECT_LE(ThreadPool::recommended_workers(1'000'000), hw);
+  }
+}
+
+}  // namespace
+}  // namespace vulcan::exec

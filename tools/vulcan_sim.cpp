@@ -9,8 +9,12 @@
 //              --rate 3e6 --seconds 20 --profiler pt-scan
 //   vulcan_sim --policy vulcan --scenario paper --seconds 20
 //              --trace t.jsonl --metrics m.json --perfetto timeline.json
+//   vulcan_sim --policies all --scenario dilemma --seconds 20 --jobs 4
 //
 // Prints a per-workload summary and (optionally) the full per-epoch CSV.
+// `--policies` switches to battery mode: one run per named policy, fanned
+// out across `--jobs` workers (results merge in roster order, so the
+// comparison table is byte-identical for any job count).
 // `--trace`, `--metrics`, `--perfetto` and `--folded` accept `-` to write
 // to stdout (the human-readable notices then move to stderr).
 #include <chrono>
@@ -20,7 +24,9 @@
 #include <fstream>
 #include <iostream>
 #include <optional>
+#include <sstream>
 #include <string>
+#include <vector>
 
 #include <vulcan/vulcan.hpp>
 
@@ -30,8 +36,10 @@ namespace {
 
 struct Options {
   std::string policy = "vulcan";
+  std::string policies;  // battery mode: comma-separated roster or "all"
   std::string scenario = "paper";  // paper | dilemma | micro
   std::string profiler = "hybrid";
+  unsigned jobs = 0;  // battery workers; 0 = hardware concurrency
   std::string csv;
   std::string trace_out;    // structured event trace (JSONL)
   std::string metrics_out;  // obs::Registry snapshot (JSON)
@@ -58,7 +66,13 @@ void usage() {
   std::puts(
       "vulcan_sim — tiered-memory co-location simulator\n"
       "\n"
-      "  --policy P       vulcan | tpp | memtis | nomad    [vulcan]\n"
+      "  --policy P       vulcan | tpp | memtis | nomad |\n"
+      "                   mtm | cascade                     [vulcan]\n"
+      "  --policies LIST  battery mode: run the scenario once per policy\n"
+      "                   (comma-separated roster, or `all`) and print a\n"
+      "                   comparison table; runs fan out over --jobs\n"
+      "  --jobs N         battery runs in flight; 0 = hardware\n"
+      "                   concurrency, capped by the roster    [0]\n"
       "  --scenario S     paper | dilemma | micro          [paper]\n"
       "                   paper:   Memcached@0s, PageRank@50s, Liblinear@110s\n"
       "                   dilemma: LC hot-set service + BE scanner@10s\n"
@@ -96,6 +110,9 @@ bool parse(int argc, char** argv, Options& o) {
     };
     if (flag == "--help" || flag == "-h") o.help = true;
     else if (flag == "--policy") o.policy = next();
+    else if (flag == "--policies") o.policies = next();
+    else if (flag == "--jobs")
+      o.jobs = static_cast<unsigned>(std::strtoul(next(), nullptr, 10));
     else if (flag == "--scenario") o.scenario = next();
     else if (flag == "--profiler") o.profiler = next();
     else if (flag == "--csv") o.csv = next();
@@ -181,6 +198,87 @@ bool write_output(const std::string& path, Fn&& fn) {
   return true;
 }
 
+/// Battery mode: one full simulation per policy in the roster, fanned out
+/// across the exec worker pool. The comparison table merges in roster
+/// order, so it is byte-identical for any --jobs value.
+int run_battery(const Options& o) {
+  if (!o.csv.empty() || !o.trace_out.empty() || !o.metrics_out.empty() ||
+      !o.perfetto_out.empty() || !o.folded_out.empty() ||
+      !o.bench_json.empty() || !o.record_trace.empty() ||
+      !o.replay_trace.empty()) {
+    std::fprintf(stderr,
+                 "--policies is a comparison mode; per-run artefact flags "
+                 "(--csv/--trace/--metrics/--perfetto/--folded/--bench-json/"
+                 "--record-trace/--replay-trace) need a single --policy run\n");
+    return 2;
+  }
+  if (o.scenario != "paper" && o.scenario != "dilemma" &&
+      o.scenario != "micro") {
+    std::fprintf(stderr, "unknown scenario: %s\n", o.scenario.c_str());
+    return 2;
+  }
+
+  std::vector<std::string> roster;
+  if (o.policies == "all") {
+    const auto names = runtime::all_policy_names();
+    roster.assign(names.begin(), names.end());
+  } else {
+    std::string token;
+    std::istringstream list(o.policies);
+    while (std::getline(list, token, ',')) {
+      if (!token.empty()) roster.push_back(token);
+    }
+  }
+  if (roster.empty()) {
+    std::fprintf(stderr, "--policies: empty roster\n");
+    return 2;
+  }
+
+  runtime::ScenarioSpec spec;
+  spec.name = o.scenario;
+  spec.seconds = o.seconds;
+  spec.seed = o.seed;
+  spec.configure = [&o](runtime::SystemBuilder& b) {
+    b.epoch_ms(o.epoch_ms)
+        .samples_per_epoch(o.samples)
+        .profiler(profiler_kind(o.profiler))
+        .spans(!o.no_spans);
+  };
+  spec.stage = [&o] { return make_scenario(o); };
+
+  std::printf("scenario=%s seed=%llu seconds=%.0f policies=%zu\n\n",
+              o.scenario.c_str(), (unsigned long long)o.seed, o.seconds,
+              roster.size());
+
+  std::vector<runtime::PolicyRunSummary> summaries;
+  exec::BatchStats stats;
+  try {
+    summaries = runtime::run_policy_battery(spec, roster, o.jobs, &stats);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "vulcan_sim: %s\n", e.what());
+    return 1;
+  }
+  std::fprintf(stderr,
+               "[exec] %zu policy runs on %u workers: %.0f ms wall "
+               "(%.0f ms serialized, %.2fx)\n",
+               stats.jobs, stats.workers, stats.wall_ms,
+               stats.job_wall_ms_sum, stats.speedup());
+
+  std::printf("%-10s %8s %8s", "policy", "jain", "CFI");
+  for (const auto& [app, _] : summaries.front().apps) {
+    std::printf(" %14s", (app + " sd").c_str());
+  }
+  std::printf("\n");
+  for (const auto& s : summaries) {
+    std::printf("%-10s %8.3f %8.3f", s.policy.c_str(), s.jain, s.cfi);
+    for (const auto& [_, slowdown] : s.apps) {
+      std::printf(" %14.3f", slowdown);
+    }
+    std::printf("\n");
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -190,6 +288,7 @@ int main(int argc, char** argv) {
     usage();
     return 0;
   }
+  if (!o.policies.empty()) return run_battery(o);
 
   // Any artefact routed to stdout moves the human-readable notices to
   // stderr so the machine-readable stream stays clean.

@@ -6,10 +6,13 @@
 // reduction, with the span-timeline subtree that absorbed each delta.
 //
 //   vulcan_whatif --grid default --seed 42 --out BENCH_whatif.json
-//   vulcan_whatif --plan plan.txt --policy tpp --seconds 15
+//   vulcan_whatif --plan plan.txt --policy tpp --seconds 15 --jobs 4
 //
-// Identical seed + grid produce byte-identical table and JSON (asserted by
-// obs_whatif_test and the whatif-smoke CI job).
+// Grid points are independent simulations, so `--jobs N` fans them out
+// across an exec worker pool; results merge in grid order, so identical
+// seed + grid produce byte-identical table and JSON *for any job count*
+// (asserted by obs_whatif_test, exec_parallel_equivalence_test and the
+// whatif-smoke CI job).
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -26,21 +29,28 @@ using namespace vulcan;
 namespace {
 
 void usage() {
-  std::puts(
+  std::printf(
       "vulcan_whatif — causal what-if profiler (exact COZ-style virtual "
       "speedups)\n"
       "\n"
       "  --grid default      one point per mechanism knob at scale 0.9\n"
       "  --plan FILE         perturbation plan: `<knob> <scale> [...]` per "
-      "line\n"
+      "line,\n"
+      "                      `#` comments; knobs must come from the "
+      "vocabulary below\n"
       "  --scenario NAME     scenario to replay (default: dilemma)\n"
       "  --policy NAME       vulcan|tpp|memtis|nomad|mtm|cascade (default: "
       "vulcan)\n"
       "  --seconds S         simulated seconds per run (default: 20)\n"
       "  --seed N            scenario seed (default: 42)\n"
+      "  --jobs N            grid points run concurrently; 0 = hardware\n"
+      "                      concurrency (default: 0; output is "
+      "byte-identical\n"
+      "                      for any value, including 1)\n"
       "  --out FILE          write BENCH_whatif.json here (default: none)\n"
       "\n"
-      "Knobs: shootdown copy prep unmap remap slow_latency epoch profiler");
+      "Valid knobs: %s\n",
+      obs::knob_vocabulary().c_str());
 }
 
 }  // namespace
@@ -51,6 +61,7 @@ int main(int argc, char** argv) {
   std::string policy = "vulcan";
   double seconds = 20.0;
   std::uint64_t seed = 42;
+  unsigned jobs = 0;  // 0 = hardware concurrency, capped by the grid
 
   for (int i = 1; i < argc; ++i) {
     const std::string flag = argv[i];
@@ -76,6 +87,8 @@ int main(int argc, char** argv) {
       seconds = std::atof(next());
     } else if (flag == "--seed") {
       seed = std::strtoull(next(), nullptr, 10);
+    } else if (flag == "--jobs") {
+      jobs = static_cast<unsigned>(std::strtoul(next(), nullptr, 10));
     } else if (flag == "--out") {
       out_path = next();
     } else {
@@ -123,7 +136,14 @@ int main(int argc, char** argv) {
 
   try {
     obs::WhatIfEngine engine(obs::dilemma_scenario(seed, seconds, policy));
-    const std::vector<obs::WhatIfResult> results = engine.run_grid(grid);
+    const std::vector<obs::WhatIfResult> results =
+        engine.run_grid(grid, jobs);
+    const exec::BatchStats& stats = engine.grid_stats();
+    std::fprintf(stderr,
+                 "[exec] %zu grid points on %u workers: %.0f ms wall "
+                 "(%.0f ms serialized, %.2fx)\n",
+                 stats.jobs, stats.workers, stats.wall_ms,
+                 stats.job_wall_ms_sum, stats.speedup());
     engine.write_sensitivity_table(results, std::cout);
     if (!out_path.empty()) {
       std::ostringstream json;
