@@ -12,6 +12,7 @@
 //   vulcan::policy   tiering policies (TPP, Memtis, Nomad, MTM, Cascade,
 //                    biased queues)
 //   vulcan::core     Vulcan's contribution: QoS, CBFRP, classifier, manager
+//   vulcan::check    invariant auditor + differential fuzz oracle
 //   vulcan::exec     parallel experiment execution (worker pool + batch
 //                    runner with deterministic submission-order merge)
 //   vulcan::obs      metrics registry, structured trace, timeline spans,
@@ -30,6 +31,8 @@
 //   std::cout << built.value()->metrics().mean_fthr(0) << "\n";
 #pragma once
 
+#include "check/fuzz.hpp"
+#include "check/invariants.hpp"
 #include "core/advisor.hpp"
 #include "core/cbfrp.hpp"
 #include "exec/batch.hpp"

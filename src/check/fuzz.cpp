@@ -1,0 +1,184 @@
+#include "check/fuzz.hpp"
+
+#include <exception>
+#include <ios>
+#include <sstream>
+
+#include "sim/rng.hpp"
+#include "wl/apps.hpp"
+
+namespace vulcan::check {
+
+namespace {
+
+constexpr std::uint64_t kFnvOffset = 0xCBF29CE484222325ULL;
+constexpr std::uint64_t kFnvPrime = 0x100000001B3ULL;
+
+std::uint64_t fnv1a(std::uint64_t hash, const std::string& bytes) {
+  for (const char c : bytes) {
+    hash ^= static_cast<unsigned char>(c);
+    hash *= kFnvPrime;
+  }
+  return hash;
+}
+
+std::string hex64(std::uint64_t v) {
+  std::ostringstream out;
+  out << std::hex << v;
+  return out.str();
+}
+
+/// One randomized scenario: 2-3 staggered microbenchmark workloads whose
+/// parameters are a pure function of `seed`. Footprints are sized well
+/// inside the testbed's capacity so exhaustion never masks real bugs.
+runtime::ScenarioSpec make_fuzz_scenario(std::uint64_t campaign_seed,
+                                         unsigned index, double seconds,
+                                         AuditLevel level) {
+  std::uint64_t sm = campaign_seed + index;
+  const std::uint64_t scenario_seed = sim::splitmix64(sm);
+
+  runtime::ScenarioSpec spec;
+  spec.name = "fuzz-" + std::to_string(campaign_seed) + "-" +
+              std::to_string(index);
+  spec.seconds = seconds;
+  spec.seed = scenario_seed;
+  spec.configure = [level](runtime::SystemBuilder& b) { b.audit(level); };
+  spec.stage = [scenario_seed, seconds]() {
+    sim::Rng rng(scenario_seed);
+    const unsigned count = static_cast<unsigned>(rng.between(2, 3));
+    std::vector<runtime::StagedWorkload> stages;
+    for (unsigned i = 0; i < count; ++i) {
+      wl::MicrobenchWorkload::Params p;
+      p.rss_pages = rng.between(1024, 4096);
+      p.wss_pages = rng.between(p.rss_pages / 4, p.rss_pages / 2);
+      p.threads = static_cast<unsigned>(rng.between(2, 8));
+      p.write_ratio = 0.05 + 0.35 * rng.uniform();
+      p.zipf_theta = 0.5 + 0.45 * rng.uniform();
+      p.access_rate_per_thread = 1e6 + 3e6 * rng.uniform();
+      // Half the workloads drift, churning promote/demote (and shadow)
+      // paths — the regime where shootdown and conservation bugs hide.
+      p.drift_pages_per_sec = rng.chance(0.5) ? rng.uniform() * 64.0 : 0.0;
+      p.seed = rng();
+      runtime::StagedWorkload stage;
+      // Later workloads join mid-run so admission churn is exercised too.
+      stage.start_s = i == 0 ? 0.0 : rng.uniform() * 0.5 * seconds;
+      stage.workload = std::make_unique<wl::MicrobenchWorkload>(p);
+      stages.push_back(std::move(stage));
+    }
+    return stages;
+  };
+  return spec;
+}
+
+void write_double(std::ostream& out, double v) {
+  const auto flags = out.flags();
+  out << std::hexfloat << v;
+  out.flags(flags);
+}
+
+}  // namespace
+
+std::string serialize_battery(
+    std::span<const runtime::PolicyRunSummary> summaries) {
+  std::ostringstream out;
+  for (const runtime::PolicyRunSummary& s : summaries) {
+    out << "policy " << s.policy << "\njain ";
+    write_double(out, s.jain);
+    out << "\ncfi ";
+    write_double(out, s.cfi);
+    out << "\n";
+    for (const auto& [name, slowdown] : s.apps) {
+      out << "app " << name << " ";
+      write_double(out, slowdown);
+      out << "\n";
+    }
+    for (const auto& [key, value] : s.snapshot.counters) {
+      out << "c " << key << " " << value << "\n";
+    }
+    for (const auto& [key, value] : s.snapshot.gauges) {
+      out << "g " << key << " ";
+      write_double(out, value);
+      out << "\n";
+    }
+    for (const auto& [key, h] : s.snapshot.histograms) {
+      out << "h " << key << " " << h.count << " ";
+      write_double(out, h.sum);
+      out << " ";
+      write_double(out, h.p50);
+      out << " ";
+      write_double(out, h.p95);
+      out << " ";
+      write_double(out, h.p99);
+      out << "\n";
+    }
+  }
+  return out.str();
+}
+
+FuzzResult run_differential_fuzz(const FuzzOptions& options) {
+  FuzzResult result;
+  const std::vector<std::string> policies = [&] {
+    if (!options.policies.empty()) return options.policies;
+    const auto all = runtime::all_policy_names();
+    return std::vector<std::string>(all.begin(), all.end());
+  }();
+  const std::vector<unsigned> jobs =
+      options.jobs.empty() ? std::vector<unsigned>{1} : options.jobs;
+
+  std::uint64_t digest = kFnvOffset;
+  for (unsigned s = 0; s < options.scenarios; ++s) {
+    const runtime::ScenarioSpec spec = make_fuzz_scenario(
+        options.seed, s, options.seconds, options.level);
+    ++result.scenarios;
+
+    std::string reference;
+    bool have_reference = false;
+    for (std::size_t j = 0; j < jobs.size(); ++j) {
+      std::vector<runtime::PolicyRunSummary> summaries;
+      try {
+        summaries = runtime::run_policy_battery(spec, policies, jobs[j]);
+      } catch (const std::exception& e) {
+        // Audit violations surface here: run_policy_battery rethrows the
+        // failing policy's check::AuditFailure message.
+        result.failures.push_back(
+            {spec.name, "jobs=" + std::to_string(jobs[j]) + ": " + e.what()});
+        continue;
+      }
+      result.runs += static_cast<unsigned>(summaries.size());
+      const std::string artefact = serialize_battery(summaries);
+      if (!have_reference) {
+        reference = artefact;
+        have_reference = true;
+        digest = fnv1a(digest, artefact);
+        std::uint64_t scenario_audits = 0;
+        for (const runtime::PolicyRunSummary& summary : summaries) {
+          scenario_audits += summary.snapshot.counter("check.audits");
+          const std::uint64_t violations =
+              summary.snapshot.counter("check.violations");
+          if (violations != 0) {
+            result.failures.push_back(
+                {spec.name, summary.policy + ": check.violations = " +
+                                std::to_string(violations)});
+          }
+        }
+        result.audits_passed += scenario_audits;
+        if (options.level != AuditLevel::kOff && scenario_audits == 0) {
+          result.failures.push_back(
+              {spec.name, "auditing requested but check.audits == 0"});
+        }
+      } else if (artefact != reference) {
+        result.failures.push_back(
+            {spec.name,
+             "artefacts diverge between jobs=" + std::to_string(jobs[0]) +
+                 " and jobs=" + std::to_string(jobs[j]) +
+                 " (determinism break)"});
+      }
+    }
+  }
+
+  result.artefact_digest = hex64(digest);
+  result.ok = result.failures.empty() && result.scenarios > 0;
+  return result;
+}
+
+}  // namespace vulcan::check

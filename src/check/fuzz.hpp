@@ -1,0 +1,70 @@
+// Differential fuzz oracle (the dynamic half of vulcan::check).
+//
+// The InvariantAuditor (check/invariants.hpp) makes state corruption
+// observable; the fuzzer makes it *reachable*: randomized-but-seeded
+// co-location scenarios are driven through every policy via
+// runtime::run_policy_battery at several --jobs levels, asserting that
+//   (a) every run completes with zero audit violations, and
+//   (b) the deterministic artefacts (policy summaries + full registry
+//       snapshots) are byte-identical across job counts — the battery's
+//       determinism contract, differentially tested.
+//
+// Like obs/whatif.hpp, this header lives with its subsystem's vocabulary
+// but drives SystemBuilder, so fuzz.cpp compiles into vulcan_runtime.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "check/invariants.hpp"
+#include "runtime/experiment.hpp"
+
+namespace vulcan::check {
+
+struct FuzzOptions {
+  std::uint64_t seed = 1;
+  /// Randomized scenarios derived from the seed (each is a fresh
+  /// co-location of 2-3 microbenchmark workloads).
+  unsigned scenarios = 2;
+  /// Battery worker counts whose artefacts must agree byte-for-byte.
+  std::vector<unsigned> jobs = {1, 2, 4};
+  /// Policies to battery; empty = runtime::all_policy_names().
+  std::vector<std::string> policies;
+  /// Simulated seconds per scenario run.
+  double seconds = 2.5;
+  /// Audit level wired into every run (kOff disables the oracle half and
+  /// leaves only the determinism check).
+  AuditLevel level = AuditLevel::kFull;
+};
+
+struct FuzzFailure {
+  std::string scenario;
+  std::string what;
+};
+
+struct FuzzResult {
+  bool ok = false;
+  unsigned scenarios = 0;       ///< scenarios executed
+  unsigned runs = 0;            ///< policy x scenario x jobs-level runs
+  std::uint64_t audits_passed = 0;  ///< check.audits summed over all runs
+  std::vector<FuzzFailure> failures;
+  /// FNV-1a 64 hex digest over the reference artefacts of every scenario
+  /// (stable for a given seed/options — pin it in CI to detect silent
+  /// behaviour change).
+  std::string artefact_digest;
+};
+
+/// Canonical byte serialization of a battery's summaries (policy order,
+/// hexfloat doubles, full registry snapshot). Identical runs produce
+/// identical bytes; the fuzzer compares these across job counts.
+std::string serialize_battery(
+    std::span<const runtime::PolicyRunSummary> summaries);
+
+/// Run the differential fuzz campaign. Never throws: infrastructure
+/// errors, audit failures and determinism breaks all land in
+/// FuzzResult::failures.
+FuzzResult run_differential_fuzz(const FuzzOptions& options);
+
+}  // namespace vulcan::check

@@ -29,6 +29,21 @@ inline double jain_index(std::span<const double> x) {
   return sum * sum / (static_cast<double>(x.size()) * sum_sq);
 }
 
+/// Jain's index over per-app progress rates derived from mean slowdowns
+/// (progress_i = 1 / slowdown_i). A non-positive slowdown means "no
+/// epochs recorded for this app yet" and is skipped — not counted as
+/// zero progress. The live obs::AppStats path and the offline
+/// report_jain path once disagreed on exactly that convention; both now
+/// call this one definition and a regression test pins them together.
+inline double jain_from_slowdowns(std::span<const double> slowdowns) {
+  std::vector<double> progress;
+  progress.reserve(slowdowns.size());
+  for (const double s : slowdowns) {
+    if (s > 0.0) progress.push_back(1.0 / s);
+  }
+  return jain_index(progress);
+}
+
 /// Accumulates Eq. 4 over epochs.
 class CfiAccumulator {
  public:

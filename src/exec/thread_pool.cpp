@@ -33,6 +33,11 @@ void ThreadPool::submit(std::function<void()> task) {
 void ThreadPool::wait() {
   std::unique_lock<std::mutex> lock(mu_);
   all_idle_.wait(lock, [this] { return queue_.empty() && active_ == 0; });
+  if (first_error_) {
+    std::exception_ptr error = std::exchange(first_error_, nullptr);
+    lock.unlock();
+    std::rethrow_exception(error);
+  }
 }
 
 unsigned ThreadPool::recommended_workers(std::size_t job_count) {
@@ -51,9 +56,15 @@ void ThreadPool::worker_loop() {
     queue_.pop_front();
     ++active_;
     lock.unlock();
-    task();  // must not throw (see header contract)
+    std::exception_ptr error;
+    try {
+      task();
+    } catch (...) {
+      error = std::current_exception();
+    }
     lock.lock();
     --active_;
+    if (error && !first_error_) first_error_ = error;
     if (queue_.empty() && active_ == 0) all_idle_.notify_all();
   }
 }

@@ -6,9 +6,12 @@
 // ThreadPool supplies the workers; BatchRunner (exec/batch.hpp) layers the
 // submission-order merge and per-job failure capture on top.
 //
-// Contract: submitted tasks must not throw — a task that lets an exception
-// escape terminates the process (BatchRunner wraps every job in a
-// try/catch precisely so its callers never face this). The pool itself is
+// Exception contract: a task that throws does not take the process down.
+// The pool catches it, keeps the worker alive, and rethrows the *first*
+// captured exception from the next wait() (later ones are dropped —
+// callers that need per-job capture wrap jobs themselves, as BatchRunner
+// does). Destruction drains the queue and swallows any captured
+// exception; call wait() first if you care. The pool itself is
 // deliberately dumb: no priorities, no stealing, no futures. Determinism
 // is the *caller's* property (each job owns its state and results merge in
 // submission order), so the pool only needs to run things.
@@ -17,6 +20,7 @@
 #include <condition_variable>
 #include <cstddef>
 #include <deque>
+#include <exception>
 #include <functional>
 #include <mutex>
 #include <thread>
@@ -28,7 +32,8 @@ class ThreadPool {
  public:
   /// Spawns `threads` workers (clamped to at least 1).
   explicit ThreadPool(unsigned threads);
-  /// Waits for queued work, then joins the workers.
+  /// Drains queued work, joins the workers, and swallows any captured
+  /// task exception (deterministic teardown even mid-batch).
   ~ThreadPool();
 
   ThreadPool(const ThreadPool&) = delete;
@@ -37,8 +42,10 @@ class ThreadPool {
   /// Enqueue a task. Safe from any thread, including from inside a task.
   void submit(std::function<void()> task);
 
-  /// Block until the queue is empty and every worker is idle. The pool is
-  /// reusable afterwards — submit/wait cycles are the BatchRunner pattern.
+  /// Block until the queue is empty and every worker is idle, then
+  /// rethrow the first exception any task threw since the last wait().
+  /// The pool is reusable afterwards — submit/wait cycles are the
+  /// BatchRunner pattern.
   void wait();
 
   unsigned threads() const {
@@ -58,6 +65,7 @@ class ThreadPool {
   std::condition_variable all_idle_;
   std::deque<std::function<void()>> queue_;
   std::size_t active_ = 0;
+  std::exception_ptr first_error_;
   bool stop_ = false;
   std::vector<std::thread> workers_;
 };

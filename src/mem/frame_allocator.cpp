@@ -20,6 +20,41 @@ std::optional<Pfn> FrameAllocator::allocate() {
   return make_pfn(tier_, index);
 }
 
+bool FrameAllocator::self_check(std::string* why) const {
+  const auto fail = [&](const std::string& msg) {
+    if (why) *why = "tier " + std::to_string(tier_) + ": " + msg;
+    return false;
+  };
+  if (used_ + free_list_.size() != capacity_) {
+    return fail("used (" + std::to_string(used_) + ") + free-list (" +
+                std::to_string(free_list_.size()) + ") != capacity (" +
+                std::to_string(capacity_) + ")");
+  }
+  std::uint64_t live = 0;
+  for (const bool b : allocated_) live += b ? 1 : 0;
+  if (live != used_) {
+    return fail("allocated bitmap population (" + std::to_string(live) +
+                ") != used (" + std::to_string(used_) + ")");
+  }
+  std::vector<bool> on_free_list(capacity_, false);
+  for (const std::uint64_t index : free_list_) {
+    if (index >= capacity_) {
+      return fail("free-list index " + std::to_string(index) +
+                  " out of range");
+    }
+    if (allocated_[index]) {
+      return fail("frame " + std::to_string(index) +
+                  " is both allocated and on the free list");
+    }
+    if (on_free_list[index]) {
+      return fail("frame " + std::to_string(index) +
+                  " appears twice on the free list");
+    }
+    on_free_list[index] = true;
+  }
+  return true;
+}
+
 void FrameAllocator::free(Pfn pfn) {
   assert(tier_of(pfn) == tier_ && "freeing PFN into wrong tier");
   const std::uint64_t index = index_of(pfn);

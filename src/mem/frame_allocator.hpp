@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <optional>
+#include <string>
 #include <vector>
 
 #include "mem/tier.hpp"
@@ -39,6 +40,22 @@ class FrameAllocator {
     return static_cast<double>(free_pages()) <
            fraction * static_cast<double>(capacity_);
   }
+
+  /// Is `pfn` a currently-allocated frame of this tier? False for foreign
+  /// tiers and out-of-range indices. Auditor hook: a PTE must never
+  /// reference a frame the allocator believes is free.
+  bool is_allocated(Pfn pfn) const {
+    if (tier_of(pfn) != tier_) return false;
+    const std::uint64_t index = index_of(pfn);
+    return index < capacity_ && allocated_[index];
+  }
+
+  /// Internal-consistency audit: the free list, the allocated bitmap and
+  /// used() must agree (used + free-list size == capacity, bitmap
+  /// population == used, no free-list duplicates or allocated entries).
+  /// Returns true when consistent; otherwise false with an explanation in
+  /// `*why` (when non-null).
+  bool self_check(std::string* why = nullptr) const;
 
  private:
   TierId tier_;

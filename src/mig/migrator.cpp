@@ -44,19 +44,55 @@ sim::Cycles Migrator::phase(obs::MigPhase p, std::uint64_t pages,
   return cycles;
 }
 
-std::vector<vm::CoreId> Migrator::shootdown_targets(
-    const MigrationRequest& req, vm::CoreId initiator) const {
+std::vector<vm::CoreId> Migrator::broadcast_targets(
+    vm::CoreId initiator) const {
   std::vector<vm::CoreId> targets;
-  const bool targeted = config_.mechanism.targeted_shootdown;
-  if (targeted && !req.shared) {
-    // Per-thread tables prove a single owner: one core at most.
-    const vm::CoreId owner_core = core_of(req.owner);
-    if (owner_core != initiator) targets.push_back(owner_core);
-    return targets;
-  }
-  // Shared page (or no ownership knowledge): every process core.
   targets.reserve(config_.process_cores.size());
   for (const vm::CoreId c : config_.process_cores) {
+    if (c != initiator &&
+        std::find(targets.begin(), targets.end(), c) == targets.end()) {
+      targets.push_back(c);
+    }
+  }
+  return targets;
+}
+
+std::vector<vm::CoreId> Migrator::shootdown_targets(
+    const MigrationRequest& req, vm::CoreId initiator) const {
+  if (config_.mechanism.targeted_shootdown) {
+    // Consult the live PTE, not the plan-time request: requests queued
+    // across epochs go stale when another thread touches the page in the
+    // meantime (ownership flips to shared), and a targeted flush based on
+    // the old owner would leave live entries on the new sharers' cores.
+    const auto owner = as_->tables().exclusive_owner(req.vpn);
+    if (owner.has_value()) {
+      // A single owner proven by the ownership bits: that thread is the
+      // only one ever to have touched the page, so its core holds the
+      // only possible 4 KB entry.
+      std::vector<vm::CoreId> targets;
+      const vm::CoreId owner_core = core_of(*owner);
+      if (owner_core != initiator) targets.push_back(owner_core);
+      return targets;
+    }
+  }
+  // Shared page (or no ownership knowledge): every process core.
+  return broadcast_targets(initiator);
+}
+
+std::vector<vm::CoreId> Migrator::chunk_shootdown_targets(
+    std::span<const vm::Vpn> moved, bool was_huge,
+    vm::CoreId initiator) const {
+  if (was_huge || !config_.mechanism.targeted_shootdown) {
+    return broadcast_targets(initiator);
+  }
+  // Base-paged chunk: each 4 KB entry lives only on its exclusive owner's
+  // core, so the union of owner cores covers the batch. Ownership bits
+  // survive remap, so this is valid before or after the copy loop.
+  std::vector<vm::CoreId> targets;
+  for (const vm::Vpn vpn : moved) {
+    const auto owner = as_->tables().exclusive_owner(vpn);
+    if (!owner.has_value()) return broadcast_targets(initiator);  // shared
+    const vm::CoreId c = core_of(*owner);
     if (c != initiator &&
         std::find(targets.begin(), targets.end(), c) == targets.end()) {
       targets.push_back(c);
@@ -73,7 +109,11 @@ bool Migrator::execute_chunk(const MigrationRequest& req, sim::Rng& rng,
   sim::Cycles& bucket = sync ? stats.stall_cycles : stats.daemon_cycles;
   const vm::CoreId initiator =
       sync ? core_of(req.owner) : config_.daemon_core;
-  const auto targets = shootdown_targets(req, initiator);
+  // Captured before the move: a huge-mapped chunk's 2 MB TLB entry may be
+  // cached by any core whose thread touched any page of the chunk, so the
+  // flush round below must broadcast regardless of per-page ownership.
+  const bool was_huge =
+      as_->chunk_state(req.vpn) == vm::AddressSpace::ChunkState::kHuge;
   obs::ScopedSpan op_span =
       obs_.span(obs::SpanKind::kMigrationOp,
                 static_cast<double>(sim::kPagesPerHuge), req.to, req.owner);
@@ -106,6 +146,7 @@ bool Migrator::execute_chunk(const MigrationRequest& req, sim::Rng& rng,
 
   // Batched mechanics: one flush round for the whole chunk, amortised
   // per-page unmap/copy/remap.
+  const auto targets = chunk_shootdown_targets(moved, was_huge, initiator);
   bucket += phase(obs::MigPhase::kUnmap, moved.size(),
                   cost.unmap_batched(moved.size()));
   {
@@ -153,10 +194,26 @@ bool Migrator::execute_one(const MigrationRequest& req, sim::Rng& rng,
                                       /*arg=*/1.0, req.to, req.owner);
 
   // THP split precedes any base-page migration of a huge-mapped chunk.
+  // The stale 2 MB entry may be cached by any core whose thread touched
+  // any page of the chunk — per-page ownership says nothing about who
+  // cached the chunk translation — so the split itself pays a broadcast
+  // flush round (Linux pmdp_invalidate + flush semantics). Flushing here,
+  // not with the page's migration, keeps the chunk consistent on every
+  // later exit path (destination-full bail-out, async abort) and lets the
+  // migration's own shootdown stay targeted.
   if (as_->is_huge(req.vpn)) {
     as_->split_chunk(req.vpn);
     bucket += config_.huge_split_cycles;
     op_span.advance(config_.huge_split_cycles);
+    const auto split_targets = broadcast_targets(initiator);
+    obs::ScopedSpan sd_span =
+        obs_.span(obs::span_kind_for(obs::MigPhase::kShootdown),
+                  /*arg=*/1.0, req.to);
+    bucket += phase(obs::MigPhase::kShootdown, 1,
+                    shootdowns_->shoot_single(initiator, split_targets,
+                                              as_->pid(), req.vpn),
+                    /*with_span=*/false);
+    stats.shootdown_ipis += split_targets.size();
   }
 
   const auto targets = shootdown_targets(req, initiator);

@@ -54,6 +54,7 @@ class Migrator {
   }
 
   ShadowRegistry& shadows() { return shadows_; }
+  const ShadowRegistry& shadows() const { return shadows_; }
   const MigrationMechanism& mechanism() const { return mechanism_; }
   const MigrationStats& totals() const { return totals_; }
   const Config& config() const { return config_; }
@@ -87,6 +88,15 @@ class Migrator {
   /// Remote-core target set for a request's shootdown.
   std::vector<vm::CoreId> shootdown_targets(const MigrationRequest& req,
                                             vm::CoreId initiator) const;
+  /// Every process core except the initiator (the broadcast fallback).
+  std::vector<vm::CoreId> broadcast_targets(vm::CoreId initiator) const;
+  /// Target set for a batched chunk move: huge-mapped chunks broadcast
+  /// (any core that touched any page of the chunk may cache the 2 MB
+  /// entry), otherwise the union of the moved pages' exclusive-owner
+  /// cores — falling back to broadcast when any moved page is shared.
+  std::vector<vm::CoreId> chunk_shootdown_targets(
+      std::span<const vm::Vpn> moved, bool was_huge,
+      vm::CoreId initiator) const;
   /// Account `cycles` of work in `phase` against the attached scope and
   /// return the cycles (so call sites charge their bucket in one line).
   /// By default also records a timeline span advancing the cursor by

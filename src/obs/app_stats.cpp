@@ -49,7 +49,7 @@ AppStats::PerApp& AppStats::app(std::int32_t index) {
 void AppStats::record_epoch(std::span<const AppEpochSample> samples) {
   if (!registry_ || samples.empty()) return;
 
-  std::vector<double> progress(samples.size(), 0.0);
+  std::vector<double> epoch_slowdowns(samples.size(), 0.0);
   for (std::size_t i = 0; i < samples.size(); ++i) {
     const AppEpochSample& s = samples[i];
     PerApp& pa = app(s.app);
@@ -64,17 +64,18 @@ void AppStats::record_epoch(std::span<const AppEpochSample> samples) {
     pa.slowdown_sum += slowdown;
     ++pa.epochs;
     pa.slowdown_mean->set(pa.slowdown_sum / static_cast<double>(pa.epochs));
-    progress[i] = 1.0 / slowdown;
+    epoch_slowdowns[i] = slowdown;
   }
-  jain_epoch_ = core::jain_index(progress);
+  jain_epoch_ = core::jain_from_slowdowns(epoch_slowdowns);
 
-  std::vector<double> cumulative;
-  cumulative.reserve(per_app_.size());
+  std::vector<double> mean_slowdowns;
+  mean_slowdowns.reserve(per_app_.size());
   for (const PerApp& pa : per_app_) {
-    if (pa.epochs == 0) continue;
-    cumulative.push_back(static_cast<double>(pa.epochs) / pa.slowdown_sum);
+    mean_slowdowns.push_back(
+        pa.epochs == 0 ? 0.0
+                       : pa.slowdown_sum / static_cast<double>(pa.epochs));
   }
-  jain_cumulative_ = core::jain_index(cumulative);
+  jain_cumulative_ = core::jain_from_slowdowns(mean_slowdowns);
 
   registry_->gauge("app.fairness.jain").set(jain_epoch_);
   registry_->gauge("app.fairness.jain_cumulative").set(jain_cumulative_);

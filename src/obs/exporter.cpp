@@ -1,5 +1,7 @@
 #include "obs/exporter.hpp"
 
+#include <cmath>
+
 #include "obs/metrics.hpp"
 
 namespace vulcan::obs {
@@ -57,8 +59,8 @@ void write_json_value(std::ostream& out, const Value& v) {
     return;
   }
   if (const auto* d = std::get_if<double>(&v)) {
-    if (*d != *d) {
-      out << "null";  // JSON has no NaN
+    if (!std::isfinite(*d)) {
+      out << "null";  // JSON has no NaN or infinities
       return;
     }
   }

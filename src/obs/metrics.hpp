@@ -103,6 +103,15 @@ class Registry {
   double gauge_value(std::string_view key) const;
   const Histogram* find_histogram(std::string_view key) const;
 
+  /// Presence probes (audits: only cross-check instruments that exist —
+  /// a missing key is "not instrumented", not "drifted to zero").
+  bool has_counter(std::string_view key) const {
+    return counters_.find(key) != counters_.end();
+  }
+  bool has_gauge(std::string_view key) const {
+    return gauges_.find(key) != gauges_.end();
+  }
+
   std::size_t size() const {
     return counters_.size() + gauges_.size() + histograms_.size();
   }

@@ -27,6 +27,8 @@ const char* flat_kind_name(EventKind kind) {
     case EventKind::kCbfrpRejection: return "cbfrp_rejection";
     case EventKind::kSpanBegin: return "span_begin";
     case EventKind::kSpanEnd: return "span_end";
+    case EventKind::kAuditViolation: return "audit_violation";
+    case EventKind::kAuditPass: return "audit_pass";
   }
   return "?";
 }

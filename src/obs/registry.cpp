@@ -1,5 +1,6 @@
 #include "obs/metrics.hpp"
 
+#include <cmath>
 #include <stdexcept>
 
 namespace vulcan::obs {
@@ -12,7 +13,7 @@ constexpr int kHistogram = 2;
 void write_json_double(std::ostream& out, double v) {
   // Doubles round-trip through ostream default formatting; JSON has no
   // inf/nan, map those to null.
-  if (v != v) {
+  if (!std::isfinite(v)) {
     out << "null";
     return;
   }

@@ -198,12 +198,11 @@ std::vector<std::int32_t> MetricsSnapshot::app_ids() const {
 }
 
 double report_jain(const MetricsSnapshot& snapshot) {
-  std::vector<double> progress;
+  std::vector<double> slowdowns;
   for (const std::int32_t app : snapshot.app_ids()) {
-    const double slowdown = snapshot.gauge(app_key("slowdown_mean", app));
-    progress.push_back(slowdown > 0.0 ? 1.0 / slowdown : 0.0);
+    slowdowns.push_back(snapshot.gauge(app_key("slowdown_mean", app)));
   }
-  return core::jain_index(progress);
+  return core::jain_from_slowdowns(slowdowns);
 }
 
 void write_fairness_report(const MetricsSnapshot& snapshot,

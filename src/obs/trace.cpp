@@ -20,7 +20,7 @@ struct KindInfo {
   const char* v_name;  // nullptr => omitted
 };
 
-constexpr std::array<KindInfo, 11> kKinds{{
+constexpr std::array<KindInfo, 13> kKinds{{
     {EventKind::kEpochStart, "epoch_start", "epoch", "workloads", nullptr},
     {EventKind::kEpochEnd, "epoch_end", "epoch", "workloads", "cfi"},
     {EventKind::kMigPhaseBegin, "mig_phase_begin", "phase", "pages", nullptr},
@@ -35,6 +35,9 @@ constexpr std::array<KindInfo, 11> kKinds{{
      "credits"},
     {EventKind::kSpanBegin, "span_begin", "attrs", "span", "arg"},
     {EventKind::kSpanEnd, "span_end", "attrs", "span", "arg"},
+    {EventKind::kAuditViolation, "audit_violation", "rule", "detail",
+     "value"},
+    {EventKind::kAuditPass, "audit_pass", "checks", "violations", nullptr},
 }};
 
 const KindInfo& info_of(EventKind kind) {

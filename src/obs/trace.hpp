@@ -33,6 +33,11 @@ enum class EventKind : std::uint8_t {
   // pairs a begin with its end, `v` is a kind-specific argument.
   kSpanBegin,
   kSpanEnd,
+  // Invariant-audit outcomes (check/invariants.hpp). A violation carries
+  // the AuditRule id in `a`, a rule-specific detail in `b` and a measured
+  // value in `v`; a pass carries the number of checks evaluated in `a`.
+  kAuditViolation,
+  kAuditPass,
 };
 
 /// The five phases of one migration operation (§2.1): kernel trap /
@@ -68,6 +73,8 @@ inline constexpr const char* mig_phase_name(MigPhase p) {
 ///   policy_quota     a=quota pages   b=resident fast pages
 ///   cbfrp_promotion  a=granted       b=demand           v=credits
 ///   cbfrp_rejection  a=granted       b=demand           v=credits
+///   audit_violation  a=rule id       b=detail           v=value
+///   audit_pass       a=checks        b=violations
 struct TraceEvent {
   std::uint64_t seq = 0;     ///< assigned by the ring, never reused
   sim::Cycles time = 0;      ///< virtual time of emission

@@ -130,6 +130,23 @@ class SystemBuilder {
     config_.cost_params = params;
     return *this;
   }
+  /// Invariant-audit level run at epoch boundaries (default kBasic; see
+  /// Config::audit). kFull adds registry-counter drift checks.
+  SystemBuilder& audit(check::AuditLevel level) {
+    config_.audit = level;
+    return *this;
+  }
+  /// Audit every n-th epoch (default 1; 0 disables the periodic hook
+  /// without changing the level used by TieredSystem::run_audit).
+  SystemBuilder& audit_every(std::uint64_t n) {
+    config_.audit_every = n;
+    return *this;
+  }
+  /// Whether a failed audit throws check::AuditFailure (default true).
+  SystemBuilder& audit_throw(bool on) {
+    config_.audit_throw = on;
+    return *this;
+  }
 
   /// Perturbation hook: direct access to the staged configuration, so the
   /// what-if engine (obs/whatif.hpp) can scale individual cost constants on

@@ -167,10 +167,14 @@ void TieredSystem::simulate_accesses(ManagedWorkload& mw,
         // One demand fault per page, regardless of the sample's weight.
         mw.epoch_inline_overhead += cost_.minor_fault();
       }
+      // Install the walked translation (the PFN lets the invariant
+      // auditor cross-check cached entries against the live page tables;
+      // huge entries carry the chunk's first page as representative).
       if (as.is_huge(vpn)) {
-        tlb.insert_huge(as.pid(), vpn);
+        tlb.insert_huge(as.pid(), vpn,
+                        as.tables().get(as.chunk_base(vpn)).pfn());
       } else {
-        tlb.insert(as.pid(), vpn);
+        tlb.insert(as.pid(), vpn, as.tables().get(vpn).pfn());
       }
     } else if (!as.mapped(vpn)) {
       // Stale-free by construction; defensive fault (should not happen).
@@ -381,6 +385,13 @@ void TieredSystem::run_one_epoch() {
   // (7) Heat decay closes the epoch.
   for (auto& mw : workloads_) mw->tracker->decay_epoch();
 
+  // (8) Invariant audit (check/invariants.hpp): cross-validate every
+  // redundant view of machine state while the epoch's clock is current.
+  if (config_.audit != check::AuditLevel::kOff && config_.audit_every > 0 &&
+      epoch_index_ % config_.audit_every == 0) {
+    run_audit_internal(config_.audit_throw);
+  }
+
   now_ += config_.epoch;
   // Close the epoch span at the advanced clock (or at the timeline cursor
   // if in-epoch work overran the epoch), so consecutive epoch spans tile
@@ -391,6 +402,54 @@ void TieredSystem::run_one_epoch() {
 
 void TieredSystem::run_epochs(unsigned count) {
   for (unsigned i = 0; i < count; ++i) run_one_epoch();
+}
+
+check::SystemView TieredSystem::audit_view() const {
+  check::SystemView view;
+  view.topology = topo_.get();
+  view.workloads.reserve(workloads_.size());
+  for (std::size_t i = 0; i < workloads_.size(); ++i) {
+    check::WorkloadView w;
+    w.index = i;
+    w.as = workloads_[i]->as.get();
+    w.migrator = workloads_[i]->migrator.get();
+    view.workloads.push_back(w);
+  }
+  view.tlbs = &tlbs_;
+  view.shootdowns = shootdowns_.get();
+  view.registry = &registry_;
+  view.epochs_run = epoch_index_;
+  return view;
+}
+
+const check::AuditReport& TieredSystem::run_audit() {
+  return run_audit_internal(config_.audit_throw);
+}
+
+const check::AuditReport& TieredSystem::run_audit_internal(
+    bool throw_on_failure) {
+  const check::InvariantAuditor auditor(config_.audit == check::AuditLevel::kOff
+                                            ? check::AuditLevel::kFull
+                                            : config_.audit);
+  last_audit_ = auditor.audit(audit_view());
+  const obs::Scope scope(&registry_, &trace_, &now_, "check", -1,
+                         config_.record_spans ? &spans_ : nullptr);
+  scope.counter("audits").inc();
+  if (last_audit_.ok()) {
+    scope.event(obs::EventKind::kAuditPass, last_audit_.checks,
+                last_audit_.violations.size());
+  } else {
+    scope.counter("violations").inc(last_audit_.violations.size());
+    for (const check::Violation& v : last_audit_.violations) {
+      scope.for_workload(v.workload)
+          .event(obs::EventKind::kAuditViolation,
+                 static_cast<std::uint64_t>(v.rule), v.detail, v.value);
+    }
+  }
+  if (throw_on_failure && !last_audit_.ok()) {
+    throw check::AuditFailure(last_audit_);
+  }
+  return last_audit_;
 }
 
 void TieredSystem::prefault(unsigned w, unsigned fast_stride,

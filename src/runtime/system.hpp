@@ -14,6 +14,7 @@
 #include <string>
 #include <vector>
 
+#include "check/invariants.hpp"
 #include "core/fairness.hpp"
 #include "mem/topology.hpp"
 #include "mig/migration_thread.hpp"
@@ -86,6 +87,16 @@ class TieredSystem {
     /// (obs/whatif.hpp) re-runs scenarios with individual constants scaled
     /// to measure each mechanism's causal share of slowdown.
     sim::CostModelParams cost_params;
+    /// Invariant auditing (check/invariants.hpp): at the end of every
+    /// `audit_every`-th epoch the InvariantAuditor cross-validates frame
+    /// allocators, residency censuses, chunk states, TLBs and replicated
+    /// page tables (plus registry counters at kFull). On by default — the
+    /// audit is the regression net every integration test rides on.
+    check::AuditLevel audit = check::AuditLevel::kBasic;
+    std::uint64_t audit_every = 1;
+    /// Throw check::AuditFailure from run_epochs on a violation (default);
+    /// when false the report is only recorded (last_audit()) and traced.
+    bool audit_throw = true;
   };
 
   TieredSystem(Config config, std::unique_ptr<policy::SystemPolicy> policy);
@@ -141,6 +152,18 @@ class TieredSystem {
   mig::Migrator& migrator(unsigned w) { return *workloads_[w]->migrator; }
   const vm::ShootdownController& shootdowns() const { return *shootdowns_; }
   std::uint64_t migration_budget_pages() const { return migration_budget_; }
+  /// Per-core TLBs (auditor hooks and fault-injection tests).
+  std::vector<vm::Tlb>& tlbs() { return tlbs_; }
+  const std::vector<vm::Tlb>& tlbs() const { return tlbs_; }
+
+  /// Snapshot of the machine for the invariant auditor.
+  check::SystemView audit_view() const;
+  /// Run an audit now (at Config::audit level, kFull when auditing is
+  /// off), record it as last_audit(), emit trace events/counters, and
+  /// throw check::AuditFailure per Config::audit_throw.
+  const check::AuditReport& run_audit();
+  /// Most recent audit outcome (empty report before the first audit).
+  const check::AuditReport& last_audit() const { return last_audit_; }
 
  private:
   struct ManagedWorkload {
@@ -159,6 +182,7 @@ class TieredSystem {
   };
 
   void run_one_epoch();
+  const check::AuditReport& run_audit_internal(bool throw_on_failure);
   void simulate_accesses(ManagedWorkload& mw, double epoch_seconds,
                          std::uint64_t sample_quota);
   std::unique_ptr<prof::Profiler> make_profiler(prof::HeatTracker& tracker,
@@ -185,6 +209,7 @@ class TieredSystem {
   // Ring drops already surfaced as the obs.trace.dropped_events counter.
   std::uint64_t dropped_reported_ = 0;
   std::uint64_t migration_budget_ = 0;
+  check::AuditReport last_audit_;
   unsigned next_core_ = 0;
   // Previous-epoch tier utilisation drives this epoch's loaded latencies.
   std::vector<double> tier_utilization_;

@@ -62,14 +62,31 @@ Pte AddressSpace::fault(Vpn vpn, ThreadId thread, bool write,
   if (config_.thp && chunks_[ci] == ChunkState::kUnfaulted &&
       whole_chunk_in_rss) {
     // THP fault: populate the entire 2 MB chunk from one tier so the single
-    // huge translation is meaningful.
+    // huge translation is meaningful. The allocator may fall back to
+    // another tier mid-chunk when `preferred` runs dry; a huge mapping
+    // cannot straddle tiers (one translation, one physical extent), so such
+    // a chunk must stay base-paged until khugepaged-style collapse can
+    // establish co-residency.
     Pte result{};
+    std::optional<mem::TierId> tier;
+    bool single_extent = true;
     for (std::uint64_t i = 0; i < sim::kPagesPerHuge; ++i) {
       const Vpn v = chunk_base + i;
       const Pte pte = fault_one(v, thread, write && v == vpn, preferred);
       if (v == vpn) result = pte;
+      if (!pte.present()) {
+        single_extent = false;  // allocation failed: partial chunk
+        continue;
+      }
+      const mem::TierId t = mem::tier_of(pte.pfn());
+      if (!tier.has_value()) {
+        tier = t;
+      } else if (*tier != t) {
+        single_extent = false;  // fallback split the chunk across tiers
+      }
     }
-    chunks_[ci] = ChunkState::kHuge;
+    chunks_[ci] = single_extent && tier.has_value() ? ChunkState::kHuge
+                                                    : ChunkState::kBasePages;
     return result;
   }
 

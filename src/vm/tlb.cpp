@@ -35,13 +35,15 @@ bool Tlb::SetArray::lookup(std::uint64_t tag, std::uint64_t tick) {
   return false;
 }
 
-void Tlb::SetArray::insert(std::uint64_t tag, std::uint64_t tick) {
+void Tlb::SetArray::insert(std::uint64_t tag, std::uint64_t tick,
+                           std::uint64_t pfn) {
   const std::size_t set = (tag ^ (tag >> 17)) & (sets - 1);
   Entry* row = &entries[set * ways];
   Entry* victim = &row[0];
   for (unsigned w = 0; w < ways; ++w) {
     if (row[w].tag == tag) {  // refresh existing
       row[w].lru = tick;
+      row[w].pfn = pfn;
       return;
     }
     if (row[w].tag == 0) {  // free slot wins immediately
@@ -52,6 +54,7 @@ void Tlb::SetArray::insert(std::uint64_t tag, std::uint64_t tick) {
   }
   victim->tag = tag;
   victim->lru = tick;
+  victim->pfn = pfn;
 }
 
 void Tlb::SetArray::invalidate(std::uint64_t tag) {
@@ -83,12 +86,12 @@ bool Tlb::lookup(ProcessId pid, Vpn vpn) {
   return hit;
 }
 
-void Tlb::insert(ProcessId pid, Vpn vpn) {
-  base_.insert(make_tag(pid, vpn), ++tick_);
+void Tlb::insert(ProcessId pid, Vpn vpn, std::uint64_t pfn) {
+  base_.insert(make_tag(pid, vpn), ++tick_, pfn);
 }
 
-void Tlb::insert_huge(ProcessId pid, Vpn vpn) {
-  huge_.insert(make_tag(pid, huge_chunk_of(vpn)), ++tick_);
+void Tlb::insert_huge(ProcessId pid, Vpn vpn, std::uint64_t chunk_pfn) {
+  huge_.insert(make_tag(pid, huge_chunk_of(vpn)), ++tick_, chunk_pfn);
 }
 
 void Tlb::invalidate(ProcessId pid, Vpn vpn) {
@@ -96,6 +99,30 @@ void Tlb::invalidate(ProcessId pid, Vpn vpn) {
   huge_.invalidate(make_tag(pid, huge_chunk_of(vpn)));
   ++stats_.invalidations;
   obs_invalidations_->inc();
+}
+
+void Tlb::for_each_entry(
+    const std::function<void(const EntryView&)>& fn) const {
+  const auto visit = [&](const SetArray& arr, bool huge) {
+    for (const Entry& e : arr.entries) {
+      if (e.tag == 0) continue;
+      EntryView view;
+      view.pid = static_cast<ProcessId>((e.tag >> 40) - 1);
+      view.page = e.tag & ((std::uint64_t{1} << 40) - 1);
+      view.pfn = e.pfn;
+      view.huge = huge;
+      fn(view);
+    }
+  };
+  visit(base_, /*huge=*/false);
+  visit(huge_, /*huge=*/true);
+}
+
+std::size_t Tlb::live_entries() const {
+  std::size_t live = 0;
+  for (const Entry& e : base_.entries) live += e.tag != 0;
+  for (const Entry& e : huge_.entries) live += e.tag != 0;
+  return live;
 }
 
 void Tlb::flush_all() {

@@ -3,6 +3,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <vector>
 
 #include "obs/scope.hpp"
@@ -12,6 +13,9 @@ namespace vulcan::vm {
 
 class Tlb {
  public:
+  /// Sentinel for entries installed without a translation target (legacy
+  /// call sites). The invariant auditor skips PFN validation for these.
+  static constexpr std::uint64_t kUnknownPfn = ~std::uint64_t{0};
   struct Config {
     unsigned base_entries = 1536;  ///< 4 KB-page entries (Ice Lake STLB size)
     unsigned huge_entries = 64;    ///< 2 MB-page entries
@@ -32,11 +36,16 @@ class Tlb {
   /// covering its 2 MB chunk). Updates LRU and hit/miss stats.
   bool lookup(ProcessId pid, Vpn vpn);
 
-  /// Install a 4 KB translation (call after a miss + walk).
-  void insert(ProcessId pid, Vpn vpn);
+  /// Install a 4 KB translation (call after a miss + walk). `pfn` records
+  /// the walked translation so audits can cross-check cached entries
+  /// against the live page tables; kUnknownPfn opts out.
+  void insert(ProcessId pid, Vpn vpn, std::uint64_t pfn = kUnknownPfn);
 
   /// Install a 2 MB translation for the chunk containing `vpn`.
-  void insert_huge(ProcessId pid, Vpn vpn);
+  /// `chunk_pfn` is the representative translation (first page of the
+  /// chunk); kUnknownPfn opts out of audit cross-checks.
+  void insert_huge(ProcessId pid, Vpn vpn,
+                   std::uint64_t chunk_pfn = kUnknownPfn);
 
   /// Drop the 4 KB entry for `vpn` (and any huge entry covering it —
   /// hardware must not keep a stale larger mapping).
@@ -47,6 +56,22 @@ class Tlb {
 
   const Stats& stats() const { return stats_; }
   const Config& config() const { return config_; }
+
+  /// One live entry, decoded for inspection. `page` is the vpn for base
+  /// entries and the global 2 MB chunk number (vpn / 512) for huge ones.
+  struct EntryView {
+    ProcessId pid = 0;
+    std::uint64_t page = 0;
+    std::uint64_t pfn = kUnknownPfn;
+    bool huge = false;
+  };
+
+  /// Visit every live entry (base then huge, array order). Auditor hook:
+  /// each cached translation must match the current page tables.
+  void for_each_entry(const std::function<void(const EntryView&)>& fn) const;
+
+  /// Live entries across both arrays.
+  std::size_t live_entries() const;
 
   /// Attach observability. Per-core TLBs typically share one scope, so the
   /// registry aggregates hits/misses/invalidations across the socket.
@@ -61,6 +86,7 @@ class Tlb {
   struct Entry {
     std::uint64_t tag = 0;  // (pid << 40) | page-number; 0 == invalid
     std::uint64_t lru = 0;
+    std::uint64_t pfn = kUnknownPfn;  // translation target at install time
   };
 
   struct SetArray {
@@ -69,7 +95,7 @@ class Tlb {
     unsigned ways = 0;
 
     bool lookup(std::uint64_t tag, std::uint64_t tick);
-    void insert(std::uint64_t tag, std::uint64_t tick);
+    void insert(std::uint64_t tag, std::uint64_t tick, std::uint64_t pfn);
     void invalidate(std::uint64_t tag);
     void clear();
   };

@@ -1,7 +1,8 @@
 #include "wl/zipf.hpp"
 
-#include <cassert>
 #include <cmath>
+#include <stdexcept>
+#include <string>
 
 namespace vulcan::wl {
 
@@ -17,7 +18,17 @@ double ZipfianGenerator::zeta(std::uint64_t n, double theta) {
 
 ZipfianGenerator::ZipfianGenerator(std::uint64_t items, double theta)
     : items_(items), theta_(theta) {
-  assert(items_ > 0);
+  if (items_ == 0) {
+    throw std::invalid_argument("ZipfianGenerator: items must be > 0");
+  }
+  // theta == 1.0 makes alpha = 1/(1-theta) infinite and the Gray et al.
+  // rejection-free construction undefined (and theta > 1 or < 0 is outside
+  // its derivation entirely). Reject rather than silently emit garbage.
+  if (!(theta_ >= 0.0 && theta_ < 1.0)) {
+    throw std::invalid_argument(
+        "ZipfianGenerator: theta must be in [0, 1), got " +
+        std::to_string(theta_));
+  }
   zetan_ = zeta(items_, theta_);
   zeta2_ = zeta(2, theta_);
   alpha_ = 1.0 / (1.0 - theta_);

@@ -14,6 +14,8 @@ class ZipfianGenerator {
  public:
   /// @param items  number of distinct items (ranks 0..items-1, rank 0 hottest)
   /// @param theta  skew in [0,1); YCSB default 0.99
+  /// @throws std::invalid_argument when items == 0 or theta is outside
+  ///         [0, 1) — theta == 1.0 makes the construction undefined.
   explicit ZipfianGenerator(std::uint64_t items, double theta = 0.99);
 
   /// Draw a rank: 0 is the most popular item.

@@ -1,0 +1,78 @@
+// Differential fuzz oracle tests: a small campaign passes end-to-end
+// (audits green, artefacts byte-identical across job counts), the digest
+// is reproducible for a fixed seed, and option edge cases behave.
+#include "check/fuzz.hpp"
+
+#include <gtest/gtest.h>
+
+#include "runtime/experiment.hpp"
+
+namespace vulcan::check {
+namespace {
+
+FuzzOptions small_options() {
+  FuzzOptions options;
+  options.seed = 17;
+  options.scenarios = 1;
+  options.jobs = {1, 2};
+  options.policies = {"vulcan", "tpp"};
+  options.seconds = 1.0;
+  options.level = AuditLevel::kFull;
+  return options;
+}
+
+TEST(DifferentialFuzz, SmallCampaignPassesAndAudits) {
+  const FuzzResult result = run_differential_fuzz(small_options());
+  for (const FuzzFailure& f : result.failures) {
+    ADD_FAILURE() << f.scenario << ": " << f.what;
+  }
+  EXPECT_TRUE(result.ok);
+  EXPECT_EQ(result.scenarios, 1u);
+  // policies x jobs levels, all completing.
+  EXPECT_EQ(result.runs, 4u);
+  EXPECT_GT(result.audits_passed, 0u);
+  EXPECT_FALSE(result.artefact_digest.empty());
+}
+
+TEST(DifferentialFuzz, DigestIsReproducibleForFixedSeed) {
+  const FuzzOptions options = small_options();
+  const FuzzResult a = run_differential_fuzz(options);
+  const FuzzResult b = run_differential_fuzz(options);
+  ASSERT_TRUE(a.ok);
+  ASSERT_TRUE(b.ok);
+  EXPECT_EQ(a.artefact_digest, b.artefact_digest);
+}
+
+TEST(DifferentialFuzz, DifferentSeedsChangeTheDigest) {
+  FuzzOptions a = small_options();
+  FuzzOptions b = small_options();
+  b.seed = 18;
+  const FuzzResult ra = run_differential_fuzz(a);
+  const FuzzResult rb = run_differential_fuzz(b);
+  ASSERT_TRUE(ra.ok);
+  ASSERT_TRUE(rb.ok);
+  EXPECT_NE(ra.artefact_digest, rb.artefact_digest);
+}
+
+TEST(DifferentialFuzz, AuditOffDisablesTheOracleHalf) {
+  FuzzOptions options = small_options();
+  options.jobs = {1};
+  options.level = AuditLevel::kOff;
+  const FuzzResult result = run_differential_fuzz(options);
+  EXPECT_TRUE(result.ok);
+  EXPECT_EQ(result.audits_passed, 0u);
+}
+
+TEST(DifferentialFuzz, ZeroScenariosIsNotASuccess) {
+  FuzzOptions options = small_options();
+  options.scenarios = 0;
+  const FuzzResult result = run_differential_fuzz(options);
+  EXPECT_FALSE(result.ok);
+}
+
+TEST(SerializeBattery, EmptyInputYieldsEmptyBytes) {
+  EXPECT_TRUE(serialize_battery({}).empty());
+}
+
+}  // namespace
+}  // namespace vulcan::check

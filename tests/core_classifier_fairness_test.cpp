@@ -75,6 +75,22 @@ TEST(Jain, EmptyAndZeroAreVacuouslyFair) {
   EXPECT_DOUBLE_EQ(jain_index(z), 1.0);
 }
 
+TEST(JainFromSlowdowns, ReciprocalOfPositiveSlowdowns) {
+  const double slowdowns[] = {1.0, 2.0, 4.0};
+  const double progress[] = {1.0, 0.5, 0.25};
+  EXPECT_DOUBLE_EQ(jain_from_slowdowns(slowdowns), jain_index(progress));
+}
+
+TEST(JainFromSlowdowns, SkipsNonPositiveEntries) {
+  // 0 means "no epochs recorded", not "zero progress": it must not drag
+  // the index down (this was the AppStats-vs-report divergence).
+  const double with_idle[] = {1.0, 1.0, 0.0};
+  EXPECT_DOUBLE_EQ(jain_from_slowdowns(with_idle), 1.0);
+  const double all_idle[] = {0.0, -1.0};
+  EXPECT_DOUBLE_EQ(jain_from_slowdowns(all_idle), 1.0);
+  EXPECT_DOUBLE_EQ(jain_from_slowdowns({}), 1.0);
+}
+
 class JainBoundsP : public ::testing::TestWithParam<int> {};
 
 // Property: 1/N <= J(x) <= 1 for any non-negative non-zero vector.

@@ -7,6 +7,7 @@
 
 #include <atomic>
 #include <set>
+#include <stdexcept>
 #include <thread>
 #include <vector>
 
@@ -94,6 +95,50 @@ TEST(ThreadPoolTest, DestructorDrainsPendingWork) {
     // No wait(): the destructor must finish the queue before joining.
   }
   EXPECT_EQ(done.load(), 50);
+}
+
+TEST(ThreadPoolTest, ThrowingTaskIsRethrownFromWait) {
+  ThreadPool pool(2);
+  std::atomic<int> done{0};
+  pool.submit([] { throw std::runtime_error("job exploded"); });
+  for (int i = 0; i < 10; ++i) {
+    pool.submit([&done] { done.fetch_add(1, std::memory_order_relaxed); });
+  }
+  EXPECT_THROW(pool.wait(), std::runtime_error);
+  // The queue still drained around the failure.
+  EXPECT_EQ(done.load(), 10);
+  // The error was consumed: the pool is reusable and clean afterwards.
+  pool.submit([&done] { done.fetch_add(1, std::memory_order_relaxed); });
+  EXPECT_NO_THROW(pool.wait());
+  EXPECT_EQ(done.load(), 11);
+}
+
+TEST(ThreadPoolTest, OnlyFirstExceptionSurvives) {
+  ThreadPool pool(1);  // single worker: deterministic submission order
+  pool.submit([] { throw std::runtime_error("first"); });
+  pool.submit([] { throw std::logic_error("second"); });
+  try {
+    pool.wait();
+    FAIL() << "wait() should rethrow the first captured exception";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "first");
+  }
+}
+
+TEST(ThreadPoolTest, DestructionSwallowsThrowingQueuedTasks) {
+  std::atomic<int> done{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 20; ++i) {
+      pool.submit([&done, i] {
+        done.fetch_add(1, std::memory_order_relaxed);
+        if (i % 3 == 0) throw std::runtime_error("mid-teardown");
+      });
+    }
+    // No wait(): destruction must drain every task and swallow the
+    // captured exception rather than terminate.
+  }
+  EXPECT_EQ(done.load(), 20);
 }
 
 TEST(ThreadPoolTest, RecommendedWorkersCapsAtJobCount) {

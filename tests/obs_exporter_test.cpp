@@ -115,5 +115,28 @@ TEST(JsonlExporter, NanSerialisesAsNull) {
   EXPECT_EQ(got, "{\"d\":null}\n");
 }
 
+TEST(JsonlExporter, InfinitiesSerialiseAsNull) {
+  const double inf = std::numeric_limits<double>::infinity();
+  EXPECT_EQ(render_jsonl({"d"}, {Value{inf}}), "{\"d\":null}\n");
+  EXPECT_EQ(render_jsonl({"d"}, {Value{-inf}}), "{\"d\":null}\n");
+}
+
+TEST(CsvExporter, NonFiniteDoublesRenderAsStreamText) {
+  // CSV has no null; pin the ostream spellings so downstream parsers see a
+  // stable token rather than silently changing bytes.
+  const double inf = std::numeric_limits<double>::infinity();
+  EXPECT_EQ(render_csv({"d"}, {Value{inf}}), "d\ninf\n");
+  EXPECT_EQ(render_csv({"d"}, {Value{-inf}}), "d\n-inf\n");
+  const std::string nan_row = render_csv(
+      {"d"}, {Value{std::numeric_limits<double>::quiet_NaN()}});
+  EXPECT_TRUE(nan_row == "d\nnan\n" || nan_row == "d\n-nan\n") << nan_row;
+}
+
+TEST(CsvExporter, QuotesCarriageReturnsInLabels) {
+  const std::string got =
+      render_csv({"name"}, {Value{std::string("line1\r\nline2")}});
+  EXPECT_EQ(got, "name\n\"line1\r\nline2\"\n");
+}
+
 }  // namespace
 }  // namespace vulcan::obs

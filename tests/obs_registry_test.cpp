@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -70,6 +71,39 @@ TEST(Histogram, QuantileClampsOverflowToLastBound) {
   EXPECT_DOUBLE_EQ(h.quantile(0.5), 1.0);
   Histogram& empty = reg.histogram("app.lat3", bounds);
   EXPECT_DOUBLE_EQ(empty.quantile(0.5), 0.0);
+}
+
+TEST(Histogram, QuantileOfEmptyHistogramIsZero) {
+  Histogram h(std::vector<double>{1.0, 2.0});
+  EXPECT_DOUBLE_EQ(h.quantile(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), 0.0);
+  Histogram boundless((std::vector<double>{}));
+  boundless.observe(3.0);
+  EXPECT_DOUBLE_EQ(boundless.quantile(0.5), 0.0);
+}
+
+TEST(Registry, JsonNeverEmitsNonFiniteNumbers) {
+  Registry reg;
+  // Key names deliberately avoid the substrings the assertions scan for.
+  reg.gauge("g.a").set(std::numeric_limits<double>::quiet_NaN());
+  reg.gauge("g.b").set(std::numeric_limits<double>::infinity());
+  reg.gauge("g.c").set(-std::numeric_limits<double>::infinity());
+  const std::vector<double> bounds{1.0};
+  reg.histogram("h.s", bounds)
+      .observe(std::numeric_limits<double>::infinity());
+  std::ostringstream out;
+  reg.write_json(out);
+  const std::string json = out.str();
+  EXPECT_EQ(json.find("nan"), std::string::npos) << json;
+  EXPECT_EQ(json.find("inf"), std::string::npos) << json;
+  // Three gauges mapped to null, plus the histogram's infinite sum.
+  std::size_t nulls = 0;
+  for (std::size_t at = json.find("null"); at != std::string::npos;
+       at = json.find("null", at + 1)) {
+    ++nulls;
+  }
+  EXPECT_GE(nulls, 4u);
 }
 
 TEST(Registry, JsonHistogramsCarryQuantileSummaries) {

@@ -70,6 +70,31 @@ TEST(ReportJain, MatchesCoreDefinition) {
 
   const std::vector<double> progress{1.0, 0.5, 0.25};
   EXPECT_DOUBLE_EQ(report_jain(snap), core::jain_index(progress));
+  const std::vector<double> slowdowns{1.0, 2.0, 4.0};
+  EXPECT_DOUBLE_EQ(report_jain(snap), core::jain_from_slowdowns(slowdowns));
+}
+
+// Regression: the offline report path once counted an app with no recorded
+// slowdown_mean as zero progress (dragging the index down), while the live
+// AppStats path skipped it. Both now share core::jain_from_slowdowns, which
+// skips non-positive slowdowns.
+TEST(ReportJain, AppWithoutSlowdownIsSkippedNotZero) {
+  Registry reg;
+  reg.gauge("app.slowdown_mean{app=0}").set(1.0);
+  reg.gauge("app.slowdown_mean{app=1}").set(1.0);
+  // app 2 is discoverable (it published a counter) but never recorded an
+  // epoch, so its slowdown_mean gauge is absent and reads 0.
+  reg.counter("app.fast_page_epochs{app=2}").inc();
+
+  std::stringstream buf;
+  reg.write_json(buf);
+  MetricsSnapshot snap;
+  ASSERT_TRUE(snap.parse_json(buf));
+  ASSERT_EQ(snap.app_ids().size(), 3u);
+
+  EXPECT_DOUBLE_EQ(report_jain(snap), 1.0);
+  const std::vector<double> slowdowns{1.0, 1.0, 0.0};
+  EXPECT_DOUBLE_EQ(report_jain(snap), core::jain_from_slowdowns(slowdowns));
 }
 
 runtime::BuildResult build_fixed() {

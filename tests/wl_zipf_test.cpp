@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
+#include <stdexcept>
 #include <vector>
 
 namespace vulcan::wl {
@@ -55,6 +57,35 @@ TEST(Zipfian, SingleItemDegenerate) {
   ZipfianGenerator z(1, 0.99);
   sim::Rng rng(5);
   for (int i = 0; i < 100; ++i) EXPECT_EQ(z.next(rng), 0u);
+}
+
+TEST(Zipfian, SingleItemPmfIsOne) {
+  // items == 1 is well-defined: the whole mass sits on rank 0.
+  ZipfianGenerator z(1, 0.99);
+  EXPECT_DOUBLE_EQ(z.pmf(0), 1.0);
+}
+
+TEST(Zipfian, PmfSumsToOne) {
+  for (const double theta : {0.0, 0.5, 0.99}) {
+    ZipfianGenerator z(128, theta);
+    double sum = 0.0;
+    for (std::uint64_t k = 0; k < 128; ++k) sum += z.pmf(k);
+    EXPECT_NEAR(sum, 1.0, 1e-9) << "theta " << theta;
+  }
+}
+
+TEST(Zipfian, RejectsZeroItems) {
+  EXPECT_THROW(ZipfianGenerator(0, 0.99), std::invalid_argument);
+}
+
+TEST(Zipfian, RejectsThetaOutsideUnitInterval) {
+  // theta == 1.0 makes alpha = 1/(1-theta) infinite — the construction is
+  // undefined there, so it must be rejected, not silently garbage.
+  EXPECT_THROW(ZipfianGenerator(100, 1.0), std::invalid_argument);
+  EXPECT_THROW(ZipfianGenerator(100, 1.5), std::invalid_argument);
+  EXPECT_THROW(ZipfianGenerator(100, -0.1), std::invalid_argument);
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_THROW(ZipfianGenerator(100, nan), std::invalid_argument);
 }
 
 class ZipfMonotoneP : public ::testing::TestWithParam<double> {};

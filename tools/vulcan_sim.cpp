@@ -59,6 +59,7 @@ struct Options {
   double drift = 0.0;
   std::string record_trace;  // capture workload 0's accesses to this file
   std::string replay_trace;  // replace the scenario with this trace file
+  std::string audit;  // invariant-audit level; empty = builder default
   bool help = false;
 };
 
@@ -91,6 +92,9 @@ void usage() {
       "  --folded FILE    write folded flamegraph stacks (self cycles)\n"
       "  --bench-json F   write a machine-readable benchmark summary\n"
       "  --no-spans       do not record timeline spans\n"
+      "  --audit [L]      invariant-audit level: off | basic | full\n"
+      "                   (bare --audit means full; a violation prints\n"
+      "                   the report and exits 3)            [basic]\n"
       "  (--trace/--metrics/--perfetto/--folded accept '-' for stdout)\n"
       "  micro knobs: --rss P --wss P --write-ratio R --rate A/s/thread\n"
       "               --drift pages/s\n"
@@ -133,12 +137,28 @@ bool parse(int argc, char** argv, Options& o) {
     else if (flag == "--drift") o.drift = std::atof(next());
     else if (flag == "--record-trace") o.record_trace = next();
     else if (flag == "--replay-trace") o.replay_trace = next();
+    else if (flag == "--audit") {
+      // The level is optional: a bare --audit means "full".
+      if (i + 1 < argc && argv[i + 1][0] != '-') o.audit = argv[++i];
+      else o.audit = "full";
+    }
     else {
       std::fprintf(stderr, "unknown flag: %s\n", flag.c_str());
       return false;
     }
   }
   return true;
+}
+
+check::AuditLevel audit_level(const Options& o) {
+  if (o.audit.empty()) return check::AuditLevel::kBasic;
+  const auto parsed = check::parse_audit_level(o.audit);
+  if (!parsed) {
+    std::fprintf(stderr, "unknown audit level: %s (off | basic | full)\n",
+                 o.audit.c_str());
+    std::exit(2);
+  }
+  return *parsed;
 }
 
 runtime::ProfilerKind profiler_kind(const std::string& name) {
@@ -242,7 +262,8 @@ int run_battery(const Options& o) {
     b.epoch_ms(o.epoch_ms)
         .samples_per_epoch(o.samples)
         .profiler(profiler_kind(o.profiler))
-        .spans(!o.no_spans);
+        .spans(!o.no_spans)
+        .audit(audit_level(o));
   };
   spec.stage = [&o] { return make_scenario(o); };
 
@@ -256,7 +277,11 @@ int run_battery(const Options& o) {
     summaries = runtime::run_policy_battery(spec, roster, o.jobs, &stats);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "vulcan_sim: %s\n", e.what());
-    return 1;
+    // The battery flattens job failures to runtime_error; an audit report
+    // is recognisable by its format_report header.
+    return std::string(e.what()).find("audit(level=") != std::string::npos
+               ? 3
+               : 1;
   }
   std::fprintf(stderr,
                "[exec] %zu policy runs on %u workers: %.0f ms wall "
@@ -303,6 +328,7 @@ int main(int argc, char** argv) {
                    .samples_per_epoch(o.samples)
                    .profiler(profiler_kind(o.profiler))
                    .spans(!o.no_spans)
+                   .audit(audit_level(o))
                    .policy(std::string_view(o.policy))
                    .build();
   if (!built) {
@@ -340,7 +366,13 @@ int main(int argc, char** argv) {
   }
 
   const auto wall_start = std::chrono::steady_clock::now();
-  runtime::run_staged(sys, std::move(stages), o.seconds);
+  try {
+    runtime::run_staged(sys, std::move(stages), o.seconds);
+  } catch (const check::AuditFailure& e) {
+    std::fprintf(stderr, "vulcan_sim: invariant audit failed\n%s\n",
+                 e.what());
+    return 3;
+  }
   const double wall_s =
       std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                     wall_start)
