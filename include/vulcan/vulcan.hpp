@@ -79,6 +79,7 @@
 #include "sim/engine.hpp"
 #include "sim/stats.hpp"
 #include "vm/address_space.hpp"
+#include "vm/mmu.hpp"
 #include "vm/replicated_page_table.hpp"
 #include "wl/apps.hpp"
 #include "wl/pattern.hpp"

@@ -1,0 +1,76 @@
+#!/usr/bin/env python3
+"""Compare a fresh battery BENCH_hotpath.json against the committed baseline.
+
+The `--policies all` battery is deterministic in (scenario, seed, seconds),
+so on one machine the bytes match exactly; across compilers the simulated
+arithmetic may round differently in the last ulps. The hotpath-bench CI job
+therefore fails only when a per-policy fairness figure (jain, CFI, or a
+per-app slowdown) drifts beyond a relative tolerance (default 0.5%, with a
+small absolute floor), when the policy roster or app set changes, or when
+the scenario identity (scenario/seed/simulated_s) differs.
+
+Usage:
+    python3 scripts/check_hotpath_baseline.py <fresh.json> <baseline.json>
+"""
+
+import json
+import sys
+
+REL_TOL = 0.005  # 0.5 %
+ABS_FLOOR = 1e-6  # figures this small are "zero" for tolerance purposes
+
+
+def fail(msg):
+    print(f"hotpath baseline check FAILED: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def flatten(bench):
+    """`policies` list -> {"<policy>.jain": x, "<policy>.app.<name>": y, ...}"""
+    flat = {}
+    for p in bench.get("policies", []):
+        name = p["name"]
+        flat[f"{name}.jain"] = p["jain"]
+        flat[f"{name}.cfi"] = p["cfi"]
+        for app in p.get("apps", []):
+            flat[f"{name}.app.{app['name']}"] = app["slowdown"]
+    return flat
+
+
+def main():
+    if len(sys.argv) != 3:
+        print(__doc__, file=sys.stderr)
+        sys.exit(2)
+    with open(sys.argv[1]) as f:
+        fresh = json.load(f)
+    with open(sys.argv[2]) as f:
+        base = json.load(f)
+
+    for field in ("scenario", "seed", "simulated_s"):
+        if fresh.get(field) != base.get(field):
+            fail(
+                f"{field} differs: baseline {base.get(field)!r}, "
+                f"got {fresh.get(field)!r}"
+            )
+
+    fresh_keys = flatten(fresh)
+    base_keys = flatten(base)
+    if set(fresh_keys) != set(base_keys):
+        only_fresh = sorted(set(fresh_keys) - set(base_keys))
+        only_base = sorted(set(base_keys) - set(fresh_keys))
+        fail(f"key sets differ (new: {only_fresh}, missing: {only_base})")
+
+    drifted = []
+    for key in sorted(base_keys):
+        want, got = base_keys[key], fresh_keys[key]
+        tol = max(REL_TOL * abs(want), ABS_FLOOR)
+        if abs(got - want) > tol:
+            drifted.append(f"  {key}: baseline {want!r}, got {got!r}")
+    if drifted:
+        fail("fairness drift beyond 0.5%:\n" + "\n".join(drifted))
+
+    print(f"hotpath baseline ok: {len(base_keys)} keys within 0.5%")
+
+
+if __name__ == "__main__":
+    main()

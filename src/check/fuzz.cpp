@@ -174,6 +174,46 @@ FuzzResult run_differential_fuzz(const FuzzOptions& options) {
                  " (determinism break)"});
       }
     }
+
+    // Hot-path variants: the PWC and the translate-batch size are host
+    // implementation details — any combination must reproduce the
+    // reference artefacts byte-for-byte.
+    if (options.vary_hotpath && have_reference) {
+      struct HotpathVariant {
+        const char* name;
+        bool pwc;
+        std::uint64_t batch;
+      };
+      static constexpr HotpathVariant kVariants[] = {
+          {"pwc-off", false, 256},
+          {"batch-1", true, 1},
+          {"batch-7", true, 7},
+          {"batch-4096", true, 4096},
+      };
+      for (const HotpathVariant& v : kVariants) {
+        runtime::ScenarioSpec vspec = make_fuzz_scenario(
+            options.seed, s, options.seconds, options.level);
+        vspec.configure = [level = options.level, v](runtime::SystemBuilder& b) {
+          b.audit(level).pwc(v.pwc).translate_batch(v.batch);
+        };
+        std::vector<runtime::PolicyRunSummary> summaries;
+        try {
+          summaries = runtime::run_policy_battery(vspec, policies, jobs[0]);
+        } catch (const std::exception& e) {
+          result.failures.push_back(
+              {spec.name, std::string("hot-path variant ") + v.name + ": " +
+                              e.what()});
+          continue;
+        }
+        result.runs += static_cast<unsigned>(summaries.size());
+        if (serialize_battery(summaries) != reference) {
+          result.failures.push_back(
+              {spec.name, std::string("hot-path variant ") + v.name +
+                              " diverges from the reference artefacts "
+                              "(behavior-neutrality break)"});
+        }
+      }
+    }
   }
 
   result.artefact_digest = hex64(digest);

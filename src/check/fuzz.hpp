@@ -37,6 +37,11 @@ struct FuzzOptions {
   /// Audit level wired into every run (kOff disables the oracle half and
   /// leaves only the determinism check).
   AuditLevel level = AuditLevel::kFull;
+  /// Also re-run each scenario at the reference jobs level with the
+  /// vm::Mmu page-walk cache disabled and with several translate-batch
+  /// sizes, asserting the artefacts stay byte-identical — the facade's
+  /// behavior-neutrality contract, differentially tested.
+  bool vary_hotpath = true;
 };
 
 struct FuzzFailure {

@@ -34,6 +34,7 @@ const char* audit_rule_name(AuditRule rule) {
     case AuditRule::kTlbHugeCoverage: return "tlb_huge_coverage";
     case AuditRule::kReplicaCoherence: return "replica_coherence";
     case AuditRule::kCounterDrift: return "counter_drift";
+    case AuditRule::kPwcCoherence: return "pwc_coherence";
   }
   return "unknown";
 }
@@ -81,8 +82,38 @@ struct InvariantAuditor::WalkResult {
 };
 
 /// Which workload first claimed each physical frame (mapping or shadow).
+/// Dense per-tier arrays indexed by frame number — hashing every claimed
+/// frame dominated audit cost before; the arrays are small (tier
+/// capacities) and reset per audit pass. Frames whose tier or index falls
+/// outside the topology (corruption the per-claim checks flag anyway) go
+/// to the overflow map so duplicate detection still covers them.
 struct InvariantAuditor::FrameLedger {
-  std::unordered_map<std::uint64_t, std::int32_t> owner;
+  std::vector<std::vector<std::int32_t>> by_tier;  // index -> owner; -1 free
+  std::unordered_map<std::uint64_t, std::int32_t> overflow;
+
+  void init(const mem::Topology& topo) {
+    by_tier.resize(topo.tier_count());
+    for (std::size_t t = 0; t < topo.tier_count(); ++t) {
+      by_tier[t].assign(
+          topo.allocator(static_cast<mem::TierId>(t)).capacity(), -1);
+    }
+  }
+
+  /// Claim `pfn` for workload `wi`. Returns {first owner, newly claimed}.
+  std::pair<std::int32_t, bool> claim(mem::Pfn pfn, std::int32_t wi) {
+    const mem::TierId tier = mem::tier_of(pfn);
+    const std::uint64_t index = mem::index_of(pfn);
+    if (tier < by_tier.size() && index < by_tier[tier].size()) {
+      std::int32_t& slot = by_tier[tier][index];
+      if (slot < 0) {
+        slot = wi;
+        return {wi, true};
+      }
+      return {slot, false};
+    }
+    const auto [it, inserted] = overflow.emplace(pfn, wi);
+    return {it->second, inserted};
+  }
 };
 
 void InvariantAuditor::check_workload(const WorkloadView& w,
@@ -107,7 +138,7 @@ void InvariantAuditor::check_workload(const WorkloadView& w,
   };
   std::vector<ChunkAgg> chunks(chunk_count);
 
-  as.tables().process_table().for_each([&](vm::Vpn vpn, vm::Pte pte) {
+  as.tables().process_table().visit([&](vm::Vpn vpn, vm::Pte pte) {
     ++report.checks;
     ++out.present;
     if (vpn < lo || vpn >= hi) {
@@ -133,13 +164,13 @@ void InvariantAuditor::check_workload(const WorkloadView& w,
                     "PTE at vpn " + std::to_string(vpn) +
                         " references free frame " + std::to_string(pfn));
     }
-    const auto [it, inserted] = frames.owner.emplace(pfn, wi);
+    const auto [first_owner, inserted] = frames.claim(pfn, wi);
     if (!inserted) {
       add_violation(report, AuditRule::kDuplicateFrame, wi, vpn,
                     static_cast<double>(pfn),
                     "frame " + std::to_string(pfn) +
                         " mapped twice (first owner w=" +
-                        std::to_string(it->second) + ")");
+                        std::to_string(first_owner) + ")");
     }
     ChunkAgg& agg = chunks[static_cast<std::size_t>(
         (vpn - lo) / sim::kPagesPerHuge)];
@@ -236,12 +267,12 @@ void InvariantAuditor::check_frames(const SystemView& view,
       } else {
         ++shadow_in_tier[tier];
       }
-      const auto [it, inserted] = frames.owner.emplace(pfn, wi);
+      const auto [first_owner, inserted] = frames.claim(pfn, wi);
       if (!inserted) {
         add_violation(report, AuditRule::kDuplicateFrame, wi, vpn,
                       static_cast<double>(pfn),
                       "shadow frame " + std::to_string(pfn) +
-                          " also owned by w=" + std::to_string(it->second));
+                          " also owned by w=" + std::to_string(first_owner));
       }
     });
   }
@@ -278,14 +309,25 @@ void InvariantAuditor::check_frames(const SystemView& view,
 void InvariantAuditor::check_tlbs(const SystemView& view,
                                   AuditReport& report) const {
   if (!view.tlbs) return;
-  std::unordered_map<vm::ProcessId, const WorkloadView*> by_pid;
-  for (const WorkloadView& w : view.workloads) by_pid[w.as->pid()] = &w;
+  // Tiny linear pid map: scanning a handful of workloads per cached entry
+  // beats a hash probe (the TLB sweep visits millions of entries per run).
+  std::vector<std::pair<vm::ProcessId, const WorkloadView*>> by_pid;
+  by_pid.reserve(view.workloads.size());
+  for (const WorkloadView& w : view.workloads) {
+    by_pid.emplace_back(w.as->pid(), &w);
+  }
+  const auto find_pid = [&](vm::ProcessId pid) -> const WorkloadView* {
+    for (const auto& [p, w] : by_pid) {
+      if (p == pid) return w;
+    }
+    return nullptr;
+  };
 
   for (std::size_t core = 0; core < view.tlbs->size(); ++core) {
-    (*view.tlbs)[core].for_each_entry([&](const vm::Tlb::EntryView& e) {
+    (*view.tlbs)[core].visit_entries([&](const vm::Tlb::EntryView& e) {
       ++report.checks;
-      const auto it = by_pid.find(e.pid);
-      if (it == by_pid.end()) {
+      const WorkloadView* found = find_pid(e.pid);
+      if (!found) {
         add_violation(report, AuditRule::kTlbTranslation, -1, e.page,
                       static_cast<double>(core),
                       "core " + std::to_string(core) +
@@ -293,7 +335,7 @@ void InvariantAuditor::check_tlbs(const SystemView& view,
                           std::to_string(e.pid));
         return;
       }
-      const WorkloadView& w = *it->second;
+      const WorkloadView& w = *found;
       const vm::AddressSpace& as = *w.as;
       const auto wi = static_cast<std::int32_t>(w.index);
       if (!e.huge) {
@@ -340,6 +382,47 @@ void InvariantAuditor::check_tlbs(const SystemView& view,
   }
 }
 
+void InvariantAuditor::check_pwc(const SystemView& view,
+                                 AuditReport& report) const {
+  if (!view.mmu) return;
+  std::vector<std::pair<vm::ProcessId, const WorkloadView*>> by_pid;
+  by_pid.reserve(view.workloads.size());
+  for (const WorkloadView& w : view.workloads) {
+    if (w.as) by_pid.emplace_back(w.as->pid(), &w);
+  }
+
+  view.mmu->for_each_pwc_entry([&](const vm::Mmu::PwcEntryView& e) {
+    ++report.checks;
+    const vm::Vpn base = e.chunk * sim::kPagesPerHuge;
+    const WorkloadView* found = nullptr;
+    for (const auto& [p, w] : by_pid) {
+      if (p == e.pid) {
+        found = w;
+        break;
+      }
+    }
+    if (!found) {
+      add_violation(report, AuditRule::kPwcCoherence, -1, base, 0.0,
+                    "PWC caches a walk for unknown pid " +
+                        std::to_string(e.pid));
+      return;
+    }
+    // The cached leaf pointer must be exactly what a fresh 4-level walk of
+    // the process tree resolves for the chunk — anything else would serve
+    // stale PTEs to every translation in this 2 MB range.
+    const vm::LeafTable* truth =
+        found->as->tables().process_table().leaf_of(base);
+    if (e.leaf != truth) {
+      add_violation(report, AuditRule::kPwcCoherence,
+                    static_cast<std::int32_t>(found->index), base,
+                    static_cast<double>(e.chunk),
+                    "stale PWC entry for chunk at vpn " +
+                        std::to_string(base) +
+                        " (cached leaf diverges from the radix walk)");
+    }
+  });
+}
+
 void InvariantAuditor::check_replicas(const WorkloadView& w,
                                       AuditReport& report) const {
   const vm::AddressSpace& as = *w.as;
@@ -372,11 +455,13 @@ void InvariantAuditor::check_replicas(const WorkloadView& w,
           (as.rss_pages() + sim::kPagesPerHuge - 1) / sim::kPagesPerHuge);
       for (std::size_t ci = 0; ci < chunk_count; ++ci) {
         const vm::Vpn vpn = lo + ci * sim::kPagesPerHuge;
-        const vm::LeafRef shared = tables.process_table().leaf_ref(vpn);
+        // Raw-pointer identity is the same predicate as LeafRef equality
+        // without two shared_ptr refcount round-trips per check.
+        const vm::LeafTable* shared = tables.process_table().leaf_of(vpn);
         for (unsigned t = 0; t < threads; ++t) {
           ++report.checks;
           if (tables.thread_table(static_cast<vm::ThreadId>(t))
-                  .leaf_ref(vpn) != shared) {
+                  .leaf_of(vpn) != shared) {
             add_violation(report, AuditRule::kReplicaCoherence, wi, vpn,
                           static_cast<double>(t),
                           "thread " + std::to_string(t) +
@@ -389,7 +474,7 @@ void InvariantAuditor::check_replicas(const WorkloadView& w,
     }
     case vm::ReplicationMode::kFullReplica:
       // Private leaf copies: every PTE write must have been propagated.
-      tables.process_table().for_each([&](vm::Vpn vpn, vm::Pte pte) {
+      tables.process_table().visit([&](vm::Vpn vpn, vm::Pte pte) {
         for (unsigned t = 0; t < threads; ++t) {
           ++report.checks;
           const vm::Pte replica =
@@ -477,6 +562,7 @@ AuditReport InvariantAuditor::audit(const SystemView& view) const {
   if (level_ == AuditLevel::kOff || !view.topology) return report;
 
   FrameLedger frames;
+  frames.init(*view.topology);
   std::vector<WalkResult> walks(view.workloads.size());
   for (std::size_t i = 0; i < view.workloads.size(); ++i) {
     const WorkloadView& w = view.workloads[i];
@@ -491,6 +577,7 @@ AuditReport InvariantAuditor::audit(const SystemView& view) const {
   }
   check_frames(view, walks, frames, report);
   check_tlbs(view, report);
+  check_pwc(view, report);
   if (level_ >= AuditLevel::kFull) check_counters(view, report);
   return report;
 }

@@ -26,6 +26,7 @@
 #include "mig/migrator.hpp"
 #include "obs/metrics.hpp"
 #include "vm/address_space.hpp"
+#include "vm/mmu.hpp"
 #include "vm/shootdown.hpp"
 #include "vm/tlb.hpp"
 
@@ -68,6 +69,9 @@ enum class AuditRule : std::uint8_t {
   /// Registry counters drifted from the subsystem ground truth they
   /// mirror (shootdowns, migrations, epochs, per-app residency gauges).
   kCounterDrift,
+  /// A vm::Mmu page-walk-cache entry whose cached leaf pointer diverges
+  /// from a fresh walk of the process tree (stale PWC entry).
+  kPwcCoherence,
 };
 
 const char* audit_rule_name(AuditRule rule);
@@ -126,6 +130,9 @@ struct SystemView {
   const mem::Topology* topology = nullptr;
   std::vector<WorkloadView> workloads;
   const std::vector<vm::Tlb>* tlbs = nullptr;
+  /// Translation facade; when present its page-walk cache is audited
+  /// against fresh radix walks (kPwcCoherence).
+  const vm::Mmu* mmu = nullptr;
   const vm::ShootdownController* shootdowns = nullptr;
   const obs::Registry* registry = nullptr;
   std::uint64_t epochs_run = 0;
@@ -156,6 +163,7 @@ class InvariantAuditor {
                     const std::vector<WalkResult>& walks, FrameLedger& frames,
                     AuditReport& report) const;
   void check_tlbs(const SystemView& view, AuditReport& report) const;
+  void check_pwc(const SystemView& view, AuditReport& report) const;
   void check_replicas(const WorkloadView& w, AuditReport& report) const;
   void check_counters(const SystemView& view, AuditReport& report) const;
 

@@ -65,18 +65,25 @@ CbfrpResult Cbfrp::partition(const std::vector<CbfrpWorkload>& workloads,
     return best;
   };
 
+  auto is_victim = [&](std::size_t i, std::size_t borrower) {
+    return i != borrower && !workloads[i].latency_critical &&
+           result.alloc[i] > gfmc;
+  };
   auto pick_be_victim = [&](std::size_t borrower) -> std::ptrdiff_t {
-    // Line 12: random BE task with alloc above GFMC.
-    std::vector<std::size_t> candidates;
+    // Line 12: random BE task with alloc above GFMC. Two passes — count,
+    // then walk to the drawn index — so the per-unit transfer loop does
+    // not build a candidate vector every iteration. The rng draw and the
+    // chosen victim are identical to the materialised version.
+    std::size_t count = 0;
+    for (std::size_t i = 0; i < n; ++i) count += is_victim(i, borrower);
+    if (count == 0) return -1;
+    std::uint64_t k = rng.below(count);
     for (std::size_t i = 0; i < n; ++i) {
-      if (i == borrower) continue;
-      if (!workloads[i].latency_critical && result.alloc[i] > gfmc) {
-        candidates.push_back(i);
+      if (is_victim(i, borrower) && k-- == 0) {
+        return static_cast<std::ptrdiff_t>(i);
       }
     }
-    if (candidates.empty()) return -1;
-    return static_cast<std::ptrdiff_t>(
-        candidates[rng.below(candidates.size())]);
+    return -1;
   };
 
   // Lines 6-17: the transfer loop. Bounded by total capacity / unit.
@@ -90,6 +97,31 @@ CbfrpResult Cbfrp::partition(const std::vector<CbfrpWorkload>& workloads,
     const std::ptrdiff_t ds = pick_donor();
     if (ds >= 0) {
       const auto d = static_cast<std::size_t>(ds);
+      // Fast path: with a single borrower and a single donor the picks are
+      // forced every step, so stream all full-unit transfers of this pair
+      // in one go instead of re-scanning per unit. Credits still accrue
+      // one unit at a time — repeated += 1.0 rounds differently from
+      // += k for arbitrary doubles, and the result must stay bit-identical
+      // to the stepwise loop.
+      std::size_t borrowers = 0;
+      std::size_t donors = 0;
+      for (std::size_t i = 0; i < n; ++i) {
+        borrowers += is_borrower(i);
+        donors += surplus[i] > 0;
+      }
+      const std::uint64_t k = std::min(
+          {gap / unit, surplus[d] / unit, guard + 1});
+      if (borrowers == 1 && donors == 1 && k > 1) {
+        surplus[d] -= k * unit;
+        result.alloc[b] += k * unit;
+        for (std::uint64_t j = 0; j < k; ++j) {
+          result.credits[d] += 1.0;
+          result.credits[b] -= 1.0;
+        }
+        result.transfers += k;
+        guard -= k - 1;
+        continue;
+      }
       const std::uint64_t amount = std::min({gap, surplus[d], unit});
       surplus[d] -= amount;
       result.alloc[b] += amount;
@@ -103,6 +135,37 @@ CbfrpResult Cbfrp::partition(const std::vector<CbfrpWorkload>& workloads,
     }
 
     if (workloads[b].latency_critical) {
+      // Mirror of the donor streaming above: with a single borrower and a
+      // single reclaim victim, every unit step draws rng.below(1) (which
+      // still advances the generator) and moves one unit from the same
+      // victim. Stream the full-unit steps, consuming exactly one draw
+      // per step so the rng sequence matches the stepwise loop.
+      std::size_t borrowers = 0;
+      std::size_t victims = 0;
+      std::size_t v = 0;
+      for (std::size_t i = 0; i < n; ++i) {
+        borrowers += is_borrower(i);
+        if (is_victim(i, b)) {
+          ++victims;
+          v = i;
+        }
+      }
+      if (borrowers == 1 && victims == 1) {
+        const std::uint64_t k = std::min(
+            {gap / unit, (result.alloc[v] - gfmc) / unit, guard + 1});
+        if (k > 1) {
+          result.alloc[v] -= k * unit;
+          result.alloc[b] += k * unit;
+          for (std::uint64_t j = 0; j < k; ++j) {
+            (void)rng.below(1);
+            result.credits[v] += 1.0;
+            result.credits[b] -= 1.0;
+          }
+          result.reclaims += k;
+          guard -= k - 1;
+          continue;
+        }
+      }
       const std::ptrdiff_t vs = pick_be_victim(b);
       if (vs >= 0) {
         const auto v = static_cast<std::size_t>(vs);

@@ -59,8 +59,10 @@ void VulcanManager::plan_workload(policy::WorkloadView& view,
   // nearly free). Urgent — the freed frames fund other workloads' quotas.
   if (in_fast > quota) {
     std::uint64_t excess = in_fast - quota;
-    for (const std::uint64_t page : policy::pages_in_tier_by_heat(
-             view, mem::kFastTier, /*hottest_first=*/false)) {
+    policy::TierHeatRanking fast_cold(view, mem::kFastTier,
+                                      /*hottest_first=*/false);
+    while (fast_cold.more()) {
+      const std::uint64_t page = fast_cold.next();
       if (excess == 0) break;
       view.migration->enqueue_urgent(policy::make_request(
           view, page, mem::kSlowTier, mig::CopyMode::kAsync));
@@ -75,8 +77,19 @@ void VulcanManager::plan_workload(policy::WorkloadView& view,
   // quota is full instead of freezing.
   std::uint64_t headroom = quota - in_fast;
 
-  const auto slow_hot = policy::pages_in_tier_by_heat(
-      view, mem::kSlowTier, /*hottest_first=*/true);
+  // Hottest-first slow-tier ranking, materialized lazily: the chunk
+  // pre-scan, promotion loop and exchange phase all stop at a heat
+  // threshold or an issue cap, so only the consumed prefix is ever pulled
+  // from the heap — the full slow tier is never sorted.
+  policy::TierHeatRanking slow_ranking(view, mem::kSlowTier,
+                                       /*hottest_first=*/true);
+  std::vector<std::uint64_t> slow_hot;
+  const auto slow_have = [&](std::size_t i) -> bool {
+    while (slow_hot.size() <= i && slow_ranking.more()) {
+      slow_hot.push_back(slow_ranking.next());
+    }
+    return i < slow_hot.size();
+  };
   std::size_t next_hot = 0;
 
   // Refresh MLFQ levels of any backlog against fresh heat.
@@ -92,7 +105,7 @@ void VulcanManager::plan_workload(policy::WorkloadView& view,
   std::unordered_set<std::uint64_t> chunk_promoted;
   if (params_.enable_chunk_promotion) {
     std::unordered_map<std::uint64_t, unsigned> hot_per_chunk;
-    for (std::size_t i = next_hot; i < slow_hot.size(); ++i) {
+    for (std::size_t i = next_hot; slow_have(i); ++i) {
       if (view.tracker->heat(slow_hot[i]) < params_.promote_min_heat) break;
       ++hot_per_chunk[slow_hot[i] / sim::kPagesPerHuge];
     }
@@ -113,7 +126,7 @@ void VulcanManager::plan_workload(policy::WorkloadView& view,
 
   std::uint64_t pushed = 0;
   const std::uint64_t push_cap = std::max<std::uint64_t>(headroom * 4, 512);
-  for (; next_hot < slow_hot.size(); ++next_hot) {
+  for (; slow_have(next_hot); ++next_hot) {
     const std::uint64_t page = slow_hot[next_hot];
     if (view.tracker->heat(page) < params_.promote_min_heat) break;
     if (pushed >= push_cap || pushed >= headroom) break;
@@ -137,17 +150,15 @@ void VulcanManager::plan_workload(policy::WorkloadView& view,
   }
 
   // Exchange phase: swap hot-slow against cold-fast while worthwhile.
-  const auto fast_cold = policy::pages_in_tier_by_heat(
-      view, mem::kFastTier, /*hottest_first=*/false);
+  policy::TierHeatRanking fast_cold(view, mem::kFastTier,
+                                    /*hottest_first=*/false);
   const std::uint64_t exchange_cap =
       std::max<std::uint64_t>(64, quota / 8);
   std::uint64_t exchanged = 0;
-  std::size_t next_cold = 0;
-  for (; next_hot < slow_hot.size() && next_cold < fast_cold.size();
-       ++next_hot, ++next_cold) {
+  for (; slow_have(next_hot) && fast_cold.more(); ++next_hot) {
     if (exchanged >= exchange_cap) break;
     const std::uint64_t hot = slow_hot[next_hot];
-    const std::uint64_t cold = fast_cold[next_cold];
+    const std::uint64_t cold = fast_cold.next();
     const double hot_heat = view.tracker->heat(hot);
     if (hot_heat < params_.promote_min_heat) break;
     if (hot_heat <= params_.exchange_hysteresis *

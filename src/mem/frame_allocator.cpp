@@ -1,11 +1,14 @@
 #include "mem/frame_allocator.hpp"
 
+#include <bit>
 #include <cassert>
 
 namespace vulcan::mem {
 
 FrameAllocator::FrameAllocator(TierId tier, std::uint64_t capacity_pages)
-    : tier_(tier), capacity_(capacity_pages), allocated_(capacity_pages, false) {
+    : tier_(tier),
+      capacity_(capacity_pages),
+      allocated_((capacity_pages + 63) / 64, 0) {
   free_list_.reserve(capacity_pages);
   // Push in reverse so the first allocation returns index 0.
   for (std::uint64_t i = capacity_pages; i-- > 0;) free_list_.push_back(i);
@@ -15,7 +18,7 @@ std::optional<Pfn> FrameAllocator::allocate() {
   if (free_list_.empty()) return std::nullopt;
   const std::uint64_t index = free_list_.back();
   free_list_.pop_back();
-  allocated_[index] = true;
+  allocated_[index >> 6] |= std::uint64_t{1} << (index & 63);
   ++used_;
   return make_pfn(tier_, index);
 }
@@ -31,26 +34,31 @@ bool FrameAllocator::self_check(std::string* why) const {
                 std::to_string(capacity_) + ")");
   }
   std::uint64_t live = 0;
-  for (const bool b : allocated_) live += b ? 1 : 0;
+  for (const std::uint64_t word : allocated_) {
+    live += static_cast<std::uint64_t>(std::popcount(word));
+  }
   if (live != used_) {
     return fail("allocated bitmap population (" + std::to_string(live) +
                 ") != used (" + std::to_string(used_) + ")");
   }
-  std::vector<bool> on_free_list(capacity_, false);
+  // Generation-stamped duplicate scan: the per-epoch audit calls this for
+  // every tier, so a fresh O(capacity) vector per call was pure churn.
+  if (scan_stamp_.size() != capacity_) scan_stamp_.assign(capacity_, 0);
+  const std::uint64_t gen = ++scan_gen_;
   for (const std::uint64_t index : free_list_) {
     if (index >= capacity_) {
       return fail("free-list index " + std::to_string(index) +
                   " out of range");
     }
-    if (allocated_[index]) {
+    if (bit(index)) {
       return fail("frame " + std::to_string(index) +
                   " is both allocated and on the free list");
     }
-    if (on_free_list[index]) {
+    if (scan_stamp_[index] == gen) {
       return fail("frame " + std::to_string(index) +
                   " appears twice on the free list");
     }
-    on_free_list[index] = true;
+    scan_stamp_[index] = gen;
   }
   return true;
 }
@@ -59,11 +67,11 @@ void FrameAllocator::free(Pfn pfn) {
   assert(tier_of(pfn) == tier_ && "freeing PFN into wrong tier");
   const std::uint64_t index = index_of(pfn);
   assert(index < capacity_ && "PFN out of range");
-  if (index >= capacity_ || !allocated_[index]) {
+  if (index >= capacity_ || !bit(index)) {
     assert(false && "double free");
     return;
   }
-  allocated_[index] = false;
+  allocated_[index >> 6] &= ~(std::uint64_t{1} << (index & 63));
   free_list_.push_back(index);
   --used_;
 }

@@ -47,7 +47,7 @@ class FrameAllocator {
   bool is_allocated(Pfn pfn) const {
     if (tier_of(pfn) != tier_) return false;
     const std::uint64_t index = index_of(pfn);
-    return index < capacity_ && allocated_[index];
+    return index < capacity_ && bit(index);
   }
 
   /// Internal-consistency audit: the free list, the allocated bitmap and
@@ -58,11 +58,23 @@ class FrameAllocator {
   bool self_check(std::string* why = nullptr) const;
 
  private:
+  bool bit(std::uint64_t index) const {
+    return (allocated_[index >> 6] >> (index & 63)) & 1;
+  }
+
   TierId tier_;
   std::uint64_t capacity_;
   std::uint64_t used_ = 0;
+  // Free list and bitmap are both reserved/sized to capacity up front:
+  // the free list can never outgrow its reservation (at most `capacity_`
+  // entries), so migration waves recycle freed nodes without ever
+  // reallocating either structure.
   std::vector<std::uint64_t> free_list_;        // indices, LIFO
-  std::vector<bool> allocated_;                 // index -> live?
+  std::vector<std::uint64_t> allocated_;        // bitmap words, index -> live?
+  // Generation-stamped scratch for self_check's duplicate scan, so the
+  // per-epoch audit does not allocate an O(capacity) vector per call.
+  mutable std::vector<std::uint64_t> scan_stamp_;
+  mutable std::uint64_t scan_gen_ = 0;
 };
 
 }  // namespace vulcan::mem

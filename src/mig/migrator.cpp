@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cassert>
 
+#include "vm/mmu.hpp"
+
 namespace vulcan::mig {
 
 Migrator::Migrator(vm::AddressSpace& as, mem::Topology& topo,
@@ -44,9 +46,10 @@ sim::Cycles Migrator::phase(obs::MigPhase p, std::uint64_t pages,
   return cycles;
 }
 
-std::vector<vm::CoreId> Migrator::broadcast_targets(
-    vm::CoreId initiator) const {
-  std::vector<vm::CoreId> targets;
+std::span<const vm::CoreId> Migrator::broadcast_targets(
+    vm::CoreId initiator) {
+  std::vector<vm::CoreId>& targets = targets_scratch_;
+  targets.clear();
   targets.reserve(config_.process_cores.size());
   for (const vm::CoreId c : config_.process_cores) {
     if (c != initiator &&
@@ -57,42 +60,61 @@ std::vector<vm::CoreId> Migrator::broadcast_targets(
   return targets;
 }
 
-std::vector<vm::CoreId> Migrator::shootdown_targets(
-    const MigrationRequest& req, vm::CoreId initiator) const {
+std::span<const vm::CoreId> Migrator::shootdown_targets(
+    const MigrationRequest& req, vm::CoreId initiator) {
   if (config_.mechanism.targeted_shootdown) {
     // Consult the live PTE, not the plan-time request: requests queued
     // across epochs go stale when another thread touches the page in the
     // meantime (ownership flips to shared), and a targeted flush based on
     // the old owner would leave live entries on the new sharers' cores.
-    const auto owner = as_->tables().exclusive_owner(req.vpn);
-    if (owner.has_value()) {
+    // Same predicate as tables().exclusive_owner(), but the PTE read goes
+    // through the MMU's page-walk cache instead of a full radix walk.
+    vm::Mmu* const mmu = shootdowns_->mmu();
+    const vm::Pte pte =
+        mmu ? mmu->walk(*as_, req.vpn) : as_->tables().get(req.vpn);
+    if (pte.present() && !pte.shared()) {
       // A single owner proven by the ownership bits: that thread is the
       // only one ever to have touched the page, so its core holds the
       // only possible 4 KB entry.
-      std::vector<vm::CoreId> targets;
-      const vm::CoreId owner_core = core_of(*owner);
-      if (owner_core != initiator) targets.push_back(owner_core);
-      return targets;
+      targets_scratch_.clear();
+      const vm::CoreId owner_core =
+          core_of(static_cast<vm::ThreadId>(pte.thread()));
+      if (owner_core != initiator) targets_scratch_.push_back(owner_core);
+      return targets_scratch_;
     }
   }
   // Shared page (or no ownership knowledge): every process core.
   return broadcast_targets(initiator);
 }
 
-std::vector<vm::CoreId> Migrator::chunk_shootdown_targets(
-    std::span<const vm::Vpn> moved, bool was_huge,
-    vm::CoreId initiator) const {
+std::span<const vm::CoreId> Migrator::chunk_shootdown_targets(
+    std::span<const vm::Vpn> moved, bool was_huge, vm::CoreId initiator) {
   if (was_huge || !config_.mechanism.targeted_shootdown) {
     return broadcast_targets(initiator);
   }
   // Base-paged chunk: each 4 KB entry lives only on its exclusive owner's
   // core, so the union of owner cores covers the batch. Ownership bits
   // survive remap, so this is valid before or after the copy loop.
-  std::vector<vm::CoreId> targets;
+  std::vector<vm::CoreId>& targets = targets_scratch_;
+  targets.clear();
+  // The batch lives in one (or a few) 2 MB chunks, so one leaf lookup
+  // serves each 512-page run — ownership reads become direct leaf loads
+  // instead of full radix walks.
+  const vm::PageTable& pt = as_->tables().process_table();
+  const vm::LeafTable* leaf = nullptr;
+  vm::Vpn leaf_chunk = ~vm::Vpn{0};
   for (const vm::Vpn vpn : moved) {
-    const auto owner = as_->tables().exclusive_owner(vpn);
-    if (!owner.has_value()) return broadcast_targets(initiator);  // shared
-    const vm::CoreId c = core_of(*owner);
+    const vm::Vpn chunk = vpn / sim::kPagesPerHuge;
+    if (chunk != leaf_chunk) {
+      leaf = pt.leaf_of(vpn);
+      leaf_chunk = chunk;
+    }
+    const vm::Pte pte =
+        leaf ? leaf->get(vm::PageTable::pte_index(vpn)) : vm::Pte{};
+    if (!pte.present() || pte.shared()) {
+      return broadcast_targets(initiator);  // shared (or unmapped)
+    }
+    const vm::CoreId c = core_of(static_cast<vm::ThreadId>(pte.thread()));
     if (c != initiator &&
         std::find(targets.begin(), targets.end(), c) == targets.end()) {
       targets.push_back(c);
@@ -119,12 +141,16 @@ bool Migrator::execute_chunk(const MigrationRequest& req, sim::Rng& rng,
                 static_cast<double>(sim::kPagesPerHuge), req.to, req.owner);
 
   const vm::Vpn base = as_->chunk_base(req.vpn);
-  std::vector<vm::Vpn> moved;
+  vm::Mmu* const mmu = shootdowns_->mmu();
+  std::vector<vm::Vpn>& moved = moved_scratch_;
+  moved.clear();
   moved.reserve(sim::kPagesPerHuge);
   bool complete = true;
   for (std::uint64_t i = 0; i < sim::kPagesPerHuge; ++i) {
     const vm::Vpn vpn = base + i;
-    const vm::Pte pte = as_->tables().get(vpn);
+    // All 512 pages share one leaf, so the Mmu's page-walk cache turns
+    // 511 of these radix walks into a single hash probe each.
+    const vm::Pte pte = mmu ? mmu->walk(*as_, vpn) : as_->tables().get(vpn);
     if (!pte.present() || mem::tier_of(pte.pfn()) == req.to) continue;
     auto dest = topo_->allocator(req.to).allocate();
     if (!dest) {
@@ -141,6 +167,7 @@ bool Migrator::execute_chunk(const MigrationRequest& req, sim::Rng& rng,
       as_->chunk_state(req.vpn) == vm::AddressSpace::ChunkState::kHuge) {
     // A huge mapping cannot straddle tiers: a partial move forces a split.
     as_->split_chunk(req.vpn);
+    if (mmu) mmu->invalidate_pwc(as_->pid(), req.vpn);
     bucket += config_.huge_split_cycles;
   }
 
@@ -174,6 +201,7 @@ bool Migrator::execute_chunk(const MigrationRequest& req, sim::Rng& rng,
   // verifies the whole chunk is mapped and co-resident, so a partial move
   // (destination exhausted) safely stays base-paged.
   as_->collapse_chunk(req.vpn);
+  if (mmu) mmu->invalidate_pwc(as_->pid(), req.vpn);
   return true;
 }
 
@@ -187,7 +215,9 @@ bool Migrator::execute_one(const MigrationRequest& req, sim::Rng& rng,
   const vm::CoreId initiator =
       sync ? core_of(req.owner) : config_.daemon_core;
 
-  const vm::Pte pte = as_->tables().get(req.vpn);
+  vm::Mmu* const mmu = shootdowns_->mmu();
+  const vm::Pte pte =
+      mmu ? mmu->walk(*as_, req.vpn) : as_->tables().get(req.vpn);
   if (!pte.present() || mem::tier_of(pte.pfn()) == req.to) return false;
 
   obs::ScopedSpan op_span = obs_.span(obs::SpanKind::kMigrationOp,
@@ -203,6 +233,7 @@ bool Migrator::execute_one(const MigrationRequest& req, sim::Rng& rng,
   // migration's own shootdown stay targeted.
   if (as_->is_huge(req.vpn)) {
     as_->split_chunk(req.vpn);
+    if (mmu) mmu->invalidate_pwc(as_->pid(), req.vpn);
     bucket += config_.huge_split_cycles;
     op_span.advance(config_.huge_split_cycles);
     const auto split_targets = broadcast_targets(initiator);

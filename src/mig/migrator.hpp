@@ -85,18 +85,22 @@ class Migrator {
                    MigrationStats& stats);
   bool execute_chunk(const MigrationRequest& req, sim::Rng& rng,
                      MigrationStats& stats);
+  // The target-set helpers fill `targets_scratch_` and return a view of
+  // it: migration waves issue thousands of shootdowns per epoch, so a
+  // fresh vector per request was measurable allocator churn. The span is
+  // valid until the next helper call; each call site consumes its set
+  // before requesting another.
   /// Remote-core target set for a request's shootdown.
-  std::vector<vm::CoreId> shootdown_targets(const MigrationRequest& req,
-                                            vm::CoreId initiator) const;
+  std::span<const vm::CoreId> shootdown_targets(const MigrationRequest& req,
+                                                vm::CoreId initiator);
   /// Every process core except the initiator (the broadcast fallback).
-  std::vector<vm::CoreId> broadcast_targets(vm::CoreId initiator) const;
+  std::span<const vm::CoreId> broadcast_targets(vm::CoreId initiator);
   /// Target set for a batched chunk move: huge-mapped chunks broadcast
   /// (any core that touched any page of the chunk may cache the 2 MB
   /// entry), otherwise the union of the moved pages' exclusive-owner
   /// cores — falling back to broadcast when any moved page is shared.
-  std::vector<vm::CoreId> chunk_shootdown_targets(
-      std::span<const vm::Vpn> moved, bool was_huge,
-      vm::CoreId initiator) const;
+  std::span<const vm::CoreId> chunk_shootdown_targets(
+      std::span<const vm::Vpn> moved, bool was_huge, vm::CoreId initiator);
   /// Account `cycles` of work in `phase` against the attached scope and
   /// return the cycles (so call sites charge their bucket in one line).
   /// By default also records a timeline span advancing the cursor by
@@ -113,6 +117,10 @@ class Migrator {
   Config config_;
   ShadowRegistry shadows_;
   MigrationStats totals_;
+  // Reused per-request scratch (see the target-set helpers above and the
+  // chunk move loop); capacity sticks at the high-water mark.
+  std::vector<vm::CoreId> targets_scratch_;
+  std::vector<vm::Vpn> moved_scratch_;
   obs::Scope obs_;
   std::array<obs::Counter*, 5> phase_cycles_{
       &obs::detail::dummy_counter, &obs::detail::dummy_counter,

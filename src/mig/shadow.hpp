@@ -57,7 +57,10 @@ class ShadowRegistry {
   }
 
   /// Drop the shadow because the fast copy was written (divergence).
+  /// Hot path: the write hook calls this for every simulated write, and
+  /// most epochs hold no shadows at all — skip the hash probe outright.
   void invalidate(vm::Vpn vpn) {
+    if (shadows_.empty()) return;
     const auto it = shadows_.find(vpn);
     if (it == shadows_.end()) return;
     topo_->allocator(mem::tier_of(it->second)).free(it->second);

@@ -1,6 +1,8 @@
 #include "policy/cascade.hpp"
 
 #include <algorithm>
+#include <bit>
+#include <utility>
 
 namespace vulcan::policy {
 
@@ -20,28 +22,45 @@ void CascadePolicy::plan_epoch(std::span<WorkloadView> workloads,
   const std::size_t tiers = topo.tier_count();
   if (tiers == 0 || workloads.empty()) return;
 
-  // Global heat ranking across every managed page.
-  struct Entry {
-    float heat;
-    std::uint32_t workload;
-    std::uint32_t page;
-  };
+  // Global heat ranking across every managed page. Entries are packed
+  // into two u64 words — first = (inverted heat bits, workload), second =
+  // (page, resident tier) — so ascending lexicographic sort reproduces
+  // the (heat desc, workload asc, page asc) ranking on plain integers,
+  // and the issuing loop below reads each page's tier without a second
+  // page-table walk. Heat is a non-negative float, so inverted IEEE bits
+  // order exactly like descending value.
+  // Entries pack into one 128-bit integer (rank word high, payload word
+  // low) so the sort compares with a single branch instead of a
+  // two-field lexicographic comparator.
+  using Entry = unsigned __int128;
   std::vector<Entry> ranking;
   for (const WorkloadView& view : workloads) {
     const auto& tr = *view.tracker;
-    for (std::uint64_t p = 0; p < tr.pages(); ++p) {
-      const double h = tr.heat(p);
-      if (h > 0.0 && view.as->mapped(view.as->vpn_at(p))) {
-        ranking.push_back({static_cast<float>(h), view.index,
-                           static_cast<std::uint32_t>(p)});
+    const vm::PageTable& pt = view.as->tables().process_table();
+    const vm::Vpn base = view.as->base_vpn();
+    const std::uint64_t pages = tr.pages();
+    const vm::LeafTable* leaf = nullptr;
+    for (std::uint64_t p = 0; p < pages; ++p) {
+      // One leaf covers each aligned 512-page run; absent leaf = the
+      // whole run is unmapped.
+      if ((p & (sim::kPagesPerHuge - 1)) == 0) leaf = pt.leaf_of(base + p);
+      if (!leaf) {
+        p |= sim::kPagesPerHuge - 1;
+        continue;
       }
+      const double h = tr.heat(p);
+      if (!(h > 0.0)) continue;
+      const vm::Pte pte = leaf->get(static_cast<unsigned>(p & 0x1FF));
+      if (!pte.present()) continue;
+      const auto heat_bits =
+          std::bit_cast<std::uint32_t>(static_cast<float>(h));
+      const std::uint64_t rank =
+          (static_cast<std::uint64_t>(~heat_bits) << 32) | view.index;
+      const std::uint64_t payload = (p << 8) | mem::tier_of(pte.pfn());
+      ranking.push_back((static_cast<Entry>(rank) << 64) | payload);
     }
   }
-  std::sort(ranking.begin(), ranking.end(), [](const Entry& a, const Entry& b) {
-    if (a.heat != b.heat) return a.heat > b.heat;
-    if (a.workload != b.workload) return a.workload < b.workload;
-    return a.page < b.page;
-  });
+  std::sort(ranking.begin(), ranking.end());
 
   // Waterfall: pour the ranking down the tiers; record boundaries. The
   // anti-thrash margin is evaluated against the *previous* epoch's
@@ -62,29 +81,34 @@ void CascadePolicy::plan_epoch(std::span<WorkloadView> workloads,
     while (tier < tiers && budget[tier] == 0) ++tier;
     if (tier >= tiers) break;
     --budget[tier];
-    boundaries_[tier] = e.heat;  // last (coolest) page admitted so far
+    const auto rank = static_cast<std::uint64_t>(e >> 64);
+    const auto payload = static_cast<std::uint64_t>(e);
+    const std::uint32_t wl = static_cast<std::uint32_t>(rank);
+    const float heat =
+        std::bit_cast<float>(~static_cast<std::uint32_t>(rank >> 32));
+    const std::uint64_t page = payload >> 8;
+    const auto current = static_cast<mem::TierId>(payload & 0xFF);
+    boundaries_[tier] = heat;  // last (coolest) page admitted so far
 
-    WorkloadView& view = workloads[e.workload];
-    const vm::Vpn vpn = view.as->vpn_at(e.page);
-    const auto current = mem::tier_of(view.as->tables().get(vpn).pfn());
+    WorkloadView& view = workloads[wl];
     const auto assigned = static_cast<mem::TierId>(tier);
     if (current == assigned) continue;
-    if (issued[e.workload] >= params_.max_moves_per_workload) continue;
+    if (issued[wl] >= params_.max_moves_per_workload) continue;
     // Anti-thrash: a page promoted from the adjacent slower tier must
     // clear last epoch's admission boundary with a margin — pages living
     // right at the boundary would otherwise flip tiers every epoch.
     if (assigned + 1 == current && prev[assigned] > 0.0 &&
-        e.heat <= params_.boundary_hysteresis * prev[assigned] &&
-        e.heat >= prev[assigned] / params_.boundary_hysteresis) {
+        heat <= params_.boundary_hysteresis * prev[assigned] &&
+        heat >= prev[assigned] / params_.boundary_hysteresis) {
       continue;
     }
-    auto req = make_request(view, e.page, assigned, mig::CopyMode::kAsync);
+    auto req = make_request(view, page, assigned, mig::CopyMode::kAsync);
     if (assigned > current) {
       view.migration->enqueue_urgent(req);  // demotions free capacity first
     } else {
       view.migration->enqueue(req);
     }
-    ++issued[e.workload];
+    ++issued[wl];
   }
 
   // Pages with zero heat that sit in the top tier sink one step down when
@@ -98,8 +122,9 @@ void CascadePolicy::plan_epoch(std::span<WorkloadView> workloads,
       break;  // no pressure
     }
     std::uint64_t swept = 0;
-    for (const std::uint64_t page :
-         pages_in_tier_by_heat(view, mem::kFastTier, /*hottest_first=*/false)) {
+    TierHeatRanking fast_cold(view, mem::kFastTier, /*hottest_first=*/false);
+    while (fast_cold.more()) {
+      const std::uint64_t page = fast_cold.next();
       if (view.tracker->heat(page) > 0.0 || swept >= 256) break;
       view.migration->enqueue_urgent(
           make_request(view, page, next_down, mig::CopyMode::kAsync));

@@ -10,6 +10,9 @@ void MemtisPolicy::plan_epoch(std::span<WorkloadView> workloads,
   // Global hotness ranking across every managed page (the defining Memtis
   // behaviour: raw access counts, no per-workload normalisation).
   std::vector<float> heats;
+  std::uint64_t total_pages = 0;
+  for (const WorkloadView& view : workloads) total_pages += view.tracker->pages();
+  heats.reserve(total_pages);
   for (const WorkloadView& view : workloads) {
     const auto& tr = *view.tracker;
     for (std::uint64_t p = 0; p < tr.pages(); ++p) {
@@ -31,8 +34,9 @@ void MemtisPolicy::plan_epoch(std::span<WorkloadView> workloads,
   for (WorkloadView& view : workloads) {
     std::uint64_t issued = 0;
     // Promote: slow pages above the global threshold, hottest first.
-    for (const std::uint64_t page :
-         pages_in_tier_by_heat(view, mem::kSlowTier, /*hottest_first=*/true)) {
+    TierHeatRanking slow_hot(view, mem::kSlowTier, /*hottest_first=*/true);
+    while (slow_hot.more()) {
+      const std::uint64_t page = slow_hot.next();
       if (view.tracker->heat(page) < threshold) break;
       if (issued++ >= params_.max_migrations_per_workload) break;
       view.migration->enqueue(
@@ -40,8 +44,9 @@ void MemtisPolicy::plan_epoch(std::span<WorkloadView> workloads,
     }
     // Demote: fast pages below the global threshold, coldest first.
     issued = 0;
-    for (const std::uint64_t page :
-         pages_in_tier_by_heat(view, mem::kFastTier, /*hottest_first=*/false)) {
+    TierHeatRanking fast_cold(view, mem::kFastTier, /*hottest_first=*/false);
+    while (fast_cold.more()) {
+      const std::uint64_t page = fast_cold.next();
       if (view.tracker->heat(page) >= threshold) break;
       if (issued++ >= params_.max_migrations_per_workload) break;
       view.migration->enqueue_urgent(

@@ -9,6 +9,9 @@ void MtmPolicy::plan_epoch(std::span<WorkloadView> workloads,
   (void)rng;
   // Global capacity-driven hot threshold, as in Memtis.
   std::vector<float> heats;
+  std::uint64_t total_pages = 0;
+  for (const WorkloadView& view : workloads) total_pages += view.tracker->pages();
+  heats.reserve(total_pages);
   for (const WorkloadView& view : workloads) {
     const auto& tr = *view.tracker;
     for (std::uint64_t p = 0; p < tr.pages(); ++p) {
@@ -29,8 +32,9 @@ void MtmPolicy::plan_epoch(std::span<WorkloadView> workloads,
 
   for (WorkloadView& view : workloads) {
     std::uint64_t issued = 0;
-    for (const std::uint64_t page :
-         pages_in_tier_by_heat(view, mem::kSlowTier, /*hottest_first=*/true)) {
+    TierHeatRanking slow_hot(view, mem::kSlowTier, /*hottest_first=*/true);
+    while (slow_hot.more()) {
+      const std::uint64_t page = slow_hot.next();
       if (view.tracker->heat(page) < threshold) break;
       if (issued++ >= params_.max_migrations_per_workload) break;
       // MTM's contribution: write-intensive pages copy synchronously (the
@@ -42,8 +46,9 @@ void MtmPolicy::plan_epoch(std::span<WorkloadView> workloads,
           write_hot ? mig::CopyMode::kSync : mig::CopyMode::kAsync));
     }
     issued = 0;
-    for (const std::uint64_t page :
-         pages_in_tier_by_heat(view, mem::kFastTier, /*hottest_first=*/false)) {
+    TierHeatRanking fast_cold(view, mem::kFastTier, /*hottest_first=*/false);
+    while (fast_cold.more()) {
+      const std::uint64_t page = fast_cold.next();
       if (view.tracker->heat(page) >= threshold) break;
       if (issued++ >= params_.max_migrations_per_workload) break;
       view.migration->enqueue_urgent(

@@ -9,8 +9,9 @@ void NomadPolicy::plan_epoch(std::span<WorkloadView> workloads,
   std::uint64_t promotions = 0;
   for (WorkloadView& view : workloads) {
     std::uint64_t issued = 0;
-    for (const std::uint64_t page :
-         pages_in_tier_by_heat(view, mem::kSlowTier, /*hottest_first=*/true)) {
+    TierHeatRanking slow_hot(view, mem::kSlowTier, /*hottest_first=*/true);
+    while (slow_hot.more()) {
+      const std::uint64_t page = slow_hot.next();
       if (view.tracker->heat(page) < params_.promote_min_heat) break;
       if (issued++ >= params_.max_promotions_per_workload) break;
       view.migration->enqueue(
@@ -36,8 +37,9 @@ void NomadPolicy::plan_epoch(std::span<WorkloadView> workloads,
   if (need == 0) return;
   for (WorkloadView& view : workloads) {
     if (need == 0) break;
-    for (const std::uint64_t page :
-         pages_in_tier_by_heat(view, mem::kFastTier, /*hottest_first=*/false)) {
+    TierHeatRanking fast_cold(view, mem::kFastTier, /*hottest_first=*/false);
+    while (fast_cold.more()) {
+      const std::uint64_t page = fast_cold.next();
       if (need == 0) break;
       view.migration->enqueue_urgent(
           make_request(view, page, mem::kSlowTier, mig::CopyMode::kAsync));

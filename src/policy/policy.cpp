@@ -1,6 +1,8 @@
 #include "policy/policy.hpp"
 
 #include <algorithm>
+#include <bit>
+#include <cassert>
 
 namespace vulcan::policy {
 
@@ -19,21 +21,43 @@ mig::MigrationRequest make_request(const WorkloadView& view,
   return req;
 }
 
+TierHeatRanking::TierHeatRanking(const WorkloadView& view, mem::TierId tier,
+                                 bool hottest_first) {
+  // Heat values are non-negative floats, so the IEEE bit pattern orders
+  // exactly like the value. Packing (heat bits, page) into one u64 key —
+  // bits inverted for hottest-first — means ascending pops on plain
+  // integers reproduce the old comparator's (heat, page-id tiebreak)
+  // order without re-reading the tracker O(n log n) times. The page id in
+  // the low bits makes every key unique, so the (unordered) incremental
+  // residency list ranks the same way the old radix-walk sort did.
+  const std::span<const std::uint32_t> members =
+      view.as->pages_in_tier_list(tier);
+  keys_.reserve(members.size());
+  const auto& tracker = *view.tracker;
+  for (const std::uint32_t page : members) {
+    std::uint32_t heat_bits = std::bit_cast<std::uint32_t>(
+        static_cast<float>(tracker.heat(page)));
+    if (hottest_first) heat_bits = ~heat_bits;
+    keys_.push_back((static_cast<std::uint64_t>(heat_bits) << 32) | page);
+  }
+  std::make_heap(keys_.begin(), keys_.end(), std::greater<std::uint64_t>{});
+}
+
+std::uint64_t TierHeatRanking::next() {
+  std::pop_heap(keys_.begin(), keys_.end(), std::greater<std::uint64_t>{});
+  const std::uint64_t key = keys_.back();
+  keys_.pop_back();
+  return key & 0xFFFFFFFFull;
+}
+
 std::vector<std::uint64_t> pages_in_tier_by_heat(const WorkloadView& view,
                                                  mem::TierId tier,
                                                  bool hottest_first) {
+  // A min-heap drained to exhaustion pops in fully sorted order, so this
+  // shim's output is byte-identical to the eager sort it replaced.
+  TierHeatRanking ranking(view, tier, hottest_first);
   std::vector<std::uint64_t> pages;
-  const vm::Vpn base = view.as->base_vpn();
-  view.as->tables().process_table().for_each([&](vm::Vpn vpn, vm::Pte pte) {
-    if (mem::tier_of(pte.pfn()) == tier) pages.push_back(vpn - base);
-  });
-  const auto& tracker = *view.tracker;
-  std::sort(pages.begin(), pages.end(),
-            [&](std::uint64_t a, std::uint64_t b) {
-              const double ha = tracker.heat(a), hb = tracker.heat(b);
-              if (ha != hb) return hottest_first ? ha > hb : ha < hb;
-              return a < b;
-            });
+  while (ranking.more()) pages.push_back(ranking.next());
   return pages;
 }
 

@@ -79,7 +79,31 @@ mig::MigrationRequest make_request(const WorkloadView& view,
                                    std::uint64_t page, mem::TierId to,
                                    mig::CopyMode mode);
 
+/// Lazy heat ranking of `view`'s pages resident in `tier`, coldest first
+/// (or hottest first). Pops arrive in exactly the order the eager sorted
+/// vector used to produce, but ranking is heap-based: a caller that stops
+/// after its per-epoch move budget pays O(m + k log m) instead of the full
+/// O(m log m) sort — policies typically consume a few hundred entries out
+/// of a hundred thousand resident pages.
+class TierHeatRanking {
+ public:
+  TierHeatRanking(const WorkloadView& view, mem::TierId tier,
+                  bool hottest_first);
+
+  /// True while ranked pages remain.
+  bool more() const { return !keys_.empty(); }
+
+  /// The next page id in ranking order. Precondition: more().
+  std::uint64_t next();
+
+ private:
+  std::vector<std::uint64_t> keys_;  ///< min-heap of packed (heat, page) keys
+};
+
 /// Pages of `view` resident in `tier`, coldest first (or hottest first).
+/// Deprecated shim over TierHeatRanking — it drains the full ranking
+/// eagerly; kept for call sites that genuinely need the whole vector.
+/// Removal planned once external harnesses migrate.
 std::vector<std::uint64_t> pages_in_tier_by_heat(const WorkloadView& view,
                                                  mem::TierId tier,
                                                  bool hottest_first);

@@ -10,10 +10,10 @@ void TppPolicy::plan_epoch(std::span<WorkloadView> workloads,
   // --- Promotion: every recently-touched slow page, synchronously. -------
   std::uint64_t promotions = 0;
   for (WorkloadView& view : workloads) {
-    auto slow_hot = pages_in_tier_by_heat(view, mem::kSlowTier,
-                                          /*hottest_first=*/true);
+    TierHeatRanking slow_hot(view, mem::kSlowTier, /*hottest_first=*/true);
     std::uint64_t issued = 0;
-    for (const std::uint64_t page : slow_hot) {
+    while (slow_hot.more()) {
+      const std::uint64_t page = slow_hot.next();
       if (view.tracker->heat(page) < params_.promote_min_heat) break;
       if (issued++ >= params_.max_promotions_per_workload) break;
       view.migration->enqueue(
@@ -40,20 +40,17 @@ void TppPolicy::plan_epoch(std::span<WorkloadView> workloads,
   }
   if (need == 0) return;
 
-  std::vector<std::vector<std::uint64_t>> cold_lists;
+  std::vector<TierHeatRanking> cold_lists;
   cold_lists.reserve(workloads.size());
   for (WorkloadView& view : workloads) {
-    cold_lists.push_back(
-        pages_in_tier_by_heat(view, mem::kFastTier, /*hottest_first=*/false));
+    cold_lists.emplace_back(view, mem::kFastTier, /*hottest_first=*/false);
   }
-  std::vector<std::size_t> cursors(workloads.size(), 0);
   bool progress = true;
   while (need > 0 && progress) {
     progress = false;
     for (std::size_t w = 0; w < workloads.size() && need > 0; ++w) {
-      auto& cursor = cursors[w];
-      if (cursor >= cold_lists[w].size()) continue;
-      const std::uint64_t page = cold_lists[w][cursor++];
+      if (!cold_lists[w].more()) continue;
+      const std::uint64_t page = cold_lists[w].next();
       workloads[w].migration->enqueue_urgent(make_request(
           workloads[w], page, mem::kSlowTier, mig::CopyMode::kAsync));
       --need;

@@ -32,7 +32,7 @@ class ChronoProfiler final : public Profiler {
     ++epoch_;
     const vm::Vpn base = as.base_vpn();
     std::uint64_t scanned = 0;
-    as.tables().process_table().for_each([&](vm::Vpn vpn, vm::Pte pte) {
+    as.tables().process_table().visit([&](vm::Vpn vpn, vm::Pte pte) {
       ++scanned;
       if (!pte.accessed()) return;
       const std::uint64_t page = vpn - base;

@@ -1,6 +1,7 @@
 #include "prof/heat.hpp"
 
 #include <algorithm>
+#include <bit>
 #include <cassert>
 #include <limits>
 #include <numeric>
@@ -37,16 +38,13 @@ bool HeatTracker::write_intensive(std::uint64_t page,
 double HeatTracker::hot_threshold_for(std::uint64_t quota) const {
   if (quota == 0) return std::numeric_limits<double>::infinity();
   // Collect nonzero heats; if fewer than quota, everything warm is hot.
-  std::vector<float> nz;
-  nz.reserve(heat_.size());
-  for (const float h : heat_) {
-    if (h > 0.f) nz.push_back(h);
-  }
+  std::vector<std::uint32_t>& nz = collect_nonzero_bits();
   if (nz.size() <= quota) return nz.empty() ? 0.0 : 1e-30;
   // The quota-th largest heat value.
   auto nth = nz.begin() + static_cast<std::ptrdiff_t>(quota - 1);
-  std::nth_element(nz.begin(), nth, nz.end(), std::greater<float>());
-  return static_cast<double>(*nth);
+  std::nth_element(nz.begin(), nth, nz.end(),
+                   std::greater<std::uint32_t>());
+  return static_cast<double>(std::bit_cast<float>(*nth));
 }
 
 std::uint64_t HeatTracker::count_at_least(double threshold) const {
@@ -75,24 +73,50 @@ double HeatTracker::total_heat() const {
 std::uint64_t HeatTracker::coverage_pages(double fraction) const {
   const double total = total_heat();
   if (total <= 0.0) return 0;
-  std::vector<float> nz;
-  nz.reserve(heat_.size());
-  for (const float h : heat_) {
-    if (h > 0.f) nz.push_back(h);
-  }
-  std::sort(nz.begin(), nz.end(), std::greater<float>());
+  std::vector<std::uint32_t>& nz = collect_nonzero_bits();
   // Tiny relative tolerance so float accumulation at exact-fraction
   // boundaries doesn't pull in one extra page.
   const double target =
       std::clamp(fraction, 0.0, 1.0) * total * (1.0 - 1e-6);
+  // Progressive selection instead of a full sort: select-and-sort the
+  // hottest window, accumulate, and widen only while the target is
+  // uncovered. The accumulation visits values in exactly the descending
+  // order a full sort would produce (ties are equal floats, so their
+  // relative order cannot change the sum), so the result is identical —
+  // but a skewed workload covers its target within the first window and
+  // skips sorting the long cold tail.
   double covered = 0.0;
   std::uint64_t pages = 0;
-  for (const float h : nz) {
-    if (covered >= target) break;
-    covered += h;
-    ++pages;
+  std::size_t begin = 0;   // [0, begin) already accumulated
+  std::size_t window = 1024;
+  while (begin < nz.size() && covered < target) {
+    const std::size_t end = std::min(nz.size(), begin + window);
+    if (end < nz.size()) {
+      std::nth_element(nz.begin() + static_cast<std::ptrdiff_t>(begin),
+                       nz.begin() + static_cast<std::ptrdiff_t>(end - 1),
+                       nz.end(), std::greater<std::uint32_t>());
+    }
+    std::sort(nz.begin() + static_cast<std::ptrdiff_t>(begin),
+              nz.begin() + static_cast<std::ptrdiff_t>(end),
+              std::greater<std::uint32_t>());
+    for (std::size_t i = begin; i < end; ++i) {
+      if (covered >= target) return pages;
+      covered += static_cast<double>(std::bit_cast<float>(nz[i]));
+      ++pages;
+    }
+    begin = end;
+    window *= 4;
   }
   return pages;
+}
+
+std::vector<std::uint32_t>& HeatTracker::collect_nonzero_bits() const {
+  sort_scratch_.clear();
+  sort_scratch_.reserve(heat_.size());
+  for (const float h : heat_) {
+    if (h > 0.f) sort_scratch_.push_back(std::bit_cast<std::uint32_t>(h));
+  }
+  return sort_scratch_;
 }
 
 }  // namespace vulcan::prof

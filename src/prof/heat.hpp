@@ -55,10 +55,17 @@ class HeatTracker {
   std::uint64_t coverage_pages(double fraction) const;
 
  private:
+  /// Fill `sort_scratch_` with the IEEE bit patterns of every positive
+  /// heat and return it. Positive floats order identically to their raw
+  /// bits, so the quota/coverage paths sort plain integers in a reused
+  /// buffer instead of allocating a float vector per epoch per policy.
+  std::vector<std::uint32_t>& collect_nonzero_bits() const;
+
   double decay_;
   std::vector<float> heat_;
   std::vector<float> reads_;
   std::vector<float> writes_;
+  mutable std::vector<std::uint32_t> sort_scratch_;
 };
 
 }  // namespace vulcan::prof

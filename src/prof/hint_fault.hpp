@@ -36,9 +36,23 @@ class HintFaultProfiler final : public Profiler {
         poison_fraction_ * static_cast<double>(pages));
     std::fill(poisoned_.begin(), poisoned_.end(), false);
     std::uint64_t armed = 0;
+    // The window is a consecutive page run (modulo wrap), so one leaf
+    // lookup serves each aligned 512-page stretch instead of a full radix
+    // walk per candidate PTE.
+    const vm::PageTable& pt = as.tables().process_table();
+    const vm::LeafTable* leaf = nullptr;
+    std::uint64_t leaf_chunk = ~std::uint64_t{0};
     for (std::uint64_t i = 0; i < target && pages > 0; ++i) {
       const std::uint64_t page = (cursor_ + i) % pages;
-      if (as.mapped(as.vpn_at(page))) {
+      const vm::Vpn vpn = as.vpn_at(page);
+      const std::uint64_t chunk = vpn / sim::kPagesPerHuge;
+      if (chunk != leaf_chunk) {
+        leaf = pt.leaf_of(vpn);
+        leaf_chunk = chunk;
+      }
+      if (leaf &&
+          leaf->get(static_cast<unsigned>(vpn & (sim::kPagesPerHuge - 1)))
+              .present()) {
         poisoned_[page] = true;
         ++armed;
       }

@@ -14,6 +14,7 @@ class PebsProfiler final : public Profiler {
   PebsProfiler(HeatTracker& tracker, std::uint64_t period = 64,
                sim::Cycles cycles_per_sample = 400)
       : Profiler(tracker), period_(period),
+        inv_period_(1.0 / static_cast<double>(period)),
         cycles_per_sample_(cycles_per_sample) {}
 
   sim::Cycles observe(const AccessSample& s, double weight,
@@ -22,7 +23,7 @@ class PebsProfiler final : public Profiler {
     // counter: a deterministic counter phase-locks against strided access
     // patterns (stride divisible by the period) and silently blinds the
     // profiler to entire page ranges.
-    if (!rng.chance(1.0 / static_cast<double>(period_))) return 0;
+    if (!rng.chance(inv_period_)) return 0;
     tracker().record(s.page, s.is_write,
                      weight * static_cast<double>(period_));
     ++samples_;
@@ -43,6 +44,7 @@ class PebsProfiler final : public Profiler {
 
  private:
   std::uint64_t period_;
+  double inv_period_;  ///< hoisted off the per-access path
   sim::Cycles cycles_per_sample_;
   std::uint64_t samples_ = 0;
 };

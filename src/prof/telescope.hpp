@@ -34,7 +34,7 @@ class TelescopeProfiler final : public Profiler {
     const vm::Vpn base = as.base_vpn();
     sim::Cycles cost = 0;
     last_regions_total_ = last_regions_descended_ = 0;
-    as.tables().process_table().for_each_leaf(
+    as.tables().process_table().visit_leaves(
         [&](vm::Vpn leaf_base, vm::LeafTable& leaf) {
           ++last_regions_total_;
           cost += cycles_per_region_;

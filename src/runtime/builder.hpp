@@ -147,6 +147,19 @@ class SystemBuilder {
     config_.audit_throw = on;
     return *this;
   }
+  /// Software page-walk cache in the vm::Mmu facade (default on).
+  /// Behavior-neutral by contract: artefacts are bit-identical either
+  /// way; the differential fuzz oracle toggles it.
+  SystemBuilder& pwc(bool on) {
+    config_.pwc = on;
+    return *this;
+  }
+  /// Accesses per vm::Mmu::translate_batch call (default 256). Any value
+  /// >= 1 produces identical artefacts — the fuzz oracle varies it.
+  SystemBuilder& translate_batch(std::uint64_t accesses) {
+    config_.translate_batch = accesses;
+    return *this;
+  }
 
   /// Perturbation hook: direct access to the staged configuration, so the
   /// what-if engine (obs/whatif.hpp) can scale individual cost constants on

@@ -27,9 +27,12 @@ TieredSystem::TieredSystem(Config config,
   }
   obs::SpanRecorder* spans = config_.record_spans ? &spans_ : nullptr;
   const obs::Scope root(&registry_, &trace_, &now_, "", -1, spans);
-  tlbs_.resize(config_.machine.cores);
-  for (auto& tlb : tlbs_) tlb.set_obs(root.sub("vm.tlb"));
-  shootdowns_ = std::make_unique<vm::ShootdownController>(cost_, &tlbs_);
+  vm::Mmu::Config mmu_cfg;
+  mmu_cfg.cores = config_.machine.cores;
+  mmu_cfg.pwc_enabled = config_.pwc;
+  mmu_ = std::make_unique<vm::Mmu>(mmu_cfg);
+  mmu_->set_obs(root.sub("vm.tlb"));
+  shootdowns_ = std::make_unique<vm::ShootdownController>(cost_, mmu_.get());
   shootdowns_->set_obs(root.sub("vm.shootdown"));
   policy_->set_obs(root.sub("policy"));
   tier_utilization_.assign(topo_->tier_count(), 0.0);
@@ -150,57 +153,83 @@ void TieredSystem::simulate_accesses(ManagedWorkload& mw,
             .loaded_latency_ns(tier_utilization_[t]));
   }
 
-  for (std::uint64_t i = 0; i < samples; ++i) {
-    const auto thread = static_cast<unsigned>(i % spec.threads);
-    const wl::WorkloadAccess acc = w.next_access(thread);
-    const vm::Vpn vpn = base + acc.page;
-    const vm::CoreId core = mw.cores[thread % mw.cores.size()];
-    vm::Tlb& tlb = tlbs_[core];
+  // Batched pipeline through the vm::Mmu facade. Three phases per batch:
+  //
+  //   (a) generate   — drain the workload's access stream (workload RNG
+  //                    only) into the reused batch buffer;
+  //   (b) translate  — TLB lookup, PWC-accelerated walk, demand faults and
+  //                    A/D recording, in stream order. The write hook runs
+  //                    inline so shadow invalidation (which returns frames
+  //                    to the allocator) interleaves exactly as in the
+  //                    single-event pipeline;
+  //   (c) account    — latency/tier accounting plus profiler observation,
+  //                    the sole consumer of the system RNG.
+  //
+  // No phase reads state another phase of a *different* sample writes, so
+  // the batch size is behavior-neutral (the fuzz oracle varies it).
+  const double walk_ns = sim::CpuClock::to_nanos(cost_.tlb_miss_walk());
+  const std::uint64_t batch_max =
+      std::max<std::uint64_t>(1, config_.translate_batch);
+  const vm::Mmu::PlacementFn place = [&](vm::Vpn) {
+    return policy_->placement_tier(view_for_placement, *topo_);
+  };
+  vm::Mmu::AccessHook write_hook;
+  if (shadowing) {
+    write_hook = [&](const vm::Mmu::Access& a, const vm::Mmu::Translation&) {
+      if (a.is_write) mw.migrator->on_write(a.vpn);
+    };
+  }
 
-    double extra_ns = 0.0;
-    if (!tlb.lookup(as.pid(), vpn)) {
-      extra_ns += sim::CpuClock::to_nanos(cost_.tlb_miss_walk());
-      if (!as.mapped(vpn)) {
-        const mem::TierId place =
-            policy_->placement_tier(view_for_placement, *topo_);
-        as.fault(vpn, static_cast<vm::ThreadId>(thread), acc.is_write, place);
+  // Round-robin thread cursor, carried across batches (== (done+i) %
+  // threads without a per-sample modulo).
+  unsigned thread_cursor = 0;
+  for (std::uint64_t done = 0; done < samples;) {
+    const std::uint64_t n = std::min(batch_max, samples - done);
+    access_batch_.clear();
+    for (std::uint64_t i = 0; i < n; ++i) {
+      const unsigned thread = thread_cursor;
+      if (++thread_cursor == spec.threads) thread_cursor = 0;
+      const wl::WorkloadAccess acc = w.next_access(thread);
+      access_batch_.push_back(
+          {.vpn = base + acc.page,
+           .core = mw.cores[thread % mw.cores.size()],
+           .thread = static_cast<vm::ThreadId>(thread),
+           .is_write = acc.is_write});
+    }
+
+    mmu_->translate_batch(as, access_batch_, place, translation_batch_,
+                          write_hook);
+
+    for (std::uint64_t i = 0; i < n; ++i) {
+      const vm::Mmu::Access& a = access_batch_[i];
+      const vm::Mmu::Translation& t = translation_batch_[i];
+      double extra_ns = 0.0;
+      if (!t.tlb_hit) {
+        extra_ns = walk_ns;
         // One demand fault per page, regardless of the sample's weight.
-        mw.epoch_inline_overhead += cost_.minor_fault();
+        // (A fault on the TLB-hit path — defensive, "cannot happen" — is
+        // deliberately uncharged, matching the pre-facade engine.)
+        if (t.faulted) mw.epoch_inline_overhead += cost_.minor_fault();
       }
-      // Install the walked translation (the PFN lets the invariant
-      // auditor cross-check cached entries against the live page tables;
-      // huge entries carry the chunk's first page as representative).
-      if (as.is_huge(vpn)) {
-        tlb.insert_huge(as.pid(), vpn,
-                        as.tables().get(as.chunk_base(vpn)).pfn());
+
+      const mem::TierId tier = mem::tier_of(t.pte.pfn());
+      const double lat_ns = tier_latency[tier] + extra_ns;
+      if (tier == mem::kFastTier) {
+        mw.epoch_fast += weight;
       } else {
-        tlb.insert(as.pid(), vpn, as.tables().get(vpn).pfn());
+        mw.epoch_slow += weight;
       }
-    } else if (!as.mapped(vpn)) {
-      // Stale-free by construction; defensive fault (should not happen).
-      const mem::TierId place =
-          policy_->placement_tier(view_for_placement, *topo_);
-      as.fault(vpn, static_cast<vm::ThreadId>(thread), acc.is_write, place);
+      mw.epoch_latency_weighted += lat_ns * weight;
+
+      // Profiler-imposed costs (hint faults) fire once per physical event,
+      // not once per represented access: charge unweighted.
+      mw.epoch_inline_overhead += mw.profiler->observe(
+          {.page = a.vpn - base,
+           .thread = static_cast<unsigned>(a.thread),
+           .is_write = a.is_write},
+          weight, rng_);
     }
-
-    const vm::Pte pte = as.access(vpn, static_cast<vm::ThreadId>(thread),
-                                  acc.is_write);
-    if (acc.is_write && shadowing) mw.migrator->on_write(vpn);
-
-    const mem::TierId tier = mem::tier_of(pte.pfn());
-    const double lat_ns = tier_latency[tier] + extra_ns;
-    if (tier == mem::kFastTier) {
-      mw.epoch_fast += weight;
-    } else {
-      mw.epoch_slow += weight;
-    }
-    mw.epoch_latency_weighted += lat_ns * weight;
-
-    // Profiler-imposed costs (hint faults) fire once per physical event,
-    // not once per represented access: charge unweighted.
-    mw.epoch_inline_overhead += mw.profiler->observe(
-        {.page = acc.page, .thread = thread, .is_write = acc.is_write},
-        weight, rng_);
+    done += n;
   }
 }
 
@@ -415,7 +444,8 @@ check::SystemView TieredSystem::audit_view() const {
     w.migrator = workloads_[i]->migrator.get();
     view.workloads.push_back(w);
   }
-  view.tlbs = &tlbs_;
+  view.tlbs = &mmu_->tlbs();
+  view.mmu = mmu_.get();
   view.shootdowns = shootdowns_.get();
   view.registry = &registry_;
   view.epochs_run = epoch_index_;

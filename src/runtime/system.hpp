@@ -33,6 +33,7 @@
 #include "sim/config.hpp"
 #include "sim/cost_model.hpp"
 #include "sim/rng.hpp"
+#include "vm/mmu.hpp"
 #include "vm/shootdown.hpp"
 #include "wl/workload.hpp"
 
@@ -97,6 +98,15 @@ class TieredSystem {
     /// Throw check::AuditFailure from run_epochs on a violation (default);
     /// when false the report is only recorded (last_audit()) and traced.
     bool audit_throw = true;
+    /// vm::Mmu software page-walk cache. Host-side only: the cost model
+    /// still charges the full walk on every TLB miss, so artefacts are
+    /// bit-identical with the PWC on or off (the fuzz oracle varies it).
+    bool pwc = true;
+    /// Access-pipeline batch size: the engine generates, translates and
+    /// accounts accesses in batches of this many through
+    /// vm::Mmu::translate_batch. Behavior-neutral by contract — any value
+    /// >= 1 produces byte-identical artefacts (fuzz-enforced).
+    std::uint64_t translate_batch = 256;
   };
 
   TieredSystem(Config config, std::unique_ptr<policy::SystemPolicy> policy);
@@ -152,9 +162,14 @@ class TieredSystem {
   mig::Migrator& migrator(unsigned w) { return *workloads_[w]->migrator; }
   const vm::ShootdownController& shootdowns() const { return *shootdowns_; }
   std::uint64_t migration_budget_pages() const { return migration_budget_; }
-  /// Per-core TLBs (auditor hooks and fault-injection tests).
-  std::vector<vm::Tlb>& tlbs() { return tlbs_; }
-  const std::vector<vm::Tlb>& tlbs() const { return tlbs_; }
+  /// The translation facade: per-core TLBs + page-walk cache.
+  vm::Mmu& mmu() { return *mmu_; }
+  const vm::Mmu& mmu() const { return *mmu_; }
+  /// Deprecated shims for pre-Mmu call sites (auditor hooks and
+  /// fault-injection tests reached the TLB vector directly); removal
+  /// planned once out-of-tree callers go through mmu().tlbs().
+  std::vector<vm::Tlb>& tlbs() { return mmu_->tlbs(); }
+  const std::vector<vm::Tlb>& tlbs() const { return mmu_->tlbs(); }
 
   /// Snapshot of the machine for the invariant auditor.
   check::SystemView audit_view() const;
@@ -196,8 +211,11 @@ class TieredSystem {
   obs::AppStats app_stats_;
   std::unique_ptr<policy::SystemPolicy> policy_;
   std::unique_ptr<mem::Topology> topo_;
-  std::vector<vm::Tlb> tlbs_;
+  std::unique_ptr<vm::Mmu> mmu_;
   std::unique_ptr<vm::ShootdownController> shootdowns_;
+  // Reused access-pipeline batch buffers (no per-epoch heap churn).
+  std::vector<vm::Mmu::Access> access_batch_;
+  std::vector<vm::Mmu::Translation> translation_batch_;
   sim::CostModel cost_;
   std::vector<std::unique_ptr<ManagedWorkload>> workloads_;
   std::vector<policy::WorkloadView> views_;

@@ -8,7 +8,9 @@ AddressSpace::AddressSpace(Config config, mem::Topology& topo)
     : config_(config),
       topo_(&topo),
       tables_(config.replicate_tables),
-      tier_pages_(topo.tier_count(), 0) {
+      tier_pages_(topo.tier_count(), 0),
+      tier_members_(topo.tier_count()),
+      member_slot_(config.rss_pages, 0) {
   assert(config_.base % sim::kHugePageSize == 0 &&
          "base must be 2MB-aligned for THP chunk bookkeeping");
   const std::size_t chunk_count = static_cast<std::size_t>(
@@ -18,7 +20,7 @@ AddressSpace::AddressSpace(Config config, mem::Topology& topo)
 
 AddressSpace::~AddressSpace() {
   // Return every live frame to its tier.
-  tables_.process_table().for_each([&](Vpn, Pte pte) {
+  tables_.process_table().visit([&](Vpn, Pte pte) {
     topo_->allocator(mem::tier_of(pte.pfn())).free(pte.pfn());
   });
 }
@@ -47,8 +49,26 @@ Pte AddressSpace::fault_one(Vpn vpn, ThreadId thread, bool write,
                 .with(Pte::kDirty, write);
   tables_.map(vpn, pte);
   ++tier_pages_[mem::tier_of(*pfn)];
+  track_residency(vpn - base_vpn(), -1, mem::tier_of(*pfn));
   ++faulted_;
   return pte;
+}
+
+void AddressSpace::track_residency(std::uint64_t page, std::int32_t from_tier,
+                                   mem::TierId to_tier) {
+  if (from_tier >= 0) {
+    if (from_tier == to_tier) return;
+    // Swap-remove from the old tier's list; patch the moved page's slot.
+    std::vector<std::uint32_t>& from =
+        tier_members_[static_cast<std::size_t>(from_tier)];
+    const std::uint32_t slot = member_slot_[page];
+    from[slot] = from.back();
+    member_slot_[from[slot]] = slot;
+    from.pop_back();
+  }
+  std::vector<std::uint32_t>& to = tier_members_[to_tier];
+  member_slot_[page] = static_cast<std::uint32_t>(to.size());
+  to.push_back(static_cast<std::uint32_t>(page));
 }
 
 Pte AddressSpace::fault(Vpn vpn, ThreadId thread, bool write,
@@ -103,6 +123,9 @@ mem::Pfn AddressSpace::remap(Vpn vpn, mem::Pfn new_pfn) {
   tables_.set(vpn, pte.with_pfn(new_pfn).with(Pte::kDirty, false));
   --tier_pages_[mem::tier_of(old_pfn)];
   ++tier_pages_[mem::tier_of(new_pfn)];
+  track_residency(vpn - base_vpn(),
+                  static_cast<std::int32_t>(mem::tier_of(old_pfn)),
+                  mem::tier_of(new_pfn));
   return old_pfn;
 }
 
@@ -129,9 +152,13 @@ bool AddressSpace::collapse_chunk(Vpn vpn) {
   if (base + sim::kPagesPerHuge > base_vpn() + config_.rss_pages) {
     return false;  // tail chunk: cannot form a full 2 MB mapping
   }
+  // One leaf covers the whole 2 MB chunk — read it directly instead of
+  // paying 512 full radix walks.
+  const LeafTable* leaf = tables_.process_table().leaf_of(base);
+  if (!leaf) return false;
   std::optional<mem::TierId> tier;
   for (std::uint64_t i = 0; i < sim::kPagesPerHuge; ++i) {
-    const Pte pte = tables_.get(base + i);
+    const Pte pte = leaf->get(static_cast<unsigned>(i));
     if (!pte.present()) return false;
     const mem::TierId t = mem::tier_of(pte.pfn());
     if (tier.has_value() && *tier != t) return false;  // straddles tiers

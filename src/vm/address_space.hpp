@@ -4,6 +4,7 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "mem/topology.hpp"
@@ -100,6 +101,15 @@ class AddressSpace {
   }
   std::uint64_t faulted_pages() const { return faulted_; }
 
+  /// The 0-based page offsets currently resident in `tier`, maintained
+  /// incrementally on fault and remap. UNORDERED (swap-remove keeps the
+  /// updates O(1)) — policies that need ranked pages sort a copy. Saves
+  /// every policy's per-epoch radix walk over the whole table.
+  std::span<const std::uint32_t> pages_in_tier_list(mem::TierId tier) const {
+    static const std::vector<std::uint32_t> kEmpty;
+    return tier < tier_members_.size() ? tier_members_[tier] : kEmpty;
+  }
+
   ReplicatedPageTable& tables() { return tables_; }
   const ReplicatedPageTable& tables() const { return tables_; }
   mem::Topology& topology() { return *topo_; }
@@ -111,11 +121,20 @@ class AddressSpace {
     return static_cast<std::size_t>((vpn - base_vpn()) / sim::kPagesPerHuge);
   }
 
+  /// Move `page` into `tier`'s membership list (from_tier < 0: new fault).
+  void track_residency(std::uint64_t page, std::int32_t from_tier,
+                       mem::TierId to_tier);
+
   Config config_;
   mem::Topology* topo_;
   ReplicatedPageTable tables_;
   std::vector<ChunkState> chunks_;
   std::vector<std::uint64_t> tier_pages_;
+  /// Per-tier resident page offsets + each page's slot in its tier list
+  /// (see pages_in_tier_list); slot values are meaningful only while the
+  /// page is mapped.
+  std::vector<std::vector<std::uint32_t>> tier_members_;
+  std::vector<std::uint32_t> member_slot_;
   std::uint64_t faulted_ = 0;
 };
 

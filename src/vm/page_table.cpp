@@ -80,45 +80,12 @@ void PageTable::detach_leaf(Vpn vpn) {
 }
 
 void PageTable::for_each(const std::function<void(Vpn, Pte)>& fn) const {
-  for (unsigned gi = 0; gi < 512; ++gi) {
-    const auto& pud = root_->puds[gi];
-    if (!pud) continue;
-    for (unsigned ui = 0; ui < 512; ++ui) {
-      const auto& pmd = pud->pmds[ui];
-      if (!pmd) continue;
-      for (unsigned mi = 0; mi < 512; ++mi) {
-        const LeafRef& leaf = pmd->leaves[mi];
-        if (!leaf) continue;
-        const Vpn base = (static_cast<Vpn>(gi) << 27) |
-                         (static_cast<Vpn>(ui) << 18) |
-                         (static_cast<Vpn>(mi) << 9);
-        for (unsigned pi = 0; pi < LeafTable::kEntries; ++pi) {
-          const Pte pte = leaf->get(pi);
-          if (pte.present()) fn(base | pi, pte);
-        }
-      }
-    }
-  }
+  visit(fn);
 }
 
 void PageTable::for_each_leaf(
     const std::function<void(Vpn, LeafTable&)>& fn) {
-  for (unsigned gi = 0; gi < 512; ++gi) {
-    const auto& pud = root_->puds[gi];
-    if (!pud) continue;
-    for (unsigned ui = 0; ui < 512; ++ui) {
-      const auto& pmd = pud->pmds[ui];
-      if (!pmd) continue;
-      for (unsigned mi = 0; mi < 512; ++mi) {
-        const LeafRef& leaf = pmd->leaves[mi];
-        if (!leaf) continue;
-        const Vpn base = (static_cast<Vpn>(gi) << 27) |
-                         (static_cast<Vpn>(ui) << 18) |
-                         (static_cast<Vpn>(mi) << 9);
-        fn(base, *leaf);
-      }
-    }
-  }
+  visit_leaves(fn);
 }
 
 std::uint64_t PageTable::upper_node_count() const {

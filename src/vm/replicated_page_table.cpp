@@ -18,7 +18,7 @@ ThreadId ReplicatedPageTable::add_thread() {
       // Attach every existing shared leaf to the new thread's tree.
       // Walking the PMD level is enough: leaves are 2 MB-granular.
       Vpn last_chunk = ~Vpn{0};
-      process_.for_each([&](Vpn vpn, Pte) {
+      process_.visit([&](Vpn vpn, Pte) {
         const Vpn chunk = vpn >> 9;
         if (chunk == last_chunk) return;
         last_chunk = chunk;
@@ -28,7 +28,7 @@ ThreadId ReplicatedPageTable::add_thread() {
     }
     case ReplicationMode::kFullReplica:
       // Copy every mapping into the thread's private tree.
-      process_.for_each([&](Vpn vpn, Pte pte) {
+      process_.visit([&](Vpn vpn, Pte pte) {
         tree.set(vpn, pte);
         ++pte_write_ops_;
       });
@@ -100,6 +100,32 @@ Pte ReplicatedPageTable::record_access(Vpn vpn, ThreadId thread,
     pte = pte.with_thread(Pte::kThreadShared);
   }
   if (pte != before) write_everywhere(vpn, pte);
+  return pte;
+}
+
+Pte ReplicatedPageTable::record_access_at(Vpn vpn, LeafTable& leaf,
+                                          ThreadId thread, bool is_write) {
+  const unsigned idx = PageTable::pte_index(vpn);
+  const Pte before = leaf.get(idx);
+  assert(before == process_.get(vpn) &&
+         "record_access_at() leaf hint diverges from the process tree");
+  assert(before.present() && "record_access_at() on unmapped page");
+  Pte pte = before.with(Pte::kAccessed);
+  if (is_write) pte = pte.with(Pte::kDirty);
+  if (pte.thread() != thread && !pte.shared()) {
+    pte = pte.with_thread(Pte::kThreadShared);
+  }
+  if (pte != before) {
+    if (mode_ == ReplicationMode::kFullReplica) {
+      write_everywhere(vpn, pte);
+    } else {
+      // kProcessWide: `leaf` is the process tree's leaf, the only tree.
+      // kSharedLeaves: one write through the shared leaf is visible to
+      // every tree. Both match write_everywhere's accounting of one op.
+      leaf.set(idx, pte);
+      ++pte_write_ops_;
+    }
+  }
   return pte;
 }
 

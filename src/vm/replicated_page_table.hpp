@@ -74,6 +74,14 @@ class ReplicatedPageTable {
   /// ownership field. Returns the post-access PTE. Precondition: mapped.
   Pte record_access(Vpn vpn, ThreadId thread, bool is_write);
 
+  /// Leaf-hinted variant for the vm::Mmu hot path: `leaf` must be the
+  /// shared leaf table covering `vpn` (a PWC hit). Skips the radix walks of
+  /// record_access while performing the identical PTE update — under
+  /// kProcessWide and kSharedLeaves the one in-place leaf write *is*
+  /// write_everywhere; kFullReplica still propagates to every replica.
+  Pte record_access_at(Vpn vpn, LeafTable& leaf, ThreadId thread,
+                       bool is_write);
+
   /// The exclusive owning thread of `vpn`, or nullopt when the page is
   /// shared (or unmapped). Drives targeted TLB shootdowns.
   std::optional<ThreadId> exclusive_owner(Vpn vpn) const;

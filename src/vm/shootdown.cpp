@@ -1,5 +1,7 @@
 #include "vm/shootdown.hpp"
 
+#include "vm/mmu.hpp"
+
 namespace vulcan::vm {
 
 void ShootdownController::set_obs(obs::Scope scope) {
@@ -23,6 +25,10 @@ void ShootdownController::record(unsigned targets, std::uint64_t pages,
 void ShootdownController::invalidate_targets(CoreId initiator,
                                              std::span<const CoreId> targets,
                                              ProcessId pid, Vpn vpn) {
+  if (mmu_) {
+    mmu_->invalidate(initiator, targets, pid, vpn);
+    return;
+  }
   if (!tlbs_) return;
   auto& tlbs = *tlbs_;
   if (initiator < tlbs.size()) tlbs[initiator].invalidate(pid, vpn);

@@ -19,6 +19,8 @@
 
 namespace vulcan::vm {
 
+class Mmu;
+
 class ShootdownController {
  public:
   struct Stats {
@@ -28,9 +30,21 @@ class ShootdownController {
     sim::Cycles cycles = 0;           ///< total cycles spent in shootdowns
   };
 
-  /// @param tlbs  one TLB per core; may be empty for pure cost studies.
+  /// The facade-era constructor: invalidations route through vm::Mmu so
+  /// the page-walk cache is dropped coherently alongside TLB entries.
+  /// `mmu` may be null for pure cost studies.
+  ShootdownController(const sim::CostModel& cost, Mmu* mmu)
+      : cost_(&cost), mmu_(mmu) {}
+
+  /// Deprecated shim: pre-Mmu call sites handed a raw per-core TLB vector.
+  /// Kept so existing harnesses keep compiling; removal planned once
+  /// out-of-tree callers construct the vm::Mmu facade instead. A raw TLB
+  /// vector cannot carry a PWC, so this path only invalidates TLB entries.
   ShootdownController(const sim::CostModel& cost, std::vector<Tlb>* tlbs)
       : cost_(&cost), tlbs_(tlbs) {}
+
+  /// The attached facade (null under the deprecated raw-TLB shim).
+  Mmu* mmu() const { return mmu_; }
 
   /// Cold-path shootdown of one page. `targets` are the *remote* cores that
   /// may cache the translation (the initiator flushes locally for free-ish).
@@ -55,7 +69,8 @@ class ShootdownController {
   void record(unsigned targets, std::uint64_t pages, sim::Cycles cost);
 
   const sim::CostModel* cost_;
-  std::vector<Tlb>* tlbs_;
+  Mmu* mmu_ = nullptr;
+  std::vector<Tlb>* tlbs_ = nullptr;
   Stats stats_;
   obs::Scope obs_;
   obs::Counter* obs_ops_ = &obs::detail::dummy_counter;

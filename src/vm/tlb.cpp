@@ -103,19 +103,7 @@ void Tlb::invalidate(ProcessId pid, Vpn vpn) {
 
 void Tlb::for_each_entry(
     const std::function<void(const EntryView&)>& fn) const {
-  const auto visit = [&](const SetArray& arr, bool huge) {
-    for (const Entry& e : arr.entries) {
-      if (e.tag == 0) continue;
-      EntryView view;
-      view.pid = static_cast<ProcessId>((e.tag >> 40) - 1);
-      view.page = e.tag & ((std::uint64_t{1} << 40) - 1);
-      view.pfn = e.pfn;
-      view.huge = huge;
-      fn(view);
-    }
-  };
-  visit(base_, /*huge=*/false);
-  visit(huge_, /*huge=*/true);
+  visit_entries(fn);
 }
 
 std::size_t Tlb::live_entries() const {

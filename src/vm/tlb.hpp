@@ -67,7 +67,28 @@ class Tlb {
   };
 
   /// Visit every live entry (base then huge, array order). Auditor hook:
-  /// each cached translation must match the current page tables.
+  /// each cached translation must match the current page tables. Templated
+  /// so per-entry audit loops inline instead of paying a std::function
+  /// call per cached translation.
+  template <typename Fn>
+  void visit_entries(Fn&& fn) const {
+    const auto scan = [&](const SetArray& arr, bool huge) {
+      for (const Entry& e : arr.entries) {
+        if (e.tag == 0) continue;
+        EntryView view;
+        view.pid = static_cast<ProcessId>((e.tag >> 40) - 1);
+        view.page = e.tag & ((std::uint64_t{1} << 40) - 1);
+        view.pfn = e.pfn;
+        view.huge = huge;
+        fn(view);
+      }
+    };
+    scan(base_, /*huge=*/false);
+    scan(huge_, /*huge=*/true);
+  }
+
+  /// Deprecated shim for visit_entries(); kept for source compatibility
+  /// with external harnesses, removal planned once they migrate.
   void for_each_entry(const std::function<void(const EntryView&)>& fn) const;
 
   /// Live entries across both arrays.

@@ -34,13 +34,14 @@ ZipfianGenerator::ZipfianGenerator(std::uint64_t items, double theta)
   alpha_ = 1.0 / (1.0 - theta_);
   eta_ = (1.0 - std::pow(2.0 / static_cast<double>(items_), 1.0 - theta_)) /
          (1.0 - zeta2_ / zetan_);
+  pow_half_theta_ = std::pow(0.5, theta_);
 }
 
 std::uint64_t ZipfianGenerator::next(sim::Rng& rng) const {
   const double u = rng.uniform();
   const double uz = u * zetan_;
   if (uz < 1.0) return 0;
-  if (uz < 1.0 + std::pow(0.5, theta_)) return 1;
+  if (uz < 1.0 + pow_half_theta_) return 1;
   const auto rank = static_cast<std::uint64_t>(
       static_cast<double>(items_) *
       std::pow(eta_ * u - eta_ + 1.0, alpha_));

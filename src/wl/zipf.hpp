@@ -36,6 +36,7 @@ class ZipfianGenerator {
   double alpha_;
   double eta_;
   double zeta2_;
+  double pow_half_theta_;  ///< pow(0.5, theta), hoisted off the draw path
 };
 
 /// Scrambled variant: same popularity *distribution*, but popular ranks are

@@ -28,10 +28,24 @@ TEST(DifferentialFuzz, SmallCampaignPassesAndAudits) {
   }
   EXPECT_TRUE(result.ok);
   EXPECT_EQ(result.scenarios, 1u);
-  // policies x jobs levels, all completing.
-  EXPECT_EQ(result.runs, 4u);
+  // policies x (jobs levels + 4 hot-path variants), all completing.
+  EXPECT_EQ(result.runs, 12u);
   EXPECT_GT(result.audits_passed, 0u);
   EXPECT_FALSE(result.artefact_digest.empty());
+}
+
+TEST(DifferentialFuzz, VaryHotpathOffSkipsTheVariantRuns) {
+  FuzzOptions options = small_options();
+  options.vary_hotpath = false;
+  const FuzzResult result = run_differential_fuzz(options);
+  ASSERT_TRUE(result.ok);
+  // policies x jobs levels only.
+  EXPECT_EQ(result.runs, 4u);
+  // The digest folds only the reference artefacts, so the variants never
+  // shift it: both modes must agree.
+  FuzzOptions with = small_options();
+  EXPECT_EQ(result.artefact_digest,
+            run_differential_fuzz(with).artefact_digest);
 }
 
 TEST(DifferentialFuzz, DigestIsReproducibleForFixedSeed) {

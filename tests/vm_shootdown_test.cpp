@@ -82,7 +82,7 @@ TEST_F(ShootdownTest, StatsAccumulate) {
 
 TEST(ShootdownNoTlbs, PureCostStudyWorks) {
   sim::CostModel cost;
-  ShootdownController ctrl(cost, nullptr);
+  ShootdownController ctrl(cost, static_cast<Mmu*>(nullptr));
   const std::array<CoreId, 31> targets{};
   const auto c = ctrl.shoot_single(0, targets, 1, 1);
   EXPECT_EQ(c, cost.shootdown_cold(31));

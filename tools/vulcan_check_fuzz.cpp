@@ -31,7 +31,10 @@ void usage() {
       "                   artefacts must agree byte-for-byte     [1,2,4]\n"
       "  --policies LIST  comma-separated roster (default: all)\n"
       "  --seconds T      simulated seconds per scenario           [2.5]\n"
-      "  --level L        audit level: off | basic | full         [full]\n");
+      "  --level L        audit level: off | basic | full         [full]\n"
+      "  --vary-hotpath B on | off: re-run with the page-walk cache\n"
+      "                   disabled and several translate-batch sizes,\n"
+      "                   asserting identical artefacts             [on]\n");
 }
 
 std::vector<std::string> split_list(const std::string& csv) {
@@ -82,6 +85,16 @@ int main(int argc, char** argv) {
         return 2;
       }
       options.level = *parsed;
+    } else if (flag == "--vary-hotpath") {
+      const std::string v = next();
+      if (v == "on" || v == "1" || v == "true") {
+        options.vary_hotpath = true;
+      } else if (v == "off" || v == "0" || v == "false") {
+        options.vary_hotpath = false;
+      } else {
+        std::fprintf(stderr, "--vary-hotpath takes on|off\n");
+        return 2;
+      }
     } else {
       std::fprintf(stderr, "unknown flag: %s\n", flag.c_str());
       return 2;

@@ -91,6 +91,7 @@ void usage() {
       "                   trace_event JSON (open at ui.perfetto.dev)\n"
       "  --folded FILE    write folded flamegraph stacks (self cycles)\n"
       "  --bench-json F   write a machine-readable benchmark summary\n"
+      "                   (also valid in battery mode: per-policy table)\n"
       "  --no-spans       do not record timeline spans\n"
       "  --audit [L]      invariant-audit level: off | basic | full\n"
       "                   (bare --audit means full; a violation prints\n"
@@ -224,11 +225,10 @@ bool write_output(const std::string& path, Fn&& fn) {
 int run_battery(const Options& o) {
   if (!o.csv.empty() || !o.trace_out.empty() || !o.metrics_out.empty() ||
       !o.perfetto_out.empty() || !o.folded_out.empty() ||
-      !o.bench_json.empty() || !o.record_trace.empty() ||
-      !o.replay_trace.empty()) {
+      !o.record_trace.empty() || !o.replay_trace.empty()) {
     std::fprintf(stderr,
                  "--policies is a comparison mode; per-run artefact flags "
-                 "(--csv/--trace/--metrics/--perfetto/--folded/--bench-json/"
+                 "(--csv/--trace/--metrics/--perfetto/--folded/"
                  "--record-trace/--replay-trace) need a single --policy run\n");
     return 2;
   }
@@ -300,6 +300,31 @@ int run_battery(const Options& o) {
       std::printf(" %14.3f", slowdown);
     }
     std::printf("\n");
+  }
+
+  // Battery bench summary: deterministic fields only (no wall time), so
+  // two runs of the same binary produce byte-identical JSON at any
+  // --jobs count. bench/baselines/BENCH_hotpath.json pins this shape.
+  if (!o.bench_json.empty()) {
+    const bool ok = write_output(o.bench_json, [&](std::ostream& out) {
+      out << "{\"scenario\": \"" << o.scenario << "\", \"seed\": " << o.seed
+          << ", \"simulated_s\": " << o.seconds << ", \"policies\": [";
+      for (std::size_t i = 0; i < summaries.size(); ++i) {
+        const auto& s = summaries[i];
+        out << (i ? ", " : "") << "{\"name\": \"" << s.policy
+            << "\", \"jain\": " << s.jain << ", \"cfi\": " << s.cfi
+            << ", \"apps\": [";
+        for (std::size_t a = 0; a < s.apps.size(); ++a) {
+          out << (a ? ", " : "") << "{\"name\": \"" << s.apps[a].first
+              << "\", \"slowdown\": " << s.apps[a].second << "}";
+        }
+        out << "]}";
+      }
+      out << "]}\n";
+    });
+    std::fprintf(stderr, "wrote %s (battery benchmark summary)\n",
+                 o.bench_json.c_str());
+    if (!ok) return 1;
   }
   return 0;
 }
