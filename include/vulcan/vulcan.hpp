@@ -16,7 +16,8 @@
 //   vulcan::exec     parallel experiment execution (worker pool + batch
 //                    runner with deterministic submission-order merge)
 //   vulcan::obs      metrics registry, structured trace, timeline spans,
-//                    per-app attribution, export backends + fairness report
+//                    per-app attribution, export backends + fairness report,
+//                    time-series store, SLO monitor and flight recorder
 //   vulcan::runtime  the co-location system harness and experiment helpers
 //
 // Quick start:
@@ -49,11 +50,14 @@
 #include "obs/app_stats.hpp"
 #include "obs/diff.hpp"
 #include "obs/exporter.hpp"
+#include "obs/flightrec.hpp"
 #include "obs/metrics.hpp"
 #include "obs/perfetto.hpp"
 #include "obs/report.hpp"
 #include "obs/scope.hpp"
+#include "obs/slo.hpp"
 #include "obs/span.hpp"
+#include "obs/timeseries.hpp"
 #include "obs/trace.hpp"
 #include "obs/whatif.hpp"
 #include "policy/biased.hpp"

@@ -9,8 +9,16 @@ per-app slowdown) drifts beyond a relative tolerance (default 0.5%, with a
 small absolute floor), when the policy roster or app set changes, or when
 the scenario identity (scenario/seed/simulated_s) differs.
 
+With --telemetry the script instead gates the continuous-telemetry
+overhead: the first file is a `vulcan_sim --telemetry-bench` report, whose
+fairness artefacts must be identical with telemetry on and off and whose
+wall-clock overhead must stay within the baseline's
+`telemetry_overhead_budget` (default 5%, plus a small absolute slack so
+millisecond-scale runs don't flake on scheduler noise).
+
 Usage:
     python3 scripts/check_hotpath_baseline.py <fresh.json> <baseline.json>
+    python3 scripts/check_hotpath_baseline.py --telemetry <bench.json> <baseline.json>
 """
 
 import json
@@ -18,6 +26,8 @@ import sys
 
 REL_TOL = 0.005  # 0.5 %
 ABS_FLOOR = 1e-6  # figures this small are "zero" for tolerance purposes
+TELEMETRY_BUDGET = 0.05  # default overhead ceiling when the baseline has none
+TELEMETRY_ABS_SLACK_MS = 5.0  # absolute wall-clock slack against noise
 
 
 def fail(msg):
@@ -37,7 +47,36 @@ def flatten(bench):
     return flat
 
 
+def check_telemetry(bench_path, baseline_path):
+    """Gate a --telemetry-bench report against the baseline's budget."""
+    with open(bench_path) as f:
+        bench = json.load(f)
+    with open(baseline_path) as f:
+        base = json.load(f)
+    budget = base.get("telemetry_overhead_budget", TELEMETRY_BUDGET)
+
+    if not bench.get("identical_fairness"):
+        fail("telemetry changed the fairness artefacts (must be read-only)")
+    off_ms = bench["telemetry_off_ms"]
+    on_ms = bench["telemetry_on_ms"]
+    allowed_ms = budget * off_ms + TELEMETRY_ABS_SLACK_MS
+    delta_ms = on_ms - off_ms
+    if delta_ms > allowed_ms:
+        fail(
+            f"telemetry overhead {delta_ms:.1f} ms over a {off_ms:.1f} ms "
+            f"run exceeds the {budget:.0%} budget (+{allowed_ms:.1f} ms)"
+        )
+    print(
+        f"telemetry overhead ok: +{delta_ms:.1f} ms on {off_ms:.1f} ms "
+        f"({bench['overhead']:+.1%}, budget {budget:.0%}), "
+        "fairness artefacts identical"
+    )
+
+
 def main():
+    if len(sys.argv) == 4 and sys.argv[1] == "--telemetry":
+        check_telemetry(sys.argv[2], sys.argv[3])
+        return
     if len(sys.argv) != 3:
         print(__doc__, file=sys.stderr)
         sys.exit(2)

@@ -76,6 +76,40 @@ void write_double(std::ostream& out, double v) {
   out.flags(flags);
 }
 
+/// Failure forensics: replay a failing scenario once per policy with the
+/// flight recorder's auto-dump armed, so an audit failure leaves its black
+/// box next to the campaign's artefacts. When no policy throws (a pure
+/// determinism break), the reference policy's box is dumped on demand so
+/// there is always something to open.
+void capture_flight_dumps(const runtime::ScenarioSpec& spec,
+                          std::span<const std::string> policies,
+                          const std::string& dir, FuzzResult& result) {
+  for (const std::string& policy : policies) {
+    const std::string path =
+        dir + "/" + spec.name + "-" + policy + ".flight.json";
+    runtime::SystemBuilder b;
+    if (spec.configure) spec.configure(b);
+    b.seed(spec.seed).policy(std::string_view(policy)).flight_dump(path);
+    runtime::BuildResult built = b.build();
+    if (!built) continue;
+    runtime::TieredSystem& sys = *built.value();
+    bool threw = false;
+    try {
+      runtime::run_staged(sys, spec.stage(), spec.seconds);
+    } catch (const std::exception&) {
+      threw = true;  // the auto dump fired before the unwind
+    }
+    if (sys.flight().auto_dumped()) {
+      result.flight_dumps.push_back(sys.flight().auto_dump_path());
+    } else if (!threw && policy == policies.front()) {
+      if (sys.dump_flight(path, "fuzz_failure",
+                          "scenario failed without an audit throw")) {
+        result.flight_dumps.push_back(path);
+      }
+    }
+  }
+}
+
 }  // namespace
 
 std::string serialize_battery(
@@ -130,6 +164,7 @@ FuzzResult run_differential_fuzz(const FuzzOptions& options) {
     const runtime::ScenarioSpec spec = make_fuzz_scenario(
         options.seed, s, options.seconds, options.level);
     ++result.scenarios;
+    const std::size_t failures_before = result.failures.size();
 
     std::string reference;
     bool have_reference = false;
@@ -213,6 +248,11 @@ FuzzResult run_differential_fuzz(const FuzzOptions& options) {
                               "(behavior-neutrality break)"});
         }
       }
+    }
+
+    if (!options.flight_dir.empty() &&
+        result.failures.size() > failures_before) {
+      capture_flight_dumps(spec, policies, options.flight_dir, result);
     }
   }
 

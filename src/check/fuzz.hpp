@@ -42,6 +42,11 @@ struct FuzzOptions {
   /// sizes, asserting the artefacts stay byte-identical — the facade's
   /// behavior-neutrality contract, differentially tested.
   bool vary_hotpath = true;
+  /// When non-empty: after a scenario fails, re-run it per policy with the
+  /// flight recorder's auto-dump pointed into this (existing) directory,
+  /// capturing a black box next to the failure artefacts. Off by default —
+  /// the re-runs never touch the digest, but they cost a scenario pass.
+  std::string flight_dir;
 };
 
 struct FuzzFailure {
@@ -59,6 +64,8 @@ struct FuzzResult {
   /// (stable for a given seed/options — pin it in CI to detect silent
   /// behaviour change).
   std::string artefact_digest;
+  /// Flight dumps written for failing scenarios (FuzzOptions::flight_dir).
+  std::vector<std::string> flight_dumps;
 };
 
 /// Canonical byte serialization of a battery's summaries (policy order,

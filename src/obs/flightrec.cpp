@@ -1,0 +1,389 @@
+#include "obs/flightrec.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <iomanip>
+#include <sstream>
+#include <string_view>
+
+namespace vulcan::obs {
+
+namespace {
+
+void write_escaped(std::ostream& out, std::string_view s) {
+  for (const char c : s) {
+    switch (c) {
+      case '"': out << "\\\""; break;
+      case '\\': out << "\\\\"; break;
+      case '\n': out << "\\n"; break;
+      case '\r': out << "\\r"; break;
+      case '\t': out << "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out << buf;
+        } else {
+          out << c;
+        }
+    }
+  }
+}
+
+/// Shortest round-trip double literal (matches the registry's JSON writer
+/// philosophy: deterministic bytes for a deterministic value).
+void write_double(std::ostream& out, double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  out << buf;
+}
+
+/// Re-emit a JSONL blob as comma-joined array elements (one per line).
+void write_joined_lines(std::ostream& out, const std::string& jsonl) {
+  bool first = true;
+  std::size_t pos = 0;
+  while (pos < jsonl.size()) {
+    std::size_t end = jsonl.find('\n', pos);
+    if (end == std::string::npos) end = jsonl.size();
+    if (end > pos) {
+      out << (first ? "" : ",\n");
+      out.write(jsonl.data() + pos, static_cast<std::streamsize>(end - pos));
+      first = false;
+    }
+    pos = end + 1;
+  }
+  if (!first) out << "\n";
+}
+
+constexpr std::size_t npos = std::string::npos;
+
+/// Region-bounded raw token after `"key":` — like trace.cpp's raw_field,
+/// plus whitespace and escape awareness (header strings are escaped).
+std::string_view token_in(std::string_view text, std::string_view key,
+                          std::size_t from, std::size_t to) {
+  const std::string needle = "\"" + std::string(key) + "\":";
+  const std::size_t pos = text.find(needle, from);
+  if (pos == npos || pos >= to) return {};
+  std::size_t start = pos + needle.size();
+  while (start < to && text[start] == ' ') ++start;
+  std::size_t end = start;
+  bool in_string = false;
+  bool escaped = false;
+  while (end < to) {
+    const char c = text[end];
+    if (escaped) {
+      escaped = false;
+    } else if (c == '\\') {
+      escaped = true;
+    } else if (c == '"') {
+      in_string = !in_string;
+    } else if (!in_string && (c == ',' || c == '}' || c == '\n')) {
+      break;
+    }
+    ++end;
+  }
+  return text.substr(start, end - start);
+}
+
+std::string unquote(std::string_view tok) {
+  if (tok.size() >= 2 && tok.front() == '"' && tok.back() == '"') {
+    tok = tok.substr(1, tok.size() - 2);
+  }
+  std::string out;
+  out.reserve(tok.size());
+  for (std::size_t i = 0; i < tok.size(); ++i) {
+    const char c = tok[i];
+    if (c == '\\' && i + 1 < tok.size()) {
+      const char n = tok[++i];
+      switch (n) {
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'u': i += 4; out += '?'; break;  // lossy, fine for reports
+        default: out += n; break;
+      }
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
+
+std::uint64_t tok_u64(std::string_view tok) {
+  return std::strtoull(std::string(tok).c_str(), nullptr, 10);
+}
+
+std::int64_t tok_i64(std::string_view tok) {
+  return std::strtoll(std::string(tok).c_str(), nullptr, 10);
+}
+
+double tok_double(std::string_view tok) {
+  return std::strtod(std::string(tok).c_str(), nullptr);
+}
+
+/// Visit every line in text[from, to).
+template <typename Fn>
+void each_line(std::string_view text, std::size_t from, std::size_t to,
+               Fn&& fn) {
+  while (from < to) {
+    std::size_t end = text.find('\n', from);
+    if (end == npos || end > to) end = to;
+    if (end > from) fn(text.substr(from, end - from));
+    from = end + 1;
+  }
+}
+
+}  // namespace
+
+bool FlightRecorder::dump(std::ostream& out, const DumpInfo& info) const {
+  if (!enabled()) return false;
+  char buf[64];
+
+  // Header. Section order is load-bearing: the offline readers are lenient
+  // scanners, and the registry snapshot must own the first quoted
+  // "counters" token in the file (string payloads above it are escaped, so
+  // they can never contain the bare token).
+  out << "{\n\"flight_version\": 1,\n\"reason\": \"";
+  write_escaped(out, info.reason);
+  out << "\",\n\"cause\": \"";
+  write_escaped(out, info.cause);
+  out << "\",\n\"epoch\": " << info.epoch << ",\n";
+  std::snprintf(buf, sizeof buf, "%.6f", sim::CpuClock::to_seconds(info.now));
+  out << "\"t_s\": " << buf << ",\n"
+      << "\"trace_horizon_epochs\": " << cfg_.epochs << ",\n";
+
+  // SLO instance states (empty when no monitor is installed).
+  out << "\"slo\": [\n";
+  if (slo_) {
+    bool first = true;
+    const std::vector<SloSpec>& specs = slo_->specs();
+    for (const SloRuleState& st : slo_->states()) {
+      const SloSpec& spec = specs[st.rule];
+      out << (first ? "" : ",\n") << "{\"rule\":\"";
+      write_escaped(out, spec.name);
+      out << "\",\"severity\":\"" << slo_severity_name(spec.severity)
+          << "\",\"app\":" << st.app
+          << ",\"violated\":" << (st.violated ? "true" : "false")
+          << ",\"value\":";
+      write_double(out, st.value);
+      out << ",\"breach_streak\":" << st.breach_streak
+          << ",\"ok_streak\":" << st.ok_streak << ",\"fired\":"
+          << st.violations << "}";
+      first = false;
+    }
+    if (!first) out << "\n";
+  }
+  out << "],\n";
+
+  // Last audit report (present: false until the first audit ran).
+  const bool audit_present =
+      last_audit_ &&
+      (last_audit_->checks > 0 || !last_audit_->violations.empty());
+  out << "\"audit\": {\"present\": " << (audit_present ? "true" : "false");
+  if (audit_present) {
+    out << ", \"epoch\": " << last_audit_->epoch << ", \"checks\": "
+        << last_audit_->checks << ", \"level\": \""
+        << check::audit_level_name(last_audit_->level) << "\"";
+  }
+  out << ", \"entries\": [\n";
+  if (audit_present) {
+    bool first = true;
+    for (const check::Violation& v : last_audit_->violations) {
+      out << (first ? "" : ",\n") << "{\"rule\":\""
+          << check::audit_rule_name(v.rule) << "\",\"w\":" << v.workload
+          << ",\"detail\":" << v.detail << ",\"value\":";
+      write_double(out, v.value);
+      out << ",\"message\":\"";
+      write_escaped(out, v.message);
+      out << "\"}";
+      first = false;
+    }
+    if (!first) out << "\n";
+  }
+  out << "]},\n";
+
+  // Trace tail: events from the last `epochs` epochs (the ring may retain
+  // less; the tail is the intersection).
+  out << "\"trace\": [\n";
+  if (trace_) {
+    const sim::Cycles horizon =
+        cfg_.epoch * static_cast<sim::Cycles>(cfg_.epochs);
+    const sim::Cycles cutoff =
+        (horizon > 0 && info.now > horizon) ? info.now - horizon : 0;
+    std::vector<TraceEvent> tail;
+    for (const TraceEvent& e : trace_->events()) {
+      if (e.time >= cutoff) tail.push_back(e);
+    }
+    std::ostringstream lines;
+    TraceRing::write_events_jsonl(tail, lines);
+    write_joined_lines(out, lines.str());
+  }
+  out << "],\n";
+
+  // Full registry snapshot, verbatim Registry::write_json output.
+  out << "\"metrics\": ";
+  {
+    std::ostringstream mjson;
+    registry_->write_json(mjson);
+    std::string m = mjson.str();
+    while (!m.empty() && m.back() == '\n') m.pop_back();
+    out << m;
+  }
+  out << ",\n";
+
+  // Every retained time-series window, one JSONL row per element.
+  out << "\"timeseries\": [\n";
+  if (timeseries_) {
+    std::ostringstream rows;
+    timeseries_->write_jsonl(rows);
+    write_joined_lines(out, rows.str());
+  }
+  out << "]\n}\n";
+  return out.good();
+}
+
+bool FlightRecorder::dump_file(const std::string& path,
+                               const DumpInfo& info) const {
+  if (!enabled() || path.empty()) return false;
+  std::ofstream out(path);
+  if (!out) return false;
+  const bool ok = dump(out, info);
+  out.flush();
+  return ok && out.good();
+}
+
+bool FlightRecorder::auto_dump(const DumpInfo& info) {
+  if (!enabled() || cfg_.dump_path.empty() || auto_dumped_) return false;
+  auto_dumped_ = true;  // one shot, even if the write fails
+  if (!dump_file(cfg_.dump_path, info)) return false;
+  auto_dump_path_ = cfg_.dump_path;
+  return true;
+}
+
+std::optional<FlightDump> FlightDump::parse(std::istream& in) {
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  const std::string text = buf.str();
+  const std::string_view tv(text);
+  if (tv.find("\"flight_version\":") == npos) return std::nullopt;
+
+  // Section anchors. Newline-anchored needles cannot match inside string
+  // payloads (real newlines there are escaped to "\n").
+  const std::size_t pos_slo = tv.find("\n\"slo\": [");
+  const std::size_t pos_audit = tv.find("\n\"audit\": {");
+  const std::size_t pos_trace = tv.find("\n\"trace\": [");
+  const std::size_t pos_ts = tv.find("\n\"timeseries\": [");
+
+  FlightDump d;
+  const std::size_t header_end = pos_slo == npos ? tv.size() : pos_slo;
+  d.version = tok_u64(token_in(tv, "flight_version", 0, header_end));
+  d.reason = unquote(token_in(tv, "reason", 0, header_end));
+  d.cause = unquote(token_in(tv, "cause", 0, header_end));
+  d.epoch = tok_u64(token_in(tv, "epoch", 0, header_end));
+  d.t_s = tok_double(token_in(tv, "t_s", 0, header_end));
+
+  if (pos_slo != npos && pos_audit != npos) {
+    each_line(tv, pos_slo + 1, pos_audit, [&](std::string_view line) {
+      if (line.find("\"rule\":") == npos) return;
+      SloInstance s;
+      s.rule = unquote(token_in(line, "rule", 0, line.size()));
+      s.severity = unquote(token_in(line, "severity", 0, line.size()));
+      s.app = static_cast<std::int32_t>(
+          tok_i64(token_in(line, "app", 0, line.size())));
+      s.violated = token_in(line, "violated", 0, line.size()) == "true";
+      s.value = tok_double(token_in(line, "value", 0, line.size()));
+      s.violations = tok_u64(token_in(line, "fired", 0, line.size()));
+      d.slo.push_back(std::move(s));
+    });
+  }
+
+  if (pos_audit != npos) {
+    const std::size_t audit_end = pos_trace == npos ? tv.size() : pos_trace;
+    d.audit_present =
+        token_in(tv, "present", pos_audit, audit_end) == "true";
+    if (d.audit_present) {
+      d.audit_epoch = tok_u64(token_in(tv, "epoch", pos_audit, audit_end));
+      d.audit_checks = tok_u64(token_in(tv, "checks", pos_audit, audit_end));
+      d.audit_level = unquote(token_in(tv, "level", pos_audit, audit_end));
+      each_line(tv, pos_audit + 1, audit_end, [&](std::string_view line) {
+        if (line.find("\"message\":") == npos) return;
+        AuditViolation v;
+        v.rule = unquote(token_in(line, "rule", 0, line.size()));
+        v.workload = static_cast<std::int32_t>(
+            tok_i64(token_in(line, "w", 0, line.size())));
+        v.detail = tok_u64(token_in(line, "detail", 0, line.size()));
+        v.value = tok_double(token_in(line, "value", 0, line.size()));
+        v.message = unquote(token_in(line, "message", 0, line.size()));
+        d.audit_violations.push_back(std::move(v));
+      });
+    }
+  }
+
+  // The lenient line readers handle the rest: read_jsonl keeps only lines
+  // whose "kind" is a trace kind, parse_json scans for the first quoted
+  // "counters"/"gauges"/"histograms" sections (the embedded snapshot).
+  {
+    std::istringstream stream(text);
+    d.trace = TraceRing::read_jsonl(stream);
+  }
+  {
+    std::istringstream stream(text);
+    d.metrics.parse_json(stream);
+  }
+  if (pos_ts != npos) {
+    each_line(tv, pos_ts + 1, tv.size(), [&](std::string_view line) {
+      if (line.find("\"key\":") != npos) ++d.timeseries_rows;
+    });
+  }
+  return d;
+}
+
+void write_flight_report(const FlightDump& dump, std::ostream& out) {
+  char buf[64];
+  out << "vulcan flight recorder dump\n"
+      << "===========================\n"
+      << "reason:  " << dump.reason << "\n";
+  if (!dump.cause.empty()) out << "cause:   " << dump.cause << "\n";
+  std::snprintf(buf, sizeof buf, "%.3f", dump.t_s);
+  out << "epoch:   " << dump.epoch << "   t: " << buf << " s\n"
+      << "trace:   " << dump.trace.size()
+      << " events   timeseries rows: " << dump.timeseries_rows << "\n\n";
+
+  if (dump.slo.empty()) {
+    out << "slo: no monitor installed\n\n";
+  } else {
+    std::size_t active = 0;
+    for (const auto& s : dump.slo) active += s.violated ? 1 : 0;
+    out << "slo instances (" << active << " in violation):\n";
+    out << "  state     severity  rule                      app"
+        << "       value  fired\n";
+    for (const auto& s : dump.slo) {
+      std::snprintf(buf, sizeof buf, "%12.4f", s.value);
+      out << "  " << std::left << std::setw(10)
+          << (s.violated ? "VIOLATED" : "ok") << std::setw(10) << s.severity
+          << std::setw(24) << s.rule << std::right << std::setw(5)
+          << (s.app < 0 ? std::string("-") : std::to_string(s.app)) << buf
+          << std::setw(7) << s.violations << "\n";
+    }
+    out << "\n";
+  }
+
+  if (!dump.audit_present) {
+    out << "last audit: none recorded\n\n";
+  } else {
+    out << "last audit: epoch=" << dump.audit_epoch
+        << " level=" << dump.audit_level << " checks=" << dump.audit_checks
+        << " violations=" << dump.audit_violations.size() << "\n";
+    for (const auto& v : dump.audit_violations) {
+      out << "  - [" << v.rule << "] w=" << v.workload
+          << " detail=" << v.detail << ": " << v.message << "\n";
+    }
+    out << "\n";
+  }
+
+  write_fairness_report(dump.metrics, dump.trace, out);
+}
+
+}  // namespace vulcan::obs

@@ -1,0 +1,152 @@
+// Continuous telemetry, storey four, part three: the black-box flight
+// recorder.
+//
+// A FlightRecorder holds non-owning pointers into one system's live
+// observability state (registry, trace ring, time-series store, last audit
+// report, SLO monitor) and can serialise a self-describing JSON snapshot —
+// a "flight dump" — of the recent past: header (why/when), SLO instance
+// states, the last audit report, the trace tail covering the configured
+// number of epochs, the full registry snapshot and every retained
+// time-series window.
+//
+// Auto dumps fire at most once per recorder, on the first of: an audit
+// failure about to throw, a newly fired SLO rule of critical severity, or
+// an unhandled engine exception. On-demand dumps (dump_file / dump) are
+// unlimited. Every section is written with the deterministic serialisers
+// of its source, so identical-seed runs dump identical bytes.
+//
+// FlightDump::parse reads a dump back using the repo's lenient offline
+// parsers (TraceRing::read_jsonl skips non-trace lines,
+// MetricsSnapshot::parse_json scans for its sections), and
+// write_flight_report renders it — header, SLO table, audit summary, then
+// the standard fairness report — for `vulcan_report --flight`.
+#pragma once
+
+#include <cstdint>
+#include <istream>
+#include <optional>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "check/invariants.hpp"
+#include "obs/metrics.hpp"
+#include "obs/report.hpp"
+#include "obs/slo.hpp"
+#include "obs/timeseries.hpp"
+#include "obs/trace.hpp"
+#include "sim/clock.hpp"
+
+namespace vulcan::obs {
+
+struct FlightConfig {
+  /// Trace-tail horizon: events from the last `epochs` epochs survive into
+  /// a dump (the ring may retain less; the tail is the intersection).
+  std::size_t epochs = 64;
+  /// Epoch length in cycles, for the tail horizon and the header's t_s.
+  sim::Cycles epoch = 0;
+  /// Auto-dump destination. Empty disables auto dumps; on-demand dumps
+  /// name their own path.
+  std::string dump_path;
+};
+
+class FlightRecorder {
+ public:
+  /// Why and when a dump was taken.
+  struct DumpInfo {
+    std::string reason;  ///< audit_failure | slo_critical | engine_exception | on_demand
+    std::string cause;   ///< free-text detail (first violation, what(), ...)
+    std::uint64_t epoch = 0;
+    sim::Cycles now = 0;
+  };
+
+  /// Disabled recorder: every dump refuses.
+  FlightRecorder() = default;
+
+  /// Wire a recorder over live observability state. All pointers are
+  /// non-owning and must outlive the recorder; `slo` may be null.
+  FlightRecorder(FlightConfig cfg, const Registry* registry,
+                 const TraceRing* trace, const TimeSeriesStore* timeseries,
+                 const SloMonitor* slo, const check::AuditReport* last_audit)
+      : cfg_(std::move(cfg)),
+        registry_(registry),
+        trace_(trace),
+        timeseries_(timeseries),
+        slo_(slo),
+        last_audit_(last_audit) {}
+
+  bool enabled() const { return registry_ != nullptr; }
+  const FlightConfig& config() const { return cfg_; }
+
+  /// Serialise a dump. False (and nothing written) when disabled.
+  bool dump(std::ostream& out, const DumpInfo& info) const;
+
+  /// dump() into `path`; false when disabled or the file cannot be opened.
+  bool dump_file(const std::string& path, const DumpInfo& info) const;
+
+  /// Once-guarded dump to config().dump_path: the first auto dump wins,
+  /// later triggers are no-ops. False when disabled, pathless, already
+  /// dumped, or the write failed.
+  bool auto_dump(const DumpInfo& info);
+
+  bool auto_dumped() const { return auto_dumped_; }
+  /// Path of the auto dump that was written (empty until one fires).
+  const std::string& auto_dump_path() const { return auto_dump_path_; }
+
+ private:
+  FlightConfig cfg_;
+  const Registry* registry_ = nullptr;
+  const TraceRing* trace_ = nullptr;
+  const TimeSeriesStore* timeseries_ = nullptr;
+  const SloMonitor* slo_ = nullptr;
+  const check::AuditReport* last_audit_ = nullptr;
+  bool auto_dumped_ = false;
+  std::string auto_dump_path_;
+};
+
+/// Parsed form of a flight dump, for offline rendering.
+struct FlightDump {
+  std::uint64_t version = 0;
+  std::string reason;
+  std::string cause;
+  std::uint64_t epoch = 0;
+  double t_s = 0.0;
+
+  struct SloInstance {
+    std::string rule;
+    std::string severity;
+    std::int32_t app = -1;
+    bool violated = false;
+    double value = 0.0;
+    std::uint64_t violations = 0;
+  };
+  std::vector<SloInstance> slo;
+
+  struct AuditViolation {
+    std::string rule;
+    std::int32_t workload = -1;
+    std::uint64_t detail = 0;
+    double value = 0.0;
+    std::string message;
+  };
+  bool audit_present = false;
+  std::uint64_t audit_epoch = 0;
+  std::uint64_t audit_checks = 0;
+  std::string audit_level;
+  std::vector<AuditViolation> audit_violations;
+
+  std::vector<TraceEvent> trace;   ///< the recorded tail, oldest first
+  MetricsSnapshot metrics;         ///< full registry snapshot at dump time
+  std::size_t timeseries_rows = 0; ///< retained (series, window) rows
+
+  /// Parse a dump written by FlightRecorder::dump. nullopt when the stream
+  /// is not a flight dump at all; individual sections are best-effort.
+  static std::optional<FlightDump> parse(std::istream& in);
+};
+
+/// Render a parsed dump: header, SLO instance table, last-audit summary,
+/// then the standard fairness/critical-path report over the embedded
+/// snapshot and trace tail. Deterministic formatting.
+void write_flight_report(const FlightDump& dump, std::ostream& out);
+
+}  // namespace vulcan::obs

@@ -29,6 +29,8 @@ const char* flat_kind_name(EventKind kind) {
     case EventKind::kSpanEnd: return "span_end";
     case EventKind::kAuditViolation: return "audit_violation";
     case EventKind::kAuditPass: return "audit_pass";
+    case EventKind::kSloViolation: return "slo_violation";
+    case EventKind::kSloRecovered: return "slo_recovered";
   }
   return "?";
 }

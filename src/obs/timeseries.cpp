@@ -1,0 +1,128 @@
+#include "obs/timeseries.hpp"
+
+#include <array>
+
+namespace vulcan::obs {
+
+const char* series_kind_name(SeriesKind kind) {
+  switch (kind) {
+    case SeriesKind::kCounter: return "counter";
+    case SeriesKind::kGauge: return "gauge";
+    case SeriesKind::kHistCount: return "hist_count";
+    case SeriesKind::kHistP99: return "hist_p99";
+  }
+  return "?";
+}
+
+double window_rate_per_sec(const SeriesWindow& w,
+                           const TimeSeriesConfig& cfg) {
+  const double window_s = sim::CpuClock::to_seconds(cfg.window);
+  return window_s > 0.0 ? w.sum / window_s : 0.0;
+}
+
+void Series::fold(double raw, std::uint64_t window_index,
+                  const TimeSeriesConfig& cfg) {
+  // Counter-like series sample the *delta* since the previous boundary;
+  // the first observation seeds the baseline as the full cumulative value
+  // (a store attached at t=0 sees the counter grow from zero).
+  double sample = raw;
+  if (counter_like()) {
+    sample = have_prev_ ? raw - total_ : raw;
+    total_ = raw;
+  }
+  have_prev_ = true;
+
+  if (windows_.empty() || windows_.back().index < window_index) {
+    SeriesWindow w;
+    w.index = window_index;
+    w.min = sample;
+    w.max = sample;
+    windows_.push_back(w);
+    while (windows_.size() > cfg.retention) windows_.pop_front();
+  }
+  SeriesWindow& w = windows_.back();
+  if (w.samples == 0) {
+    w.min = sample;
+    w.max = sample;
+  } else {
+    if (sample < w.min) w.min = sample;
+    if (sample > w.max) w.max = sample;
+  }
+  w.sum += sample;
+  w.last = counter_like() ? total_ : sample;
+  ++w.samples;
+
+  ewma_ = ewma_seeded_ ? cfg.ewma_alpha * sample +
+                             (1.0 - cfg.ewma_alpha) * ewma_
+                       : sample;
+  ewma_seeded_ = true;
+  w.ewma = ewma_;
+  ++observations_;
+}
+
+Series& TimeSeriesStore::resolve(const std::string& key, SeriesKind kind) {
+  const auto it = series_.find(key);
+  if (it != series_.end()) return it->second;
+  return series_.emplace(key, Series(kind)).first->second;
+}
+
+void TimeSeriesStore::observe(const Registry& reg, sim::Cycles now) {
+  if (!cfg_.enabled) return;
+  const std::uint64_t window_index =
+      cfg_.window ? now / cfg_.window : observations_;
+  reg.for_each(
+      [&](const std::string& key, const Counter& c) {
+        resolve(key, SeriesKind::kCounter)
+            .fold(static_cast<double>(c.value), window_index, cfg_);
+      },
+      [&](const std::string& key, const Gauge& g) {
+        resolve(key, SeriesKind::kGauge).fold(g.value, window_index, cfg_);
+      },
+      [&](const std::string& key, const Histogram& h) {
+        resolve(key + ":count", SeriesKind::kHistCount)
+            .fold(static_cast<double>(h.count()), window_index, cfg_);
+        resolve(key + ":p99", SeriesKind::kHistP99)
+            .fold(h.quantile(0.99), window_index, cfg_);
+      });
+  ++observations_;
+}
+
+void TimeSeriesStore::write(Exporter& exporter) const {
+  static const std::array<std::string, 13> kColumns = {
+      "key",  "kind", "window", "t_s",  "samples", "sum",  "rate",
+      "mean", "min",  "max",    "last", "ewma",    "total"};
+  exporter.begin(kColumns);
+  const double window_s = sim::CpuClock::to_seconds(cfg_.window);
+  for (const auto& [key, s] : series_) {
+    for (const SeriesWindow& w : s.windows()) {
+      const std::array<Value, 13> row = {
+          key,
+          std::string(series_kind_name(s.kind())),
+          w.index,
+          static_cast<double>(w.index) * window_s,
+          w.samples,
+          w.sum,
+          s.counter_like() ? window_rate_per_sec(w, cfg_) : 0.0,
+          w.mean(),
+          w.min,
+          w.max,
+          w.last,
+          w.ewma,
+          s.total()};
+      exporter.row(row);
+    }
+  }
+  exporter.end();
+}
+
+void TimeSeriesStore::write_jsonl(std::ostream& out) const {
+  JsonlExporter exporter(out);
+  write(exporter);
+}
+
+void TimeSeriesStore::write_csv(std::ostream& out) const {
+  CsvExporter exporter(out);
+  write(exporter);
+}
+
+}  // namespace vulcan::obs

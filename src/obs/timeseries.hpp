@@ -1,0 +1,155 @@
+// Continuous telemetry, storey four, part one: the time-series store.
+//
+// A deterministic, simulated-time-indexed ring of fixed-width windows per
+// registry key. The store is a pure *reader* of the obs::Registry: at every
+// epoch boundary the runtime calls observe(), which walks the registry in
+// its sorted-key order and folds one sample per instrument into the
+// current window. Counters fold as per-window deltas (sum + rate), gauges
+// as levels (last/min/max/mean), and histograms spawn two derived series —
+// "<key>:count" (delta of the observation count) and "<key>:p99" (the
+// windowed quantile level). Every series also maintains an EWMA over its
+// samples and, for counters, the cumulative total — which must equal the
+// registry's live counter at every boundary (the no-torn-windows
+// invariant, regression-tested).
+//
+// Determinism contract: the store is fed only at epoch boundaries from the
+// registry of its own system, so identical-seed runs produce byte-identical
+// exports at any --jobs level (the battery captures the export per job and
+// merges in roster order).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <ostream>
+#include <string>
+#include <string_view>
+
+#include "obs/exporter.hpp"
+#include "obs/metrics.hpp"
+#include "sim/clock.hpp"
+
+namespace vulcan::obs {
+
+struct TimeSeriesConfig {
+  /// Window width in simulated cycles (default: the paper's 250 ms epoch).
+  sim::Cycles window = sim::CpuClock::from_millis(250);
+  /// Windows retained per series; older windows are evicted.
+  std::size_t retention = 64;
+  /// Weight of the newest sample in the per-series EWMA, in (0, 1].
+  double ewma_alpha = 0.2;
+  /// Master switch (the bench guard measures the always-on cost against a
+  /// store-disabled run; production configs leave this on).
+  bool enabled = true;
+};
+
+/// How a series folds its samples (see file comment).
+enum class SeriesKind : std::uint8_t {
+  kCounter,   ///< samples are per-boundary deltas of a registry counter
+  kGauge,     ///< samples are levels of a registry gauge
+  kHistCount, ///< counter-like: delta of a histogram's observation count
+  kHistP99,   ///< gauge-like: windowed level of a histogram's p99
+};
+
+const char* series_kind_name(SeriesKind kind);
+
+/// One fixed-width window of one series.
+struct SeriesWindow {
+  std::uint64_t index = 0;    ///< window number = boundary time / width
+  std::uint64_t samples = 0;  ///< boundary observations folded in
+  /// Counter-like: sum of deltas. Gauge-like: sum of levels (mean feed).
+  double sum = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+  double last = 0.0;  ///< counter-like: cumulative total; gauge-like: level
+  double ewma = 0.0;  ///< series EWMA as of this window's newest sample
+
+  double mean() const {
+    return samples ? sum / static_cast<double>(samples) : 0.0;
+  }
+};
+
+/// The retained windows + running aggregates of one key.
+class Series {
+ public:
+  explicit Series(SeriesKind kind) : kind_(kind) {}
+
+  SeriesKind kind() const { return kind_; }
+  bool counter_like() const {
+    return kind_ == SeriesKind::kCounter || kind_ == SeriesKind::kHistCount;
+  }
+  /// Cumulative registry value at the last observation (counter-like
+  /// series only; the no-torn-windows invariant pins it to the registry).
+  double total() const { return total_; }
+  double ewma() const { return ewma_; }
+  std::uint64_t observations() const { return observations_; }
+
+  const std::deque<SeriesWindow>& windows() const { return windows_; }
+  /// Newest window; nullptr before the first observation.
+  const SeriesWindow* newest() const {
+    return windows_.empty() ? nullptr : &windows_.back();
+  }
+
+ private:
+  friend class TimeSeriesStore;
+  void fold(double raw, std::uint64_t window_index,
+            const TimeSeriesConfig& cfg);
+
+  SeriesKind kind_;
+  std::deque<SeriesWindow> windows_;
+  double total_ = 0.0;
+  double ewma_ = 0.0;
+  bool ewma_seeded_ = false;
+  bool have_prev_ = false;
+  std::uint64_t observations_ = 0;
+};
+
+/// Per-window access rate of a counter-like window (deltas per second).
+double window_rate_per_sec(const SeriesWindow& w, const TimeSeriesConfig& cfg);
+
+class TimeSeriesStore {
+ public:
+  explicit TimeSeriesStore(TimeSeriesConfig cfg = {}) : cfg_(cfg) {}
+
+  const TimeSeriesConfig& config() const { return cfg_; }
+  bool enabled() const { return cfg_.enabled; }
+
+  /// Fold one boundary snapshot of `reg` at simulated time `now`. Called
+  /// from the runtime's epoch-boundary point (the same place the invariant
+  /// auditor runs), so every counter is internally consistent. No-op when
+  /// disabled.
+  void observe(const Registry& reg, sim::Cycles now);
+
+  const Series* find(std::string_view key) const {
+    const auto it = series_.find(key);
+    return it == series_.end() ? nullptr : &it->second;
+  }
+  std::size_t series_count() const { return series_.size(); }
+  std::uint64_t observations() const { return observations_; }
+
+  /// Visit every series in sorted-key order.
+  template <typename Fn>
+  void for_each(Fn&& fn) const {
+    for (const auto& [key, s] : series_) fn(key, s);
+  }
+
+  /// Columnar export: one row per (series, retained window), series in
+  /// sorted-key order, windows oldest first. Deterministic.
+  void write(Exporter& exporter) const;
+  /// One JSON object per row (the `vulcan_sim --timeseries` format).
+  void write_jsonl(std::ostream& out) const;
+  /// The same rows through the CSV backend.
+  void write_csv(std::ostream& out) const;
+
+ private:
+  Series& resolve(const std::string& key, SeriesKind kind);
+
+  TimeSeriesConfig cfg_;
+  // Sorted map: deterministic export order and stable iteration, matching
+  // the registry it mirrors. Derived histogram series use a ":" suffix,
+  // which no registry key contains, so the namespace cannot collide.
+  std::map<std::string, Series, std::less<>> series_;
+  std::uint64_t observations_ = 0;
+};
+
+}  // namespace vulcan::obs

@@ -20,7 +20,7 @@ struct KindInfo {
   const char* v_name;  // nullptr => omitted
 };
 
-constexpr std::array<KindInfo, 13> kKinds{{
+constexpr std::array<KindInfo, 15> kKinds{{
     {EventKind::kEpochStart, "epoch_start", "epoch", "workloads", nullptr},
     {EventKind::kEpochEnd, "epoch_end", "epoch", "workloads", "cfi"},
     {EventKind::kMigPhaseBegin, "mig_phase_begin", "phase", "pages", nullptr},
@@ -38,6 +38,10 @@ constexpr std::array<KindInfo, 13> kKinds{{
     {EventKind::kAuditViolation, "audit_violation", "rule", "detail",
      "value"},
     {EventKind::kAuditPass, "audit_pass", "checks", "violations", nullptr},
+    {EventKind::kSloViolation, "slo_violation", "rule", "sustained",
+     "value"},
+    {EventKind::kSloRecovered, "slo_recovered", "rule", "sustained",
+     "value"},
 }};
 
 const KindInfo& info_of(EventKind kind) {
@@ -87,8 +91,9 @@ double parse_double(std::string_view tok) {
 
 }  // namespace
 
-void TraceRing::write_jsonl(std::ostream& out) const {
-  for (const TraceEvent& e : events()) {
+void TraceRing::write_events_jsonl(std::span<const TraceEvent> events,
+                                   std::ostream& out) {
+  for (const TraceEvent& e : events) {
     const KindInfo& ki = info_of(e.kind);
     out << "{\"seq\":" << e.seq << ",\"t\":" << e.time << ",\"kind\":\""
         << ki.name << "\",\"w\":" << e.workload << ",\"" << ki.a_name
@@ -96,6 +101,10 @@ void TraceRing::write_jsonl(std::ostream& out) const {
     if (ki.v_name) out << ",\"" << ki.v_name << "\":" << e.v;
     out << "}\n";
   }
+}
+
+void TraceRing::write_jsonl(std::ostream& out) const {
+  write_events_jsonl(events(), out);
 }
 
 std::vector<TraceEvent> TraceRing::read_jsonl(std::istream& in) {

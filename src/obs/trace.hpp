@@ -12,6 +12,7 @@
 #include <cstdint>
 #include <istream>
 #include <ostream>
+#include <span>
 #include <vector>
 
 #include "sim/clock.hpp"
@@ -38,6 +39,11 @@ enum class EventKind : std::uint8_t {
   // value in `v`; a pass carries the number of checks evaluated in `a`.
   kAuditViolation,
   kAuditPass,
+  // SLO monitor outcomes (obs/slo.hpp). Both carry the rule index in `a`,
+  // the sustained boundary streak in `b` and the measured value in `v`;
+  // `workload` is the app the rule instance is scoped to (-1 system-wide).
+  kSloViolation,
+  kSloRecovered,
 };
 
 /// The five phases of one migration operation (§2.1): kernel trap /
@@ -75,6 +81,8 @@ inline constexpr const char* mig_phase_name(MigPhase p) {
 ///   cbfrp_rejection  a=granted       b=demand           v=credits
 ///   audit_violation  a=rule id       b=detail           v=value
 ///   audit_pass       a=checks        b=violations
+///   slo_violation    a=rule index    b=sustained        v=value
+///   slo_recovered    a=rule index    b=sustained        v=value
 struct TraceEvent {
   std::uint64_t seq = 0;     ///< assigned by the ring, never reused
   sim::Cycles time = 0;      ///< virtual time of emission
@@ -121,6 +129,11 @@ class TraceRing {
 
   /// One JSON object per line, oldest first. Deterministic.
   void write_jsonl(std::ostream& out) const;
+
+  /// Serialise arbitrary events in the same line format (the flight
+  /// recorder writes a filtered tail through this).
+  static void write_events_jsonl(std::span<const TraceEvent> events,
+                                 std::ostream& out);
 
   /// Parse events previously written by write_jsonl (round-trip).
   /// Unparseable lines are skipped.

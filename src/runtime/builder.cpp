@@ -24,6 +24,27 @@ BuildResult SystemBuilder::build() {
   if (!(c.heat_decay > 0.0) || c.heat_decay > 1.0) {
     return BuildResult::failure("heat_decay must be in (0, 1]");
   }
+  if (c.timeseries.window == 0) {
+    return BuildResult::failure("timeseries.window must be > 0 cycles");
+  }
+  if (c.timeseries.retention == 0) {
+    return BuildResult::failure("timeseries.retention must be > 0 windows");
+  }
+  if (!(c.timeseries.ewma_alpha > 0.0) || c.timeseries.ewma_alpha > 1.0) {
+    return BuildResult::failure("timeseries.ewma_alpha must be in (0, 1]");
+  }
+  if (c.flight_epochs == 0) {
+    return BuildResult::failure("flight_epochs must be > 0");
+  }
+  for (const obs::SloSpec& rule : c.slo_rules) {
+    if (rule.name.empty()) {
+      return BuildResult::failure("SLO rules must be named");
+    }
+    if (!(rule.sustain_s > 0.0)) {
+      return BuildResult::failure("SLO rule \"" + rule.name +
+                                  "\" must sustain for > 0 s");
+    }
+  }
   if (c.custom_tiers) {
     const auto& tiers = *c.custom_tiers;
     if (tiers.empty()) {

@@ -160,6 +160,35 @@ class SystemBuilder {
     config_.translate_batch = accesses;
     return *this;
   }
+  /// Time-series store configuration (window width, retention, EWMA
+  /// weight). The store itself is always on; see Config::timeseries.
+  SystemBuilder& timeseries(obs::TimeSeriesConfig cfg) {
+    config_.timeseries = cfg;
+    return *this;
+  }
+  /// Install SLO rules (e.g. obs::default_slo_pack()). Opt-in: rules add
+  /// slo.* counters to the registry snapshot.
+  SystemBuilder& slo(std::vector<obs::SloSpec> rules) {
+    config_.slo_rules = std::move(rules);
+    return *this;
+  }
+  /// Flight-recorder auto-dump path (written at most once, on the first
+  /// audit failure / critical SLO / engine exception).
+  SystemBuilder& flight_dump(std::string path) {
+    config_.flight_dump_path = std::move(path);
+    return *this;
+  }
+  /// Flight-recorder trace-tail horizon in epochs (default 64).
+  SystemBuilder& flight_epochs(std::size_t epochs) {
+    config_.flight_epochs = epochs;
+    return *this;
+  }
+  /// Master telemetry switch (store + SLO + flight recorder). Off exists
+  /// for the bench guard's overhead measurement.
+  SystemBuilder& telemetry(bool on) {
+    config_.telemetry = on;
+    return *this;
+  }
 
   /// Perturbation hook: direct access to the staged configuration, so the
   /// what-if engine (obs/whatif.hpp) can scale individual cost constants on

@@ -1,6 +1,7 @@
 #include "runtime/experiment.hpp"
 
 #include <array>
+#include <sstream>
 #include <stdexcept>
 #include <string>
 
@@ -256,6 +257,11 @@ std::vector<PolicyRunSummary> run_policy_battery(
                                   perf > 0 ? 1.0 / perf : 1.0);
       }
       summary.snapshot = obs::snapshot_registry(sys.obs_registry());
+      if (spec.capture_timeseries) {
+        std::ostringstream rows;
+        sys.obs_timeseries().write_jsonl(rows);
+        summary.timeseries = rows.str();
+      }
       return summary;
     });
   }

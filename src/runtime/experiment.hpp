@@ -122,6 +122,10 @@ struct ScenarioSpec {
   std::uint64_t seed = 42;
   std::function<void(SystemBuilder&)> configure;
   std::function<std::vector<StagedWorkload>()> stage;
+  /// Capture each run's time-series store (JSONL) into
+  /// PolicyRunSummary::timeseries. Off by default: the capture is
+  /// deterministic but large, and most batteries never read it.
+  bool capture_timeseries = false;
 };
 
 /// One policy's end-to-end result over a ScenarioSpec.
@@ -133,6 +137,9 @@ struct PolicyRunSummary {
   /// averaged over the second half of the run like `vulcan_sim`.
   std::vector<std::pair<std::string, double>> apps;
   obs::MetricsSnapshot snapshot;  ///< the run's full registry
+  /// The run's time-series export (JSONL rows) when the scenario set
+  /// capture_timeseries; empty otherwise. Not part of the fuzz digest.
+  std::string timeseries;
 };
 
 /// Run `spec` once per policy, fanning the runs out across `jobs` workers.

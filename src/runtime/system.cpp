@@ -36,6 +36,25 @@ TieredSystem::TieredSystem(Config config,
   shootdowns_->set_obs(root.sub("vm.shootdown"));
   policy_->set_obs(root.sub("policy"));
   tier_utilization_.assign(topo_->tier_count(), 0.0);
+  // Telemetry storey (obs/timeseries, obs/slo, obs/flightrec): the store
+  // reads the registry at epoch boundaries, the monitor is opt-in via
+  // slo_rules (its counters enter the snapshot), and the flight recorder
+  // watches everything through non-owning pointers to the members above.
+  obs::TimeSeriesConfig ts_cfg = config_.timeseries;
+  ts_cfg.enabled = ts_cfg.enabled && config_.telemetry;
+  timeseries_ = obs::TimeSeriesStore(ts_cfg);
+  if (config_.telemetry && !config_.slo_rules.empty()) {
+    slo_.emplace(config_.slo_rules, config_.epoch);
+  }
+  if (config_.telemetry) {
+    obs::FlightConfig flight_cfg;
+    flight_cfg.epochs = config_.flight_epochs;
+    flight_cfg.epoch = config_.epoch;
+    flight_cfg.dump_path = config_.flight_dump_path;
+    flight_ = obs::FlightRecorder(flight_cfg, &registry_, &trace_,
+                                  &timeseries_, slo_ ? &*slo_ : nullptr,
+                                  &last_audit_);
+  }
   if (config_.migration_budget_override > 0) {
     migration_budget_ = config_.migration_budget_override;
   } else {
@@ -414,7 +433,24 @@ void TieredSystem::run_one_epoch() {
   // (7) Heat decay closes the epoch.
   for (auto& mw : workloads_) mw->tracker->decay_epoch();
 
-  // (8) Invariant audit (check/invariants.hpp): cross-validate every
+  // (8) Epoch-boundary telemetry. The time-series hook runs at the same
+  // consistency point the invariant auditor audits — every counter below
+  // is final for the epoch — so interleaved readers never observe a torn
+  // window (obs_timeseries_test pins store totals to registry counters).
+  if (timeseries_.enabled()) timeseries_.observe(registry_, now_);
+  if (slo_) {
+    const obs::SloEvalResult slo_eval =
+        slo_->evaluate(timeseries_, registry_, &trace_, now_);
+    if (slo_eval.fired > 0 &&
+        slo_eval.max_fired == obs::SloSeverity::kCritical) {
+      flight_.auto_dump({.reason = "slo_critical",
+                         .cause = "SLO rule fired at critical severity",
+                         .epoch = epoch_index_,
+                         .now = now_});
+    }
+  }
+
+  // (9) Invariant audit (check/invariants.hpp): cross-validate every
   // redundant view of machine state while the epoch's clock is current.
   if (config_.audit != check::AuditLevel::kOff && config_.audit_every > 0 &&
       epoch_index_ % config_.audit_every == 0) {
@@ -430,7 +466,28 @@ void TieredSystem::run_one_epoch() {
 }
 
 void TieredSystem::run_epochs(unsigned count) {
-  for (unsigned i = 0; i < count; ++i) run_one_epoch();
+  for (unsigned i = 0; i < count; ++i) {
+    try {
+      run_one_epoch();
+    } catch (const check::AuditFailure&) {
+      throw;  // the audit site already took the flight dump
+    } catch (const std::exception& e) {
+      flight_.auto_dump({.reason = "engine_exception",
+                         .cause = e.what(),
+                         .epoch = epoch_index_,
+                         .now = now_});
+      throw;
+    }
+  }
+}
+
+bool TieredSystem::dump_flight(const std::string& path,
+                               const std::string& reason,
+                               const std::string& cause) {
+  return flight_.dump_file(path, {.reason = reason,
+                                  .cause = cause,
+                                  .epoch = epoch_index_,
+                                  .now = now_});
 }
 
 check::SystemView TieredSystem::audit_view() const {
@@ -477,6 +534,12 @@ const check::AuditReport& TieredSystem::run_audit_internal(
     }
   }
   if (throw_on_failure && !last_audit_.ok()) {
+    // Black-box drill: capture the flight dump before the stack unwinds,
+    // while every subsystem still holds the failing state.
+    flight_.auto_dump({.reason = "audit_failure",
+                       .cause = last_audit_.violations.front().message,
+                       .epoch = epoch_index_,
+                       .now = now_});
     throw check::AuditFailure(last_audit_);
   }
   return last_audit_;

@@ -19,9 +19,12 @@
 #include "mem/topology.hpp"
 #include "mig/migration_thread.hpp"
 #include "obs/app_stats.hpp"
+#include "obs/flightrec.hpp"
 #include "obs/metrics.hpp"
 #include "obs/scope.hpp"
+#include "obs/slo.hpp"
 #include "obs/span.hpp"
+#include "obs/timeseries.hpp"
 #include "obs/trace.hpp"
 #include "policy/policy.hpp"
 #include "prof/chrono.hpp"
@@ -107,6 +110,24 @@ class TieredSystem {
     /// vm::Mmu::translate_batch. Behavior-neutral by contract — any value
     /// >= 1 produces byte-identical artefacts (fuzz-enforced).
     std::uint64_t translate_batch = 256;
+    /// Continuous telemetry (obs/timeseries.hpp): the always-on windowed
+    /// time-series store fed from the registry at every epoch boundary.
+    /// Read-only over the registry, so default artefacts are unchanged.
+    obs::TimeSeriesConfig timeseries;
+    /// SLO rules (obs/slo.hpp) evaluated over the store each epoch. Opt-in
+    /// — installed rules add slo.* counters to the registry snapshot, and
+    /// the fuzz oracle pins snapshots of rule-free runs.
+    std::vector<obs::SloSpec> slo_rules;
+    /// Flight-recorder trace-tail horizon, in epochs.
+    std::size_t flight_epochs = 64;
+    /// Flight-recorder auto-dump destination: written at most once, on the
+    /// first of AuditFailure / critical SLO firing / engine exception.
+    /// Empty disables auto dumps (on-demand dump_flight still works).
+    std::string flight_dump_path;
+    /// Master switch for the telemetry storey (store + SLO + flight
+    /// recorder). The hotpath bench guard measures against a telemetry-off
+    /// run; everywhere else leave it on.
+    bool telemetry = true;
   };
 
   TieredSystem(Config config, std::unique_ptr<policy::SystemPolicy> policy);
@@ -151,6 +172,19 @@ class TieredSystem {
   const obs::SpanRecorder& obs_spans() const { return spans_; }
   /// Per-app fairness attribution rolled up from epochs and closing spans.
   const obs::AppStats& app_stats() const { return app_stats_; }
+  /// The windowed time-series store (inert when Config::telemetry is off).
+  const obs::TimeSeriesStore& obs_timeseries() const { return timeseries_; }
+  /// The SLO monitor; null unless Config::slo_rules installed one.
+  const obs::SloMonitor* slo_monitor() const {
+    return slo_ ? &*slo_ : nullptr;
+  }
+  /// The black-box flight recorder over this system's telemetry.
+  const obs::FlightRecorder& flight() const { return flight_; }
+  /// On-demand flight dump to `path`. False when telemetry is off or the
+  /// file cannot be written.
+  bool dump_flight(const std::string& path,
+                   const std::string& reason = "on_demand",
+                   const std::string& cause = "");
 
   /// Eq. 4 fairness over everything run so far.
   double fairness_cfi() const { return cfi_.cfi(); }
@@ -228,6 +262,11 @@ class TieredSystem {
   std::uint64_t dropped_reported_ = 0;
   std::uint64_t migration_budget_ = 0;
   check::AuditReport last_audit_;
+  // Telemetry storey: store + optional monitor + flight recorder (wired in
+  // the constructor body, over pointers to the members above).
+  obs::TimeSeriesStore timeseries_;
+  std::optional<obs::SloMonitor> slo_;
+  obs::FlightRecorder flight_;
   unsigned next_core_ = 0;
   // Previous-epoch tier utilisation drives this epoch's loaded latencies.
   std::vector<double> tier_utilization_;

@@ -1,0 +1,195 @@
+// FlightRecorder self-tests: the black box auto-dumps exactly once on a
+// seeded audit failure, dumps parse back (FlightDump round-trip) and
+// render, the trace tail respects the configured horizon, and disabled
+// recorders refuse politely.
+#include "obs/flightrec.hpp"
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <memory>
+#include <sstream>
+#include <string>
+
+#include "check/invariants.hpp"
+#include "obs/slo.hpp"
+#include "runtime/experiment.hpp"
+#include "runtime/system.hpp"
+#include "vm/address_space.hpp"
+#include "wl/apps.hpp"
+
+namespace vulcan::obs {
+namespace {
+
+runtime::TieredSystem::Config base_config() {
+  runtime::TieredSystem::Config cfg;
+  cfg.samples_per_epoch = 2000;
+  cfg.seed = 7;
+  return cfg;
+}
+
+FlightRecorder::DumpInfo info_for(const char* reason) {
+  FlightRecorder::DumpInfo info;
+  info.reason = reason;
+  return info;
+}
+
+void add_workload(runtime::TieredSystem& sys, std::uint64_t seed = 11) {
+  wl::MicrobenchWorkload::Params p;
+  p.rss_pages = 4096;
+  p.wss_pages = 2048;
+  p.seed = seed;
+  sys.add_workload(std::make_unique<wl::MicrobenchWorkload>(p));
+}
+
+/// Cross-wire chunk 0's cached walk to chunk 1's leaf table (the same
+/// seeded fault vm_mmu_test plants), so the next audit fails for real.
+void poison_pwc(runtime::TieredSystem& sys) {
+  const vm::AddressSpace& as = sys.address_space(0);
+  const vm::LeafTable* wrong =
+      as.tables().process_table().leaf_of(as.vpn_at(sim::kPagesPerHuge));
+  ASSERT_NE(wrong, nullptr);
+  sys.mmu().debug_poison_pwc(as.pid(), as.vpn_at(0),
+                             const_cast<vm::LeafTable*>(wrong));
+}
+
+TEST(FlightRecorder, AuditFailureAutoDumpsOnceAndParsesBack) {
+  const std::string path =
+      ::testing::TempDir() + "/flight_audit_failure.json";
+  runtime::TieredSystem::Config cfg = base_config();
+  cfg.flight_dump_path = path;
+  cfg.slo_rules = default_slo_pack();
+  runtime::TieredSystem sys(cfg, runtime::make_policy("tpp"));
+  add_workload(sys);
+  sys.prefault(0);
+  sys.run_epochs(2);
+  ASSERT_FALSE(sys.flight().auto_dumped());
+
+  poison_pwc(sys);
+  EXPECT_THROW(sys.run_epochs(1), check::AuditFailure);
+  ASSERT_TRUE(sys.flight().auto_dumped());
+  EXPECT_EQ(sys.flight().auto_dump_path(), path);
+
+  std::ifstream in(path);
+  ASSERT_TRUE(in.is_open());
+  const auto dump = FlightDump::parse(in);
+  ASSERT_TRUE(dump.has_value());
+  EXPECT_EQ(dump->version, 1u);
+  EXPECT_EQ(dump->reason, "audit_failure");
+  EXPECT_EQ(dump->epoch, 3u);
+  ASSERT_TRUE(dump->audit_present);
+  EXPECT_EQ(dump->audit_epoch, 3u);
+  ASSERT_FALSE(dump->audit_violations.empty());
+  EXPECT_EQ(dump->audit_violations.front().rule, "pwc_coherence");
+  // The whole telemetry storey made it into the box.
+  EXPECT_FALSE(dump->slo.empty());
+  EXPECT_FALSE(dump->trace.empty());
+  EXPECT_FALSE(dump->metrics.counters.empty());
+  EXPECT_GT(dump->timeseries_rows, 0u);
+
+  // The report renders and names the trigger.
+  std::ostringstream report;
+  write_flight_report(*dump, report);
+  EXPECT_NE(report.str().find("reason:  audit_failure"), std::string::npos);
+  EXPECT_NE(report.str().find("pwc_coherence"), std::string::npos);
+  EXPECT_NE(report.str().find("vulcan fairness report"), std::string::npos);
+}
+
+TEST(FlightRecorder, AutoDumpIsOnceGuarded) {
+  const std::string path = ::testing::TempDir() + "/flight_once.json";
+  Registry reg;
+  reg.counter("c").inc(1);
+  TraceRing trace(16);
+  TimeSeriesStore store;
+  check::AuditReport audit;
+  FlightConfig cfg;
+  cfg.dump_path = path;
+  FlightRecorder rec(cfg, &reg, &trace, &store, nullptr, &audit);
+
+  EXPECT_TRUE(rec.auto_dump(info_for("slo_critical")));
+  EXPECT_TRUE(rec.auto_dumped());
+  EXPECT_FALSE(rec.auto_dump(info_for("engine_exception")))
+      << "second auto dump must be a no-op";
+
+  // On-demand dumps are not consumed by the guard.
+  std::ostringstream out;
+  EXPECT_TRUE(rec.dump(out, info_for("on_demand")));
+  std::istringstream in(out.str());
+  const auto dump = FlightDump::parse(in);
+  ASSERT_TRUE(dump.has_value());
+  EXPECT_EQ(dump->reason, "on_demand");
+}
+
+TEST(FlightRecorder, DisabledAndPathlessRecordersRefuse) {
+  FlightRecorder disabled;
+  EXPECT_FALSE(disabled.enabled());
+  std::ostringstream out;
+  EXPECT_FALSE(disabled.dump(out, info_for("on_demand")));
+  EXPECT_TRUE(out.str().empty());
+
+  // Wired but pathless: on-demand works, auto dumps have nowhere to go.
+  Registry reg;
+  TraceRing trace(16);
+  TimeSeriesStore store;
+  check::AuditReport audit;
+  FlightRecorder pathless({}, &reg, &trace, &store, nullptr, &audit);
+  EXPECT_FALSE(pathless.auto_dump(info_for("slo_critical")));
+  EXPECT_FALSE(pathless.auto_dumped());
+  EXPECT_TRUE(pathless.dump(out, info_for("on_demand")));
+}
+
+TEST(FlightRecorder, TraceTailRespectsTheEpochHorizon) {
+  runtime::TieredSystem::Config cfg = base_config();
+  cfg.flight_epochs = 2;
+  runtime::TieredSystem sys(cfg, runtime::make_policy("vulcan"));
+  add_workload(sys);
+  sys.run_epochs(6);
+
+  std::ostringstream out;
+  ASSERT_TRUE(sys.dump_flight(::testing::TempDir() + "/flight_tail.json"));
+  std::ifstream in(::testing::TempDir() + "/flight_tail.json");
+  const auto dump = FlightDump::parse(in);
+  ASSERT_TRUE(dump.has_value());
+  ASSERT_FALSE(dump->trace.empty());
+  // 6 epochs ran; only events from the last 2 epochs may survive.
+  const sim::Cycles cutoff = 4 * cfg.epoch;
+  for (const TraceEvent& e : dump->trace) {
+    EXPECT_GE(e.time, cutoff);
+  }
+  // The full ring still holds older events — the dump really filtered.
+  EXPECT_LT(dump->trace.size(), sys.obs_trace().size());
+}
+
+TEST(FlightRecorder, TelemetryOffDisablesTheRecorder) {
+  runtime::TieredSystem::Config cfg = base_config();
+  cfg.telemetry = false;
+  cfg.flight_dump_path = ::testing::TempDir() + "/flight_never.json";
+  runtime::TieredSystem sys(cfg, runtime::make_policy("tpp"));
+  add_workload(sys);
+  sys.run_epochs(2);
+  EXPECT_FALSE(sys.flight().enabled());
+  EXPECT_FALSE(sys.dump_flight(::testing::TempDir() + "/flight_no.json"));
+}
+
+TEST(FlightRecorder, DumpBytesAreDeterministic) {
+  auto dump_once = [] {
+    runtime::TieredSystem::Config cfg = base_config();
+    cfg.slo_rules = default_slo_pack();
+    runtime::TieredSystem sys(cfg, runtime::make_policy("vulcan"));
+    add_workload(sys);
+    sys.run_epochs(4);
+    std::ostringstream out;
+    FlightRecorder::DumpInfo info;
+    info.reason = "on_demand";
+    info.epoch = 4;
+    info.now = 4 * cfg.epoch;
+    EXPECT_TRUE(sys.flight().dump(out, info));
+    return out.str();
+  };
+  const std::string a = dump_once();
+  EXPECT_FALSE(a.empty());
+  EXPECT_EQ(a, dump_once());
+}
+
+}  // namespace
+}  // namespace vulcan::obs

@@ -11,8 +11,10 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <filesystem>
 #include <sstream>
 #include <string>
+#include <system_error>
 #include <vector>
 
 #include <vulcan/vulcan.hpp>
@@ -34,7 +36,10 @@ void usage() {
       "  --level L        audit level: off | basic | full         [full]\n"
       "  --vary-hotpath B on | off: re-run with the page-walk cache\n"
       "                   disabled and several translate-batch sizes,\n"
-      "                   asserting identical artefacts             [on]\n");
+      "                   asserting identical artefacts             [on]\n"
+      "  --flight-on-fail DIR  after a scenario fails, re-run it with the\n"
+      "                   flight recorder armed and drop the black-box\n"
+      "                   dumps into DIR (created if missing)\n");
 }
 
 std::vector<std::string> split_list(const std::string& csv) {
@@ -85,6 +90,8 @@ int main(int argc, char** argv) {
         return 2;
       }
       options.level = *parsed;
+    } else if (flag == "--flight-on-fail") {
+      options.flight_dir = next();
     } else if (flag == "--vary-hotpath") {
       const std::string v = next();
       if (v == "on" || v == "1" || v == "true") {
@@ -97,6 +104,16 @@ int main(int argc, char** argv) {
       }
     } else {
       std::fprintf(stderr, "unknown flag: %s\n", flag.c_str());
+      return 2;
+    }
+  }
+
+  if (!options.flight_dir.empty()) {
+    std::error_code ec;
+    std::filesystem::create_directories(options.flight_dir, ec);
+    if (ec) {
+      std::fprintf(stderr, "cannot create %s: %s\n",
+                   options.flight_dir.c_str(), ec.message().c_str());
       return 2;
     }
   }
@@ -120,6 +137,9 @@ int main(int argc, char** argv) {
   for (const check::FuzzFailure& f : result.failures) {
     std::fprintf(stderr, "FAIL [%s] %s\n", f.scenario.c_str(),
                  f.what.c_str());
+  }
+  for (const std::string& path : result.flight_dumps) {
+    std::fprintf(stderr, "flight dump: %s\n", path.c_str());
   }
   if (!result.ok) {
     std::fprintf(stderr, "vulcan_check_fuzz: %zu failure(s)\n",

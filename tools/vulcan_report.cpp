@@ -14,6 +14,7 @@
 #include <cstring>
 #include <fstream>
 #include <iostream>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -29,15 +30,18 @@ void usage() {
       "\n"
       "  --metrics FILE   metrics-registry snapshot (vulcan_sim --metrics)\n"
       "  --trace FILE     structured event trace    (vulcan_sim --trace)\n"
+      "  --flight FILE    flight-recorder dump (vulcan_sim --flight-dump);\n"
+      "                   renders the black box instead of --metrics/--trace\n"
       "\n"
-      "--metrics is required; --trace adds the critical-path section.\n"
-      "Either may be '-' to read from stdin (not both).");
+      "--metrics is required unless --flight is given; --trace adds the\n"
+      "critical-path section. Either of --metrics/--trace may be '-' to\n"
+      "read from stdin (not both); --flight may be '-' when used alone.");
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  std::string metrics_path, trace_path;
+  std::string metrics_path, trace_path, flight_path;
   for (int i = 1; i < argc; ++i) {
     const std::string flag = argv[i];
     auto next = [&]() -> const char* {
@@ -54,10 +58,36 @@ int main(int argc, char** argv) {
       metrics_path = next();
     } else if (flag == "--trace") {
       trace_path = next();
+    } else if (flag == "--flight") {
+      flight_path = next();
     } else {
       std::fprintf(stderr, "unknown flag: %s\n", flag.c_str());
       return 2;
     }
+  }
+  if (!flight_path.empty()) {
+    if (!metrics_path.empty() || !trace_path.empty()) {
+      std::fprintf(stderr, "--flight replaces --metrics/--trace\n");
+      return 2;
+    }
+    std::optional<obs::FlightDump> dump;
+    if (flight_path == "-") {
+      dump = obs::FlightDump::parse(std::cin);
+    } else {
+      std::ifstream in(flight_path);
+      if (!in) {
+        std::fprintf(stderr, "cannot open %s\n", flight_path.c_str());
+        return 1;
+      }
+      dump = obs::FlightDump::parse(in);
+    }
+    if (!dump) {
+      std::fprintf(stderr, "%s is not a flight-recorder dump\n",
+                   flight_path.c_str());
+      return 1;
+    }
+    obs::write_flight_report(*dump, std::cout);
+    return 0;
   }
   if (metrics_path.empty()) {
     usage();

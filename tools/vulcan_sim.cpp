@@ -60,6 +60,10 @@ struct Options {
   std::string record_trace;  // capture workload 0's accesses to this file
   std::string replay_trace;  // replace the scenario with this trace file
   std::string audit;  // invariant-audit level; empty = builder default
+  std::string slo;    // SLO rule pack; empty = no monitor
+  std::string timeseries_out;  // time-series export (battery: file prefix)
+  std::string flight_dump;     // flight-recorder dump path (single run)
+  std::string telemetry_bench;  // battery: telemetry-overhead measurement
   bool help = false;
 };
 
@@ -96,6 +100,20 @@ void usage() {
       "  --audit [L]      invariant-audit level: off | basic | full\n"
       "                   (bare --audit means full; a violation prints\n"
       "                   the report and exits 3)            [basic]\n"
+      "  --slo [PACK]     install an SLO rule pack (only `default`: per-app\n"
+      "                   slowdown, worst slowdown, Jain floor, migration\n"
+      "                   failure share, shootdown p99); violations land in\n"
+      "                   the trace and the slo.* counters\n"
+      "  --timeseries F   write the windowed time-series store (CSV when F\n"
+      "                   ends in .csv, JSONL otherwise; in battery mode F\n"
+      "                   is a prefix: F.<policy>.jsonl per roster entry)\n"
+      "  --flight-dump F  arm the flight recorder's auto dump at F (audit\n"
+      "                   failure / critical SLO / engine exception); when\n"
+      "                   the run ends cleanly, dump on demand instead\n"
+      "  --telemetry-bench F  (battery) run the roster with telemetry off\n"
+      "                   and again with the default SLO pack, assert the\n"
+      "                   fairness artefacts are identical, and write the\n"
+      "                   overhead summary JSON to F\n"
       "  (--trace/--metrics/--perfetto/--folded accept '-' for stdout)\n"
       "  micro knobs: --rss P --wss P --write-ratio R --rate A/s/thread\n"
       "               --drift pages/s\n"
@@ -143,12 +161,28 @@ bool parse(int argc, char** argv, Options& o) {
       if (i + 1 < argc && argv[i + 1][0] != '-') o.audit = argv[++i];
       else o.audit = "full";
     }
+    else if (flag == "--slo") {
+      // The pack name is optional: a bare --slo means "default".
+      if (i + 1 < argc && argv[i + 1][0] != '-') o.slo = argv[++i];
+      else o.slo = "default";
+    }
+    else if (flag == "--timeseries") o.timeseries_out = next();
+    else if (flag == "--flight-dump") o.flight_dump = next();
+    else if (flag == "--telemetry-bench") o.telemetry_bench = next();
     else {
       std::fprintf(stderr, "unknown flag: %s\n", flag.c_str());
       return false;
     }
   }
   return true;
+}
+
+std::vector<obs::SloSpec> slo_rules(const Options& o) {
+  if (o.slo.empty()) return {};
+  if (o.slo == "default") return obs::default_slo_pack();
+  std::fprintf(stderr, "unknown SLO pack: %s (only `default`)\n",
+               o.slo.c_str());
+  std::exit(2);
 }
 
 check::AuditLevel audit_level(const Options& o) {
@@ -225,11 +259,13 @@ bool write_output(const std::string& path, Fn&& fn) {
 int run_battery(const Options& o) {
   if (!o.csv.empty() || !o.trace_out.empty() || !o.metrics_out.empty() ||
       !o.perfetto_out.empty() || !o.folded_out.empty() ||
-      !o.record_trace.empty() || !o.replay_trace.empty()) {
+      !o.record_trace.empty() || !o.replay_trace.empty() ||
+      !o.flight_dump.empty()) {
     std::fprintf(stderr,
                  "--policies is a comparison mode; per-run artefact flags "
                  "(--csv/--trace/--metrics/--perfetto/--folded/"
-                 "--record-trace/--replay-trace) need a single --policy run\n");
+                 "--record-trace/--replay-trace/--flight-dump) need a "
+                 "single --policy run\n");
     return 2;
   }
   if (o.scenario != "paper" && o.scenario != "dilemma" &&
@@ -254,18 +290,24 @@ int run_battery(const Options& o) {
     return 2;
   }
 
-  runtime::ScenarioSpec spec;
-  spec.name = o.scenario;
-  spec.seconds = o.seconds;
-  spec.seed = o.seed;
-  spec.configure = [&o](runtime::SystemBuilder& b) {
+  const auto configure_base = [&o](runtime::SystemBuilder& b) {
     b.epoch_ms(o.epoch_ms)
         .samples_per_epoch(o.samples)
         .profiler(profiler_kind(o.profiler))
         .spans(!o.no_spans)
         .audit(audit_level(o));
   };
+
+  runtime::ScenarioSpec spec;
+  spec.name = o.scenario;
+  spec.seconds = o.seconds;
+  spec.seed = o.seed;
+  spec.configure = [&o, &configure_base](runtime::SystemBuilder& b) {
+    configure_base(b);
+    b.slo(slo_rules(o));
+  };
   spec.stage = [&o] { return make_scenario(o); };
+  spec.capture_timeseries = !o.timeseries_out.empty();
 
   std::printf("scenario=%s seed=%llu seconds=%.0f policies=%zu\n\n",
               o.scenario.c_str(), (unsigned long long)o.seed, o.seconds,
@@ -300,6 +342,70 @@ int run_battery(const Options& o) {
       std::printf(" %14.3f", slowdown);
     }
     std::printf("\n");
+  }
+
+  // Per-policy time-series exports, merged in roster order like the table
+  // (each job captured its own store, so the files are byte-identical for
+  // any --jobs value).
+  if (!o.timeseries_out.empty()) {
+    for (const auto& s : summaries) {
+      const std::string path = o.timeseries_out + "." + s.policy + ".jsonl";
+      if (!write_output(path, [&](std::ostream& out) { out << s.timeseries; })) {
+        return 1;
+      }
+      std::fprintf(stderr, "wrote %s (time-series export)\n", path.c_str());
+    }
+  }
+
+  // Telemetry overhead guard: the same roster with the telemetry storey
+  // disabled, then with the default SLO pack on top of the always-on
+  // store. The fairness artefacts must be identical — telemetry reads the
+  // registry, it never steers the system — and the serialized wall-time
+  // ratio is the overhead the bench baseline budgets.
+  if (!o.telemetry_bench.empty()) {
+    runtime::ScenarioSpec off = spec;
+    off.capture_timeseries = false;
+    off.configure = [&configure_base](runtime::SystemBuilder& b) {
+      configure_base(b);
+      b.telemetry(false);
+    };
+    runtime::ScenarioSpec on = spec;
+    on.capture_timeseries = false;
+    on.configure = [&configure_base](runtime::SystemBuilder& b) {
+      configure_base(b);
+      b.slo(obs::default_slo_pack());
+    };
+    exec::BatchStats off_stats, on_stats;
+    std::vector<runtime::PolicyRunSummary> off_sum, on_sum;
+    try {
+      off_sum = runtime::run_policy_battery(off, roster, o.jobs, &off_stats);
+      on_sum = runtime::run_policy_battery(on, roster, o.jobs, &on_stats);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "vulcan_sim: telemetry bench: %s\n", e.what());
+      return 1;
+    }
+    bool identical = off_sum.size() == on_sum.size();
+    for (std::size_t i = 0; identical && i < off_sum.size(); ++i) {
+      identical = off_sum[i].jain == on_sum[i].jain &&
+                  off_sum[i].cfi == on_sum[i].cfi &&
+                  off_sum[i].apps == on_sum[i].apps;
+    }
+    const double off_ms = off_stats.job_wall_ms_sum;
+    const double on_ms = on_stats.job_wall_ms_sum;
+    const double overhead = off_ms > 0.0 ? on_ms / off_ms - 1.0 : 0.0;
+    const bool ok = write_output(o.telemetry_bench, [&](std::ostream& out) {
+      out << "{\"scenario\": \"" << o.scenario << "\", \"policies\": "
+          << roster.size() << ", \"telemetry_off_ms\": " << off_ms
+          << ", \"telemetry_on_ms\": " << on_ms
+          << ", \"overhead\": " << overhead << ", \"identical_fairness\": "
+          << (identical ? "true" : "false") << "}\n";
+    });
+    std::fprintf(stderr,
+                 "[telemetry] off %.0f ms, on %.0f ms (%+.1f%%), fairness "
+                 "artefacts %s\n",
+                 off_ms, on_ms, overhead * 100.0,
+                 identical ? "identical" : "DIVERGED");
+    if (!ok || !identical) return 1;
   }
 
   // Battery bench summary: deterministic fields only (no wall time), so
@@ -344,7 +450,8 @@ int main(int argc, char** argv) {
   // stderr so the machine-readable stream stays clean.
   const bool stdout_taken = o.trace_out == "-" || o.metrics_out == "-" ||
                             o.perfetto_out == "-" || o.folded_out == "-" ||
-                            o.csv == "-" || o.bench_json == "-";
+                            o.csv == "-" || o.bench_json == "-" ||
+                            o.timeseries_out == "-";
   FILE* info = stdout_taken ? stderr : stdout;
 
   auto built = runtime::SystemBuilder{}
@@ -354,6 +461,8 @@ int main(int argc, char** argv) {
                    .profiler(profiler_kind(o.profiler))
                    .spans(!o.no_spans)
                    .audit(audit_level(o))
+                   .slo(slo_rules(o))
+                   .flight_dump(o.flight_dump)
                    .policy(std::string_view(o.policy))
                    .build();
   if (!built) {
@@ -396,6 +505,10 @@ int main(int argc, char** argv) {
   } catch (const check::AuditFailure& e) {
     std::fprintf(stderr, "vulcan_sim: invariant audit failed\n%s\n",
                  e.what());
+    if (sys.flight().auto_dumped()) {
+      std::fprintf(stderr, "flight dump written to %s\n",
+                   sys.flight().auto_dump_path().c_str());
+    }
     return 3;
   }
   const double wall_s =
@@ -486,6 +599,35 @@ int main(int argc, char** argv) {
                                       .diag = &std::cerr});
     });
     std::fprintf(info, "wrote %s (folded stacks)\n", o.folded_out.c_str());
+  }
+  if (!o.timeseries_out.empty()) {
+    const bool csv = o.timeseries_out.size() > 4 &&
+                     o.timeseries_out.rfind(".csv") ==
+                         o.timeseries_out.size() - 4;
+    ok &= write_output(o.timeseries_out, [&](std::ostream& out) {
+      if (csv) sys.obs_timeseries().write_csv(out);
+      else sys.obs_timeseries().write_jsonl(out);
+    });
+    std::fprintf(info, "wrote %s (%zu series, %llu boundary snapshots)\n",
+                 o.timeseries_out.c_str(), sys.obs_timeseries().series_count(),
+                 (unsigned long long)sys.obs_timeseries().observations());
+  }
+  if (const obs::SloMonitor* slo = sys.slo_monitor()) {
+    std::fprintf(info,
+                 "SLO: %llu violations, %llu recoveries, %llu active\n",
+                 (unsigned long long)slo->violations_total(),
+                 (unsigned long long)slo->recoveries_total(),
+                 (unsigned long long)slo->active());
+  }
+  if (!o.flight_dump.empty() && !sys.flight().auto_dumped()) {
+    // Clean landing: nothing triggered the black box, so dump on demand.
+    if (sys.dump_flight(o.flight_dump, "on_demand", "run completed")) {
+      std::fprintf(info, "wrote %s (flight dump, on demand)\n",
+                   o.flight_dump.c_str());
+    } else {
+      std::fprintf(stderr, "cannot write %s\n", o.flight_dump.c_str());
+      ok = false;
+    }
   }
   if (!o.bench_json.empty()) {
     ok &= write_output(o.bench_json, [&](std::ostream& out) {
