@@ -40,6 +40,7 @@
 #include "exec/thread_pool.hpp"
 #include "core/classifier.hpp"
 #include "core/fairness.hpp"
+#include "core/fnv.hpp"
 #include "core/manager.hpp"
 #include "core/qos.hpp"
 #include "mem/topology.hpp"
@@ -52,7 +53,9 @@
 #include "obs/exporter.hpp"
 #include "obs/flightrec.hpp"
 #include "obs/metrics.hpp"
+#include "obs/pagescope.hpp"
 #include "obs/perfetto.hpp"
+#include "obs/provenance.hpp"
 #include "obs/report.hpp"
 #include "obs/scope.hpp"
 #include "obs/slo.hpp"

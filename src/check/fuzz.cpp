@@ -4,23 +4,13 @@
 #include <ios>
 #include <sstream>
 
+#include "core/fnv.hpp"
 #include "sim/rng.hpp"
 #include "wl/apps.hpp"
 
 namespace vulcan::check {
 
 namespace {
-
-constexpr std::uint64_t kFnvOffset = 0xCBF29CE484222325ULL;
-constexpr std::uint64_t kFnvPrime = 0x100000001B3ULL;
-
-std::uint64_t fnv1a(std::uint64_t hash, const std::string& bytes) {
-  for (const char c : bytes) {
-    hash ^= static_cast<unsigned char>(c);
-    hash *= kFnvPrime;
-  }
-  return hash;
-}
 
 std::string hex64(std::uint64_t v) {
   std::ostringstream out;
@@ -145,6 +135,11 @@ std::string serialize_battery(
       write_double(out, h.p99);
       out << "\n";
     }
+    // Provenance exports ride along only when the scenario captured them
+    // (empty otherwise, leaving provenance-off serializations — and the
+    // digests CI pins over them — byte-identical to before the ledger).
+    if (!s.decisions.empty()) out << "decisions\n" << s.decisions;
+    if (!s.transitions.empty()) out << "transitions\n" << s.transitions;
   }
   return out.str();
 }
@@ -159,10 +154,11 @@ FuzzResult run_differential_fuzz(const FuzzOptions& options) {
   const std::vector<unsigned> jobs =
       options.jobs.empty() ? std::vector<unsigned>{1} : options.jobs;
 
-  std::uint64_t digest = kFnvOffset;
+  std::uint64_t digest = core::kFnv1aOffset;
   for (unsigned s = 0; s < options.scenarios; ++s) {
-    const runtime::ScenarioSpec spec = make_fuzz_scenario(
+    runtime::ScenarioSpec spec = make_fuzz_scenario(
         options.seed, s, options.seconds, options.level);
+    spec.capture_provenance = options.provenance;
     ++result.scenarios;
     const std::size_t failures_before = result.failures.size();
 
@@ -184,10 +180,18 @@ FuzzResult run_differential_fuzz(const FuzzOptions& options) {
       if (!have_reference) {
         reference = artefact;
         have_reference = true;
-        digest = fnv1a(digest, artefact);
+        digest = core::fnv1a(digest, artefact);
         std::uint64_t scenario_audits = 0;
         for (const runtime::PolicyRunSummary& summary : summaries) {
           scenario_audits += summary.snapshot.counter("check.audits");
+          if (options.provenance &&
+              summary.decisions.find("\"status\":\"pending\"") !=
+                  std::string::npos) {
+            result.failures.push_back(
+                {spec.name, summary.policy +
+                                ": ledger export contains unlinked "
+                                "(status=pending) decisions"});
+          }
           const std::uint64_t violations =
               summary.snapshot.counter("check.violations");
           if (violations != 0) {
@@ -228,6 +232,7 @@ FuzzResult run_differential_fuzz(const FuzzOptions& options) {
       for (const HotpathVariant& v : kVariants) {
         runtime::ScenarioSpec vspec = make_fuzz_scenario(
             options.seed, s, options.seconds, options.level);
+        vspec.capture_provenance = options.provenance;
         vspec.configure = [level = options.level, v](runtime::SystemBuilder& b) {
           b.audit(level).pwc(v.pwc).translate_batch(v.batch);
         };

@@ -42,6 +42,14 @@ struct FuzzOptions {
   /// sizes, asserting the artefacts stay byte-identical — the facade's
   /// behavior-neutrality contract, differentially tested.
   bool vary_hotpath = true;
+  /// Enable the provenance ledger in every run: the decision/transition
+  /// exports join the cross-jobs artefact comparison and the digest, every
+  /// exported decision must have a linked (non-pending) outcome, and the
+  /// kProvenanceResidency audit cross-checks ledger residency against the
+  /// live page tables each epoch. Off by default — the ledger adds
+  /// mig.abort counters to the registry, so provenance digests differ from
+  /// the provenance-off pins.
+  bool provenance = false;
   /// When non-empty: after a scenario fails, re-run it per policy with the
   /// flight recorder's auto-dump pointed into this (existing) directory,
   /// capturing a black box next to the failure artefacts. Off by default —

@@ -3,6 +3,7 @@
 #include <sstream>
 #include <unordered_map>
 
+#include "obs/provenance.hpp"
 #include "sim/config.hpp"
 
 namespace vulcan::check {
@@ -35,6 +36,7 @@ const char* audit_rule_name(AuditRule rule) {
     case AuditRule::kReplicaCoherence: return "replica_coherence";
     case AuditRule::kCounterDrift: return "counter_drift";
     case AuditRule::kPwcCoherence: return "pwc_coherence";
+    case AuditRule::kProvenanceResidency: return "provenance_residency";
   }
   return "unknown";
 }
@@ -578,8 +580,53 @@ AuditReport InvariantAuditor::audit(const SystemView& view) const {
   check_frames(view, walks, frames, report);
   check_tlbs(view, report);
   check_pwc(view, report);
+  if (view.provenance) check_provenance(view, report);
   if (level_ >= AuditLevel::kFull) check_counters(view, report);
   return report;
+}
+
+void InvariantAuditor::check_provenance(const SystemView& view,
+                                        AuditReport& report) const {
+  const obs::ProvenanceLedger& ledger = *view.provenance;
+  for (const WorkloadView& w : view.workloads) {
+    if (!w.as) continue;
+    const auto app = static_cast<std::int32_t>(w.index);
+    const vm::AddressSpace& as = *w.as;
+    const vm::Vpn base = as.base_vpn();
+    // Every ledger-tracked page must be mapped at the tier the ledger's
+    // transition history says it last landed in.
+    ledger.for_each_residency(app, [&](std::uint64_t page,
+                                       std::int32_t tier) {
+      ++report.checks;
+      const vm::Pte pte = as.tables().get(base + page);
+      if (!pte.present()) {
+        add_violation(report, AuditRule::kProvenanceResidency, app, page,
+                      static_cast<double>(tier),
+                      "ledger-resident page " + std::to_string(page) +
+                          " is not mapped");
+        return;
+      }
+      const auto live = static_cast<std::int32_t>(mem::tier_of(pte.pfn()));
+      if (live != tier) {
+        add_violation(report, AuditRule::kProvenanceResidency, app, page,
+                      static_cast<double>(live),
+                      "ledger says page " + std::to_string(page) +
+                          " is in tier " + std::to_string(tier) +
+                          ", PTE says tier " + std::to_string(live));
+      }
+    });
+    // And the ledger must have seen every fault: its resident count tracks
+    // the address space's faulted-page census exactly.
+    ++report.checks;
+    const std::uint64_t tracked = ledger.resident_pages(app);
+    if (tracked != as.faulted_pages()) {
+      add_violation(report, AuditRule::kProvenanceResidency, app, tracked,
+                    static_cast<double>(as.faulted_pages()),
+                    "ledger tracks " + std::to_string(tracked) +
+                        " resident pages, address space faulted " +
+                        std::to_string(as.faulted_pages()));
+    }
+  }
 }
 
 }  // namespace vulcan::check

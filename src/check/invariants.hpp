@@ -30,6 +30,10 @@
 #include "vm/shootdown.hpp"
 #include "vm/tlb.hpp"
 
+namespace vulcan::obs {
+class ProvenanceLedger;  // obs/provenance.hpp (kept out of this header)
+}  // namespace vulcan::obs
+
 namespace vulcan::check {
 
 /// How much auditing runs at each epoch boundary.
@@ -72,6 +76,10 @@ enum class AuditRule : std::uint8_t {
   /// A vm::Mmu page-walk-cache entry whose cached leaf pointer diverges
   /// from a fresh walk of the process tree (stale PWC entry).
   kPwcCoherence,
+  /// Provenance-ledger residency out of sync with the live page tables: a
+  /// ledger-tracked page whose recorded tier diverges from its PTE, or a
+  /// per-app resident count that drifted from faulted_pages().
+  kProvenanceResidency,
 };
 
 const char* audit_rule_name(AuditRule rule);
@@ -135,6 +143,10 @@ struct SystemView {
   const vm::Mmu* mmu = nullptr;
   const vm::ShootdownController* shootdowns = nullptr;
   const obs::Registry* registry = nullptr;
+  /// Decision provenance ledger; when present its per-app residency view
+  /// is cross-audited against the live page tables
+  /// (kProvenanceResidency). Null when the ledger is disabled.
+  const obs::ProvenanceLedger* provenance = nullptr;
   std::uint64_t epochs_run = 0;
 };
 
@@ -166,6 +178,7 @@ class InvariantAuditor {
   void check_pwc(const SystemView& view, AuditReport& report) const;
   void check_replicas(const WorkloadView& w, AuditReport& report) const;
   void check_counters(const SystemView& view, AuditReport& report) const;
+  void check_provenance(const SystemView& view, AuditReport& report) const;
 
   AuditLevel level_;
 };

@@ -1,0 +1,36 @@
+// FNV-1a 64-bit hashing.
+//
+// One incremental, seedable implementation shared by the differential
+// fuzzer's artefact digests (check/fuzz) and the provenance-export
+// byte-compares in CI (vulcan_pagescope / vulcan_check_fuzz print these
+// digests so divergent runs are recognisable from the log alone). Inline
+// and header-only, like core::jain_index, so every consumer shares the
+// definition the unit tests pin to the reference vectors.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace vulcan::core {
+
+inline constexpr std::uint64_t kFnv1aOffset = 0xCBF29CE484222325ULL;
+inline constexpr std::uint64_t kFnv1aPrime = 0x100000001B3ULL;
+
+/// Fold `bytes` into a running FNV-1a state. Seed with kFnv1aOffset and
+/// chain calls to digest a sequence of buffers incrementally; the result
+/// equals hashing the concatenation.
+inline constexpr std::uint64_t fnv1a(std::uint64_t hash,
+                                     std::string_view bytes) {
+  for (const char c : bytes) {
+    hash ^= static_cast<unsigned char>(c);
+    hash *= kFnv1aPrime;
+  }
+  return hash;
+}
+
+/// One-shot convenience: FNV-1a of a single buffer.
+inline constexpr std::uint64_t fnv1a(std::string_view bytes) {
+  return fnv1a(kFnv1aOffset, bytes);
+}
+
+}  // namespace vulcan::core

@@ -59,13 +59,15 @@ void VulcanManager::plan_workload(policy::WorkloadView& view,
   // nearly free). Urgent — the freed frames fund other workloads' quotas.
   if (in_fast > quota) {
     std::uint64_t excess = in_fast - quota;
+    std::uint64_t shed = 0;
     policy::TierHeatRanking fast_cold(view, mem::kFastTier,
                                       /*hottest_first=*/false);
     while (fast_cold.more()) {
       const std::uint64_t page = fast_cold.next();
       if (excess == 0) break;
       view.migration->enqueue_urgent(policy::make_request(
-          view, page, mem::kSlowTier, mig::CopyMode::kAsync));
+          view, page, mem::kSlowTier, mig::CopyMode::kAsync,
+          {.rank = shed++, .queue_bias = -1.0}));
       --excess;
     }
     return;  // promotions wait until the quota is respected
@@ -111,6 +113,7 @@ void VulcanManager::plan_workload(policy::WorkloadView& view,
     }
     const auto need = static_cast<unsigned>(params_.chunk_promotion_density *
                                             sim::kPagesPerHuge);
+    std::uint64_t chunks_issued = 0;
     for (const auto& [chunk, hot] : hot_per_chunk) {
       if (hot < need) continue;
       if (headroom < sim::kPagesPerHuge) break;
@@ -118,6 +121,9 @@ void VulcanManager::plan_workload(policy::WorkloadView& view,
           view, chunk * sim::kPagesPerHuge, mem::kFastTier,
           mig::CopyMode::kAsync);
       req.whole_chunk = true;
+      policy::record_decision(view, req,
+                              {.rank = chunks_issued++,
+                               .threshold = params_.promote_min_heat});
       view.migration->enqueue(req);
       chunk_promoted.insert(chunk);
       headroom -= sim::kPagesPerHuge;
@@ -136,6 +142,15 @@ void VulcanManager::plan_workload(policy::WorkloadView& view,
     }
     auto req = policy::make_request(view, page, mem::kFastTier,
                                     mig::CopyMode::kAsync);
+    // Queue bias: the MLFQ level the biased queues will file this under
+    // (push() recomputes it after forcing the Table-1 copy mode).
+    policy::record_decision(
+        view, req,
+        {.rank = pushed,
+         .threshold = params_.promote_min_heat,
+         .queue_bias = params_.enable_biased_queues
+                           ? static_cast<double>(state.queues.effective_queue(req))
+                           : 0.0});
     if (params_.enable_biased_queues) {
       pushed += state.queues.push(req) ? 1 : 0;
     } else {
@@ -161,17 +176,25 @@ void VulcanManager::plan_workload(policy::WorkloadView& view,
     const std::uint64_t cold = fast_cold.next();
     const double hot_heat = view.tracker->heat(hot);
     if (hot_heat < params_.promote_min_heat) break;
-    if (hot_heat <= params_.exchange_hysteresis *
-                        std::max(view.tracker->heat(cold), 1e-9)) {
+    const double cold_heat = std::max(view.tracker->heat(cold), 1e-9);
+    if (hot_heat <= params_.exchange_hysteresis * cold_heat) {
       break;  // remaining swaps would churn pages of comparable heat
     }
+    // Demotion threshold = the paired hot page's heat, so the recorded
+    // benefit (threshold - heat) is the swap's heat gain; the promotion's
+    // is its margin over the hysteresis rule it had to clear.
     view.migration->enqueue(policy::make_request(
-        view, cold, mem::kSlowTier, mig::CopyMode::kAsync));
+        view, cold, mem::kSlowTier, mig::CopyMode::kAsync,
+        {.rank = exchanged, .threshold = hot_heat}));
     auto promote = policy::make_request(view, hot, mem::kFastTier,
                                         mig::CopyMode::kAsync);
     if (params_.enable_biased_queues) {
       promote.mode = policy::BiasedQueues::mode_for(promote.write_intensive);
     }
+    policy::record_decision(
+        view, promote,
+        {.rank = exchanged,
+         .threshold = params_.exchange_hysteresis * cold_heat});
     view.migration->enqueue(promote);
     ++exchanged;
   }

@@ -30,6 +30,9 @@ struct MigrationRequest {
   /// trade is TLB coverage vs fast-tier capacity spent on cold tail pages.
   bool whole_chunk = false;
   double heat = 0.0;
+  /// Provenance ledger decision id (policy::record_decision); 0 = none.
+  /// The migrator links the executed outcome back to this record.
+  std::uint64_t provenance = 0;
 };
 
 /// Aggregated outcome of executing a batch of requests.

@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <cassert>
+#include <string>
 
+#include "obs/provenance.hpp"
 #include "vm/mmu.hpp"
 
 namespace vulcan::mig {
@@ -28,6 +30,75 @@ void Migrator::set_obs(obs::Scope scope) {
   obs_failed_ = &obs_.counter("pages_failed");
   obs_shadow_remaps_ = &obs_.counter("shadow_remaps");
   obs_bytes_ = &obs_.counter("bytes_copied");
+}
+
+void Migrator::set_provenance(obs::ProvenanceLedger* ledger,
+                              std::int32_t app) {
+  ledger_ = ledger && ledger->enabled() ? ledger : nullptr;
+  prov_app_ = app;
+  if (!ledger_) return;
+  // abort{reason=...} registry counters only exist with provenance on —
+  // the default registry snapshot (and so the pinned fuzz digests) must
+  // stay byte-identical. kNone is never counted.
+  for (std::size_t r = 1; r < abort_counts_.size(); ++r) {
+    abort_counts_[r] = &obs_.counter(
+        std::string("abort{reason=") +
+        obs::mig_abort_reason_name(static_cast<obs::MigAbortReason>(r)) +
+        "}");
+  }
+}
+
+bool Migrator::abort_request(const MigrationRequest& req,
+                             obs::MigAbortReason reason) {
+  last_abort_ = reason;
+  // Both abort reports are provenance-gated. The counters obviously are
+  // (new registry keys), but so are the trace events: extra events roll
+  // older ones out of the bounded ring and bump obs.trace.dropped_events,
+  // which sits in the registry snapshot the pinned fuzz digests cover.
+  if (ledger_) {
+    if (obs_.tracing()) {
+      obs_.event(obs::EventKind::kMigAbort, static_cast<std::uint64_t>(reason),
+                 req.vpn, req.heat);
+    }
+    abort_counts_[static_cast<std::size_t>(reason)]->inc();
+  }
+  return false;
+}
+
+void Migrator::record_move(vm::Vpn vpn, mem::Pfn old_pfn, mem::TierId to,
+                           std::uint64_t cause) {
+  if (!ledger_) return;
+  ledger_->record_transition(prov_app_, vpn - as_->base_vpn(),
+                             static_cast<std::int32_t>(mem::tier_of(old_pfn)),
+                             static_cast<std::int32_t>(to), cause);
+}
+
+void Migrator::link_outcome(const MigrationRequest& req, bool executed,
+                            const MigrationStats& before,
+                            const MigrationStats& stats) {
+  obs::DecisionOutcome outcome;
+  outcome.pages = stats.migrated - before.migrated;
+  outcome.shootdown_ipis = stats.shootdown_ipis - before.shootdown_ipis;
+  outcome.latency_cycles = (stats.stall_cycles - before.stall_cycles) +
+                           (stats.daemon_cycles - before.daemon_cycles);
+  if (executed) {
+    outcome.status = stats.shadow_remaps > before.shadow_remaps
+                         ? obs::DecisionStatus::kShadowRemap
+                     : last_partial_ ? obs::DecisionStatus::kPartialChunk
+                                     : obs::DecisionStatus::kCompleted;
+  } else {
+    outcome.status = obs::DecisionStatus::kAborted;
+    outcome.abort_reason = last_abort_;
+  }
+  // Final residency of the decision's own page — a partial chunk move may
+  // have stopped short of it, so read the live PTE rather than trusting
+  // req.to.
+  vm::Mmu* const mmu = shootdowns_->mmu();
+  const vm::Pte pte =
+      mmu ? mmu->walk(*as_, req.vpn) : as_->tables().get(req.vpn);
+  outcome.final_tier =
+      pte.present() ? static_cast<std::int32_t>(mem::tier_of(pte.pfn())) : -1;
+  ledger_->link_outcome(req.provenance, outcome);
 }
 
 sim::Cycles Migrator::phase(obs::MigPhase p, std::uint64_t pages,
@@ -158,11 +229,18 @@ bool Migrator::execute_chunk(const MigrationRequest& req, sim::Rng& rng,
       break;
     }
     const mem::Pfn old = as_->remap(vpn, *dest);
+    record_move(vpn, old, req.to, req.provenance);
     if (config_.shadowing) shadows_.invalidate(vpn);
     topo_->allocator(mem::tier_of(old)).free(old);
     moved.push_back(vpn);
   }
-  if (moved.empty()) return false;
+  if (moved.empty()) {
+    // Nothing movable: either every page already sits in the target tier
+    // (stale request) or the very first allocation failed.
+    return abort_request(req, complete ? obs::MigAbortReason::kStale
+                                       : obs::MigAbortReason::kDestinationFull);
+  }
+  last_partial_ = !complete;
   if (!complete &&
       as_->chunk_state(req.vpn) == vm::AddressSpace::ChunkState::kHuge) {
     // A huge mapping cannot straddle tiers: a partial move forces a split.
@@ -218,7 +296,9 @@ bool Migrator::execute_one(const MigrationRequest& req, sim::Rng& rng,
   vm::Mmu* const mmu = shootdowns_->mmu();
   const vm::Pte pte =
       mmu ? mmu->walk(*as_, req.vpn) : as_->tables().get(req.vpn);
-  if (!pte.present() || mem::tier_of(pte.pfn()) == req.to) return false;
+  if (!pte.present() || mem::tier_of(pte.pfn()) == req.to) {
+    return abort_request(req, obs::MigAbortReason::kStale);
+  }
 
   obs::ScopedSpan op_span = obs_.span(obs::SpanKind::kMigrationOp,
                                       /*arg=*/1.0, req.to, req.owner);
@@ -267,6 +347,7 @@ bool Migrator::execute_one(const MigrationRequest& req, sim::Rng& rng,
         stats.shootdown_ipis += targets.size();
       }
       const mem::Pfn old = as_->remap(req.vpn, *shadow);
+      record_move(req.vpn, old, req.to, req.provenance);
       topo_->allocator(mem::tier_of(old)).free(old);
       bucket += phase(obs::MigPhase::kRemap, 1, cost.remap(1));
       ++stats.shadow_remaps;
@@ -276,7 +357,10 @@ bool Migrator::execute_one(const MigrationRequest& req, sim::Rng& rng,
   }
 
   auto dest = topo_->allocator(req.to).allocate();
-  if (!dest) return false;  // destination tier full: policy must make room
+  if (!dest) {
+    // Destination tier full: the policy must make room first.
+    return abort_request(req, obs::MigAbortReason::kDestinationFull);
+  }
 
   // Async copies race application writes; write-intensive pages may abort.
   if (!sync) {
@@ -295,7 +379,7 @@ bool Migrator::execute_one(const MigrationRequest& req, sim::Rng& rng,
     if (!rng.chance(p_success)) {
       topo_->allocator(req.to).free(*dest);
       ++stats.failed;
-      return false;
+      return abort_request(req, obs::MigAbortReason::kAsyncCopyAborted);
     }
   }
 
@@ -317,6 +401,7 @@ bool Migrator::execute_one(const MigrationRequest& req, sim::Rng& rng,
                                    : cost.copy_single());
   stats.bytes_copied += sim::kPageSize;
   const mem::Pfn old = as_->remap(req.vpn, *dest);
+  record_move(req.vpn, old, req.to, req.provenance);
   bucket += phase(obs::MigPhase::kRemap, 1, cost.remap(1));
   if (!req.shared) ++stats.private_migrated;
 
@@ -355,7 +440,15 @@ MigrationStats Migrator::execute(std::span<const MigrationRequest> requests,
 
   for (const auto& req : requests) {
     ++stats.attempted;
-    execute_one(req, rng, stats);
+    if (!ledger_) {
+      execute_one(req, rng, stats);
+      continue;
+    }
+    const MigrationStats before = stats;
+    last_abort_ = obs::MigAbortReason::kNone;
+    last_partial_ = false;
+    const bool executed = execute_one(req, rng, stats);
+    if (req.provenance != 0) link_outcome(req, executed, before, stats);
   }
   totals_ += stats;
   obs_migrated_->inc(stats.migrated);

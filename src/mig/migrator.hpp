@@ -17,6 +17,10 @@
 #include "vm/address_space.hpp"
 #include "vm/shootdown.hpp"
 
+namespace vulcan::obs {
+class ProvenanceLedger;
+}
+
 namespace vulcan::mig {
 
 class Migrator {
@@ -63,6 +67,13 @@ class Migrator {
   /// events for every executed request, and outcome counters.
   void set_obs(obs::Scope scope);
 
+  /// Attach the decision provenance ledger: every executed request with a
+  /// provenance id gets its outcome linked, every remap records a per-page
+  /// tier transition, and the abort{reason=...} counters come live. `app`
+  /// is the ledger's workload index for this process. Call after set_obs
+  /// (the counters bind against the attached scope).
+  void set_provenance(obs::ProvenanceLedger* ledger, std::int32_t app);
+
   /// Runtime toggle for targeted shootdowns — the §3.6 adaptive
   /// replication knob (per-thread tables can be consulted or ignored
   /// per-epoch based on measured benefit).
@@ -85,6 +96,20 @@ class Migrator {
                    MigrationStats& stats);
   bool execute_chunk(const MigrationRequest& req, sim::Rng& rng,
                      MigrationStats& stats);
+  /// Drop `req`: the unified abort report (one mig_abort trace event + the
+  /// abort{reason=...} counter, both emitted only while a ledger is
+  /// attached so the default-config digests stay pinned) shared by the
+  /// five-phase and shadow paths, and the reason the outcome linker
+  /// records. Always returns false so call sites can
+  /// `return abort_request(...)`.
+  bool abort_request(const MigrationRequest& req, obs::MigAbortReason reason);
+  /// Record a page's tier transition in the ledger (no-op when detached).
+  void record_move(vm::Vpn vpn, mem::Pfn old_pfn, mem::TierId to,
+                   std::uint64_t cause);
+  /// Join `req` with what executing it did (deltas of `stats` against
+  /// `before`) and link the outcome into the ledger.
+  void link_outcome(const MigrationRequest& req, bool executed,
+                    const MigrationStats& before, const MigrationStats& stats);
   // The target-set helpers fill `targets_scratch_` and return a view of
   // it: migration waves issue thousands of shootdowns per epoch, so a
   // fresh vector per request was measurable allocator churn. The span is
@@ -130,6 +155,16 @@ class Migrator {
   obs::Counter* obs_failed_ = &obs::detail::dummy_counter;
   obs::Counter* obs_shadow_remaps_ = &obs::detail::dummy_counter;
   obs::Counter* obs_bytes_ = &obs::detail::dummy_counter;
+  // Provenance attachment (nullptr / dummies by default, so the default
+  // configuration records nothing and registry snapshots are unchanged).
+  obs::ProvenanceLedger* ledger_ = nullptr;
+  std::int32_t prov_app_ = -1;
+  std::array<obs::Counter*, 4> abort_counts_{
+      &obs::detail::dummy_counter, &obs::detail::dummy_counter,
+      &obs::detail::dummy_counter, &obs::detail::dummy_counter};
+  // Per-request scratch the outcome linker reads after execute_one.
+  obs::MigAbortReason last_abort_ = obs::MigAbortReason::kNone;
+  bool last_partial_ = false;
 };
 
 }  // namespace vulcan::mig

@@ -240,7 +240,22 @@ bool FlightRecorder::dump(std::ostream& out, const DumpInfo& info) const {
     timeseries_->write_jsonl(rows);
     write_joined_lines(out, rows.str());
   }
-  out << "]\n}\n";
+  out << "]";
+
+  // Provenance-ledger tail. Written only when a ledger was wired in, so
+  // dumps of ledger-free runs keep their exact pre-provenance bytes.
+  if (provenance_) {
+    constexpr std::size_t kTailRows = 64;
+    out << ",\n\"provenance\": {\"total_decisions\": "
+        << provenance_->total_decisions()
+        << ", \"total_transitions\": " << provenance_->total_transitions()
+        << ", \"pending\": " << provenance_->pending() << ", \"tail\": [\n";
+    std::ostringstream rows;
+    provenance_->write_decisions_tail_jsonl(rows, kTailRows);
+    write_joined_lines(out, rows.str());
+    out << "]}";
+  }
+  out << "\n}\n";
   return out.good();
 }
 
@@ -332,10 +347,23 @@ std::optional<FlightDump> FlightDump::parse(std::istream& in) {
     std::istringstream stream(text);
     d.metrics.parse_json(stream);
   }
+  const std::size_t pos_prov = tv.find("\n\"provenance\": {");
   if (pos_ts != npos) {
-    each_line(tv, pos_ts + 1, tv.size(), [&](std::string_view line) {
+    const std::size_t ts_end = pos_prov == npos ? tv.size() : pos_prov;
+    each_line(tv, pos_ts + 1, ts_end, [&](std::string_view line) {
       if (line.find("\"key\":") != npos) ++d.timeseries_rows;
     });
+  }
+  if (pos_prov != npos) {
+    d.provenance_present = true;
+    d.provenance_decisions =
+        tok_u64(token_in(tv, "total_decisions", pos_prov, tv.size()));
+    d.provenance_transitions =
+        tok_u64(token_in(tv, "total_transitions", pos_prov, tv.size()));
+    d.provenance_pending =
+        tok_u64(token_in(tv, "pending", pos_prov, tv.size()));
+    std::istringstream stream(text.substr(pos_prov));
+    d.provenance_tail = ProvenanceLedger::read_decisions_jsonl(stream);
   }
   return d;
 }
@@ -349,7 +377,14 @@ void write_flight_report(const FlightDump& dump, std::ostream& out) {
   std::snprintf(buf, sizeof buf, "%.3f", dump.t_s);
   out << "epoch:   " << dump.epoch << "   t: " << buf << " s\n"
       << "trace:   " << dump.trace.size()
-      << " events   timeseries rows: " << dump.timeseries_rows << "\n\n";
+      << " events   timeseries rows: " << dump.timeseries_rows << "\n";
+  if (dump.provenance_present) {
+    out << "ledger:  " << dump.provenance_decisions << " decisions ("
+        << dump.provenance_pending << " pending), "
+        << dump.provenance_transitions << " transitions, tail of "
+        << dump.provenance_tail.size() << "\n";
+  }
+  out << "\n";
 
   if (dump.slo.empty()) {
     out << "slo: no monitor installed\n\n";

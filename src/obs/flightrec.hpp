@@ -31,6 +31,7 @@
 
 #include "check/invariants.hpp"
 #include "obs/metrics.hpp"
+#include "obs/provenance.hpp"
 #include "obs/report.hpp"
 #include "obs/slo.hpp"
 #include "obs/timeseries.hpp"
@@ -64,16 +65,20 @@ class FlightRecorder {
   FlightRecorder() = default;
 
   /// Wire a recorder over live observability state. All pointers are
-  /// non-owning and must outlive the recorder; `slo` may be null.
+  /// non-owning and must outlive the recorder; `slo` may be null, and so
+  /// may `provenance` — pass it only when the ledger is enabled, so dumps
+  /// of ledger-free runs stay byte-identical (no "provenance" section).
   FlightRecorder(FlightConfig cfg, const Registry* registry,
                  const TraceRing* trace, const TimeSeriesStore* timeseries,
-                 const SloMonitor* slo, const check::AuditReport* last_audit)
+                 const SloMonitor* slo, const check::AuditReport* last_audit,
+                 const ProvenanceLedger* provenance = nullptr)
       : cfg_(std::move(cfg)),
         registry_(registry),
         trace_(trace),
         timeseries_(timeseries),
         slo_(slo),
-        last_audit_(last_audit) {}
+        last_audit_(last_audit),
+        provenance_(provenance) {}
 
   bool enabled() const { return registry_ != nullptr; }
   const FlightConfig& config() const { return cfg_; }
@@ -100,6 +105,7 @@ class FlightRecorder {
   const TimeSeriesStore* timeseries_ = nullptr;
   const SloMonitor* slo_ = nullptr;
   const check::AuditReport* last_audit_ = nullptr;
+  const ProvenanceLedger* provenance_ = nullptr;
   bool auto_dumped_ = false;
   std::string auto_dump_path_;
 };
@@ -138,6 +144,13 @@ struct FlightDump {
   std::vector<TraceEvent> trace;   ///< the recorded tail, oldest first
   MetricsSnapshot metrics;         ///< full registry snapshot at dump time
   std::size_t timeseries_rows = 0; ///< retained (series, window) rows
+
+  /// Provenance-ledger section (absent unless the ledger was enabled).
+  bool provenance_present = false;
+  std::uint64_t provenance_decisions = 0;    ///< total ever recorded
+  std::uint64_t provenance_transitions = 0;  ///< total ever recorded
+  std::uint64_t provenance_pending = 0;      ///< decisions without outcomes
+  std::vector<DecisionRow> provenance_tail;  ///< newest decisions, oldest first
 
   /// Parse a dump written by FlightRecorder::dump. nullopt when the stream
   /// is not a flight dump at all; individual sections are best-effort.

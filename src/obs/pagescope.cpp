@@ -1,0 +1,220 @@
+#include "obs/pagescope.hpp"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdarg>
+#include <cstdio>
+#include <map>
+#include <string>
+
+namespace vulcan::obs::pagescope {
+
+namespace {
+
+/// Per-page scratch state while sweeping transitions in seq order.
+struct PageState {
+  std::uint64_t migrations = 0;
+  std::uint64_t pingpong = 0;
+  std::uint64_t first_epoch = 0;
+  std::uint64_t last_epoch = 0;
+  std::uint64_t last_mig_epoch = 0;
+  int last_direction = 0;  // +1 promote, -1 demote, 0 none yet
+};
+
+/// Sweep transitions once, folding per-(app, page) migration stats. The
+/// map is ordered, so downstream tables rank deterministically.
+std::map<std::pair<std::int32_t, std::uint64_t>, PageState> sweep(
+    std::span<const TransitionRow> transitions, std::uint64_t window_epochs) {
+  std::map<std::pair<std::int32_t, std::uint64_t>, PageState> pages;
+  for (const TransitionRow& t : transitions) {
+    if (t.from_tier < 0) continue;  // alloc, not a migration
+    PageState& s = pages[{t.app, t.page}];
+    if (s.migrations == 0) s.first_epoch = t.epoch;
+    s.last_epoch = t.epoch;
+    ++s.migrations;
+    const int direction = t.to_tier < t.from_tier ? +1 : -1;
+    if (s.last_direction != 0 && direction != s.last_direction &&
+        t.epoch - s.last_mig_epoch <= window_epochs) {
+      ++s.pingpong;
+    }
+    s.last_direction = direction;
+    s.last_mig_epoch = t.epoch;
+  }
+  return pages;
+}
+
+void print_row(std::ostream& out, const char* format, ...) {
+  char buffer[256];
+  va_list args;
+  va_start(args, format);
+  std::vsnprintf(buffer, sizeof(buffer), format, args);
+  va_end(args);
+  out << buffer;
+}
+
+}  // namespace
+
+std::vector<ChurnRow> churn_table(std::span<const TransitionRow> transitions,
+                                  std::uint64_t window_epochs) {
+  std::map<std::int32_t, ChurnRow> apps;
+  std::map<std::pair<std::int32_t, std::uint64_t>, bool> seen_pages;
+  for (const TransitionRow& t : transitions) {
+    ChurnRow& row = apps[t.app];
+    row.app = t.app;
+    if (!seen_pages[{t.app, t.page}]) {
+      seen_pages[{t.app, t.page}] = true;
+      ++row.pages;
+    }
+    if (t.from_tier < 0) {
+      ++row.allocs;
+    } else {
+      ++row.migrations;
+      if (t.to_tier < t.from_tier) ++row.promotions;
+      else ++row.demotions;
+    }
+  }
+  for (const auto& [key, state] : sweep(transitions, window_epochs)) {
+    apps[key.first].pingpong += state.pingpong;
+  }
+  std::vector<ChurnRow> rows;
+  rows.reserve(apps.size());
+  for (const auto& [_, row] : apps) rows.push_back(row);
+  std::stable_sort(rows.begin(), rows.end(),
+                   [](const ChurnRow& a, const ChurnRow& b) {
+                     if (a.pingpong != b.pingpong) return a.pingpong > b.pingpong;
+                     if (a.migrations != b.migrations) {
+                       return a.migrations > b.migrations;
+                     }
+                     return a.app < b.app;
+                   });
+  return rows;
+}
+
+std::vector<ThrashRow> thrash_table(std::span<const TransitionRow> transitions,
+                                    std::uint64_t window_epochs,
+                                    std::size_t top_n) {
+  std::vector<ThrashRow> rows;
+  for (const auto& [key, s] : sweep(transitions, window_epochs)) {
+    if (s.pingpong == 0) continue;
+    rows.push_back({key.first, key.second, s.migrations, s.pingpong,
+                    s.first_epoch, s.last_epoch});
+  }
+  std::stable_sort(rows.begin(), rows.end(),
+                   [](const ThrashRow& a, const ThrashRow& b) {
+                     if (a.pingpong != b.pingpong) return a.pingpong > b.pingpong;
+                     if (a.migrations != b.migrations) {
+                       return a.migrations > b.migrations;
+                     }
+                     if (a.app != b.app) return a.app < b.app;
+                     return a.page < b.page;
+                   });
+  if (rows.size() > top_n) rows.resize(top_n);
+  return rows;
+}
+
+void write_churn(std::span<const ChurnRow> rows, std::ostream& out) {
+  print_row(out, "%-5s %10s %10s %10s %10s %10s %10s\n", "app", "pingpong",
+            "migrations", "promote", "demote", "allocs", "pages");
+  for (const ChurnRow& r : rows) {
+    print_row(out, "w:%-3d %10" PRIu64 " %10" PRIu64 " %10" PRIu64
+                   " %10" PRIu64 " %10" PRIu64 " %10" PRIu64 "\n",
+              r.app, r.pingpong, r.migrations, r.promotions, r.demotions,
+              r.allocs, r.pages);
+  }
+}
+
+void write_thrash(std::span<const ThrashRow> rows, std::ostream& out) {
+  print_row(out, "%-5s %10s %10s %10s %12s %12s\n", "app", "page", "pingpong",
+            "migrations", "first_epoch", "last_epoch");
+  for (const ThrashRow& r : rows) {
+    print_row(out, "w:%-3d %10" PRIu64 " %10" PRIu64 " %10" PRIu64
+                   " %12" PRIu64 " %12" PRIu64 "\n",
+              r.app, r.page, r.pingpong, r.migrations, r.first_epoch,
+              r.last_epoch);
+  }
+}
+
+void write_history(std::span<const DecisionRow> decisions,
+                   std::span<const TransitionRow> transitions,
+                   std::int32_t app, std::uint64_t page, std::ostream& out) {
+  print_row(out, "history app=%d page=%" PRIu64 "\n", app, page);
+  std::size_t shown = 0;
+  for (const TransitionRow& t : transitions) {
+    if (t.app != app || t.page != page) continue;
+    ++shown;
+    if (t.from_tier < 0) {
+      print_row(out, "  e%-6" PRIu64 " alloc            -> tier %d\n",
+                t.epoch, t.to_tier);
+    } else {
+      print_row(out,
+                "  e%-6" PRIu64 " %-7s tier %d -> tier %d  (decision %" PRIu64
+                ")\n",
+                t.epoch, t.to_tier < t.from_tier ? "promote" : "demote",
+                t.from_tier, t.to_tier, t.cause);
+    }
+  }
+  if (shown == 0) out << "  (no transitions recorded)\n";
+  out << "decisions:\n";
+  shown = 0;
+  for (const DecisionRow& d : decisions) {
+    if (d.app != app || d.page != page) continue;
+    ++shown;
+    print_row(out,
+              "  id=%-6" PRIu64 " e%-5" PRIu64
+              " %d->%d %-5s heat=%.6g rank=%" PRIu64
+              " thr=%.6g bias=%g benefit=%.6g -> %s",
+              d.id, d.epoch, d.from_tier, d.to_tier,
+              d.sync ? "sync" : "async", d.features.heat, d.features.rank,
+              d.features.threshold, d.features.queue_bias,
+              d.features.predicted_benefit, decision_status_name(d.status));
+    if (d.abort_reason != MigAbortReason::kNone) {
+      print_row(out, "(%s)", mig_abort_reason_name(d.abort_reason));
+    }
+    print_row(out,
+              " pages=%" PRIu64 " ipis=%" PRIu64 " latency=%" PRIu64
+              " final=%d\n",
+              d.pages_moved, d.shootdown_ipis, d.latency_cycles, d.final_tier);
+  }
+  if (shown == 0) out << "  (no decisions recorded)\n";
+}
+
+void write_heatmap(std::span<const TransitionRow> transitions,
+                   Exporter& exporter) {
+  static const std::vector<std::string> kColumns = {"epoch", "app", "tier",
+                                                    "pages"};
+  exporter.begin(kColumns);
+  if (transitions.empty()) {
+    exporter.end();
+    return;
+  }
+  std::uint64_t max_epoch = 0;
+  std::map<std::pair<std::int32_t, std::int32_t>, std::uint64_t> occupancy;
+  for (const TransitionRow& t : transitions) {
+    max_epoch = std::max(max_epoch, t.epoch);
+    occupancy[{t.app, t.to_tier}];  // declare every (app, tier) ever targeted
+    if (t.from_tier >= 0) occupancy[{t.app, t.from_tier}];
+  }
+  std::size_t next = 0;
+  for (std::uint64_t epoch = 0; epoch <= max_epoch; ++epoch) {
+    while (next < transitions.size() && transitions[next].epoch <= epoch) {
+      const TransitionRow& t = transitions[next++];
+      if (t.from_tier >= 0) {
+        auto& count = occupancy[{t.app, t.from_tier}];
+        if (count > 0) --count;
+      }
+      ++occupancy[{t.app, t.to_tier}];
+    }
+    for (const auto& [key, pages] : occupancy) {
+      const Value values[] = {
+          Value{epoch},
+          Value{static_cast<std::int64_t>(key.first)},
+          Value{static_cast<std::int64_t>(key.second)},
+          Value{pages},
+      };
+      exporter.row(values);
+    }
+  }
+  exporter.end();
+}
+
+}  // namespace vulcan::obs::pagescope

@@ -1,0 +1,72 @@
+// obs::pagescope — page lifecycle reconstruction over the provenance
+// ledger's transition/decision rows.
+//
+// Pure functions from exported rows to deterministic query tables; the
+// vulcan_pagescope CLI is a thin shell around them, so the same answers
+// are available in-process (tests, future learned-policy features) and
+// offline against JSONL exports.
+//
+// Tier ids follow the ledger's convention: a numerically lower tier is
+// faster, so a migration with to < from is a promotion. A *ping-pong
+// episode* is a direction flip — a migration followed by one in the
+// opposite direction of the same page — within `window_epochs` epochs;
+// counting flips per page/app is how the dilemma's victim thrash shows up.
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+#include <span>
+#include <vector>
+
+#include "obs/provenance.hpp"
+
+namespace vulcan::obs::pagescope {
+
+/// Per-app migration churn, ranked: most ping-pong episodes first (ties:
+/// more migrations, then lower app id). Row zero is "the app whose pages
+/// thrash hardest" — the CI smoke asserts the dilemma victim tops it.
+struct ChurnRow {
+  std::int32_t app = -1;
+  std::uint64_t pages = 0;       ///< distinct pages ever recorded
+  std::uint64_t allocs = 0;
+  std::uint64_t migrations = 0;
+  std::uint64_t promotions = 0;
+  std::uint64_t demotions = 0;
+  std::uint64_t pingpong = 0;    ///< episodes summed over the app's pages
+};
+
+std::vector<ChurnRow> churn_table(std::span<const TransitionRow> transitions,
+                                  std::uint64_t window_epochs);
+
+/// Top-N thrashing pages, ranked like churn_table (ties: lower app, then
+/// lower page id).
+struct ThrashRow {
+  std::int32_t app = -1;
+  std::uint64_t page = 0;
+  std::uint64_t migrations = 0;
+  std::uint64_t pingpong = 0;
+  std::uint64_t first_epoch = 0;  ///< first recorded migration
+  std::uint64_t last_epoch = 0;   ///< last recorded migration
+};
+
+std::vector<ThrashRow> thrash_table(std::span<const TransitionRow> transitions,
+                                    std::uint64_t window_epochs,
+                                    std::size_t top_n);
+
+/// Aligned human-readable tables (deterministic bytes).
+void write_churn(std::span<const ChurnRow> rows, std::ostream& out);
+void write_thrash(std::span<const ThrashRow> rows, std::ostream& out);
+
+/// One page's lifecycle: its transitions (alloc + migrations) in order,
+/// then every decision that targeted it with the linked outcome.
+void write_history(std::span<const DecisionRow> decisions,
+                   std::span<const TransitionRow> transitions,
+                   std::int32_t app, std::uint64_t page, std::ostream& out);
+
+/// Tier-residency heatmap: one row per (epoch, app, tier) with the pages
+/// resident at that epoch's end, reconstructed by replaying transitions.
+/// Epochs run 0..max recorded; (app, tier) pairs are those ever occupied.
+void write_heatmap(std::span<const TransitionRow> transitions,
+                   Exporter& exporter);
+
+}  // namespace vulcan::obs::pagescope

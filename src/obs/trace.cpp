@@ -20,7 +20,7 @@ struct KindInfo {
   const char* v_name;  // nullptr => omitted
 };
 
-constexpr std::array<KindInfo, 15> kKinds{{
+constexpr std::array<KindInfo, 16> kKinds{{
     {EventKind::kEpochStart, "epoch_start", "epoch", "workloads", nullptr},
     {EventKind::kEpochEnd, "epoch_end", "epoch", "workloads", "cfi"},
     {EventKind::kMigPhaseBegin, "mig_phase_begin", "phase", "pages", nullptr},
@@ -42,6 +42,7 @@ constexpr std::array<KindInfo, 15> kKinds{{
      "value"},
     {EventKind::kSloRecovered, "slo_recovered", "rule", "sustained",
      "value"},
+    {EventKind::kMigAbort, "mig_abort", "reason", "vpn", "heat"},
 }};
 
 const KindInfo& info_of(EventKind kind) {

@@ -44,6 +44,10 @@ enum class EventKind : std::uint8_t {
   // `workload` is the app the rule instance is scoped to (-1 system-wide).
   kSloViolation,
   kSloRecovered,
+  // A migration request that did not complete. Both the five-phase and
+  // the shadow paths emit this one event with a shared MigAbortReason in
+  // `a`, the request's vpn in `b` and its heat score in `v`.
+  kMigAbort,
 };
 
 /// The five phases of one migration operation (§2.1): kernel trap /
@@ -67,6 +71,27 @@ inline constexpr const char* mig_phase_name(MigPhase p) {
   return "?";
 }
 
+/// Why a migration request fell out of the pipeline before completing.
+/// Shared by the five-phase and shadow paths (satellite of ISSUE 8: one
+/// `mig_abort` event instead of ad-hoc per-path reporting) and by the
+/// provenance ledger's outcome records.
+enum class MigAbortReason : std::uint8_t {
+  kNone = 0,            ///< not aborted
+  kStale,               ///< page unmapped or already in the target tier
+  kDestinationFull,     ///< no free frame in the destination tier
+  kAsyncCopyAborted,    ///< async copy raced a write and was abandoned
+};
+
+inline constexpr const char* mig_abort_reason_name(MigAbortReason r) {
+  switch (r) {
+    case MigAbortReason::kNone: return "none";
+    case MigAbortReason::kStale: return "stale";
+    case MigAbortReason::kDestinationFull: return "dest_full";
+    case MigAbortReason::kAsyncCopyAborted: return "async_copy_aborted";
+  }
+  return "?";
+}
+
 /// One trace record. The payload fields `a`, `b`, `v` are kind-specific;
 /// the JSONL serialiser names them per kind (see kind_info in trace.cpp):
 ///
@@ -83,6 +108,7 @@ inline constexpr const char* mig_phase_name(MigPhase p) {
 ///   audit_pass       a=checks        b=violations
 ///   slo_violation    a=rule index    b=sustained        v=value
 ///   slo_recovered    a=rule index    b=sustained        v=value
+///   mig_abort        a=reason        b=vpn              v=heat
 struct TraceEvent {
   std::uint64_t seq = 0;     ///< assigned by the ring, never reused
   sim::Cycles time = 0;      ///< virtual time of emission

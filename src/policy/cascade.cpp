@@ -102,8 +102,14 @@ void CascadePolicy::plan_epoch(std::span<WorkloadView> workloads,
         heat >= prev[assigned] / params_.boundary_hysteresis) {
       continue;
     }
-    auto req = make_request(view, page, assigned, mig::CopyMode::kAsync);
-    if (assigned > current) {
+    // Provenance threshold: last epoch's admission boundary for the
+    // assigned tier — the cut this page had to clear (or fell under).
+    const bool demote = assigned > current;
+    auto req = make_request(view, page, assigned, mig::CopyMode::kAsync,
+                            {.rank = issued[wl],
+                             .threshold = prev[assigned],
+                             .queue_bias = demote ? -1.0 : 0.0});
+    if (demote) {
       view.migration->enqueue_urgent(req);  // demotions free capacity first
     } else {
       view.migration->enqueue(req);
@@ -127,7 +133,8 @@ void CascadePolicy::plan_epoch(std::span<WorkloadView> workloads,
       const std::uint64_t page = fast_cold.next();
       if (view.tracker->heat(page) > 0.0 || swept >= 256) break;
       view.migration->enqueue_urgent(
-          make_request(view, page, next_down, mig::CopyMode::kAsync));
+          make_request(view, page, next_down, mig::CopyMode::kAsync,
+                       {.rank = swept, .queue_bias = -1.0}));
       ++swept;
     }
   }

@@ -38,9 +38,11 @@ void MemtisPolicy::plan_epoch(std::span<WorkloadView> workloads,
     while (slow_hot.more()) {
       const std::uint64_t page = slow_hot.next();
       if (view.tracker->heat(page) < threshold) break;
-      if (issued++ >= params_.max_migrations_per_workload) break;
+      if (issued >= params_.max_migrations_per_workload) break;
       view.migration->enqueue(
-          make_request(view, page, mem::kFastTier, mig::CopyMode::kAsync));
+          make_request(view, page, mem::kFastTier, mig::CopyMode::kAsync,
+                       {.rank = issued, .threshold = threshold}));
+      ++issued;
     }
     // Demote: fast pages below the global threshold, coldest first.
     issued = 0;
@@ -48,9 +50,12 @@ void MemtisPolicy::plan_epoch(std::span<WorkloadView> workloads,
     while (fast_cold.more()) {
       const std::uint64_t page = fast_cold.next();
       if (view.tracker->heat(page) >= threshold) break;
-      if (issued++ >= params_.max_migrations_per_workload) break;
+      if (issued >= params_.max_migrations_per_workload) break;
       view.migration->enqueue_urgent(
-          make_request(view, page, mem::kSlowTier, mig::CopyMode::kAsync));
+          make_request(view, page, mem::kSlowTier, mig::CopyMode::kAsync,
+                       {.rank = issued, .threshold = threshold,
+                        .queue_bias = -1.0}));
+      ++issued;
     }
   }
 }

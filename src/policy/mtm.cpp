@@ -36,23 +36,28 @@ void MtmPolicy::plan_epoch(std::span<WorkloadView> workloads,
     while (slow_hot.more()) {
       const std::uint64_t page = slow_hot.next();
       if (view.tracker->heat(page) < threshold) break;
-      if (issued++ >= params_.max_migrations_per_workload) break;
+      if (issued >= params_.max_migrations_per_workload) break;
       // MTM's contribution: write-intensive pages copy synchronously (the
       // dirty-retry regime async handles poorly), read-intensive async.
       const bool write_hot =
           view.tracker->write_intensive(page, params_.write_share_threshold);
       view.migration->enqueue(make_request(
           view, page, mem::kFastTier,
-          write_hot ? mig::CopyMode::kSync : mig::CopyMode::kAsync));
+          write_hot ? mig::CopyMode::kSync : mig::CopyMode::kAsync,
+          {.rank = issued, .threshold = threshold}));
+      ++issued;
     }
     issued = 0;
     TierHeatRanking fast_cold(view, mem::kFastTier, /*hottest_first=*/false);
     while (fast_cold.more()) {
       const std::uint64_t page = fast_cold.next();
       if (view.tracker->heat(page) >= threshold) break;
-      if (issued++ >= params_.max_migrations_per_workload) break;
+      if (issued >= params_.max_migrations_per_workload) break;
       view.migration->enqueue_urgent(
-          make_request(view, page, mem::kSlowTier, mig::CopyMode::kAsync));
+          make_request(view, page, mem::kSlowTier, mig::CopyMode::kAsync,
+                       {.rank = issued, .threshold = threshold,
+                        .queue_bias = -1.0}));
+      ++issued;
     }
   }
 }

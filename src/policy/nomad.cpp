@@ -13,9 +13,11 @@ void NomadPolicy::plan_epoch(std::span<WorkloadView> workloads,
     while (slow_hot.more()) {
       const std::uint64_t page = slow_hot.next();
       if (view.tracker->heat(page) < params_.promote_min_heat) break;
-      if (issued++ >= params_.max_promotions_per_workload) break;
+      if (issued >= params_.max_promotions_per_workload) break;
       view.migration->enqueue(
-          make_request(view, page, mem::kFastTier, mig::CopyMode::kAsync));
+          make_request(view, page, mem::kFastTier, mig::CopyMode::kAsync,
+                       {.rank = issued, .threshold = params_.promote_min_heat}));
+      ++issued;
       ++promotions;
     }
   }
@@ -35,6 +37,7 @@ void NomadPolicy::plan_epoch(std::span<WorkloadView> workloads,
     need = std::max(for_watermark, for_promotions);
   }
   if (need == 0) return;
+  std::uint64_t evicted = 0;
   for (WorkloadView& view : workloads) {
     if (need == 0) break;
     TierHeatRanking fast_cold(view, mem::kFastTier, /*hottest_first=*/false);
@@ -42,7 +45,8 @@ void NomadPolicy::plan_epoch(std::span<WorkloadView> workloads,
       const std::uint64_t page = fast_cold.next();
       if (need == 0) break;
       view.migration->enqueue_urgent(
-          make_request(view, page, mem::kSlowTier, mig::CopyMode::kAsync));
+          make_request(view, page, mem::kSlowTier, mig::CopyMode::kAsync,
+                       {.rank = evicted++, .queue_bias = -1.0}));
       --need;
     }
   }

@@ -4,6 +4,8 @@
 #include <bit>
 #include <cassert>
 
+#include "obs/provenance.hpp"
+
 namespace vulcan::policy {
 
 mig::MigrationRequest make_request(const WorkloadView& view,
@@ -18,6 +20,36 @@ mig::MigrationRequest make_request(const WorkloadView& view,
   req.owner = owner.value_or(0);
   req.write_intensive = view.tracker->write_intensive(page);
   req.heat = view.tracker->heat(page);
+  return req;
+}
+
+void record_decision(const WorkloadView& view, mig::MigrationRequest& req,
+                     const DecisionContext& ctx) {
+  if (!view.ledger || !view.ledger->enabled()) return;
+  const std::uint64_t page = req.vpn - view.as->base_vpn();
+  const vm::Pte pte = view.as->tables().get(req.vpn);
+  const std::int32_t from =
+      pte.present() ? static_cast<std::int32_t>(mem::tier_of(pte.pfn())) : -1;
+  obs::DecisionFeatures features;
+  features.heat = req.heat;
+  features.rank = ctx.rank;
+  features.threshold = ctx.threshold;
+  features.queue_bias = ctx.queue_bias;
+  features.predicted_benefit = req.to == mem::kFastTier
+                                   ? req.heat - ctx.threshold
+                                   : ctx.threshold - req.heat;
+  req.provenance = view.ledger->record_decision(
+      static_cast<std::int32_t>(view.index), page, from,
+      static_cast<std::int32_t>(req.to), req.mode == mig::CopyMode::kSync,
+      req.whole_chunk, features);
+}
+
+mig::MigrationRequest make_request(const WorkloadView& view,
+                                   std::uint64_t page, mem::TierId to,
+                                   mig::CopyMode mode,
+                                   const DecisionContext& ctx) {
+  mig::MigrationRequest req = make_request(view, page, to, mode);
+  record_decision(view, req, ctx);
   return req;
 }
 

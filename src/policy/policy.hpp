@@ -21,6 +21,10 @@
 #include "vm/address_space.hpp"
 #include "wl/workload.hpp"
 
+namespace vulcan::obs {
+class ProvenanceLedger;
+}
+
 namespace vulcan::policy {
 
 /// Everything a policy may inspect/affect about one workload.
@@ -37,6 +41,8 @@ struct WorkloadView {
   /// (weighted) access counts that landed in each tier.
   double epoch_fast_accesses = 0;
   double epoch_slow_accesses = 0;
+  /// Decision provenance ledger; nullptr (the default) disables recording.
+  obs::ProvenanceLedger* ledger = nullptr;
 };
 
 class SystemPolicy {
@@ -78,6 +84,33 @@ class SystemPolicy {
 mig::MigrationRequest make_request(const WorkloadView& view,
                                    std::uint64_t page, mem::TierId to,
                                    mig::CopyMode mode);
+
+/// The evidence behind one enqueue, recorded into the provenance ledger.
+/// `rank` is the page's position in this policy's issue order this epoch,
+/// `threshold` the admission value it was measured against (promote-min
+/// heat, the Memtis global cut, a cascade tier boundary, ...), and
+/// `queue_bias` the scheduling bias applied: -1 urgent front-of-queue, 0
+/// normal, >=0 the MLFQ level under Vulcan's biased queues.
+struct DecisionContext {
+  std::uint64_t rank = 0;
+  double threshold = 0.0;
+  double queue_bias = 0.0;
+};
+
+/// Record `req` as a DecisionRecord in the view's ledger (no-op without
+/// one) and stamp req.provenance so the migrator can link the outcome.
+/// The predicted benefit is the heat margin over ctx.threshold, signed
+/// towards the move's direction (promotions want heat above the cut,
+/// demotions below it).
+void record_decision(const WorkloadView& view, mig::MigrationRequest& req,
+                     const DecisionContext& ctx);
+
+/// make_request + record_decision in one call — the common shape for
+/// policies whose context is known before the request is built.
+mig::MigrationRequest make_request(const WorkloadView& view,
+                                   std::uint64_t page, mem::TierId to,
+                                   mig::CopyMode mode,
+                                   const DecisionContext& ctx);
 
 /// Lazy heat ranking of `view`'s pages resident in `tier`, coldest first
 /// (or hottest first). Pops arrive in exactly the order the eager sorted

@@ -15,9 +15,11 @@ void TppPolicy::plan_epoch(std::span<WorkloadView> workloads,
     while (slow_hot.more()) {
       const std::uint64_t page = slow_hot.next();
       if (view.tracker->heat(page) < params_.promote_min_heat) break;
-      if (issued++ >= params_.max_promotions_per_workload) break;
+      if (issued >= params_.max_promotions_per_workload) break;
       view.migration->enqueue(
-          make_request(view, page, mem::kFastTier, mig::CopyMode::kSync));
+          make_request(view, page, mem::kFastTier, mig::CopyMode::kSync,
+                       {.rank = issued, .threshold = params_.promote_min_heat}));
+      ++issued;
       ++promotions;
     }
   }
@@ -46,13 +48,15 @@ void TppPolicy::plan_epoch(std::span<WorkloadView> workloads,
     cold_lists.emplace_back(view, mem::kFastTier, /*hottest_first=*/false);
   }
   bool progress = true;
+  std::uint64_t evicted = 0;
   while (need > 0 && progress) {
     progress = false;
     for (std::size_t w = 0; w < workloads.size() && need > 0; ++w) {
       if (!cold_lists[w].more()) continue;
       const std::uint64_t page = cold_lists[w].next();
       workloads[w].migration->enqueue_urgent(make_request(
-          workloads[w], page, mem::kSlowTier, mig::CopyMode::kAsync));
+          workloads[w], page, mem::kSlowTier, mig::CopyMode::kAsync,
+          {.rank = evicted++, .queue_bias = -1.0}));
       --need;
       progress = true;
     }

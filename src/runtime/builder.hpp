@@ -189,6 +189,21 @@ class SystemBuilder {
     config_.telemetry = on;
     return *this;
   }
+  /// Decision provenance ledger (obs/provenance.hpp). Off by default so
+  /// pinned fuzz digests and default artefacts are unchanged; on, every
+  /// policy decision and page transition is recorded for vulcan_pagescope
+  /// and the check:: residency cross-audit.
+  SystemBuilder& provenance(bool on) {
+    config_.provenance.enabled = on;
+    return *this;
+  }
+  /// Ledger ring capacities (retained decision / transition rows).
+  SystemBuilder& provenance_capacity(std::size_t decisions,
+                                     std::size_t transitions) {
+    config_.provenance.decision_capacity = decisions;
+    config_.provenance.transition_capacity = transitions;
+    return *this;
+  }
 
   /// Perturbation hook: direct access to the staged configuration, so the
   /// what-if engine (obs/whatif.hpp) can scale individual cost constants on

@@ -237,6 +237,7 @@ std::vector<PolicyRunSummary> run_policy_battery(
     batch.push_back([&spec, policy] {
       SystemBuilder b;
       if (spec.configure) spec.configure(b);
+      if (spec.capture_provenance) b.provenance(true);
       b.seed(spec.seed).policy(std::string_view(policy));
       BuildResult built = b.build();
       if (!built) {
@@ -261,6 +262,14 @@ std::vector<PolicyRunSummary> run_policy_battery(
         std::ostringstream rows;
         sys.obs_timeseries().write_jsonl(rows);
         summary.timeseries = rows.str();
+      }
+      if (spec.capture_provenance) {
+        sys.provenance().finalize();
+        std::ostringstream d, t;
+        sys.provenance().write_decisions_jsonl(d);
+        sys.provenance().write_transitions_jsonl(t);
+        summary.decisions = d.str();
+        summary.transitions = t.str();
       }
       return summary;
     });

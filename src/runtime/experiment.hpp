@@ -126,6 +126,11 @@ struct ScenarioSpec {
   /// PolicyRunSummary::timeseries. Off by default: the capture is
   /// deterministic but large, and most batteries never read it.
   bool capture_timeseries = false;
+  /// Enable the provenance ledger on each run and capture its finalized
+  /// decision/transition JSONL exports into the summary. Off by default
+  /// (the ledger changes the registry via mig.abort counters, so digest
+  /// consumers opt in explicitly).
+  bool capture_provenance = false;
 };
 
 /// One policy's end-to-end result over a ScenarioSpec.
@@ -140,6 +145,10 @@ struct PolicyRunSummary {
   /// The run's time-series export (JSONL rows) when the scenario set
   /// capture_timeseries; empty otherwise. Not part of the fuzz digest.
   std::string timeseries;
+  /// The run's finalized provenance exports (JSONL rows) when the scenario
+  /// set capture_provenance; empty otherwise. Not part of the fuzz digest.
+  std::string decisions;
+  std::string transitions;
 };
 
 /// Run `spec` once per policy, fanning the runs out across `jobs` workers.

@@ -12,6 +12,7 @@ TieredSystem::TieredSystem(Config config,
                            std::unique_ptr<policy::SystemPolicy> policy)
     : config_(config),
       trace_(config.trace_capacity),
+      provenance_(config.provenance),
       policy_(std::move(policy)),
       topo_(std::make_unique<mem::Topology>(
           config.custom_tiers.has_value()
@@ -53,7 +54,9 @@ TieredSystem::TieredSystem(Config config,
     flight_cfg.dump_path = config_.flight_dump_path;
     flight_ = obs::FlightRecorder(flight_cfg, &registry_, &trace_,
                                   &timeseries_, slo_ ? &*slo_ : nullptr,
-                                  &last_audit_);
+                                  &last_audit_,
+                                  provenance_.enabled() ? &provenance_
+                                                        : nullptr);
   }
   if (config_.migration_budget_override > 0) {
     migration_budget_ = config_.migration_budget_override;
@@ -133,6 +136,7 @@ unsigned TieredSystem::add_workload(std::unique_ptr<wl::Workload> workload,
   mw->migrator->set_obs(obs::Scope(
       &registry_, &trace_, &now_, "mig", static_cast<std::int32_t>(index),
       config_.record_spans ? &spans_ : nullptr));
+  mw->migrator->set_provenance(&provenance_, static_cast<std::int32_t>(index));
   mw->migration_thread = std::make_unique<mig::MigrationThread>(*mw->migrator);
 
   policy::WorkloadView view;
@@ -142,6 +146,7 @@ unsigned TieredSystem::add_workload(std::unique_ptr<wl::Workload> workload,
   view.as = stored.as.get();
   view.tracker = stored.tracker.get();
   view.migration = stored.migration_thread.get();
+  view.ledger = provenance_.enabled() ? &provenance_ : nullptr;
   views_.push_back(view);
   return index;
 }
@@ -228,7 +233,10 @@ void TieredSystem::simulate_accesses(ManagedWorkload& mw,
         // One demand fault per page, regardless of the sample's weight.
         // (A fault on the TLB-hit path — defensive, "cannot happen" — is
         // deliberately uncharged, matching the pre-facade engine.)
-        if (t.faulted) mw.epoch_inline_overhead += cost_.minor_fault();
+        if (t.faulted) {
+          mw.epoch_inline_overhead += cost_.minor_fault();
+          if (provenance_.enabled()) record_fault_alloc(as, a.vpn);
+        }
       }
 
       const mem::TierId tier = mem::tier_of(t.pte.pfn());
@@ -257,6 +265,7 @@ void TieredSystem::run_one_epoch() {
   const obs::Scope root(&registry_, &trace_, &now_, "runtime", -1,
                         config_.record_spans ? &spans_ : nullptr);
   root.event(obs::EventKind::kEpochStart, epoch_index_, workloads_.size());
+  provenance_.begin_epoch(epoch_index_);
   obs::ScopedSpan epoch_span =
       root.span(obs::SpanKind::kEpoch, static_cast<double>(epoch_index_));
 
@@ -506,6 +515,7 @@ check::SystemView TieredSystem::audit_view() const {
   view.shootdowns = shootdowns_.get();
   view.registry = &registry_;
   view.epochs_run = epoch_index_;
+  view.provenance = provenance_.enabled() ? &provenance_ : nullptr;
   return view;
 }
 
@@ -559,6 +569,24 @@ void TieredSystem::prefault(unsigned w, unsigned fast_stride,
                                  : mem::kSlowTier;
     as.fault(vpn, static_cast<vm::ThreadId>(p % mw.workload->spec().threads),
              /*write=*/false, tier);
+    if (provenance_.enabled()) record_fault_alloc(as, vpn);
+  }
+}
+
+void TieredSystem::record_fault_alloc(vm::AddressSpace& as, vm::Vpn vpn) {
+  const vm::Vpn base = as.base_vpn();
+  const auto app = static_cast<std::int32_t>(as.pid() - 1);
+  const std::uint64_t first =
+      (vpn - base) & ~static_cast<std::uint64_t>(sim::kPagesPerHuge - 1);
+  const std::uint64_t last =
+      std::min<std::uint64_t>(first + sim::kPagesPerHuge, as.rss_pages());
+  for (std::uint64_t p = first; p < last; ++p) {
+    if (provenance_.known(app, p)) continue;
+    const vm::Pte pte = as.tables().get(base + p);
+    if (!pte.present()) continue;
+    provenance_.record_transition(
+        app, p, /*from_tier=*/-1,
+        static_cast<std::int32_t>(mem::tier_of(pte.pfn())), /*cause=*/0);
   }
 }
 

@@ -21,6 +21,7 @@
 #include "obs/app_stats.hpp"
 #include "obs/flightrec.hpp"
 #include "obs/metrics.hpp"
+#include "obs/provenance.hpp"
 #include "obs/scope.hpp"
 #include "obs/slo.hpp"
 #include "obs/span.hpp"
@@ -128,6 +129,11 @@ class TieredSystem {
     /// recorder). The hotpath bench guard measures against a telemetry-off
     /// run; everywhere else leave it on.
     bool telemetry = true;
+    /// Decision provenance ledger (obs/provenance.hpp). Off by default —
+    /// when disabled the ledger records nothing and every call site costs
+    /// one branch, so pinned fuzz digests and default artefacts are
+    /// byte-identical to a build without it.
+    obs::ProvenanceConfig provenance;
   };
 
   TieredSystem(Config config, std::unique_ptr<policy::SystemPolicy> policy);
@@ -180,6 +186,11 @@ class TieredSystem {
   }
   /// The black-box flight recorder over this system's telemetry.
   const obs::FlightRecorder& flight() const { return flight_; }
+  /// The decision provenance ledger (inert unless Config::provenance
+  /// enabled it). Non-const access so harnesses can finalize() before
+  /// exporting.
+  obs::ProvenanceLedger& provenance() { return provenance_; }
+  const obs::ProvenanceLedger& provenance() const { return provenance_; }
   /// On-demand flight dump to `path`. False when telemetry is off or the
   /// file cannot be written.
   bool dump_flight(const std::string& path,
@@ -234,6 +245,11 @@ class TieredSystem {
   const check::AuditReport& run_audit_internal(bool throw_on_failure);
   void simulate_accesses(ManagedWorkload& mw, double epoch_seconds,
                          std::uint64_t sample_quota);
+  /// Record ledger alloc transitions for every page a fault populated.
+  /// THP faults fill a whole 512-page chunk (possibly split across tiers
+  /// under allocator fallback), so the chunk is swept and each previously
+  /// unknown present page recorded at its own tier.
+  void record_fault_alloc(vm::AddressSpace& as, vm::Vpn vpn);
   std::unique_ptr<prof::Profiler> make_profiler(prof::HeatTracker& tracker,
                                                 ProfilerKind kind);
 
@@ -243,6 +259,9 @@ class TieredSystem {
   obs::TraceRing trace_;
   obs::SpanRecorder spans_;
   obs::AppStats app_stats_;
+  // Declared before workloads_ so migrators' ledger pointers stay valid
+  // for their whole lifetime.
+  obs::ProvenanceLedger provenance_;
   std::unique_ptr<policy::SystemPolicy> policy_;
   std::unique_ptr<mem::Topology> topo_;
   std::unique_ptr<vm::Mmu> mmu_;

@@ -1,0 +1,45 @@
+// core::fnv1a — pinned against the published FNV-1a 64 reference vectors
+// so the fuzz digest and the provenance export digests never drift.
+#include "core/fnv.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace vulcan::core {
+namespace {
+
+TEST(Fnv1a, ReferenceVectors) {
+  EXPECT_EQ(fnv1a(""), 0xCBF29CE484222325ULL);
+  EXPECT_EQ(fnv1a("a"), 0xAF63DC4C8601EC8CULL);
+  EXPECT_EQ(fnv1a("foobar"), 0x85944171F73967E8ULL);
+}
+
+TEST(Fnv1a, SeedConstantIsEmptyHash) {
+  EXPECT_EQ(kFnv1aOffset, fnv1a(""));
+}
+
+TEST(Fnv1a, IncrementalEqualsConcatenation) {
+  const std::string parts[] = {"decisions\n", "{\"id\":1}", "", "tail"};
+  std::uint64_t incremental = kFnv1aOffset;
+  std::string concat;
+  for (const std::string& p : parts) {
+    incremental = fnv1a(incremental, p);
+    concat += p;
+  }
+  EXPECT_EQ(incremental, fnv1a(concat));
+}
+
+TEST(Fnv1a, ConstexprUsable) {
+  constexpr std::uint64_t kAtCompileTime = fnv1a("foobar");
+  static_assert(kAtCompileTime == 0x85944171F73967E8ULL);
+  EXPECT_EQ(kAtCompileTime, fnv1a("foobar"));
+}
+
+TEST(Fnv1a, SensitiveToEveryByte) {
+  EXPECT_NE(fnv1a("ab"), fnv1a("ba"));
+  EXPECT_NE(fnv1a("x"), fnv1a(std::string("x") + '\0'));
+}
+
+}  // namespace
+}  // namespace vulcan::core

@@ -171,6 +171,130 @@ TEST(FlightRecorder, TelemetryOffDisablesTheRecorder) {
   EXPECT_FALSE(sys.dump_flight(::testing::TempDir() + "/flight_no.json"));
 }
 
+/// A minimal but complete dump produced by a hand-wired recorder (no
+/// TieredSystem), optionally with a provenance ledger attached.
+std::string make_dump(const ProvenanceLedger* ledger = nullptr) {
+  Registry reg;
+  reg.counter("c").inc(3);
+  TraceRing trace(16);
+  TimeSeriesStore store;
+  check::AuditReport audit;
+  FlightRecorder rec({}, &reg, &trace, &store, nullptr, &audit, ledger);
+  std::ostringstream out;
+  EXPECT_TRUE(rec.dump(out, info_for("on_demand")));
+  return out.str();
+}
+
+TEST(FlightDumpParse, RejectsNonDumpInputs) {
+  {
+    std::istringstream empty("");
+    EXPECT_FALSE(FlightDump::parse(empty).has_value());
+  }
+  {
+    std::istringstream not_json("this is not a flight dump\nat all\n");
+    EXPECT_FALSE(FlightDump::parse(not_json).has_value());
+  }
+  {
+    std::istringstream other_json("{\"version\": 2, \"counters\": {}}\n");
+    EXPECT_FALSE(FlightDump::parse(other_json).has_value());
+  }
+}
+
+TEST(FlightDumpParse, SurvivesTruncation) {
+  const std::string full = make_dump();
+  // Chop the file at every prefix length that ends a line: the lenient
+  // scanners must degrade (missing sections read as absent/empty), never
+  // crash or loop.
+  for (std::size_t cut = 0; cut < full.size(); ++cut) {
+    if (full[cut] != '\n') continue;
+    std::istringstream in(full.substr(0, cut + 1));
+    const auto dump = FlightDump::parse(in);
+    if (!dump.has_value()) continue;  // header itself cut away
+    EXPECT_EQ(dump->version, 1u);
+  }
+  // A cut right after the header keeps reason/epoch readable.
+  const std::size_t slo_pos = full.find("\n\"slo\": [");
+  ASSERT_NE(slo_pos, std::string::npos);
+  std::istringstream header_only(full.substr(0, slo_pos));
+  const auto dump = FlightDump::parse(header_only);
+  ASSERT_TRUE(dump.has_value());
+  EXPECT_EQ(dump->reason, "on_demand");
+  EXPECT_FALSE(dump->audit_present);
+  EXPECT_TRUE(dump->trace.empty());
+}
+
+TEST(FlightDumpParse, CorruptFieldsDegradeToDefaults) {
+  std::string full = make_dump();
+  // Corrupt the epoch value in place; the parser must still return a dump
+  // with the remaining fields intact.
+  const std::size_t pos = full.find("\"epoch\": ");
+  ASSERT_NE(pos, std::string::npos);
+  full.replace(pos, std::string("\"epoch\": ").size() + 1, "\"epoch\": x");
+  std::istringstream in(full);
+  const auto dump = FlightDump::parse(in);
+  ASSERT_TRUE(dump.has_value());
+  EXPECT_EQ(dump->epoch, 0u);
+  EXPECT_EQ(dump->reason, "on_demand");
+}
+
+TEST(FlightDumpParse, IgnoresUnknownSections) {
+  std::string full = make_dump();
+  // Future writers may add sections; today's reader must skip them.
+  const std::size_t end = full.rfind("\n}");
+  ASSERT_NE(end, std::string::npos);
+  full.insert(end, ",\n\"mystery\": [\n{\"blob\":1}\n]");
+  std::istringstream in(full);
+  const auto dump = FlightDump::parse(in);
+  ASSERT_TRUE(dump.has_value());
+  EXPECT_EQ(dump->version, 1u);
+  EXPECT_EQ(dump->reason, "on_demand");
+  EXPECT_FALSE(dump->provenance_present);
+}
+
+TEST(FlightDumpParse, ProvenanceTailRoundTrips) {
+  // No ledger wired in: the section is absent and parses as such.
+  {
+    const std::string without = make_dump();
+    EXPECT_EQ(without.find("\"provenance\""), std::string::npos);
+    std::istringstream in(without);
+    const auto dump = FlightDump::parse(in);
+    ASSERT_TRUE(dump.has_value());
+    EXPECT_FALSE(dump->provenance_present);
+  }
+
+  ProvenanceConfig cfg;
+  cfg.enabled = true;
+  ProvenanceLedger ledger(cfg);
+  ledger.begin_epoch(4);
+  DecisionFeatures f;
+  f.heat = 0.9;
+  const std::uint64_t id = ledger.record_decision(0, 17, 1, 0, false, false, f);
+  ledger.record_decision(1, 18, 1, 0, true, false, f);
+  ledger.record_transition(0, 17, -1, 1, 0);
+  DecisionOutcome outcome;
+  outcome.status = DecisionStatus::kCompleted;
+  outcome.final_tier = 0;
+  ledger.link_outcome(id, outcome);
+
+  const std::string with = make_dump(&ledger);
+  std::istringstream in(with);
+  const auto dump = FlightDump::parse(in);
+  ASSERT_TRUE(dump.has_value());
+  ASSERT_TRUE(dump->provenance_present);
+  EXPECT_EQ(dump->provenance_decisions, 2u);
+  EXPECT_EQ(dump->provenance_transitions, 1u);
+  EXPECT_EQ(dump->provenance_pending, 1u);
+  ASSERT_EQ(dump->provenance_tail.size(), 2u);
+  EXPECT_EQ(dump->provenance_tail[0].id, id);
+  EXPECT_EQ(dump->provenance_tail[0].status, DecisionStatus::kCompleted);
+  EXPECT_EQ(dump->provenance_tail[1].status, DecisionStatus::kPending);
+
+  std::ostringstream report;
+  write_flight_report(*dump, report);
+  EXPECT_NE(report.str().find("ledger:  2 decisions (1 pending)"),
+            std::string::npos);
+}
+
 TEST(FlightRecorder, DumpBytesAreDeterministic) {
   auto dump_once = [] {
     runtime::TieredSystem::Config cfg = base_config();

@@ -1,0 +1,433 @@
+// obs::ProvenanceLedger + obs::pagescope — decision provenance unit tests:
+// record/link lifecycle, ring eviction, finalize semantics, JSONL
+// round-trips, and the pagescope query tables the CLI is built on.
+#include "obs/provenance.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "obs/pagescope.hpp"
+#include "runtime/builder.hpp"
+#include "wl/apps.hpp"
+
+namespace vulcan::obs {
+namespace {
+
+ProvenanceConfig small_config(std::size_t decisions = 64,
+                              std::size_t transitions = 64) {
+  ProvenanceConfig cfg;
+  cfg.enabled = true;
+  cfg.decision_capacity = decisions;
+  cfg.transition_capacity = transitions;
+  return cfg;
+}
+
+DecisionFeatures features(double heat, std::uint64_t rank = 0) {
+  DecisionFeatures f;
+  f.heat = heat;
+  f.rank = rank;
+  f.threshold = 0.5;
+  f.queue_bias = 1.0;
+  f.predicted_benefit = heat - 0.5;
+  return f;
+}
+
+TEST(ProvenanceLedger, DisabledRecordsNothing) {
+  ProvenanceLedger ledger;  // default config: off
+  EXPECT_FALSE(ledger.enabled());
+  EXPECT_EQ(ledger.record_decision(0, 1, 1, 0, false, false, features(1.0)),
+            0u);
+  ledger.record_transition(0, 1, -1, 1, 0);
+  EXPECT_EQ(ledger.decisions(), 0u);
+  EXPECT_EQ(ledger.transitions(), 0u);
+  EXPECT_FALSE(ledger.known(0, 1));
+}
+
+TEST(ProvenanceLedger, RecordAndLinkOutcome) {
+  ProvenanceLedger ledger(small_config());
+  ledger.begin_epoch(7);
+  const std::uint64_t id =
+      ledger.record_decision(2, 40, 1, 0, true, false, features(0.9, 3));
+  ASSERT_EQ(id, 1u);
+  EXPECT_EQ(ledger.pending(), 1u);
+
+  ledger.begin_epoch(8);
+  DecisionOutcome outcome;
+  outcome.status = DecisionStatus::kCompleted;
+  outcome.pages = 1;
+  outcome.shootdown_ipis = 2;
+  outcome.latency_cycles = 999;
+  outcome.final_tier = 0;
+  ledger.link_outcome(id, outcome);
+  EXPECT_EQ(ledger.pending(), 0u);
+
+  const DecisionRow row = ledger.decision(0);
+  EXPECT_EQ(row.id, 1u);
+  EXPECT_EQ(row.epoch, 7u);
+  EXPECT_EQ(row.app, 2);
+  EXPECT_EQ(row.page, 40u);
+  EXPECT_EQ(row.from_tier, 1);
+  EXPECT_EQ(row.to_tier, 0);
+  EXPECT_TRUE(row.sync);
+  EXPECT_FALSE(row.whole_chunk);
+  EXPECT_DOUBLE_EQ(row.features.heat, 0.9);
+  EXPECT_EQ(row.features.rank, 3u);
+  EXPECT_EQ(row.status, DecisionStatus::kCompleted);
+  EXPECT_EQ(row.outcome_epoch, 8u);
+  EXPECT_EQ(row.shootdown_ipis, 2u);
+  EXPECT_EQ(row.latency_cycles, 999u);
+  EXPECT_EQ(row.final_tier, 0);
+}
+
+TEST(ProvenanceLedger, LinkUnknownIdIsIgnored) {
+  ProvenanceLedger ledger(small_config());
+  ledger.record_decision(0, 1, 1, 0, false, false, features(1.0));
+  DecisionOutcome outcome;
+  outcome.status = DecisionStatus::kCompleted;
+  ledger.link_outcome(0, outcome);    // "no provenance" sentinel
+  ledger.link_outcome(999, outcome);  // never issued
+  EXPECT_EQ(ledger.pending(), 1u);
+  EXPECT_EQ(ledger.decision(0).status, DecisionStatus::kPending);
+}
+
+TEST(ProvenanceLedger, RingEvictsOldestInBlocks) {
+  ProvenanceLedger ledger(small_config(/*decisions=*/8));
+  for (std::uint64_t i = 0; i < 9; ++i) {
+    ledger.record_decision(0, i, 1, 0, false, false, features(1.0));
+  }
+  // Capacity 8: the 9th insert dropped a half-capacity block (5 rows).
+  EXPECT_EQ(ledger.total_decisions(), 9u);
+  EXPECT_EQ(ledger.decisions(), 4u);
+  EXPECT_EQ(ledger.dropped_decisions(), 5u);
+  EXPECT_EQ(ledger.decision(0).id, 6u);
+  // Dropped pending rows leave the pending count; links to evicted ids
+  // are ignored.
+  EXPECT_EQ(ledger.pending(), 4u);
+  DecisionOutcome outcome;
+  outcome.status = DecisionStatus::kCompleted;
+  ledger.link_outcome(1, outcome);
+  EXPECT_EQ(ledger.pending(), 4u);
+}
+
+TEST(ProvenanceLedger, FinalizeMarksPendingUnexecuted) {
+  ProvenanceLedger ledger(small_config());
+  ledger.begin_epoch(1);
+  ledger.record_transition(0, 5, -1, 2, 0);  // page 5 allocated in tier 2
+  const std::uint64_t executed =
+      ledger.record_decision(0, 5, 2, 0, false, false, features(0.8));
+  ledger.record_decision(0, 6, 2, 0, false, false, features(0.7));
+
+  DecisionOutcome outcome;
+  outcome.status = DecisionStatus::kCompleted;
+  outcome.final_tier = 0;
+  ledger.link_outcome(executed, outcome);
+
+  ledger.begin_epoch(9);
+  ledger.finalize();
+  EXPECT_EQ(ledger.pending(), 0u);
+  EXPECT_EQ(ledger.decision(0).status, DecisionStatus::kCompleted);
+  const DecisionRow stranded = ledger.decision(1);
+  EXPECT_EQ(stranded.status, DecisionStatus::kUnexecuted);
+  EXPECT_EQ(stranded.outcome_epoch, 9u);
+  // Page 6 was never alloc-recorded, so its final residency is unknown;
+  // page 5's would have come from the residency view.
+  EXPECT_EQ(stranded.final_tier, -1);
+}
+
+TEST(ProvenanceLedger, ResidencyTracksTransitions) {
+  ProvenanceLedger ledger(small_config());
+  ledger.record_transition(1, 10, -1, 2, 0);
+  ledger.record_transition(1, 10, 2, 0, /*cause=*/1);
+  ledger.record_transition(1, 11, -1, 1, 0);
+  EXPECT_TRUE(ledger.known(1, 10));
+  EXPECT_FALSE(ledger.known(0, 10));
+  EXPECT_EQ(ledger.last_tier(1, 10).value(), 0);
+  EXPECT_EQ(ledger.last_tier(1, 11).value(), 1);
+  EXPECT_EQ(ledger.resident_pages(1), 2u);
+  EXPECT_EQ(ledger.resident_pages(0), 0u);
+
+  std::vector<std::pair<std::uint64_t, std::int32_t>> seen;
+  ledger.for_each_residency(1, [&](std::uint64_t page, std::int32_t tier) {
+    seen.emplace_back(page, tier);
+  });
+  ASSERT_EQ(seen.size(), 2u);
+  EXPECT_EQ(seen[0], (std::pair<std::uint64_t, std::int32_t>{10, 0}));
+  EXPECT_EQ(seen[1], (std::pair<std::uint64_t, std::int32_t>{11, 1}));
+}
+
+TEST(ProvenanceLedger, JsonlRoundTrip) {
+  ProvenanceLedger ledger(small_config());
+  ledger.begin_epoch(3);
+  const std::uint64_t id =
+      ledger.record_decision(1, 20, 2, 0, false, true, features(0.75, 4));
+  ledger.record_transition(1, 20, -1, 2, 0);
+  ledger.record_transition(1, 20, 2, 0, id);
+  DecisionOutcome outcome;
+  outcome.status = DecisionStatus::kAborted;
+  outcome.abort_reason = MigAbortReason::kDestinationFull;
+  ledger.link_outcome(id, outcome);
+
+  std::ostringstream d, t;
+  ledger.write_decisions_jsonl(d);
+  ledger.write_transitions_jsonl(t);
+
+  std::istringstream d_in(d.str()), t_in(t.str());
+  const auto decisions = ProvenanceLedger::read_decisions_jsonl(d_in);
+  const auto transitions = ProvenanceLedger::read_transitions_jsonl(t_in);
+
+  ASSERT_EQ(decisions.size(), 1u);
+  const DecisionRow& r = decisions[0];
+  EXPECT_EQ(r.id, id);
+  EXPECT_EQ(r.epoch, 3u);
+  EXPECT_EQ(r.app, 1);
+  EXPECT_EQ(r.page, 20u);
+  EXPECT_EQ(r.from_tier, 2);
+  EXPECT_EQ(r.to_tier, 0);
+  EXPECT_FALSE(r.sync);
+  EXPECT_TRUE(r.whole_chunk);
+  EXPECT_DOUBLE_EQ(r.features.heat, 0.75);
+  EXPECT_EQ(r.features.rank, 4u);
+  EXPECT_EQ(r.status, DecisionStatus::kAborted);
+  EXPECT_EQ(r.abort_reason, MigAbortReason::kDestinationFull);
+
+  ASSERT_EQ(transitions.size(), 2u);
+  EXPECT_EQ(transitions[0].from_tier, -1);
+  EXPECT_EQ(transitions[1].cause, id);
+  EXPECT_EQ(transitions[1].to_tier, 0);
+}
+
+TEST(ProvenanceLedger, ReadersSkipGarbageLines) {
+  std::istringstream in(
+      "not json at all\n"
+      "{\"other\":1}\n"
+      "{\"id\":2,\"epoch\":5,\"app\":0,\"page\":9,\"from\":1,\"to\":0,"
+      "\"mode\":\"sync\",\"status\":\"completed\"}\n"
+      "{\"id\":0}\n");
+  const auto rows = ProvenanceLedger::read_decisions_jsonl(in);
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0].id, 2u);
+  EXPECT_EQ(rows[0].page, 9u);
+  EXPECT_TRUE(rows[0].sync);
+  EXPECT_EQ(rows[0].status, DecisionStatus::kCompleted);
+}
+
+TEST(ProvenanceLedger, TailWriterEmitsNewestRows) {
+  ProvenanceLedger ledger(small_config());
+  for (std::uint64_t i = 0; i < 6; ++i) {
+    ledger.record_decision(0, i, 1, 0, false, false, features(1.0));
+  }
+  std::ostringstream out;
+  ledger.write_decisions_tail_jsonl(out, 2);
+  std::istringstream in(out.str());
+  const auto rows = ProvenanceLedger::read_decisions_jsonl(in);
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[0].id, 5u);
+  EXPECT_EQ(rows[1].id, 6u);
+}
+
+TEST(ProvenanceLedger, ExportsAreDeterministic) {
+  const auto run = [] {
+    ProvenanceLedger ledger(small_config());
+    for (std::uint64_t i = 0; i < 10; ++i) {
+      ledger.begin_epoch(i);
+      ledger.record_transition(0, i, -1, 1, 0);
+      const std::uint64_t id = ledger.record_decision(
+          0, i, 1, 0, i % 2 == 0, false, features(0.1 * double(i), i));
+      if (i % 3 == 0) {
+        DecisionOutcome outcome;
+        outcome.status = DecisionStatus::kCompleted;
+        outcome.final_tier = 0;
+        ledger.link_outcome(id, outcome);
+      }
+    }
+    ledger.finalize();
+    std::ostringstream d, t;
+    ledger.write_decisions_jsonl(d);
+    ledger.write_transitions_jsonl(t);
+    return d.str() + t.str();
+  };
+  EXPECT_EQ(run(), run());
+}
+
+// -- pagescope query tables -------------------------------------------------
+
+std::vector<TransitionRow> dilemma_like_transitions() {
+  // App 0's pages 1 and 2 ping-pong (promote/demote flips close together);
+  // app 1 migrates once and allocates more pages.
+  std::vector<TransitionRow> t;
+  std::uint64_t seq = 1;
+  const auto add = [&](std::uint64_t epoch, std::int32_t app,
+                       std::uint64_t page, std::int32_t from, std::int32_t to) {
+    t.push_back({seq++, epoch, app, page, from, to, 0});
+  };
+  add(0, 0, 1, -1, 1);
+  add(0, 0, 2, -1, 1);
+  add(0, 1, 7, -1, 0);
+  add(0, 1, 8, -1, 0);
+  add(0, 1, 9, -1, 1);
+  add(1, 0, 1, 1, 0);   // promote
+  add(2, 0, 1, 0, 1);   // demote: flip within window -> ping-pong
+  add(2, 0, 2, 1, 0);
+  add(3, 0, 1, 1, 0);   // flip again
+  add(4, 0, 2, 0, 1);   // flip
+  add(5, 1, 9, 1, 0);   // single promotion, no flip
+  return t;
+}
+
+TEST(Pagescope, ChurnRanksThrashingAppFirst) {
+  const auto transitions = dilemma_like_transitions();
+  const auto rows = pagescope::churn_table(transitions, /*window=*/8);
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[0].app, 0);
+  EXPECT_EQ(rows[0].pingpong, 3u);
+  EXPECT_EQ(rows[0].migrations, 5u);
+  EXPECT_EQ(rows[0].promotions, 3u);
+  EXPECT_EQ(rows[0].demotions, 2u);
+  EXPECT_EQ(rows[0].allocs, 2u);
+  EXPECT_EQ(rows[0].pages, 2u);
+  EXPECT_EQ(rows[1].app, 1);
+  EXPECT_EQ(rows[1].pingpong, 0u);
+  EXPECT_EQ(rows[1].migrations, 1u);
+  EXPECT_EQ(rows[1].pages, 3u);
+}
+
+TEST(Pagescope, WindowBoundsPingpongEpisodes) {
+  const auto transitions = dilemma_like_transitions();
+  // Window 0: a flip must land in the same epoch as the previous move to
+  // count, so nothing counts here.
+  const auto rows = pagescope::churn_table(transitions, /*window=*/0);
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[0].pingpong, 0u);
+}
+
+TEST(Pagescope, ThrashTableRanksAndTruncates) {
+  const auto transitions = dilemma_like_transitions();
+  const auto all = pagescope::thrash_table(transitions, 8, 10);
+  ASSERT_EQ(all.size(), 2u);  // only pages with ping-pong episodes
+  EXPECT_EQ(all[0].app, 0);
+  EXPECT_EQ(all[0].page, 1u);
+  EXPECT_EQ(all[0].pingpong, 2u);
+  EXPECT_EQ(all[0].first_epoch, 1u);
+  EXPECT_EQ(all[0].last_epoch, 3u);
+  EXPECT_EQ(all[1].page, 2u);
+
+  const auto top1 = pagescope::thrash_table(transitions, 8, 1);
+  ASSERT_EQ(top1.size(), 1u);
+  EXPECT_EQ(top1[0].page, 1u);
+}
+
+TEST(Pagescope, HeatmapReplaysResidency) {
+  const auto transitions = dilemma_like_transitions();
+  std::ostringstream out;
+  CsvExporter exporter(out);
+  pagescope::write_heatmap(transitions, exporter);
+  const std::string csv = out.str();
+  EXPECT_NE(csv.find("epoch,app,tier,pages"), std::string::npos);
+  // Epoch 0: app 0 has 2 pages in tier 1; app 1 has 2 in tier 0, 1 in
+  // tier 1.
+  EXPECT_NE(csv.find("0,0,1,2"), std::string::npos);
+  EXPECT_NE(csv.find("0,1,0,2"), std::string::npos);
+  // Final epoch (5): app 1's page 9 promoted into tier 0.
+  EXPECT_NE(csv.find("5,1,0,3"), std::string::npos);
+  EXPECT_NE(csv.find("5,1,1,0"), std::string::npos);
+}
+
+TEST(Pagescope, HistoryListsTransitionsAndDecisions) {
+  const auto transitions = dilemma_like_transitions();
+  std::vector<DecisionRow> decisions;
+  DecisionRow d;
+  d.id = 1;
+  d.epoch = 1;
+  d.app = 0;
+  d.page = 1;
+  d.from_tier = 1;
+  d.to_tier = 0;
+  d.status = DecisionStatus::kCompleted;
+  d.final_tier = 0;
+  decisions.push_back(d);
+
+  std::ostringstream out;
+  pagescope::write_history(decisions, transitions, 0, 1, out);
+  const std::string text = out.str();
+  EXPECT_NE(text.find("history app=0 page=1"), std::string::npos);
+  EXPECT_NE(text.find("alloc"), std::string::npos);
+  EXPECT_NE(text.find("promote"), std::string::npos);
+  EXPECT_NE(text.find("demote"), std::string::npos);
+  EXPECT_NE(text.find("completed"), std::string::npos);
+
+  std::ostringstream empty;
+  pagescope::write_history(decisions, transitions, 5, 123, empty);
+  EXPECT_NE(empty.str().find("(no transitions recorded)"), std::string::npos);
+  EXPECT_NE(empty.str().find("(no decisions recorded)"), std::string::npos);
+}
+
+// -- runtime integration ----------------------------------------------------
+
+std::unique_ptr<wl::Workload> microbench(std::uint64_t seed) {
+  wl::MicrobenchWorkload::Params p;
+  // Two of these oversubscribe the default 8192-page fast tier, so the
+  // policy has real promote/demote decisions to record.
+  p.rss_pages = 8192;
+  p.wss_pages = 4096;
+  p.seed = seed;
+  return std::make_unique<wl::MicrobenchWorkload>(p);
+}
+
+/// Run a small co-location with the ledger on, the full audit (which
+/// includes the kProvenanceResidency cross-check, throwing on violation)
+/// and return the finalized exports.
+std::string run_with_provenance() {
+  auto built = runtime::SystemBuilder{}
+                   .samples_per_epoch(2000)
+                   .seed(7)
+                   .policy("vulcan")
+                   .audit(check::AuditLevel::kFull)
+                   .provenance(true)
+                   .add_workload(microbench(11))
+                   .add_workload(microbench(23))
+                   .build();
+  EXPECT_TRUE(built.ok()) << built.error();
+  runtime::TieredSystem& sys = *built.value();
+  sys.prefault(0);
+  sys.prefault(1);
+  sys.run_epochs(8);
+  sys.provenance().finalize();
+  EXPECT_GT(sys.provenance().decisions(), 0u);
+  EXPECT_GT(sys.provenance().transitions(), 0u);
+  EXPECT_EQ(sys.provenance().pending(), 0u);
+  for (std::size_t i = 0; i < sys.provenance().decisions(); ++i) {
+    EXPECT_NE(sys.provenance().decision(i).status, DecisionStatus::kPending);
+  }
+  std::ostringstream d, t;
+  sys.provenance().write_decisions_jsonl(d);
+  sys.provenance().write_transitions_jsonl(t);
+  return d.str() + t.str();
+}
+
+TEST(ProvenanceRuntime, DecisionsLinkAndAuditsPassAndRunsAreDeterministic) {
+  const std::string a = run_with_provenance();
+  EXPECT_NE(a.find("\"status\":\"completed\""), std::string::npos);
+  EXPECT_EQ(a.find("\"status\":\"pending\""), std::string::npos);
+  EXPECT_EQ(a, run_with_provenance());
+}
+
+TEST(ProvenanceRuntime, DisabledLedgerStaysEmpty) {
+  auto built = runtime::SystemBuilder{}
+                   .samples_per_epoch(2000)
+                   .seed(7)
+                   .policy("vulcan")
+                   .add_workload(microbench(11))
+                   .build();
+  ASSERT_TRUE(built.ok()) << built.error();
+  runtime::TieredSystem& sys = *built.value();
+  sys.run_epochs(3);
+  EXPECT_FALSE(sys.provenance().enabled());
+  EXPECT_EQ(sys.provenance().decisions(), 0u);
+  EXPECT_EQ(sys.provenance().transitions(), 0u);
+}
+
+}  // namespace
+}  // namespace vulcan::obs

@@ -37,6 +37,10 @@ void usage() {
       "  --vary-hotpath B on | off: re-run with the page-walk cache\n"
       "                   disabled and several translate-batch sizes,\n"
       "                   asserting identical artefacts             [on]\n"
+      "  --provenance B   on | off: enable the decision provenance ledger\n"
+      "                   in every run — its exports join the artefact\n"
+      "                   comparison, every decision must carry a linked\n"
+      "                   outcome, and the residency cross-audit runs   [off]\n"
       "  --flight-on-fail DIR  after a scenario fails, re-run it with the\n"
       "                   flight recorder armed and drop the black-box\n"
       "                   dumps into DIR (created if missing)\n");
@@ -100,6 +104,16 @@ int main(int argc, char** argv) {
         options.vary_hotpath = false;
       } else {
         std::fprintf(stderr, "--vary-hotpath takes on|off\n");
+        return 2;
+      }
+    } else if (flag == "--provenance") {
+      const std::string v = next();
+      if (v == "on" || v == "1" || v == "true") {
+        options.provenance = true;
+      } else if (v == "off" || v == "0" || v == "false") {
+        options.provenance = false;
+      } else {
+        std::fprintf(stderr, "--provenance takes on|off\n");
         return 2;
       }
     } else {

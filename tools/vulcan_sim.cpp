@@ -62,6 +62,7 @@ struct Options {
   std::string audit;  // invariant-audit level; empty = builder default
   std::string slo;    // SLO rule pack; empty = no monitor
   std::string timeseries_out;  // time-series export (battery: file prefix)
+  std::string provenance_out;  // provenance-ledger export file prefix
   std::string flight_dump;     // flight-recorder dump path (single run)
   std::string telemetry_bench;  // battery: telemetry-overhead measurement
   bool help = false;
@@ -107,6 +108,11 @@ void usage() {
       "  --timeseries F   write the windowed time-series store (CSV when F\n"
       "                   ends in .csv, JSONL otherwise; in battery mode F\n"
       "                   is a prefix: F.<policy>.jsonl per roster entry)\n"
+      "  --provenance P   enable the decision provenance ledger and write\n"
+      "                   its exports to P.decisions.jsonl and\n"
+      "                   P.transitions.jsonl (battery mode: one pair per\n"
+      "                   roster entry, P.<policy>.decisions.jsonl ...);\n"
+      "                   query them with vulcan_pagescope\n"
       "  --flight-dump F  arm the flight recorder's auto dump at F (audit\n"
       "                   failure / critical SLO / engine exception); when\n"
       "                   the run ends cleanly, dump on demand instead\n"
@@ -167,6 +173,7 @@ bool parse(int argc, char** argv, Options& o) {
       else o.slo = "default";
     }
     else if (flag == "--timeseries") o.timeseries_out = next();
+    else if (flag == "--provenance") o.provenance_out = next();
     else if (flag == "--flight-dump") o.flight_dump = next();
     else if (flag == "--telemetry-bench") o.telemetry_bench = next();
     else {
@@ -308,6 +315,7 @@ int run_battery(const Options& o) {
   };
   spec.stage = [&o] { return make_scenario(o); };
   spec.capture_timeseries = !o.timeseries_out.empty();
+  spec.capture_provenance = !o.provenance_out.empty();
 
   std::printf("scenario=%s seed=%llu seconds=%.0f policies=%zu\n\n",
               o.scenario.c_str(), (unsigned long long)o.seed, o.seconds,
@@ -354,6 +362,25 @@ int run_battery(const Options& o) {
         return 1;
       }
       std::fprintf(stderr, "wrote %s (time-series export)\n", path.c_str());
+    }
+  }
+
+  // Per-policy provenance exports, merged in roster order (byte-identical
+  // for any --jobs value, like everything else the battery emits).
+  if (!o.provenance_out.empty()) {
+    for (const auto& s : summaries) {
+      const std::string d_path =
+          o.provenance_out + "." + s.policy + ".decisions.jsonl";
+      const std::string t_path =
+          o.provenance_out + "." + s.policy + ".transitions.jsonl";
+      if (!write_output(d_path,
+                        [&](std::ostream& out) { out << s.decisions; }) ||
+          !write_output(t_path,
+                        [&](std::ostream& out) { out << s.transitions; })) {
+        return 1;
+      }
+      std::fprintf(stderr, "wrote %s + %s (provenance export)\n",
+                   d_path.c_str(), t_path.c_str());
     }
   }
 
@@ -462,6 +489,7 @@ int main(int argc, char** argv) {
                    .spans(!o.no_spans)
                    .audit(audit_level(o))
                    .slo(slo_rules(o))
+                   .provenance(!o.provenance_out.empty())
                    .flight_dump(o.flight_dump)
                    .policy(std::string_view(o.policy))
                    .build();
@@ -611,6 +639,22 @@ int main(int argc, char** argv) {
     std::fprintf(info, "wrote %s (%zu series, %llu boundary snapshots)\n",
                  o.timeseries_out.c_str(), sys.obs_timeseries().series_count(),
                  (unsigned long long)sys.obs_timeseries().observations());
+  }
+  if (!o.provenance_out.empty()) {
+    sys.provenance().finalize();
+    const std::string d_path = o.provenance_out + ".decisions.jsonl";
+    const std::string t_path = o.provenance_out + ".transitions.jsonl";
+    ok &= write_output(d_path, [&](std::ostream& out) {
+      sys.provenance().write_decisions_jsonl(out);
+    });
+    ok &= write_output(t_path, [&](std::ostream& out) {
+      sys.provenance().write_transitions_jsonl(out);
+    });
+    std::fprintf(info,
+                 "wrote %s + %s (%llu decisions, %llu transitions)\n",
+                 d_path.c_str(), t_path.c_str(),
+                 (unsigned long long)sys.provenance().total_decisions(),
+                 (unsigned long long)sys.provenance().total_transitions());
   }
   if (const obs::SloMonitor* slo = sys.slo_monitor()) {
     std::fprintf(info,
