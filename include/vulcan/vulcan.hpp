@@ -78,6 +78,7 @@
 #include "prof/telescope.hpp"
 #include "runtime/builder.hpp"
 #include "runtime/experiment.hpp"
+#include "runtime/fleet.hpp"
 #include "runtime/metrics.hpp"
 #include "runtime/system.hpp"
 #include "runtime/trials.hpp"
@@ -89,6 +90,7 @@
 #include "vm/mmu.hpp"
 #include "vm/replicated_page_table.hpp"
 #include "wl/apps.hpp"
+#include "wl/fleet.hpp"
 #include "wl/pattern.hpp"
 #include "wl/trace.hpp"
 #include "wl/workload.hpp"

@@ -1,0 +1,88 @@
+#!/usr/bin/env python3
+"""Compare a fresh fleet BENCH_fleet.json against the committed baseline.
+
+The fleet battery (`vulcan_sim --scenario fleet --policies all --bench-json`)
+is deterministic in (apps, churn, seed, seconds), so on one machine the
+bytes match exactly; across compilers the simulated arithmetic may round
+differently in the last ulps. The fleet-smoke CI job therefore fails only
+when a per-policy tail figure (cumulative Jain, overall / p99 worst-app
+slowdown, or the windowed Jain floor) drifts beyond a relative tolerance
+(default 0.5%, with a small absolute floor), when the policy roster or the
+per-policy window count changes, or when the scenario identity
+(scenario/seed/simulated_s/apps/churn_per_min) differs.
+
+Usage:
+    python3 scripts/check_fleet_baseline.py <fresh.json> <baseline.json>
+"""
+
+import json
+import sys
+
+REL_TOL = 0.005  # 0.5 %
+ABS_FLOOR = 1e-6  # figures this small are "zero" for tolerance purposes
+
+
+def fail(msg):
+    print(f"fleet baseline check FAILED: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def flatten(bench):
+    """`policies` list -> {"<policy>.jain_cumulative": x, ...}"""
+    flat = {}
+    for p in bench.get("policies", []):
+        name = p["name"]
+        flat[f"{name}.jain_cumulative"] = p["jain_cumulative"]
+        flat[f"{name}.worst_slowdown_overall"] = p["worst_slowdown_overall"]
+        flat[f"{name}.worst_slowdown_p99"] = p["worst_slowdown_p99"]
+        flat[f"{name}.jain_floor"] = p["jain_floor"]
+    return flat
+
+
+def main():
+    if len(sys.argv) != 3:
+        print(__doc__, file=sys.stderr)
+        sys.exit(2)
+    with open(sys.argv[1]) as f:
+        fresh = json.load(f)
+    with open(sys.argv[2]) as f:
+        base = json.load(f)
+
+    for field in ("scenario", "seed", "simulated_s", "apps", "churn_per_min"):
+        if fresh.get(field) != base.get(field):
+            fail(
+                f"{field} differs: baseline {base.get(field)!r}, "
+                f"got {fresh.get(field)!r}"
+            )
+
+    # The window count is structural (epochs per window x run length): a
+    # change means the tail table itself changed shape, not just a figure.
+    fresh_windows = {p["name"]: p.get("windows") for p in fresh.get("policies", [])}
+    base_windows = {p["name"]: p.get("windows") for p in base.get("policies", [])}
+    if fresh_windows != base_windows:
+        fail(
+            f"per-policy window counts differ: baseline {base_windows}, "
+            f"got {fresh_windows}"
+        )
+
+    fresh_keys = flatten(fresh)
+    base_keys = flatten(base)
+    if set(fresh_keys) != set(base_keys):
+        only_fresh = sorted(set(fresh_keys) - set(base_keys))
+        only_base = sorted(set(base_keys) - set(fresh_keys))
+        fail(f"key sets differ (new: {only_fresh}, missing: {only_base})")
+
+    drifted = []
+    for key in sorted(base_keys):
+        want, got = base_keys[key], fresh_keys[key]
+        tol = max(REL_TOL * abs(want), ABS_FLOOR)
+        if abs(got - want) > tol:
+            drifted.append(f"  {key}: baseline {want!r}, got {got!r}")
+    if drifted:
+        fail("tail-fairness drift beyond 0.5%:\n" + "\n".join(drifted))
+
+    print(f"fleet baseline ok: {len(base_keys)} keys within 0.5%")
+
+
+if __name__ == "__main__":
+    main()

@@ -5,6 +5,7 @@
 #include <sstream>
 
 #include "core/fnv.hpp"
+#include "runtime/fleet.hpp"
 #include "sim/rng.hpp"
 #include "wl/apps.hpp"
 
@@ -33,6 +34,29 @@ runtime::ScenarioSpec make_fuzz_scenario(std::uint64_t campaign_seed,
   spec.seconds = seconds;
   spec.seed = scenario_seed;
   spec.configure = [level](runtime::SystemBuilder& b) { b.audit(level); };
+
+  // Every third scenario is a churned mini-fleet instead of the staggered
+  // microbenchmarks: arrival/departure churn drives the departed-residency
+  // audit rule and the policy bookkeeping erase paths the static scenarios
+  // never touch. The choice is a pure function of the scenario seed, so
+  // campaign digests stay reproducible.
+  if (scenario_seed % 3 == 0) {
+    spec.name += "-fleet";
+    spec.stage = [scenario_seed, seconds]() {
+      sim::Rng rng(scenario_seed);
+      runtime::FleetSpec fs;
+      fs.apps = 6 + static_cast<unsigned>(rng.below(11));  // 6..16 apps
+      fs.seconds = seconds;
+      fs.seed = scenario_seed;
+      fs.churn_per_min = 20.0 + rng.uniform() * 60.0;
+      fs.mean_lifetime_s = seconds * (0.3 + 0.4 * rng.uniform());
+      // Modest footprints: capacity exhaustion must not mask real bugs.
+      fs.footprint_scale = 0.5 + rng.uniform() * 0.5;
+      return runtime::make_fleet(fs);
+    };
+    return spec;
+  }
+
   spec.stage = [scenario_seed, seconds]() {
     sim::Rng rng(scenario_seed);
     const unsigned count = static_cast<unsigned>(rng.between(2, 3));

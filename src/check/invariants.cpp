@@ -37,6 +37,7 @@ const char* audit_rule_name(AuditRule rule) {
     case AuditRule::kCounterDrift: return "counter_drift";
     case AuditRule::kPwcCoherence: return "pwc_coherence";
     case AuditRule::kProvenanceResidency: return "provenance_residency";
+    case AuditRule::kDepartedResidency: return "departed_residency";
   }
   return "unknown";
 }
@@ -308,6 +309,47 @@ void InvariantAuditor::check_frames(const SystemView& view,
   }
 }
 
+void InvariantAuditor::check_departed(const WorkloadView& w,
+                                      const mem::Topology& topo,
+                                      AuditReport& report) const {
+  const auto wi = static_cast<std::int32_t>(w.index);
+  if (w.as) {
+    ++report.checks;
+    if (w.as->faulted_pages() != 0) {
+      add_violation(report, AuditRule::kDepartedResidency, wi,
+                    w.as->faulted_pages(),
+                    static_cast<double>(w.as->faulted_pages()),
+                    "departed workload still holds " +
+                        std::to_string(w.as->faulted_pages()) +
+                        " faulted pages");
+    }
+    for (std::size_t t = 0; t < topo.tier_count(); ++t) {
+      ++report.checks;
+      const std::uint64_t resident =
+          w.as->pages_in_tier(static_cast<mem::TierId>(t));
+      if (resident != 0) {
+        add_violation(report, AuditRule::kDepartedResidency, wi, t,
+                      static_cast<double>(resident),
+                      "departed workload census still shows " +
+                          std::to_string(resident) + " pages in tier " +
+                          std::to_string(t));
+      }
+    }
+  }
+  if (w.migrator) {
+    std::uint64_t shadows = 0;
+    w.migrator->shadows().for_each(
+        [&](vm::Vpn, mem::Pfn) { ++shadows; });
+    ++report.checks;
+    if (shadows != 0) {
+      add_violation(report, AuditRule::kDepartedResidency, wi, shadows,
+                    static_cast<double>(shadows),
+                    "departed workload still owns " +
+                        std::to_string(shadows) + " shadow frames");
+    }
+  }
+}
+
 void InvariantAuditor::check_tlbs(const SystemView& view,
                                   AuditReport& report) const {
   if (!view.tlbs) return;
@@ -334,6 +376,17 @@ void InvariantAuditor::check_tlbs(const SystemView& view,
                       static_cast<double>(core),
                       "core " + std::to_string(core) +
                           " caches a translation for unknown pid " +
+                          std::to_string(e.pid));
+        return;
+      }
+      if (found->departed) {
+        // Departure owes a pid-targeted invalidation; any survivor is a
+        // use-after-free translation waiting for pid reuse.
+        add_violation(report, AuditRule::kDepartedResidency,
+                      static_cast<std::int32_t>(found->index), e.page,
+                      static_cast<double>(core),
+                      "core " + std::to_string(core) +
+                          " still caches a translation for departed pid " +
                           std::to_string(e.pid));
         return;
       }
@@ -406,6 +459,13 @@ void InvariantAuditor::check_pwc(const SystemView& view,
     if (!found) {
       add_violation(report, AuditRule::kPwcCoherence, -1, base, 0.0,
                     "PWC caches a walk for unknown pid " +
+                        std::to_string(e.pid));
+      return;
+    }
+    if (found->departed) {
+      add_violation(report, AuditRule::kDepartedResidency,
+                    static_cast<std::int32_t>(found->index), base, 0.0,
+                    "PWC still caches a walk for departed pid " +
                         std::to_string(e.pid));
       return;
     }
@@ -539,8 +599,12 @@ void InvariantAuditor::check_counters(const SystemView& view,
   expect("runtime.epochs", view.epochs_run);
 
   // Per-app residency gauges are refreshed after migrations each epoch, so
-  // at an epoch boundary they must equal the live census.
+  // at an epoch boundary they must equal the live census. Departed apps no
+  // longer receive samples — their gauge freezes at its last live value
+  // while the census drops to zero, so they are exempt here (the departed
+  // checks pin the census itself).
   for (const WorkloadView& w : view.workloads) {
+    if (w.departed) continue;
     const std::string key =
         "app.fast_pages{app=" + std::to_string(w.index) + "}";
     if (!reg.has_gauge(key)) continue;
@@ -571,6 +635,7 @@ AuditReport InvariantAuditor::audit(const SystemView& view) const {
     if (!w.as) continue;
     check_workload(w, *view.topology, frames, report, walks[i]);
     check_replicas(w, report);
+    if (w.departed) check_departed(w, *view.topology, report);
   }
   for (WalkResult& walk : walks) {
     if (walk.tier_pages.empty()) {

@@ -80,6 +80,10 @@ enum class AuditRule : std::uint8_t {
   /// ledger-tracked page whose recorded tier diverges from its PTE, or a
   /// per-app resident count that drifted from faulted_pages().
   kProvenanceResidency,
+  /// A departed workload still holds machine state: non-zero faulted
+  /// pages or tier residency, live shadow frames, or a surviving TLB/PWC
+  /// entry for its pid. Departure must return every frame and translation.
+  kDepartedResidency,
 };
 
 const char* audit_rule_name(AuditRule rule);
@@ -130,6 +134,10 @@ struct WorkloadView {
   const vm::AddressSpace* as = nullptr;
   /// Optional: shadow frames count toward conservation when present.
   const mig::Migrator* migrator = nullptr;
+  /// Fleet churn: the workload has left the system. Its slot stays in the
+  /// snapshot (index stability) but it must hold no frames, shadows or
+  /// cached translations (kDepartedResidency).
+  bool departed = false;
 };
 
 /// Snapshot of the whole machine. Pointers are non-owning; null optional
@@ -179,6 +187,8 @@ class InvariantAuditor {
   void check_replicas(const WorkloadView& w, AuditReport& report) const;
   void check_counters(const SystemView& view, AuditReport& report) const;
   void check_provenance(const SystemView& view, AuditReport& report) const;
+  void check_departed(const WorkloadView& w, const mem::Topology& topo,
+                      AuditReport& report) const;
 
   AuditLevel level_;
 };

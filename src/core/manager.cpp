@@ -9,13 +9,12 @@ namespace vulcan::core {
 void VulcanManager::ensure_state(
     std::span<policy::WorkloadView> workloads) {
   for (const auto& view : workloads) {
-    while (state_.size() <= view.index) {
-      PerWorkload pw;
+    const auto [it, inserted] = state_.try_emplace(view.index);
+    PerWorkload& pw = it->second;
+    if (inserted) {
       pw.queues = policy::BiasedQueues({.mlfq_boost_heat =
                                             params_.mlfq_boost_heat});
-      state_.push_back(std::move(pw));
     }
-    auto& pw = state_[view.index];
     if (!pw.qos) {
       pw.qos = std::make_unique<QosTracker>(view.as->rss_pages(),
                                             params_.fthr_alpha);
@@ -231,7 +230,7 @@ void VulcanManager::plan_epoch(std::span<policy::WorkloadView> all_views,
   // and capped by the mapped footprint.
   for (std::size_t i = 0; i < n; ++i) {
     auto& view = workloads(i);
-    auto& pw = state_[view.index];
+    auto& pw = state_.at(view.index);
     pw.qos->record_epoch(view.epoch_fast_accesses, view.epoch_slow_accesses);
     pw.classifier.record_epoch(view.epoch_fast_accesses +
                                view.epoch_slow_accesses);
@@ -249,7 +248,7 @@ void VulcanManager::plan_epoch(std::span<policy::WorkloadView> all_views,
   inputs.reserve(n);
   for (std::size_t i = 0; i < n; ++i) {
     auto& view = workloads(i);
-    auto& pw = state_[view.index];
+    auto& pw = state_.at(view.index);
     CbfrpWorkload in;
     in.latency_critical = pw.classifier.latency_critical();
     const std::uint64_t eq3 = pw.qos->demand(
@@ -268,7 +267,7 @@ void VulcanManager::plan_epoch(std::span<policy::WorkloadView> all_views,
     const CbfrpResult result = cbfrp.partition(inputs, managed_pages, rng);
     quotas = result.alloc;
     for (std::size_t i = 0; i < n; ++i) {
-      state_[workloads(i).index].credits = result.credits[i];
+      state_.at(workloads(i).index).credits = result.credits[i];
     }
     // Observability: per-workload partition outcome (a demand fully
     // covered is a promotion, a shortfall a rejection), plus the round's
@@ -305,10 +304,16 @@ void VulcanManager::plan_epoch(std::span<policy::WorkloadView> all_views,
   // contention, and the replication advisor toggles targeted shootdowns
   // from measured benefit.
   const bool gated = migration_gated(topo);
-  qos_snapshot_.assign(state_.size(), WorkloadQos{});
+  // Snapshot indexed by workload index (observers read qos()[index]):
+  // sized to the highest *live* index, not every index ever admitted.
+  std::size_t snapshot_size = 0;
+  for (const auto& view : all_views) {
+    snapshot_size = std::max<std::size_t>(snapshot_size, view.index + 1);
+  }
+  qos_snapshot_.assign(snapshot_size, WorkloadQos{});
   for (std::size_t i = 0; i < n; ++i) {
     auto& view = workloads(i);
-    auto& pw = state_[view.index];
+    auto& pw = state_.at(view.index);
     view.fast_quota = quotas[i];
 
     if (params_.enable_adaptive_replication && view.migration) {

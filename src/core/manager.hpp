@@ -14,6 +14,7 @@
 #include <optional>
 #include <set>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "core/advisor.hpp"
@@ -113,6 +114,14 @@ class VulcanManager final : public policy::SystemPolicy {
 
   std::string_view name() const override { return "vulcan"; }
 
+  /// Fleet churn: drop the departed workload's QoS tracker, classifier
+  /// history, biased-queue backlog and credits. Its hash-map slot is
+  /// erased outright, so a long-running system's state stays proportional
+  /// to the *live* app count, not every app that ever existed.
+  void on_workload_departed(unsigned index) override {
+    state_.erase(index);
+  }
+
   const std::vector<WorkloadQos>& qos() const { return qos_snapshot_; }
   const Params& params() const { return params_; }
 
@@ -136,7 +145,12 @@ class VulcanManager final : public policy::SystemPolicy {
   bool migration_gated(const mem::Topology& topo) const;
 
   Params params_;
-  std::vector<PerWorkload> state_;
+  /// Per-workload state, keyed by workload index. A flat hash instead of a
+  /// dense vector: fleet batteries churn through hundreds of short-lived
+  /// indices, and a vector indexed by "largest index ever" would both leak
+  /// departed-app state and make the per-epoch snapshot reset O(total ever
+  /// admitted) instead of O(live).
+  std::unordered_map<unsigned, PerWorkload> state_;
   std::vector<WorkloadQos> qos_snapshot_;
 };
 

@@ -50,6 +50,8 @@ void AppStats::record_epoch(std::span<const AppEpochSample> samples) {
   if (!registry_ || samples.empty()) return;
 
   std::vector<double> epoch_slowdowns(samples.size(), 0.0);
+  double worst = 1.0;
+  std::int32_t worst_app = -1;
   for (std::size_t i = 0; i < samples.size(); ++i) {
     const AppEpochSample& s = samples[i];
     PerApp& pa = app(s.app);
@@ -61,24 +63,43 @@ void AppStats::record_epoch(std::span<const AppEpochSample> samples) {
     const double slowdown = s.slowdown >= 1.0 ? s.slowdown : 1.0;
     pa.slowdown->set(slowdown);
     pa.slowdown_hist->observe(slowdown);
+    // Incremental cumulative-Jain bookkeeping: retire this app's previous
+    // mean-progress contribution, fold the sample, then add the new one.
+    // An app's mean progress is 1 / mean slowdown = epochs / slowdown_sum.
+    if (pa.epochs > 0) {
+      const double old_p =
+          static_cast<double>(pa.epochs) / pa.slowdown_sum;
+      progress_sum_ -= old_p;
+      progress_sq_sum_ -= old_p * old_p;
+    } else {
+      ++contributors_;
+    }
     pa.slowdown_sum += slowdown;
     ++pa.epochs;
+    const double new_p = static_cast<double>(pa.epochs) / pa.slowdown_sum;
+    progress_sum_ += new_p;
+    progress_sq_sum_ += new_p * new_p;
     pa.slowdown_mean->set(pa.slowdown_sum / static_cast<double>(pa.epochs));
     epoch_slowdowns[i] = slowdown;
+    if (worst_app < 0 || slowdown > worst) {
+      worst = slowdown;
+      worst_app = s.app;
+    }
   }
   jain_epoch_ = core::jain_from_slowdowns(epoch_slowdowns);
-
-  std::vector<double> mean_slowdowns;
-  mean_slowdowns.reserve(per_app_.size());
-  for (const PerApp& pa : per_app_) {
-    mean_slowdowns.push_back(
-        pa.epochs == 0 ? 0.0
-                       : pa.slowdown_sum / static_cast<double>(pa.epochs));
-  }
-  jain_cumulative_ = core::jain_from_slowdowns(mean_slowdowns);
+  jain_cumulative_ =
+      contributors_ == 0 || progress_sq_sum_ <= 0.0
+          ? 1.0
+          : (progress_sum_ * progress_sum_) /
+                (static_cast<double>(contributors_) * progress_sq_sum_);
+  worst_slowdown_ = worst;
+  worst_app_ = worst_app;
 
   registry_->gauge("app.fairness.jain").set(jain_epoch_);
   registry_->gauge("app.fairness.jain_cumulative").set(jain_cumulative_);
+  registry_->gauge("app.fairness.worst_slowdown").set(worst_slowdown_);
+  registry_->gauge("app.fairness.worst_app")
+      .set(static_cast<double>(worst_app_));
 }
 
 void AppStats::on_span_closed(std::int32_t workload, SpanKind kind,

@@ -57,8 +57,17 @@ class AppStats final : public SpanSink {
   /// Jain's index over per-app progress (1/slowdown) for the last recorded
   /// epoch; 1.0 before any epoch.
   double jain_epoch() const { return jain_epoch_; }
-  /// Jain's index over per-app mean progress across all epochs.
+  /// Jain's index over per-app mean progress across all epochs. Maintained
+  /// incrementally (running Σprogress / Σprogress² with each sample
+  /// retiring its app's previous contribution), so an epoch costs O(apps
+  /// sampled), not O(apps ever seen) — the fleet battery's 128-app churn
+  /// would otherwise rescan every historical app each epoch.
   double jain_cumulative() const { return jain_cumulative_; }
+  /// Worst (largest) per-app slowdown in the last recorded epoch, and the
+  /// app that suffered it (-1 before any epoch). The tail signal the fleet
+  /// battery windows via the time-series store.
+  double worst_slowdown() const { return worst_slowdown_; }
+  std::int32_t worst_app() const { return worst_app_; }
 
   std::size_t apps() const { return per_app_.size(); }
 
@@ -85,6 +94,14 @@ class AppStats final : public SpanSink {
   std::vector<PerApp> per_app_;
   double jain_epoch_ = 1.0;
   double jain_cumulative_ = 1.0;
+  double worst_slowdown_ = 1.0;
+  std::int32_t worst_app_ = -1;
+  // Incremental cumulative-Jain state over per-app mean progress
+  // (epochs / slowdown_sum): running sum, sum of squares, and the number
+  // of apps that have contributed at least one epoch.
+  double progress_sum_ = 0.0;
+  double progress_sq_sum_ = 0.0;
+  std::uint64_t contributors_ = 0;
 };
 
 }  // namespace vulcan::obs

@@ -155,7 +155,14 @@ void ProvenanceLedger::record_transition(std::int32_t app, std::uint64_t page,
     if (static_cast<std::size_t>(app) >= residency_.size()) {
       residency_.resize(static_cast<std::size_t>(app) + 1);
     }
-    residency_[static_cast<std::size_t>(app)][page] = to_tier;
+    // A negative destination is a release (workload departure / unmap):
+    // the page leaves the live residency view entirely, so departed apps
+    // converge back to resident_pages() == 0.
+    if (to_tier < 0) {
+      residency_[static_cast<std::size_t>(app)].erase(page);
+    } else {
+      residency_[static_cast<std::size_t>(app)][page] = to_tier;
+    }
   }
 }
 

@@ -145,8 +145,9 @@ class ProvenanceLedger {
   /// ignored (the ring may have dropped the row).
   void link_outcome(std::uint64_t id, const DecisionOutcome& outcome);
 
-  /// Record a residency change (alloc when from_tier is -1). Also updates
-  /// the live per-app residency view the check:: cross-audit walks.
+  /// Record a residency change (alloc when from_tier is -1, release when
+  /// to_tier is -1). Also updates the live per-app residency view the
+  /// check:: cross-audit walks: a release erases the page from it.
   void record_transition(std::int32_t app, std::uint64_t page,
                          std::int32_t from_tier, std::int32_t to_tier,
                          std::uint64_t cause);

@@ -20,7 +20,7 @@ struct KindInfo {
   const char* v_name;  // nullptr => omitted
 };
 
-constexpr std::array<KindInfo, 16> kKinds{{
+constexpr std::array<KindInfo, 17> kKinds{{
     {EventKind::kEpochStart, "epoch_start", "epoch", "workloads", nullptr},
     {EventKind::kEpochEnd, "epoch_end", "epoch", "workloads", "cfi"},
     {EventKind::kMigPhaseBegin, "mig_phase_begin", "phase", "pages", nullptr},
@@ -43,6 +43,8 @@ constexpr std::array<KindInfo, 16> kKinds{{
     {EventKind::kSloRecovered, "slo_recovered", "rule", "sustained",
      "value"},
     {EventKind::kMigAbort, "mig_abort", "reason", "vpn", "heat"},
+    {EventKind::kWorkloadDeparted, "workload_departed", "released",
+     "shadows", nullptr},
 }};
 
 const KindInfo& info_of(EventKind kind) {

@@ -48,6 +48,9 @@ enum class EventKind : std::uint8_t {
   // the shadow paths emit this one event with a shared MigAbortReason in
   // `a`, the request's vpn in `b` and its heat score in `v`.
   kMigAbort,
+  // Fleet churn: a workload left the system (runtime::remove_workload).
+  // `a` is the number of frames released, `b` the shadow frames freed.
+  kWorkloadDeparted,
 };
 
 /// The five phases of one migration operation (§2.1): kernel trap /

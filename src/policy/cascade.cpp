@@ -34,7 +34,8 @@ void CascadePolicy::plan_epoch(std::span<WorkloadView> workloads,
   // two-field lexicographic comparator.
   using Entry = unsigned __int128;
   std::vector<Entry> ranking;
-  for (const WorkloadView& view : workloads) {
+  for (std::size_t vi = 0; vi < workloads.size(); ++vi) {
+    const WorkloadView& view = workloads[vi];
     const auto& tr = *view.tracker;
     const vm::PageTable& pt = view.as->tables().process_table();
     const vm::Vpn base = view.as->base_vpn();
@@ -54,8 +55,11 @@ void CascadePolicy::plan_epoch(std::span<WorkloadView> workloads,
       if (!pte.present()) continue;
       const auto heat_bits =
           std::bit_cast<std::uint32_t>(static_cast<float>(h));
+      // The packed id is the view's *position in the span*, not
+      // view.index: under churn the span is the compacted live subset, so
+      // global slot indices would walk off its end in the issuing loop.
       const std::uint64_t rank =
-          (static_cast<std::uint64_t>(~heat_bits) << 32) | view.index;
+          (static_cast<std::uint64_t>(~heat_bits) << 32) | vi;
       const std::uint64_t payload = (p << 8) | mem::tier_of(pte.pfn());
       ranking.push_back((static_cast<Entry>(rank) << 64) | payload);
     }

@@ -66,6 +66,11 @@ class SystemPolicy {
   /// Mechanism options this policy's migrator should use.
   virtual mig::Migrator::Config migrator_config() const = 0;
 
+  /// Workload `index` left the system (fleet churn): drop any per-workload
+  /// state keyed on it. The runtime stops passing the index to plan_epoch
+  /// from the same epoch on. Default: stateless policies ignore it.
+  virtual void on_workload_departed(unsigned index) { (void)index; }
+
   virtual std::string_view name() const = 0;
 
   /// Attach observability. The runtime calls this once at system

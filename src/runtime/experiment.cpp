@@ -111,12 +111,31 @@ std::vector<StagedWorkload> dilemma_colocation(std::uint64_t seed) {
 void run_staged(TieredSystem& sys, std::vector<StagedWorkload> stages,
                 double end_s,
                 const std::function<void(TieredSystem&)>& on_epoch) {
-  std::size_t next = 0;
+  // (workload index, departure time) of every admitted finite-lifetime
+  // stage, in admission order.
+  std::vector<std::pair<unsigned, double>> lifetimes;
+  std::size_t pending = stages.size();
   while (sys.now_seconds() < end_s) {
-    while (next < stages.size() &&
-           stages[next].start_s <= sys.now_seconds() + 1e-9) {
-      sys.add_workload(std::move(stages[next].workload));
-      ++next;
+    // Departures before arrivals: a slot leaving at t frees its frames for
+    // anything arriving at the same boundary.
+    for (const auto& [index, depart_s] : lifetimes) {
+      if (depart_s <= sys.now_seconds() + 1e-9 &&
+          !sys.workload_departed(index)) {
+        sys.remove_workload(index);
+      }
+    }
+    // Stages need not be sorted by start time (the fleet generator emits
+    // them in app-id order so per-app draws stay resize-stable), so scan
+    // for every due, not-yet-admitted stage; a moved-out workload pointer
+    // marks admission. Ties admit in vector order — deterministic.
+    for (std::size_t i = 0; pending > 0 && i < stages.size(); ++i) {
+      if (!stages[i].workload) continue;
+      if (stages[i].start_s > sys.now_seconds() + 1e-9) continue;
+      const unsigned index = sys.add_workload(std::move(stages[i].workload));
+      if (stages[i].end_s < end_s) {
+        lifetimes.emplace_back(index, stages[i].end_s);
+      }
+      --pending;
     }
     sys.run_epochs(1);
     if (on_epoch) on_epoch(sys);

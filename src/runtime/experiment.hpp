@@ -7,6 +7,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <limits>
 #include <memory>
 #include <span>
 #include <string>
@@ -31,10 +32,13 @@ std::unique_ptr<policy::SystemPolicy> make_policy(std::string_view name,
 /// in paper order — the roster `vulcan_sim --policies all` compares.
 std::span<const std::string> all_policy_names();
 
-/// A workload that joins the system at `start_s` simulated seconds.
+/// A workload that joins the system at `start_s` simulated seconds and —
+/// for fleet-churn scenarios — departs at `end_s` (infinity = stays for
+/// the whole run, the historical behaviour).
 struct StagedWorkload {
   double start_s = 0.0;
   std::unique_ptr<wl::Workload> workload;
+  double end_s = std::numeric_limits<double>::infinity();
 };
 
 /// The paper's dynamic co-location timeline (Table 2 workloads).
@@ -47,7 +51,10 @@ std::vector<StagedWorkload> paper_colocation(std::uint64_t seed = 1);
 std::vector<StagedWorkload> dilemma_colocation(std::uint64_t seed = 42);
 
 /// Drive `sys` until `end_s`, admitting staged workloads at their start
-/// times; `on_epoch` (optional) observes the system after every epoch.
+/// times (the vector need not be sorted by start time; same-epoch ties
+/// admit in vector order) and retiring them
+/// (TieredSystem::remove_workload) once their StagedWorkload::end_s
+/// passes; `on_epoch` (optional) observes the system after every epoch.
 void run_staged(TieredSystem& sys, std::vector<StagedWorkload> stages,
                 double end_s,
                 const std::function<void(TieredSystem&)>& on_epoch = {});

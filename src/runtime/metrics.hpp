@@ -40,7 +40,11 @@ class MetricsRecorder {
   bool empty() const { return epochs_.empty(); }
 
   /// Mean of a per-workload field over epochs [from, to) where the
-  /// workload existed. Getter receives the workload metrics.
+  /// workload existed *and ran*. Getter receives the workload metrics.
+  /// Departed (fleet-churned) workloads keep an index-aligned all-zero row
+  /// each epoch; those rows are identified by performance == 0 (live rows
+  /// always have performance > 0 since the ideal CPA is positive) and
+  /// excluded, so a workload's mean covers only its live epochs.
   template <typename Getter>
   double mean(std::size_t workload, Getter&& get, std::size_t from = 0,
               std::size_t to = SIZE_MAX) const {
@@ -48,7 +52,8 @@ class MetricsRecorder {
     std::size_t n = 0;
     const std::size_t hi = std::min(to, epochs_.size());
     for (std::size_t e = from; e < hi; ++e) {
-      if (workload < epochs_[e].workloads.size()) {
+      if (workload < epochs_[e].workloads.size() &&
+          epochs_[e].workloads[workload].performance > 0.0) {
         sum += get(epochs_[e].workloads[workload]);
         ++n;
       }

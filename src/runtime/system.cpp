@@ -151,6 +151,49 @@ unsigned TieredSystem::add_workload(std::unique_ptr<wl::Workload> workload,
   return index;
 }
 
+void TieredSystem::remove_workload(unsigned w) {
+  ManagedWorkload& mw = *workloads_[w];
+  if (mw.departed) return;
+  // Teardown order matters: queued plans first (they reference pages about
+  // to vanish), then shadow frames (allocator-owned but unmapped), then the
+  // ledger's residency view (while the pages are still mapped), then the
+  // mappings themselves, and finally every cached translation for the pid.
+  mw.migration_thread->clear_backlog();
+  const std::uint64_t shadows_freed = mw.migrator->shadows().size();
+  mw.migrator->shadows().clear();
+  if (provenance_.enabled()) {
+    const auto app = static_cast<std::int32_t>(w);
+    // Collect first: recording a release erases the ledger's entry, so
+    // transitions cannot be recorded mid-visit.
+    std::vector<std::pair<std::uint64_t, std::int32_t>> resident;
+    provenance_.for_each_residency(
+        app, [&](std::uint64_t page, std::int32_t tier) {
+          resident.emplace_back(page, tier);
+        });
+    for (const auto& [page, tier] : resident) {
+      provenance_.record_transition(app, page, tier, /*to_tier=*/-1,
+                                    /*cause=*/0);
+    }
+  }
+  const std::uint64_t released = mw.as->release_all();
+  mmu_->invalidate_process(mw.as->pid());
+  policy_->on_workload_departed(w);
+  mw.departed = true;
+  const obs::Scope root(&registry_, &trace_, &now_, "runtime", -1,
+                        config_.record_spans ? &spans_ : nullptr);
+  root.for_workload(static_cast<std::int32_t>(w))
+      .event(obs::EventKind::kWorkloadDeparted, released, shadows_freed);
+  root.counter("workloads_departed").inc();
+}
+
+std::size_t TieredSystem::live_workload_count() const {
+  std::size_t live = 0;
+  for (const auto& mw : workloads_) {
+    if (!mw->departed) ++live;
+  }
+  return live;
+}
+
 void TieredSystem::simulate_accesses(ManagedWorkload& mw,
                                      double epoch_seconds,
                                      std::uint64_t sample_quota) {
@@ -276,15 +319,19 @@ void TieredSystem::run_one_epoch() {
   // workloads, exactly as raw hardware events would be.
   double max_rate = 0.0;
   for (auto& mw : workloads_) {
+    if (mw->departed) continue;
     max_rate = std::max(max_rate, mw->workload->total_access_rate() *
                                       mw->workload->rate_multiplier(
                                           now_seconds()));
   }
   for (auto& mw : workloads_) {
+    // Scratch resets unconditionally so step 6 reads zeros for departed
+    // slots instead of their final live epoch.
     mw->epoch_fast = mw->epoch_slow = 0.0;
     mw->epoch_latency_weighted = 0.0;
     mw->epoch_inline_overhead = 0;
     mw->epoch_migration = {};
+    if (mw->departed) continue;
     mw->workload->on_epoch(now_seconds());
     const double rate = mw->workload->total_access_rate() *
                         mw->workload->rate_multiplier(now_seconds());
@@ -318,24 +365,33 @@ void TieredSystem::run_one_epoch() {
 
   // (3) Profiler epoch work (scans, re-poisoning).
   for (auto& mw : workloads_) {
+    if (mw->departed) continue;
     mw->epoch_migration.daemon_cycles += mw->profiler->on_epoch(*mw->as);
   }
 
   // (4) Policy planning over fresh views (pointers were fixed at
-  // add_workload; only the epoch census changes).
+  // add_workload; only the epoch census changes). The policy sees only the
+  // live subset — a departed slot never reaches plan_epoch again — and the
+  // planned quotas are copied back by index afterwards.
   for (std::size_t i = 0; i < workloads_.size(); ++i) {
     views_[i].epoch_fast_accesses = workloads_[i]->epoch_fast;
     views_[i].epoch_slow_accesses = workloads_[i]->epoch_slow;
+  }
+  active_views_.clear();
+  for (std::size_t i = 0; i < views_.size(); ++i) {
+    if (!workloads_[i]->departed) active_views_.push_back(views_[i]);
   }
   {
     // The policy span wraps whichever SystemPolicy is installed; Vulcan's
     // manager nests its per-workload plan spans inside it.
     obs::ScopedSpan policy_span = root.span(obs::SpanKind::kPolicy);
-    policy_->plan_epoch(views_, *topo_, rng_);
+    policy_->plan_epoch(active_views_, *topo_, rng_);
   }
+  for (const policy::WorkloadView& v : active_views_) views_[v.index] = v;
   // Quota decisions become part of the structured trace regardless of
   // which policy produced them (baselines leave quotas unbounded).
   for (std::size_t i = 0; i < views_.size(); ++i) {
+    if (workloads_[i]->departed) continue;
     root.for_workload(static_cast<std::int32_t>(i))
         .event(obs::EventKind::kPolicyQuota, views_[i].fast_quota,
                workloads_[i]->as->pages_in_tier(mem::kFastTier));
@@ -345,10 +401,12 @@ void TieredSystem::run_one_epoch() {
   // workloads proportionally to backlog.
   std::uint64_t total_backlog = 0;
   for (const auto& mw : workloads_) {
+    if (mw->departed) continue;
     total_backlog += mw->migration_thread->backlog();
   }
   if (total_backlog > 0) {
     for (auto& mw : workloads_) {
+      if (mw->departed) continue;
       const std::uint64_t share = std::max<std::uint64_t>(
           1, migration_budget_ * mw->migration_thread->backlog() /
                  total_backlog);
@@ -371,6 +429,16 @@ void TieredSystem::run_one_epoch() {
   std::vector<obs::AppEpochSample> app_samples;
   for (std::size_t i = 0; i < workloads_.size(); ++i) {
     auto& mw = *workloads_[i];
+    if (mw.departed) {
+      // Keep the row (per-epoch metrics are index-aligned) but leave it
+      // zeroed. The CFI accumulator is index-aligned too: a departed app
+      // contributes nothing this epoch but its pre-departure cumulative
+      // weighted allocation stays in the Eq. 4 population.
+      epoch.workloads.emplace_back();
+      alloc_shares.push_back(0.0);
+      fthrs.push_back(0.0);
+      continue;
+    }
     WorkloadEpochMetrics m;
     const double total_accesses = mw.epoch_fast + mw.epoch_slow;
     m.accesses = total_accesses;
@@ -423,6 +491,10 @@ void TieredSystem::run_one_epoch() {
   // Registry snapshot of the system-level signals the figures explain.
   root.counter("epochs").inc();
   registry_.gauge("core.fairness.cfi").set(cfi_.cfi());
+  // Fleet churn signal: how many admitted workloads are still live. The
+  // fleet battery windows this alongside the tail-fairness gauges.
+  registry_.gauge("runtime.live_workloads")
+      .set(static_cast<double>(live_workload_count()));
   for (std::size_t t = 0; t < topo_->tier_count(); ++t) {
     registry_
         .gauge("mem.tier_utilization{tier=" + std::to_string(t) + "}")
@@ -440,7 +512,9 @@ void TieredSystem::run_one_epoch() {
   ++epoch_index_;
 
   // (7) Heat decay closes the epoch.
-  for (auto& mw : workloads_) mw->tracker->decay_epoch();
+  for (auto& mw : workloads_) {
+    if (!mw->departed) mw->tracker->decay_epoch();
+  }
 
   // (8) Epoch-boundary telemetry. The time-series hook runs at the same
   // consistency point the invariant auditor audits — every counter below
@@ -508,6 +582,7 @@ check::SystemView TieredSystem::audit_view() const {
     w.index = i;
     w.as = workloads_[i]->as.get();
     w.migrator = workloads_[i]->migrator.get();
+    w.departed = workloads_[i]->departed;
     view.workloads.push_back(w);
   }
   view.tlbs = &mmu_->tlbs();

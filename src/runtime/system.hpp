@@ -148,6 +148,21 @@ class TieredSystem {
   unsigned add_workload(std::unique_ptr<wl::Workload> workload,
                         std::optional<ProfilerKind> profiler = std::nullopt);
 
+  /// Retire workload `w` (fleet churn): drop its queued migrations, free
+  /// its shadow frames, release every mapped frame back to the allocators,
+  /// invalidate its cached translations (pid-targeted TLB + PWC flush) and
+  /// tell the policy to forget it. The slot stays in place — indices are
+  /// stable and auditable — but the workload stops generating accesses,
+  /// being planned, or contributing metrics, and the auditor's
+  /// departed-residency rule pins that it holds nothing. Idempotent.
+  void remove_workload(unsigned w);
+  /// True once `w` has been retired via remove_workload().
+  bool workload_departed(unsigned w) const {
+    return workloads_[w]->departed;
+  }
+  /// Workloads admitted and not yet departed.
+  std::size_t live_workload_count() const;
+
   /// Run `count` epochs.
   void run_epochs(unsigned count);
 
@@ -234,6 +249,9 @@ class TieredSystem {
     std::unique_ptr<mig::Migrator> migrator;
     std::unique_ptr<mig::MigrationThread> migration_thread;
     std::vector<vm::CoreId> cores;
+    /// Fleet churn: retired via remove_workload(). The slot persists for
+    /// index stability but is skipped by every epoch phase.
+    bool departed = false;
     // Per-epoch scratch (reset each epoch):
     double epoch_fast = 0, epoch_slow = 0;
     double epoch_latency_weighted = 0;  ///< sum of exposed latency x weight
@@ -272,6 +290,9 @@ class TieredSystem {
   sim::CostModel cost_;
   std::vector<std::unique_ptr<ManagedWorkload>> workloads_;
   std::vector<policy::WorkloadView> views_;
+  // Scratch for step 4: the non-departed subset of views_ handed to the
+  // policy each epoch (member to avoid per-epoch reallocation).
+  std::vector<policy::WorkloadView> active_views_;
   MetricsRecorder metrics_;
   core::CfiAccumulator cfi_;
   sim::Rng rng_;

@@ -1,6 +1,8 @@
 #include "vm/address_space.hpp"
 
+#include <algorithm>
 #include <cassert>
+#include <utility>
 
 namespace vulcan::vm {
 
@@ -166,6 +168,25 @@ bool AddressSpace::collapse_chunk(Vpn vpn) {
   }
   chunks_[ci] = ChunkState::kHuge;
   return true;
+}
+
+std::uint64_t AddressSpace::release_all() {
+  // Collect the live mappings first: unmap mutates the radix tree while
+  // visit walks it.
+  std::vector<std::pair<Vpn, mem::Pfn>> live;
+  live.reserve(static_cast<std::size_t>(faulted_));
+  tables_.process_table().visit([&](Vpn vpn, Pte pte) {
+    live.emplace_back(vpn, pte.pfn());
+  });
+  for (const auto& [vpn, pfn] : live) {
+    topo_->allocator(mem::tier_of(pfn)).free(pfn);
+    tables_.unmap(vpn);
+  }
+  chunks_.assign(chunks_.size(), ChunkState::kUnfaulted);
+  for (auto& members : tier_members_) members.clear();
+  std::fill(tier_pages_.begin(), tier_pages_.end(), 0);
+  faulted_ = 0;
+  return static_cast<std::uint64_t>(live.size());
 }
 
 bool AddressSpace::split_chunk(Vpn vpn) {

@@ -85,6 +85,13 @@ class AddressSpace {
   /// migrating one of its pages). Returns true if a split happened.
   bool split_chunk(Vpn vpn);
 
+  /// Tear down every live mapping (workload departure): free each frame
+  /// back to its tier, unmap it from all tables, and reset the chunk /
+  /// residency / census bookkeeping to the just-constructed state. Returns
+  /// the number of frames released. The caller owns TLB/PWC invalidation
+  /// for the pid.
+  std::uint64_t release_all();
+
   /// Collapse the chunk covering `vpn` back into a huge mapping
   /// (khugepaged-style), valid only when every page of the chunk is
   /// mapped and resident in one tier. Returns true on success.

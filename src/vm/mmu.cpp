@@ -135,6 +135,17 @@ void Mmu::invalidate_pwc(ProcessId pid, Vpn vpn) {
   }
 }
 
+void Mmu::invalidate_process(ProcessId pid) {
+  for (auto& tlb : tlbs_) tlb.invalidate_pid(pid);
+  const std::uint64_t want = static_cast<std::uint64_t>(pid) + 1;
+  for (auto& slot : pwc_) {
+    if (slot.key != 0 && (slot.key >> 32) == want) {
+      slot = PwcSlot{};
+      ++pwc_stats_.invalidations;
+    }
+  }
+}
+
 void Mmu::flush_pwc() {
   for (auto& slot : pwc_) slot = PwcSlot{};
 }

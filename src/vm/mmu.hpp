@@ -118,6 +118,11 @@ class Mmu {
   /// conservatively discarded).
   void invalidate_pwc(ProcessId pid, Vpn vpn);
 
+  /// Process teardown (workload departure): drop every TLB entry on every
+  /// core and every PWC entry belonging to `pid`, so no stale translation
+  /// for a released address space survives anywhere in the hierarchy.
+  void invalidate_process(ProcessId pid);
+
   /// Drop every PWC entry.
   void flush_pwc();
 

@@ -101,6 +101,21 @@ void Tlb::invalidate(ProcessId pid, Vpn vpn) {
   obs_invalidations_->inc();
 }
 
+void Tlb::invalidate_pid(ProcessId pid) {
+  const std::uint64_t want = static_cast<std::uint64_t>(pid) + 1;
+  const auto sweep = [&](SetArray& arr) {
+    for (Entry& e : arr.entries) {
+      if (e.tag != 0 && (e.tag >> 40) == want) {
+        e = Entry{};
+        ++stats_.invalidations;
+        obs_invalidations_->inc();
+      }
+    }
+  };
+  sweep(base_);
+  sweep(huge_);
+}
+
 void Tlb::for_each_entry(
     const std::function<void(const EntryView&)>& fn) const {
   visit_entries(fn);

@@ -51,6 +51,10 @@ class Tlb {
   /// hardware must not keep a stale larger mapping).
   void invalidate(ProcessId pid, Vpn vpn);
 
+  /// Drop every entry belonging to `pid` (PCID-targeted flush on process
+  /// teardown). Each dropped entry counts as one invalidation.
+  void invalidate_pid(ProcessId pid);
+
   /// Drop everything (CR3 write without PCID).
   void flush_all();
 

@@ -1,0 +1,167 @@
+#include "wl/fleet.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+#include <string_view>
+#include <utility>
+
+#include "core/fnv.hpp"
+#include "sim/rng.hpp"
+
+namespace vulcan::wl {
+
+namespace {
+
+constexpr double kTau = 2.0 * std::numbers::pi;
+
+/// Uniform double in [lo, hi) from the app's private RNG.
+double jitter(sim::Rng& rng, double lo, double hi) {
+  return lo + (hi - lo) * rng.uniform();
+}
+
+}  // namespace
+
+std::uint64_t fleet_app_seed(std::uint64_t fleet_seed, std::uint32_t app_id) {
+  std::uint64_t h = core::kFnv1aOffset;
+  h = core::fnv1a(h, std::string_view(reinterpret_cast<const char*>(&fleet_seed),
+                                      sizeof(fleet_seed)));
+  h = core::fnv1a(h, std::string_view(reinterpret_cast<const char*>(&app_id),
+                                      sizeof(app_id)));
+  return h;
+}
+
+const char* fleet_archetype_name(FleetArchetype archetype) {
+  switch (archetype) {
+    case FleetArchetype::kLcService: return "lc_service";
+    case FleetArchetype::kBeBatch: return "be_batch";
+    case FleetArchetype::kAntagonist: return "antagonist";
+  }
+  return "unknown";
+}
+
+double profile_multiplier(const RateProfile& profile, double sim_seconds) {
+  double m = profile.base;
+  if (profile.diurnal_amplitude > 0.0 && profile.diurnal_period_s > 0.0) {
+    m *= 1.0 + profile.diurnal_amplitude *
+                   std::sin(kTau * sim_seconds / profile.diurnal_period_s +
+                            profile.diurnal_phase);
+  }
+  if (profile.burst_period_s > 0.0 && profile.burst_duty > 0.0) {
+    const double phase =
+        std::fmod(sim_seconds + profile.burst_phase_s, profile.burst_period_s) /
+        profile.burst_period_s;
+    if (phase < profile.burst_duty) m *= profile.burst_multiplier;
+  }
+  return std::max(m, 0.05);
+}
+
+FleetWorkload::FleetWorkload(WorkloadSpec spec, std::uint64_t shared_pages,
+                             std::unique_ptr<AccessPattern> shared_pattern,
+                             std::unique_ptr<AccessPattern> private_pattern,
+                             std::uint64_t seed, FleetArchetype archetype,
+                             RateProfile profile)
+    : Workload(std::move(spec), shared_pages, std::move(shared_pattern),
+               std::move(private_pattern), seed),
+      archetype_(archetype),
+      profile_(profile) {}
+
+double FleetWorkload::rate_multiplier(double sim_seconds) const {
+  return profile_multiplier(profile_, sim_seconds);
+}
+
+std::unique_ptr<FleetWorkload> make_fleet_app(std::uint32_t app_id,
+                                              FleetArchetype archetype,
+                                              std::uint64_t fleet_seed,
+                                              double footprint_scale) {
+  const std::uint64_t seed = fleet_app_seed(fleet_seed, app_id);
+  // Parameter jitter draws come from a throwaway RNG on the app seed; the
+  // workload's access stream forks from the same seed inside the Workload
+  // base, so both are functions of (fleet_seed, app_id) alone.
+  sim::Rng rng(seed);
+
+  WorkloadSpec spec;
+  spec.name = std::string(fleet_archetype_name(archetype)) + "-" +
+              std::to_string(app_id);
+  spec.threads = 2;
+
+  RateProfile profile;
+  std::uint64_t shared_pages = 0;
+  std::unique_ptr<AccessPattern> shared;
+  std::unique_ptr<AccessPattern> priv;
+
+  const auto scale_pages = [&](double lo, double hi) {
+    const double pages = jitter(rng, lo, hi) * footprint_scale;
+    return std::max<std::uint64_t>(static_cast<std::uint64_t>(pages),
+                                   4 * spec.threads);
+  };
+
+  switch (archetype) {
+    case FleetArchetype::kLcService: {
+      spec.service_class = ServiceClass::kLatencyCritical;
+      spec.rss_pages = scale_pages(192.0, 448.0);
+      spec.accesses_per_sec_per_thread = jitter(rng, 3e5, 8e5);
+      spec.compute_cycles_per_access = jitter(rng, 50.0, 90.0);
+      spec.latency_exposure = 1.0;  // dependent lookups: fully exposed
+      spec.shared_access_fraction = jitter(rng, 0.6, 0.85);
+      shared_pages = spec.rss_pages / 2;
+      shared = std::make_unique<SkewedHotsetPattern>(
+          shared_pages, /*hot_fraction=*/0.1, /*hot_probability=*/0.9,
+          /*write_ratio=*/0.1);
+      priv = std::make_unique<UniformPattern>(1, 0.1);  // per-thread slice
+      profile.diurnal_amplitude = jitter(rng, 0.2, 0.4);
+      profile.diurnal_period_s = jitter(rng, 15.0, 40.0);
+      profile.diurnal_phase = jitter(rng, 0.0, kTau);
+      break;
+    }
+    case FleetArchetype::kBeBatch: {
+      spec.service_class = ServiceClass::kBestEffort;
+      spec.rss_pages = scale_pages(384.0, 896.0);
+      spec.accesses_per_sec_per_thread = jitter(rng, 1e6, 2e6);
+      spec.compute_cycles_per_access = jitter(rng, 30.0, 60.0);
+      spec.latency_exposure = 0.3;  // prefetch-friendly streaming
+      spec.shared_access_fraction = jitter(rng, 0.05, 0.2);
+      shared_pages = std::max<std::uint64_t>(spec.rss_pages / 16, 8);
+      shared = std::make_unique<HotsetPattern>(shared_pages, 0.25, 0.8, 0.05);
+      priv = std::make_unique<SequentialPattern>(1, 0.05);
+      profile.base = jitter(rng, 0.9, 1.1);
+      break;
+    }
+    case FleetArchetype::kAntagonist: {
+      spec.service_class = ServiceClass::kBestEffort;
+      spec.rss_pages = scale_pages(512.0, 1024.0);
+      spec.accesses_per_sec_per_thread = jitter(rng, 1.5e6, 3e6);
+      spec.compute_cycles_per_access = jitter(rng, 10.0, 30.0);
+      spec.latency_exposure = 0.6;
+      spec.shared_access_fraction = jitter(rng, 0.3, 0.5);
+      shared_pages = spec.rss_pages / 4;
+      shared = std::make_unique<UniformPattern>(shared_pages, 0.5);
+      priv = std::make_unique<UniformPattern>(1, 0.5);
+      profile.base = jitter(rng, 0.4, 0.7);
+      profile.burst_multiplier = jitter(rng, 2.0, 4.0);
+      profile.burst_period_s = jitter(rng, 8.0, 20.0);
+      profile.burst_duty = jitter(rng, 0.2, 0.4);
+      profile.burst_phase_s = jitter(rng, 0.0, profile.burst_period_s);
+      break;
+    }
+  }
+  spec.wss_pages = spec.rss_pages / 2;
+
+  // Private patterns address a per-thread slice whose exact size only the
+  // Workload base knows; rebuild them at the real slice size.
+  const std::uint64_t slice =
+      std::max<std::uint64_t>((spec.rss_pages - shared_pages) / spec.threads, 1);
+  if (archetype == FleetArchetype::kBeBatch) {
+    priv = std::make_unique<SequentialPattern>(slice, 0.05);
+  } else if (archetype == FleetArchetype::kAntagonist) {
+    priv = std::make_unique<UniformPattern>(slice, 0.5);
+  } else {
+    priv = std::make_unique<UniformPattern>(slice, 0.1);
+  }
+
+  return std::make_unique<FleetWorkload>(std::move(spec), shared_pages,
+                                         std::move(shared), std::move(priv),
+                                         seed, archetype, profile);
+}
+
+}  // namespace vulcan::wl

@@ -1,0 +1,85 @@
+// Fleet workload archetypes: the per-app building blocks of the O(100)-app
+// co-location battery (runtime::fleet composes these into a churned
+// schedule).
+//
+// Every random decision an app embodies — archetype parameter jitter,
+// footprint size, load-curve phase, and its access stream — derives from a
+// single per-app seed keyed by (fleet_seed, app_id). That keying is the
+// fleet determinism contract: adding, removing, or re-parameterising one
+// app never perturbs any other app's stream, so fleets of different sizes
+// share a common per-app prefix and scenario diffs localise to the app
+// that changed.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "wl/workload.hpp"
+
+namespace vulcan::wl {
+
+/// Derive app `app_id`'s private seed from the fleet seed. FNV-1a over the
+/// two values' bytes: avalanching, so consecutive app ids land far apart in
+/// seed space (adjacent splitmix-style seeds would correlate xoshiro
+/// streams).
+std::uint64_t fleet_app_seed(std::uint64_t fleet_seed, std::uint32_t app_id);
+
+/// The three co-location roles the fleet mixes (ISSUE motivation: LC/BE
+/// mixes plus antagonist bursts).
+enum class FleetArchetype : std::uint8_t {
+  kLcService,   ///< latency-critical, skewed hot set, diurnal demand
+  kBeBatch,     ///< best-effort streaming scans, flat demand
+  kAntagonist,  ///< write-heavy uniform churn arriving in bursts
+};
+
+const char* fleet_archetype_name(FleetArchetype archetype);
+
+/// Deterministic load curve: a diurnal sinusoid with an optional square
+/// burst train layered on top. Pure function of simulated time — no state,
+/// so replays and `--jobs` splits agree bit-for-bit.
+struct RateProfile {
+  double base = 1.0;               ///< flat multiplier applied always
+  double diurnal_amplitude = 0.0;  ///< fraction of base (0 = flat)
+  double diurnal_period_s = 30.0;
+  double diurnal_phase = 0.0;      ///< radians
+  double burst_multiplier = 1.0;   ///< applied while inside a burst window
+  double burst_period_s = 0.0;     ///< 0 = no bursts
+  double burst_duty = 0.0;         ///< fraction of each period bursting
+  double burst_phase_s = 0.0;      ///< offset into the burst cycle
+};
+
+/// Evaluate the profile at `sim_seconds`. Never returns < 0.05 so an app
+/// cannot silently stop issuing accesses at a sinusoid trough.
+double profile_multiplier(const RateProfile& profile, double sim_seconds);
+
+/// A fleet app: a plain two-region workload whose rate_multiplier follows
+/// its RateProfile.
+class FleetWorkload final : public Workload {
+ public:
+  FleetWorkload(WorkloadSpec spec, std::uint64_t shared_pages,
+                std::unique_ptr<AccessPattern> shared_pattern,
+                std::unique_ptr<AccessPattern> private_pattern,
+                std::uint64_t seed, FleetArchetype archetype,
+                RateProfile profile);
+
+  double rate_multiplier(double sim_seconds) const override;
+
+  FleetArchetype archetype() const { return archetype_; }
+  const RateProfile& profile() const { return profile_; }
+
+ private:
+  FleetArchetype archetype_;
+  RateProfile profile_;
+};
+
+/// Build app `app_id` of a fleet seeded with `fleet_seed`. All jitter
+/// (footprint, rates, phases) comes from fleet_app_seed(fleet_seed,
+/// app_id) only, so the result is identical whatever else the fleet
+/// contains. `footprint_scale` scales the page footprint (default sizes
+/// target ~128 apps against the scaled 8 Ki-page fast tier).
+std::unique_ptr<FleetWorkload> make_fleet_app(std::uint32_t app_id,
+                                              FleetArchetype archetype,
+                                              std::uint64_t fleet_seed,
+                                              double footprint_scale = 1.0);
+
+}  // namespace vulcan::wl

@@ -1,0 +1,119 @@
+// Fleet workload archetypes: the per-app seeding contract. Every random
+// decision an app embodies derives from (fleet_seed, app_id) only, so no
+// app's stream can leak into another's — the bug class this file pins is
+// a shared RNG threaded across apps during generation.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "wl/fleet.hpp"
+
+namespace vulcan::wl {
+namespace {
+
+TEST(FleetAppSeed, AvalanchesAcrossAppsAndSeeds) {
+  // Adjacent app ids and adjacent fleet seeds must land far apart; exact
+  // collisions would alias two apps' entire streams.
+  std::vector<std::uint64_t> seen;
+  for (std::uint64_t fleet = 1; fleet <= 3; ++fleet) {
+    for (std::uint32_t app = 0; app < 64; ++app) {
+      seen.push_back(fleet_app_seed(fleet, app));
+    }
+  }
+  for (std::size_t i = 0; i < seen.size(); ++i) {
+    for (std::size_t j = i + 1; j < seen.size(); ++j) {
+      ASSERT_NE(seen[i], seen[j]) << "seed collision at " << i << "," << j;
+    }
+  }
+  // Pure function: same inputs, same seed.
+  EXPECT_EQ(fleet_app_seed(42, 7), fleet_app_seed(42, 7));
+}
+
+std::vector<WorkloadAccess> draw(Workload& w, unsigned thread, int n) {
+  std::vector<WorkloadAccess> out;
+  out.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) out.push_back(w.next_access(thread));
+  return out;
+}
+
+TEST(FleetApp, StreamIsAPureFunctionOfSeedAndId) {
+  // Two independently built copies of the same app: identical spec,
+  // identical access stream. Nothing else may feed the app's RNG.
+  for (const FleetArchetype a : {FleetArchetype::kLcService,
+                                 FleetArchetype::kBeBatch,
+                                 FleetArchetype::kAntagonist}) {
+    auto first = make_fleet_app(5, a, 42);
+    auto second = make_fleet_app(5, a, 42);
+    ASSERT_EQ(first->spec().name, second->spec().name);
+    ASSERT_EQ(first->spec().rss_pages, second->spec().rss_pages);
+    ASSERT_EQ(first->spec().threads, second->spec().threads);
+    const auto s1 = draw(*first, 0, 512);
+    const auto s2 = draw(*second, 0, 512);
+    for (std::size_t i = 0; i < s1.size(); ++i) {
+      ASSERT_EQ(s1[i].page, s2[i].page) << fleet_archetype_name(a);
+      ASSERT_EQ(s1[i].is_write, s2[i].is_write) << fleet_archetype_name(a);
+    }
+  }
+}
+
+TEST(FleetApp, NeighbouringAppsDoNotShareAStream) {
+  // Building (or drawing from) app 4 must not perturb app 5. Interleave
+  // draws from both and compare against an undisturbed copy of app 5.
+  auto four = make_fleet_app(4, FleetArchetype::kLcService, 42);
+  auto five = make_fleet_app(5, FleetArchetype::kLcService, 42);
+  auto five_alone = make_fleet_app(5, FleetArchetype::kLcService, 42);
+  std::vector<WorkloadAccess> interleaved, alone;
+  for (int i = 0; i < 256; ++i) {
+    (void)four->next_access(0);
+    interleaved.push_back(five->next_access(0));
+    alone.push_back(five_alone->next_access(0));
+  }
+  for (std::size_t i = 0; i < interleaved.size(); ++i) {
+    ASSERT_EQ(interleaved[i].page, alone[i].page);
+    ASSERT_EQ(interleaved[i].is_write, alone[i].is_write);
+  }
+  // And the two apps are actually different workloads.
+  EXPECT_NE(four->spec().name, five->spec().name);
+}
+
+TEST(FleetProfile, MultiplierIsPureAndFloored) {
+  RateProfile p;
+  p.base = 1.0;
+  p.diurnal_amplitude = 0.99;
+  p.diurnal_period_s = 30.0;
+  for (double t = 0.0; t < 90.0; t += 0.37) {
+    const double m = profile_multiplier(p, t);
+    EXPECT_EQ(m, profile_multiplier(p, t));  // pure in t
+    EXPECT_GE(m, 0.05);                      // never silently stops
+  }
+}
+
+TEST(FleetProfile, DiurnalLoadConservesMeanAndBurstsAddDuty) {
+  // The sinusoid must integrate away over whole periods (load moved in
+  // time, not created), and a burst train adds duty * (multiplier - 1).
+  RateProfile diurnal;
+  diurnal.base = 2.0;
+  diurnal.diurnal_amplitude = 0.5;
+  diurnal.diurnal_period_s = 20.0;
+  double sum = 0.0;
+  const int steps = 20'000;
+  for (int i = 0; i < steps; ++i) {
+    sum += profile_multiplier(diurnal, 40.0 * i / steps);  // two periods
+  }
+  EXPECT_NEAR(sum / steps, diurnal.base, 0.01);
+
+  RateProfile bursty;
+  bursty.base = 1.0;
+  bursty.burst_multiplier = 5.0;
+  bursty.burst_period_s = 10.0;
+  bursty.burst_duty = 0.2;
+  sum = 0.0;
+  for (int i = 0; i < steps; ++i) {
+    sum += profile_multiplier(bursty, 40.0 * i / steps);  // four periods
+  }
+  EXPECT_NEAR(sum / steps, 1.0 + 0.2 * 4.0, 0.01);
+}
+
+}  // namespace
+}  // namespace vulcan::wl

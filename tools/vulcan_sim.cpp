@@ -37,7 +37,7 @@ namespace {
 struct Options {
   std::string policy = "vulcan";
   std::string policies;  // battery mode: comma-separated roster or "all"
-  std::string scenario = "paper";  // paper | dilemma | micro
+  std::string scenario = "paper";  // paper | dilemma | micro | fleet
   std::string profiler = "hybrid";
   unsigned jobs = 0;  // battery workers; 0 = hardware concurrency
   std::string csv;
@@ -57,6 +57,12 @@ struct Options {
   double write_ratio = 0.2;
   double rate = 3e6;
   double drift = 0.0;
+  // fleet scenario knobs
+  unsigned apps = 64;
+  double churn = 0.0;        // churn events per simulated minute; 0 = static
+  double lc_frac = 0.50;
+  double be_frac = 0.35;
+  double lifetime = 0.0;     // mean churned-app lifetime; 0 = seconds / 2
   std::string record_trace;  // capture workload 0's accesses to this file
   std::string replay_trace;  // replace the scenario with this trace file
   std::string audit;  // invariant-audit level; empty = builder default
@@ -79,10 +85,13 @@ void usage() {
       "                   comparison table; runs fan out over --jobs\n"
       "  --jobs N         battery runs in flight; 0 = hardware\n"
       "                   concurrency, capped by the roster    [0]\n"
-      "  --scenario S     paper | dilemma | micro          [paper]\n"
+      "  --scenario S     paper | dilemma | micro | fleet  [paper]\n"
       "                   paper:   Memcached@0s, PageRank@50s, Liblinear@110s\n"
       "                   dilemma: LC hot-set service + BE scanner@10s\n"
       "                   micro:   one Zipfian microbenchmark (see knobs)\n"
+      "                   fleet:   O(100)-app LC/BE/antagonist mix with\n"
+      "                            optional arrival/departure churn; prints\n"
+      "                            a per-window tail-fairness table\n"
       "  --profiler K     pebs | pt-scan | hint-fault | hybrid |\n"
       "                   telescope | chrono                [hybrid]\n"
       "  --seconds T      simulated seconds                 [60]\n"
@@ -123,6 +132,9 @@ void usage() {
       "  (--trace/--metrics/--perfetto/--folded accept '-' for stdout)\n"
       "  micro knobs: --rss P --wss P --write-ratio R --rate A/s/thread\n"
       "               --drift pages/s\n"
+      "  fleet knobs: --apps N [64]  --churn EVENTS/MIN [0 = static fleet]\n"
+      "               --lc-frac F [0.5]  --be-frac F [0.35]\n"
+      "               --lifetime MEAN_S [seconds/2]\n"
       "  traces:      --record-trace FILE  (capture workload 0)\n"
       "               --replay-trace FILE  (run a captured trace)\n");
 }
@@ -160,6 +172,12 @@ bool parse(int argc, char** argv, Options& o) {
     else if (flag == "--write-ratio") o.write_ratio = std::atof(next());
     else if (flag == "--rate") o.rate = std::atof(next());
     else if (flag == "--drift") o.drift = std::atof(next());
+    else if (flag == "--apps")
+      o.apps = static_cast<unsigned>(std::strtoul(next(), nullptr, 10));
+    else if (flag == "--churn") o.churn = std::atof(next());
+    else if (flag == "--lc-frac") o.lc_frac = std::atof(next());
+    else if (flag == "--be-frac") o.be_frac = std::atof(next());
+    else if (flag == "--lifetime") o.lifetime = std::atof(next());
     else if (flag == "--record-trace") o.record_trace = next();
     else if (flag == "--replay-trace") o.replay_trace = next();
     else if (flag == "--audit") {
@@ -214,6 +232,18 @@ runtime::ProfilerKind profiler_kind(const std::string& name) {
   std::exit(2);
 }
 
+runtime::FleetSpec fleet_spec(const Options& o) {
+  runtime::FleetSpec spec;
+  spec.apps = o.apps;
+  spec.seconds = o.seconds;
+  spec.seed = o.seed;
+  spec.lc_fraction = o.lc_frac;
+  spec.be_fraction = o.be_frac;
+  spec.churn_per_min = o.churn;
+  spec.mean_lifetime_s = o.lifetime;
+  return spec;
+}
+
 std::vector<runtime::StagedWorkload> make_scenario(const Options& o) {
   std::vector<runtime::StagedWorkload> stages;
   if (o.scenario == "paper") {
@@ -221,6 +251,9 @@ std::vector<runtime::StagedWorkload> make_scenario(const Options& o) {
   }
   if (o.scenario == "dilemma") {
     return runtime::dilemma_colocation(o.seed);
+  }
+  if (o.scenario == "fleet") {
+    return runtime::make_fleet(fleet_spec(o));
   }
   if (o.scenario == "micro") {
     wl::MicrobenchWorkload::Params p;
@@ -260,6 +293,89 @@ bool write_output(const std::string& path, Fn&& fn) {
   return true;
 }
 
+/// Fleet battery: the O(100)-app churn scenario once per policy, reported
+/// as *tail* fairness over time — per 2 s window the worst-app slowdown
+/// and the windowed Jain floor, plus run-level tail aggregates. Results
+/// merge in roster order, so the output is byte-identical for any --jobs.
+int run_fleet(const Options& o, const std::vector<std::string>& roster) {
+  if (!o.timeseries_out.empty() || !o.provenance_out.empty() ||
+      !o.telemetry_bench.empty()) {
+    std::fprintf(stderr,
+                 "--timeseries/--provenance/--telemetry-bench are not "
+                 "supported by the fleet battery; use a single --policy "
+                 "run for per-run artefacts\n");
+    return 2;
+  }
+  const runtime::FleetSpec spec = fleet_spec(o);
+  std::printf(
+      "scenario=fleet apps=%u churn=%.1f/min lc=%.2f be=%.2f seed=%llu "
+      "seconds=%.0f policies=%zu\n\n",
+      spec.apps, spec.churn_per_min, spec.lc_fraction, spec.be_fraction,
+      (unsigned long long)spec.seed, spec.seconds, roster.size());
+
+  std::vector<runtime::FleetPolicyResult> results;
+  exec::BatchStats stats;
+  try {
+    results = runtime::run_fleet_battery(spec, roster, o.jobs, &stats);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "vulcan_sim: %s\n", e.what());
+    return std::string(e.what()).find("audit(level=") != std::string::npos
+               ? 3
+               : 1;
+  }
+  std::fprintf(stderr,
+               "[exec] %zu fleet runs on %u workers: %.0f ms wall "
+               "(%.0f ms serialized, %.2fx)\n",
+               stats.jobs, stats.workers, stats.wall_ms,
+               stats.job_wall_ms_sum, stats.speedup());
+
+  // Run-level tail summary: who is worst off, and how bad does it get?
+  std::printf("%-10s %10s %10s %10s %11s\n", "policy", "jain_cum",
+              "worst_sd", "p99_sd", "jain_floor");
+  for (const auto& r : results) {
+    std::printf("%-10s %10.3f %10.3f %10.3f %11.3f\n", r.policy.c_str(),
+                r.jain_cumulative, r.worst_slowdown_overall,
+                r.worst_slowdown_p99, r.jain_floor);
+  }
+
+  // Per-window detail: the fairness *trajectory* each policy produced.
+  for (const auto& r : results) {
+    std::printf("\n%s (%.0f s windows):\n", r.policy.c_str(),
+                runtime::kFleetWindowSeconds);
+    std::printf("%8s %10s %10s %6s\n", "t(s)", "worst_sd", "jain_min",
+                "live");
+    for (const auto& w : r.windows) {
+      std::printf("%8.0f %10.3f %10.3f %6.0f\n", w.time_s, w.worst_slowdown,
+                  w.jain_min, w.live_apps);
+    }
+  }
+
+  // Fleet bench summary: deterministic tail aggregates only, so two runs
+  // of the same binary are byte-identical at any --jobs count.
+  // bench/baselines/BENCH_fleet.json pins this shape.
+  if (!o.bench_json.empty()) {
+    const bool ok = write_output(o.bench_json, [&](std::ostream& out) {
+      out << "{\"scenario\": \"fleet\", \"seed\": " << o.seed
+          << ", \"simulated_s\": " << o.seconds << ", \"apps\": " << o.apps
+          << ", \"churn_per_min\": " << o.churn << ", \"policies\": [";
+      for (std::size_t i = 0; i < results.size(); ++i) {
+        const auto& r = results[i];
+        out << (i ? ", " : "") << "{\"name\": \"" << r.policy
+            << "\", \"jain_cumulative\": " << r.jain_cumulative
+            << ", \"worst_slowdown_overall\": " << r.worst_slowdown_overall
+            << ", \"worst_slowdown_p99\": " << r.worst_slowdown_p99
+            << ", \"jain_floor\": " << r.jain_floor
+            << ", \"windows\": " << r.windows.size() << "}";
+      }
+      out << "]}\n";
+    });
+    std::fprintf(stderr, "wrote %s (fleet benchmark summary)\n",
+                 o.bench_json.c_str());
+    if (!ok) return 1;
+  }
+  return 0;
+}
+
 /// Battery mode: one full simulation per policy in the roster, fanned out
 /// across the exec worker pool. The comparison table merges in roster
 /// order, so it is byte-identical for any --jobs value.
@@ -276,7 +392,7 @@ int run_battery(const Options& o) {
     return 2;
   }
   if (o.scenario != "paper" && o.scenario != "dilemma" &&
-      o.scenario != "micro") {
+      o.scenario != "micro" && o.scenario != "fleet") {
     std::fprintf(stderr, "unknown scenario: %s\n", o.scenario.c_str());
     return 2;
   }
@@ -296,6 +412,10 @@ int run_battery(const Options& o) {
     std::fprintf(stderr, "--policies: empty roster\n");
     return 2;
   }
+
+  // The fleet battery reports tail fairness over time rather than the
+  // end-of-run means below; it has its own table and bench shape.
+  if (o.scenario == "fleet") return run_fleet(o, roster);
 
   const auto configure_base = [&o](runtime::SystemBuilder& b) {
     b.epoch_ms(o.epoch_ms)
@@ -481,18 +601,23 @@ int main(int argc, char** argv) {
                             o.timeseries_out == "-";
   FILE* info = stdout_taken ? stderr : stdout;
 
-  auto built = runtime::SystemBuilder{}
-                   .seed(o.seed)
-                   .epoch_ms(o.epoch_ms)
-                   .samples_per_epoch(o.samples)
-                   .profiler(profiler_kind(o.profiler))
-                   .spans(!o.no_spans)
-                   .audit(audit_level(o))
-                   .slo(slo_rules(o))
-                   .provenance(!o.provenance_out.empty())
-                   .flight_dump(o.flight_dump)
-                   .policy(std::string_view(o.policy))
-                   .build();
+  runtime::SystemBuilder builder;
+  builder.seed(o.seed)
+      .epoch_ms(o.epoch_ms)
+      .samples_per_epoch(o.samples)
+      .profiler(profiler_kind(o.profiler))
+      .spans(!o.no_spans)
+      .audit(audit_level(o))
+      .slo(slo_rules(o))
+      .provenance(!o.provenance_out.empty())
+      .flight_dump(o.flight_dump)
+      .policy(std::string_view(o.policy));
+  if (o.scenario == "fleet") {
+    // Fleet runs fold epochs into 2 s tail-fairness windows retained for
+    // the whole run, so the table below covers every window.
+    builder.timeseries(runtime::fleet_timeseries_config(o.seconds));
+  }
+  auto built = builder.build();
   if (!built) {
     std::fprintf(stderr, "invalid configuration: %s\n",
                  built.error().c_str());
@@ -579,6 +704,17 @@ int main(int argc, char** argv) {
   std::fprintf(info, "TLB shootdowns: %llu ops, %llu IPIs\n",
                (unsigned long long)sys.shootdowns().stats().shootdowns,
                (unsigned long long)sys.shootdowns().stats().ipis);
+  if (o.scenario == "fleet") {
+    const auto rows = runtime::fleet_windows(sys.obs_timeseries());
+    std::fprintf(info, "\nfleet tail fairness (%.0f s windows):\n",
+                 runtime::kFleetWindowSeconds);
+    std::fprintf(info, "%8s %10s %10s %6s\n", "t(s)", "worst_sd",
+                 "jain_min", "live");
+    for (const auto& w : rows) {
+      std::fprintf(info, "%8.0f %10.3f %10.3f %6.0f\n", w.time_s,
+                   w.worst_slowdown, w.jain_min, w.live_apps);
+    }
+  }
 
   bool ok = true;
   const std::uint64_t dropped = sys.obs_trace().dropped();
