@@ -44,6 +44,7 @@
 #include "core/manager.hpp"
 #include "core/qos.hpp"
 #include "mem/topology.hpp"
+#include "mig/admission.hpp"
 #include "mig/copy_engine.hpp"
 #include "mig/mechanism.hpp"
 #include "mig/migration_thread.hpp"

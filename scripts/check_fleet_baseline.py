@@ -28,7 +28,14 @@ def fail(msg):
 
 
 def flatten(bench):
-    """`policies` list -> {"<policy>.jain_cumulative": x, ...}"""
+    """`policies` list -> {"<policy>.jain_cumulative": x, ...}
+
+    When a policy row carries the nested admission-ablation object (the
+    battery was run with `--admission on`), its tail-fairness figures and
+    migration costs are flattened under `<policy>.admission.*` so the
+    key-set equality check forces baseline and fresh run to agree on
+    whether the ablation was recorded at all.
+    """
     flat = {}
     for p in bench.get("policies", []):
         name = p["name"]
@@ -36,6 +43,21 @@ def flatten(bench):
         flat[f"{name}.worst_slowdown_overall"] = p["worst_slowdown_overall"]
         flat[f"{name}.worst_slowdown_p99"] = p["worst_slowdown_p99"]
         flat[f"{name}.jain_floor"] = p["jain_floor"]
+        adm = p.get("admission")
+        if adm is not None:
+            for key in (
+                "jain_cumulative",
+                "worst_slowdown_overall",
+                "worst_slowdown_p99",
+                "jain_floor",
+                "pages_migrated",
+                "shootdown_ipis",
+                "base_pages_migrated",
+                "base_shootdown_ipis",
+                "admitted",
+                "vetoed",
+            ):
+                flat[f"{name}.admission.{key}"] = adm[key]
     return flat
 
 

@@ -5,6 +5,7 @@
 #include <sstream>
 
 #include "core/fnv.hpp"
+#include "mig/admission.hpp"
 #include "runtime/fleet.hpp"
 #include "sim/rng.hpp"
 #include "wl/apps.hpp"
@@ -164,6 +165,24 @@ std::string serialize_battery(
     // digests CI pins over them — byte-identical to before the ledger).
     if (!s.decisions.empty()) out << "decisions\n" << s.decisions;
     if (!s.transitions.empty()) out << "transitions\n" << s.transitions;
+    // Likewise the admission ablation columns: present only when the
+    // scenario set admission_compare, absent (and digest-neutral) otherwise.
+    if (s.admission) {
+      const runtime::AdmissionCompare& a = *s.admission;
+      out << "admission jain ";
+      write_double(out, a.jain);
+      out << " cfi ";
+      write_double(out, a.cfi);
+      out << "\nadmission cost " << a.pages_migrated << " "
+          << a.shootdown_ipis << " base " << a.base_pages_migrated << " "
+          << a.base_shootdown_ipis << " verdicts " << a.admitted << " "
+          << a.vetoed << "\n";
+      for (const auto& [name, slowdown] : a.apps) {
+        out << "admission app " << name << " ";
+        write_double(out, slowdown);
+        out << "\n";
+      }
+    }
   }
   return out.str();
 }
@@ -275,6 +294,73 @@ FuzzResult run_differential_fuzz(const FuzzOptions& options) {
               {spec.name, std::string("hot-path variant ") + v.name +
                               " diverges from the reference artefacts "
                               "(behavior-neutrality break)"});
+        }
+      }
+    }
+
+    // Admission variants (every third scenario, to bound campaign cost):
+    // a wired-but-disabled controller must be perfectly inert, and an
+    // enabled one must keep every audit green while finalizing the rows
+    // it vetoes (the ledger export may contain no pending decisions).
+    if (options.vary_admission && have_reference && s % 3 == 0) {
+      {
+        runtime::ScenarioSpec vspec = make_fuzz_scenario(
+            options.seed, s, options.seconds, options.level);
+        vspec.capture_provenance = options.provenance;
+        vspec.configure = [level = options.level](runtime::SystemBuilder& b) {
+          b.audit(level).admission(mig::AdmissionSpec{});  // enabled = false
+        };
+        std::vector<runtime::PolicyRunSummary> summaries;
+        try {
+          summaries = runtime::run_policy_battery(vspec, policies, jobs[0]);
+        } catch (const std::exception& e) {
+          result.failures.push_back(
+              {spec.name,
+               std::string("admission-disabled variant: ") + e.what()});
+          summaries.clear();
+        }
+        result.runs += static_cast<unsigned>(summaries.size());
+        if (!summaries.empty() &&
+            serialize_battery(summaries) != reference) {
+          result.failures.push_back(
+              {spec.name,
+               "admission-disabled variant diverges from the reference "
+               "artefacts (null-controller inertness break)"});
+        }
+      }
+      {
+        runtime::ScenarioSpec vspec = make_fuzz_scenario(
+            options.seed, s, options.seconds, options.level);
+        vspec.capture_provenance = true;
+        vspec.configure = [level = options.level](runtime::SystemBuilder& b) {
+          mig::AdmissionSpec adm;
+          adm.enabled = true;
+          b.audit(level).admission(adm);
+        };
+        std::vector<runtime::PolicyRunSummary> summaries;
+        try {
+          summaries = runtime::run_policy_battery(vspec, policies, jobs[0]);
+        } catch (const std::exception& e) {
+          result.failures.push_back(
+              {spec.name, std::string("admission-on variant: ") + e.what()});
+        }
+        result.runs += static_cast<unsigned>(summaries.size());
+        for (const runtime::PolicyRunSummary& summary : summaries) {
+          const std::uint64_t violations =
+              summary.snapshot.counter("check.violations");
+          if (violations != 0) {
+            result.failures.push_back(
+                {spec.name, "admission-on variant: " + summary.policy +
+                                ": check.violations = " +
+                                std::to_string(violations)});
+          }
+          if (summary.decisions.find("\"status\":\"pending\"") !=
+              std::string::npos) {
+            result.failures.push_back(
+                {spec.name, "admission-on variant: " + summary.policy +
+                                ": ledger export contains unlinked "
+                                "(status=pending) decisions"});
+          }
         }
       }
     }

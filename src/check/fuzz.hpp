@@ -42,6 +42,15 @@ struct FuzzOptions {
   /// sizes, asserting the artefacts stay byte-identical — the facade's
   /// behavior-neutrality contract, differentially tested.
   bool vary_hotpath = true;
+  /// Admission-control differential: every third scenario is replayed at
+  /// the reference jobs level twice — once with an admission controller
+  /// wired but *disabled*, whose artefacts must stay byte-identical to the
+  /// reference (the null-controller inertness contract behind the pinned
+  /// digests), and once with admission *enabled* plus the provenance
+  /// ledger, asserting clean audits and that every vetoed decision was
+  /// finalized (no pending ledger rows). Neither replay touches the
+  /// campaign digest.
+  bool vary_admission = true;
   /// Enable the provenance ledger in every run: the decision/transition
   /// exports join the cross-jobs artefact comparison and the digest, every
   /// exported decision must have a linked (non-pending) outcome, and the

@@ -64,9 +64,14 @@ void VulcanManager::plan_workload(policy::WorkloadView& view,
     while (fast_cold.more()) {
       const std::uint64_t page = fast_cold.next();
       if (excess == 0) break;
+      // Measured against the promotion cut so the recorded benefit is
+      // positive for genuinely cold pages (sign convention: positive iff
+      // profitable, both directions).
       view.migration->enqueue_urgent(policy::make_request(
           view, page, mem::kSlowTier, mig::CopyMode::kAsync,
-          {.rank = shed++, .queue_bias = -1.0}));
+          {.rank = shed++,
+           .threshold = params_.promote_min_heat,
+           .queue_bias = -1.0}));
       --excess;
     }
     return;  // promotions wait until the quota is respected

@@ -30,6 +30,12 @@ struct MigrationRequest {
   /// trade is TLB coverage vs fast-tier capacity spent on cold tail pages.
   bool whole_chunk = false;
   double heat = 0.0;
+  /// Heat margin over the threshold the issuing policy measured the page
+  /// against, signed towards the move's direction: positive iff the policy
+  /// predicts the move is profitable (promotions want heat above the cut,
+  /// demotions below it). Stamped by policy::record_decision; admission
+  /// control scores it against the predicted migration cost.
+  double predicted_benefit = 0.0;
   /// Provenance ledger decision id (policy::record_decision); 0 = none.
   /// The migrator links the executed outcome back to this record.
   std::uint64_t provenance = 0;
@@ -38,6 +44,7 @@ struct MigrationRequest {
 /// Aggregated outcome of executing a batch of requests.
 struct MigrationStats {
   std::uint64_t attempted = 0;
+  std::uint64_t vetoed = 0;          ///< rejected by admission control
   std::uint64_t migrated = 0;
   std::uint64_t failed = 0;          ///< async aborts (dirty retries exhausted)
   std::uint64_t shadow_remaps = 0;   ///< demotions satisfied by a shadow copy
@@ -50,6 +57,7 @@ struct MigrationStats {
 
   MigrationStats& operator+=(const MigrationStats& o) {
     attempted += o.attempted;
+    vetoed += o.vetoed;
     migrated += o.migrated;
     failed += o.failed;
     shadow_remaps += o.shadow_remaps;

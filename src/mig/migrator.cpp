@@ -101,6 +101,71 @@ void Migrator::link_outcome(const MigrationRequest& req, bool executed,
   ledger_->link_outcome(req.provenance, outcome);
 }
 
+AdmissionInputs Migrator::admission_inputs(const MigrationRequest& req) {
+  AdmissionInputs in;
+  const bool sync = req.mode == CopyMode::kSync;
+  const vm::CoreId initiator =
+      sync ? core_of(req.owner) : config_.daemon_core;
+  vm::Mmu* const mmu = shootdowns_->mmu();
+  const vm::Pte pte =
+      mmu ? mmu->walk(*as_, req.vpn) : as_->tables().get(req.vpn);
+  const std::int32_t from =
+      pte.present() ? static_cast<std::int32_t>(mem::tier_of(pte.pfn())) : -1;
+  in.promotion = from >= 0 ? static_cast<std::int32_t>(req.to) < from
+                           : req.to == mem::kFastTier;
+  in.dma_copy = config_.dma_copy;
+  in.predicted_benefit = req.predicted_benefit;
+  if (req.whole_chunk) {
+    in.pages = sim::kPagesPerHuge;
+    // Chunk flushes broadcast in the common (huge-mapped or shared) case;
+    // size the IPI prediction accordingly.
+    in.predicted_ipis =
+        static_cast<unsigned>(broadcast_targets(initiator).size());
+  } else {
+    in.pages = 1;
+    in.predicted_ipis =
+        static_cast<unsigned>(shootdown_targets(req, initiator).size());
+    in.shadow_path = !in.promotion && pte.present() && !pte.dirty() &&
+                     config_.shadowing && shadows_.has(req.vpn);
+  }
+  const mem::FrameAllocator& dest = topo_->allocator(req.to);
+  in.dest_free_fraction =
+      dest.capacity() ? static_cast<double>(dest.free_pages()) /
+                            static_cast<double>(dest.capacity())
+                      : 0.0;
+  if (from >= 0) {
+    const mem::FrameAllocator& src =
+        topo_->allocator(static_cast<mem::TierId>(from));
+    in.source_free_fraction =
+        src.capacity() ? static_cast<double>(src.free_pages()) /
+                             static_cast<double>(src.capacity())
+                       : 0.0;
+  }
+  return in;
+}
+
+void Migrator::veto_request(const MigrationRequest& req,
+                            obs::MigAbortReason reason) {
+  // Veto counts live in the controller's adm.* counters; the per-reason
+  // reporting here mirrors abort_request's ledger gating so admission-off
+  // (and provenance-off) artefacts stay byte-identical.
+  if (!ledger_) return;
+  if (obs_.tracing()) {
+    obs_.event(obs::EventKind::kMigAbort, static_cast<std::uint64_t>(reason),
+               req.vpn, req.heat);
+  }
+  if (req.provenance == 0) return;
+  obs::DecisionOutcome outcome;
+  outcome.status = obs::DecisionStatus::kVetoed;
+  outcome.abort_reason = reason;
+  vm::Mmu* const mmu = shootdowns_->mmu();
+  const vm::Pte pte =
+      mmu ? mmu->walk(*as_, req.vpn) : as_->tables().get(req.vpn);
+  outcome.final_tier =
+      pte.present() ? static_cast<std::int32_t>(mem::tier_of(pte.pfn())) : -1;
+  ledger_->link_outcome(req.provenance, outcome);
+}
+
 sim::Cycles Migrator::phase(obs::MigPhase p, std::uint64_t pages,
                             sim::Cycles cycles, bool with_span) {
   phase_cycles_[static_cast<std::size_t>(p)]->inc(cycles);
@@ -422,8 +487,31 @@ MigrationStats Migrator::execute(std::span<const MigrationRequest> requests,
   MigrationStats stats;
   if (requests.empty()) return stats;
 
+  // Admission control filters before any mechanism cost is composed:
+  // vetoed requests pay nothing (no prep share, no RNG draw) and finalize
+  // their provenance rows with the veto reason.
+  std::span<const MigrationRequest> admitted = requests;
+  if (admission_) {
+    admitted_scratch_.clear();
+    for (const auto& req : requests) {
+      const AdmissionVerdict verdict =
+          admission_->assess(admission_inputs(req));
+      if (verdict.admitted) {
+        admitted_scratch_.push_back(req);
+      } else {
+        ++stats.vetoed;
+        veto_request(req, verdict.reason);
+      }
+    }
+    admitted = admitted_scratch_;
+    if (admitted.empty()) {
+      totals_ += stats;
+      return stats;
+    }
+  }
+
   bool any_sync = false, any_async = false;
-  for (const auto& r : requests) {
+  for (const auto& r : admitted) {
     (r.mode == CopyMode::kSync ? any_sync : any_async) = true;
   }
   // Migration preparation is paid once per migrate_pages() invocation; sync
@@ -431,14 +519,14 @@ MigrationStats Migrator::execute(std::span<const MigrationRequest> requests,
   // migration thread).
   if (any_sync) {
     stats.stall_cycles +=
-        phase(obs::MigPhase::kPrep, requests.size(), mechanism_.prep_cost());
+        phase(obs::MigPhase::kPrep, admitted.size(), mechanism_.prep_cost());
   }
   if (any_async) {
     stats.daemon_cycles +=
-        phase(obs::MigPhase::kPrep, requests.size(), mechanism_.prep_cost());
+        phase(obs::MigPhase::kPrep, admitted.size(), mechanism_.prep_cost());
   }
 
-  for (const auto& req : requests) {
+  for (const auto& req : admitted) {
     ++stats.attempted;
     if (!ledger_) {
       execute_one(req, rng, stats);

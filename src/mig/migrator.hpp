@@ -9,6 +9,7 @@
 #include <span>
 #include <vector>
 
+#include "mig/admission.hpp"
 #include "mig/copy_engine.hpp"
 #include "mig/mechanism.hpp"
 #include "mig/migration.hpp"
@@ -74,6 +75,15 @@ class Migrator {
   /// (the counters bind against the attached scope).
   void set_provenance(obs::ProvenanceLedger* ledger, std::int32_t app);
 
+  /// Attach the admission controller (shared across workloads, owned by
+  /// the runtime). execute() then scores every request before the pipeline
+  /// and drops vetoed ones without paying any mechanism cost or consuming
+  /// RNG. nullptr (the default) leaves every code path byte-identical to
+  /// an admission-free build.
+  void set_admission(AdmissionController* controller) {
+    admission_ = controller;
+  }
+
   /// Runtime toggle for targeted shootdowns — the §3.6 adaptive
   /// replication knob (per-thread tables can be consulted or ignored
   /// per-epoch based on measured benefit).
@@ -103,6 +113,14 @@ class Migrator {
   /// records. Always returns false so call sites can
   /// `return abort_request(...)`.
   bool abort_request(const MigrationRequest& req, obs::MigAbortReason reason);
+  /// Assemble the controller's view of `req`: direction, path (shadow /
+  /// DMA / chunk), the live sharer set the shootdown would IPI, and the
+  /// tiers' allocation pressure.
+  AdmissionInputs admission_inputs(const MigrationRequest& req);
+  /// Report a vetoed request: mig_abort trace event and — satellite of the
+  /// no-pending-rows contract — finalize its linked DecisionRecord with
+  /// the veto reason (both ledger-gated, like abort_request).
+  void veto_request(const MigrationRequest& req, obs::MigAbortReason reason);
   /// Record a page's tier transition in the ledger (no-op when detached).
   void record_move(vm::Vpn vpn, mem::Pfn old_pfn, mem::TierId to,
                    std::uint64_t cause);
@@ -146,6 +164,8 @@ class Migrator {
   // chunk move loop); capacity sticks at the high-water mark.
   std::vector<vm::CoreId> targets_scratch_;
   std::vector<vm::Vpn> moved_scratch_;
+  std::vector<MigrationRequest> admitted_scratch_;
+  AdmissionController* admission_ = nullptr;
   obs::Scope obs_;
   std::array<obs::Counter*, 5> phase_cycles_{
       &obs::detail::dummy_counter, &obs::detail::dummy_counter,

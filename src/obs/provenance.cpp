@@ -55,7 +55,7 @@ std::string_view unquote(std::string_view tok) {
 }
 
 DecisionStatus status_by_name(std::string_view name) {
-  for (int s = 0; s <= static_cast<int>(DecisionStatus::kUnexecuted); ++s) {
+  for (int s = 0; s <= static_cast<int>(DecisionStatus::kVetoed); ++s) {
     const auto status = static_cast<DecisionStatus>(s);
     if (name == decision_status_name(status)) return status;
   }
@@ -63,8 +63,7 @@ DecisionStatus status_by_name(std::string_view name) {
 }
 
 MigAbortReason reason_by_name(std::string_view name) {
-  for (int r = 0; r <= static_cast<int>(MigAbortReason::kAsyncCopyAborted);
-       ++r) {
+  for (int r = 0; r <= static_cast<int>(MigAbortReason::kVetoPressure); ++r) {
     const auto reason = static_cast<MigAbortReason>(r);
     if (name == mig_abort_reason_name(reason)) return reason;
   }

@@ -45,6 +45,7 @@ enum class DecisionStatus : std::uint8_t {
   kPartialChunk,    ///< chunk move ran out of frames after moving some pages
   kAborted,         ///< dropped; abort_reason says why
   kUnexecuted,      ///< still queued when the run ended (finalize())
+  kVetoed,          ///< admission control rejected it; abort_reason says why
 };
 
 inline constexpr const char* decision_status_name(DecisionStatus s) {
@@ -55,6 +56,7 @@ inline constexpr const char* decision_status_name(DecisionStatus s) {
     case DecisionStatus::kPartialChunk: return "partial_chunk";
     case DecisionStatus::kAborted: return "aborted";
     case DecisionStatus::kUnexecuted: return "unexecuted";
+    case DecisionStatus::kVetoed: return "vetoed";
   }
   return "?";
 }

@@ -203,6 +203,20 @@ std::vector<SloSpec> default_slo_pack() {
   r.agg = SloAggregate::kP99Windows;
   r.severity = SloSeverity::kWarning;
   pack.push_back(r);
+
+  // Admission-control veto share: a controller rejecting nearly every
+  // request has a miscalibrated margin (or the policy's benefit signal
+  // collapsed) — migration effectively stops. Inert on admission-off runs:
+  // the adm.* series never exist there, so the rule measures nothing.
+  r = SloSpec{};
+  r.name = "admission-veto-share";
+  r.signal = SloSignal::kShare;
+  r.key = "adm.vetoed";
+  r.key2 = "adm.admitted";
+  r.op = SloOp::kAbove;
+  r.threshold = 0.90;
+  r.severity = SloSeverity::kWarning;
+  pack.push_back(r);
   return pack;
 }
 

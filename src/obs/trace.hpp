@@ -83,6 +83,12 @@ enum class MigAbortReason : std::uint8_t {
   kStale,               ///< page unmapped or already in the target tier
   kDestinationFull,     ///< no free frame in the destination tier
   kAsyncCopyAborted,    ///< async copy raced a write and was abandoned
+  // Admission-control vetoes (mig/admission.hpp). The request never
+  // reached the migration pipeline; the controller predicted it would not
+  // pay for itself.
+  kVetoBenefit,         ///< predicted benefit non-positive (wrong-direction move)
+  kVetoCost,            ///< benefit does not clear margin x predicted cost
+  kVetoPressure,        ///< promotion into a destination tier with no headroom
 };
 
 inline constexpr const char* mig_abort_reason_name(MigAbortReason r) {
@@ -91,6 +97,9 @@ inline constexpr const char* mig_abort_reason_name(MigAbortReason r) {
     case MigAbortReason::kStale: return "stale";
     case MigAbortReason::kDestinationFull: return "dest_full";
     case MigAbortReason::kAsyncCopyAborted: return "async_copy_aborted";
+    case MigAbortReason::kVetoBenefit: return "veto_benefit";
+    case MigAbortReason::kVetoCost: return "veto_cost";
+    case MigAbortReason::kVetoPressure: return "veto_pressure";
   }
   return "?";
 }

@@ -106,12 +106,16 @@ void CascadePolicy::plan_epoch(std::span<WorkloadView> workloads,
         heat >= prev[assigned] / params_.boundary_hysteresis) {
       continue;
     }
-    // Provenance threshold: last epoch's admission boundary for the
-    // assigned tier — the cut this page had to clear (or fell under).
+    // Provenance threshold: last epoch's admission boundary for the tier
+    // the ruler applies to. A promotion had to clear the *destination*
+    // boundary; a demotion fell under its *source* boundary — using the
+    // destination cut for demotions (the old behaviour) flips the benefit
+    // sign, since a demoted page is usually the hottest of its new tier.
     const bool demote = assigned > current;
     auto req = make_request(view, page, assigned, mig::CopyMode::kAsync,
                             {.rank = issued[wl],
-                             .threshold = prev[assigned],
+                             .threshold = demote ? prev[current]
+                                                 : prev[assigned],
                              .queue_bias = demote ? -1.0 : 0.0});
     if (demote) {
       view.migration->enqueue_urgent(req);  // demotions free capacity first
@@ -136,9 +140,13 @@ void CascadePolicy::plan_epoch(std::span<WorkloadView> workloads,
     while (fast_cold.more()) {
       const std::uint64_t page = fast_cold.next();
       if (view.tracker->heat(page) > 0.0 || swept >= 256) break;
+      // Zero-heat pages fell under the fast tier's admission boundary;
+      // measuring against it keeps the demotion benefit positive.
       view.migration->enqueue_urgent(
           make_request(view, page, next_down, mig::CopyMode::kAsync,
-                       {.rank = swept, .queue_bias = -1.0}));
+                       {.rank = swept,
+                        .threshold = prev[mem::kFastTier],
+                        .queue_bias = -1.0}));
       ++swept;
     }
   }

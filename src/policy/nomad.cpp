@@ -44,9 +44,13 @@ void NomadPolicy::plan_epoch(std::span<WorkloadView> workloads,
     while (fast_cold.more()) {
       const std::uint64_t page = fast_cold.next();
       if (need == 0) break;
+      // Demotions measure against the promotion cut (see tpp.cpp): the
+      // benefit sign convention wants positive-iff-profitable both ways.
       view.migration->enqueue_urgent(
           make_request(view, page, mem::kSlowTier, mig::CopyMode::kAsync,
-                       {.rank = evicted++, .queue_bias = -1.0}));
+                       {.rank = evicted++,
+                        .threshold = params_.promote_min_heat,
+                        .queue_bias = -1.0}));
       --need;
     }
   }

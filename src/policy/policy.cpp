@@ -25,19 +25,27 @@ mig::MigrationRequest make_request(const WorkloadView& view,
 
 void record_decision(const WorkloadView& view, mig::MigrationRequest& req,
                      const DecisionContext& ctx) {
-  if (!view.ledger || !view.ledger->enabled()) return;
-  const std::uint64_t page = req.vpn - view.as->base_vpn();
   const vm::Pte pte = view.as->tables().get(req.vpn);
   const std::int32_t from =
       pte.present() ? static_cast<std::int32_t>(mem::tier_of(pte.pfn())) : -1;
+  // Sign convention, pinned: benefit is positive iff the issuing policy
+  // predicts the move is profitable. Direction comes from the page's live
+  // tier, not "to == fast" — a tier-2 -> tier-1 move under a >2-tier
+  // topology is a promotion even though its destination is not the fast
+  // tier. Unmapped pages (from == -1) fall back to the destination.
+  const bool promotion = from >= 0
+                             ? static_cast<std::int32_t>(req.to) < from
+                             : req.to == mem::kFastTier;
+  req.predicted_benefit = promotion ? req.heat - ctx.threshold
+                                    : ctx.threshold - req.heat;
+  if (!view.ledger || !view.ledger->enabled()) return;
+  const std::uint64_t page = req.vpn - view.as->base_vpn();
   obs::DecisionFeatures features;
   features.heat = req.heat;
   features.rank = ctx.rank;
   features.threshold = ctx.threshold;
   features.queue_bias = ctx.queue_bias;
-  features.predicted_benefit = req.to == mem::kFastTier
-                                   ? req.heat - ctx.threshold
-                                   : ctx.threshold - req.heat;
+  features.predicted_benefit = req.predicted_benefit;
   req.provenance = view.ledger->record_decision(
       static_cast<std::int32_t>(view.index), page, from,
       static_cast<std::int32_t>(req.to), req.mode == mig::CopyMode::kSync,

@@ -104,9 +104,12 @@ struct DecisionContext {
 
 /// Record `req` as a DecisionRecord in the view's ledger (no-op without
 /// one) and stamp req.provenance so the migrator can link the outcome.
-/// The predicted benefit is the heat margin over ctx.threshold, signed
-/// towards the move's direction (promotions want heat above the cut,
-/// demotions below it).
+/// Always stamps req.predicted_benefit — the heat margin over
+/// ctx.threshold, signed towards the move's direction so it is positive
+/// iff the policy predicts profit (promotions want heat above the cut,
+/// demotions below it; direction comes from the page's live tier) — even
+/// when no ledger is attached, so admission control can score requests in
+/// ledger-off runs.
 void record_decision(const WorkloadView& view, mig::MigrationRequest& req,
                      const DecisionContext& ctx);
 

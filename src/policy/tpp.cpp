@@ -54,9 +54,14 @@ void TppPolicy::plan_epoch(std::span<WorkloadView> workloads,
     for (std::size_t w = 0; w < workloads.size() && need > 0; ++w) {
       if (!cold_lists[w].more()) continue;
       const std::uint64_t page = cold_lists[w].next();
+      // The eviction ruler is the promotion cut: a page below it would not
+      // earn its fast-tier slot back, so demoting it is profitable
+      // (predicted_benefit = cut - heat > 0 for genuinely cold pages).
       workloads[w].migration->enqueue_urgent(make_request(
           workloads[w], page, mem::kSlowTier, mig::CopyMode::kAsync,
-          {.rank = evicted++, .queue_bias = -1.0}));
+          {.rank = evicted++,
+           .threshold = params_.promote_min_heat,
+           .queue_bias = -1.0}));
       --need;
       progress = true;
     }

@@ -204,6 +204,16 @@ class SystemBuilder {
     config_.provenance.transition_capacity = transitions;
     return *this;
   }
+  /// Migration admission control (mig/admission.hpp): score every
+  /// MigrationRequest's predicted benefit against its calibrated cost and
+  /// veto the ones that don't clear the margin. Off by default
+  /// (spec.enabled = false) — the migrators then carry a null controller
+  /// and every artefact stays byte-identical to an admission-free build.
+  /// Works unmodified under every policy in the zoo.
+  SystemBuilder& admission(mig::AdmissionSpec spec) {
+    config_.admission = spec;
+    return *this;
+  }
 
   /// Perturbation hook: direct access to the staged configuration, so the
   /// what-if engine (obs/whatif.hpp) can scale individual cost constants on

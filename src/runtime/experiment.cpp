@@ -254,16 +254,40 @@ std::vector<PolicyRunSummary> run_policy_battery(
     // `spec` outlives the (synchronous) batch; each job builds and owns a
     // whole system, so concurrent policy runs never share state.
     batch.push_back([&spec, policy] {
-      SystemBuilder b;
-      if (spec.configure) spec.configure(b);
-      if (spec.capture_provenance) b.provenance(true);
-      b.seed(spec.seed).policy(std::string_view(policy));
-      BuildResult built = b.build();
-      if (!built) {
-        throw std::runtime_error(policy + ": " + built.error());
-      }
-      TieredSystem& sys = *built.value();
-      run_staged(sys, spec.stage(), spec.seconds);
+      const auto run_once =
+          [&spec, &policy](bool with_admission) {
+            SystemBuilder b;
+            if (spec.configure) spec.configure(b);
+            if (spec.capture_provenance) b.provenance(true);
+            if (with_admission) {
+              mig::AdmissionSpec adm = *spec.admission_compare;
+              adm.enabled = true;  // compare mode means "on", always
+              b.admission(adm);
+            }
+            b.seed(spec.seed).policy(std::string_view(policy));
+            BuildResult built = b.build();
+            if (!built) {
+              throw std::runtime_error(policy + ": " + built.error());
+            }
+            std::unique_ptr<TieredSystem> sys = std::move(built.value());
+            run_staged(*sys, spec.stage(), spec.seconds);
+            return sys;
+          };
+      const auto migration_cost = [](TieredSystem& s, std::uint64_t& pages,
+                                     std::uint64_t& ipis) {
+        pages = ipis = 0;
+        for (unsigned w = 0; w < s.workload_count(); ++w) {
+          const mig::MigrationStats& t = s.migrator(w).totals();
+          pages += t.migrated;
+          ipis += t.shootdown_ipis;
+        }
+      };
+
+      // The admission-off run first: its artefacts are the summary's
+      // regular fields and stay byte-identical whether or not the compare
+      // rerun happens afterwards.
+      std::unique_ptr<TieredSystem> sys_ptr = run_once(false);
+      TieredSystem& sys = *sys_ptr;
 
       PolicyRunSummary summary;
       summary.policy = policy;
@@ -289,6 +313,26 @@ std::vector<PolicyRunSummary> run_policy_battery(
         sys.provenance().write_transitions_jsonl(t);
         summary.decisions = d.str();
         summary.transitions = t.str();
+      }
+      if (spec.admission_compare) {
+        AdmissionCompare cmp;
+        migration_cost(sys, cmp.base_pages_migrated,
+                       cmp.base_shootdown_ipis);
+        const std::unique_ptr<TieredSystem> on = run_once(true);
+        cmp.jain = on->app_stats().jain_cumulative();
+        cmp.cfi = on->fairness_cfi();
+        const MetricsRecorder& om = on->metrics();
+        const std::size_t ofrom = om.epochs().size() / 2;
+        for (unsigned w = 0; w < on->workload_count(); ++w) {
+          const double perf = om.mean_performance(w, ofrom);
+          cmp.apps.emplace_back(on->workload(w).spec().name,
+                                perf > 0 ? 1.0 / perf : 1.0);
+        }
+        migration_cost(*on, cmp.pages_migrated, cmp.shootdown_ipis);
+        const mig::AdmissionController* ctl = on->admission_controller();
+        cmp.admitted = ctl ? ctl->admitted() : 0;
+        cmp.vetoed = ctl ? ctl->vetoed() : 0;
+        summary.admission = std::move(cmp);
       }
       return summary;
     });

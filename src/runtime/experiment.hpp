@@ -138,6 +138,34 @@ struct ScenarioSpec {
   /// (the ledger changes the registry via mig.abort counters, so digest
   /// consumers opt in explicitly).
   bool capture_provenance = false;
+  /// Admission-control ablation: when set, each policy runs TWICE — first
+  /// without admission (the summary's regular fields, byte-identical to a
+  /// compare-free battery), then again with this spec enabled — and the
+  /// with-admission deltas land in PolicyRunSummary::admission. Nothing
+  /// else about the battery changes: no forked battery, same scenario,
+  /// same per-policy seed.
+  std::optional<mig::AdmissionSpec> admission_compare;
+};
+
+/// The with-admission half of an admission ablation (see
+/// ScenarioSpec::admission_compare). `base_*` mirrors the admission-off
+/// run so consumers can print cost deltas without re-deriving them.
+struct AdmissionCompare {
+  double jain = 1.0;
+  double cfi = 1.0;
+  /// (workload name, steady-state slowdown), same convention as
+  /// PolicyRunSummary::apps.
+  std::vector<std::pair<std::string, double>> apps;
+  /// Migration cost under admission: pages actually migrated and remote
+  /// cores interrupted (summed over workloads).
+  std::uint64_t pages_migrated = 0;
+  std::uint64_t shootdown_ipis = 0;
+  /// The same totals from the admission-off run.
+  std::uint64_t base_pages_migrated = 0;
+  std::uint64_t base_shootdown_ipis = 0;
+  /// Controller verdict totals (adm.admitted / adm.vetoed).
+  std::uint64_t admitted = 0;
+  std::uint64_t vetoed = 0;
 };
 
 /// One policy's end-to-end result over a ScenarioSpec.
@@ -156,6 +184,9 @@ struct PolicyRunSummary {
   /// set capture_provenance; empty otherwise. Not part of the fuzz digest.
   std::string decisions;
   std::string transitions;
+  /// The with-admission rerun when the scenario set admission_compare;
+  /// nullopt otherwise. Never part of the fuzz digest.
+  std::optional<AdmissionCompare> admission;
 };
 
 /// Run `spec` once per policy, fanning the runs out across `jobs` workers.

@@ -150,16 +150,54 @@ std::vector<FleetPolicyResult> run_fleet_battery(
   batch.reserve(policies.size());
   for (const std::string& policy : policies) {
     batch.push_back([&spec, policy] {
-      SystemBuilder b;
-      b.timeseries(fleet_timeseries_config(spec.seconds));
-      b.seed(spec.seed).policy(std::string_view(policy));
-      BuildResult built = b.build();
-      if (!built) {
-        throw std::runtime_error(policy + ": " + built.error());
+      const auto run_once = [&spec, &policy](bool with_admission) {
+        SystemBuilder b;
+        b.timeseries(fleet_timeseries_config(spec.seconds));
+        if (with_admission) {
+          mig::AdmissionSpec adm = *spec.admission_compare;
+          adm.enabled = true;  // compare mode means "on", always
+          b.admission(adm);
+        }
+        b.seed(spec.seed).policy(std::string_view(policy));
+        BuildResult built = b.build();
+        if (!built) {
+          throw std::runtime_error(policy + ": " + built.error());
+        }
+        std::unique_ptr<TieredSystem> sys = std::move(built.value());
+        run_staged(*sys, make_fleet(spec), spec.seconds);
+        return sys;
+      };
+      const auto migration_cost = [](TieredSystem& s, std::uint64_t& pages,
+                                     std::uint64_t& ipis) {
+        pages = ipis = 0;
+        for (unsigned w = 0; w < s.workload_count(); ++w) {
+          const mig::MigrationStats& t = s.migrator(w).totals();
+          pages += t.migrated;
+          ipis += t.shootdown_ipis;
+        }
+      };
+
+      // Admission-off run first: its artefacts are the result's regular
+      // fields whether or not a compare rerun follows.
+      std::unique_ptr<TieredSystem> sys = run_once(false);
+      FleetPolicyResult result = summarize_fleet_run(*sys, policy);
+      if (spec.admission_compare) {
+        FleetAdmissionCompare cmp;
+        migration_cost(*sys, cmp.base_pages_migrated,
+                       cmp.base_shootdown_ipis);
+        const std::unique_ptr<TieredSystem> on = run_once(true);
+        const FleetPolicyResult with = summarize_fleet_run(*on, policy);
+        cmp.jain_cumulative = with.jain_cumulative;
+        cmp.worst_slowdown_overall = with.worst_slowdown_overall;
+        cmp.worst_slowdown_p99 = with.worst_slowdown_p99;
+        cmp.jain_floor = with.jain_floor;
+        migration_cost(*on, cmp.pages_migrated, cmp.shootdown_ipis);
+        const mig::AdmissionController* ctl = on->admission_controller();
+        cmp.admitted = ctl ? ctl->admitted() : 0;
+        cmp.vetoed = ctl ? ctl->vetoed() : 0;
+        result.admission = cmp;
       }
-      TieredSystem& sys = *built.value();
-      run_staged(sys, make_fleet(spec), spec.seconds);
-      return summarize_fleet_run(sys, policy);
+      return result;
     });
   }
   auto results = exec::values_or_throw(runner.run(std::move(batch)),

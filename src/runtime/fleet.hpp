@@ -23,10 +23,12 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <span>
 #include <string>
 #include <vector>
 
+#include "mig/admission.hpp"
 #include "obs/timeseries.hpp"
 #include "runtime/experiment.hpp"
 #include "wl/fleet.hpp"
@@ -55,6 +57,12 @@ struct FleetSpec {
   double mean_lifetime_s = 0.0;
   /// Scales every app's RSS (capacity-pressure sweeps).
   double footprint_scale = 1.0;
+  /// Admission-control ablation (mirrors
+  /// ScenarioSpec::admission_compare): when set, every policy's fleet run
+  /// happens twice — admission-off first (the result's regular fields,
+  /// byte-identical to a compare-free battery), then with this spec
+  /// enabled, landing in FleetPolicyResult::admission.
+  std::optional<mig::AdmissionSpec> admission_compare;
 };
 
 /// Deterministic fleet scenario: `spec.apps` staged workloads in app-id
@@ -77,6 +85,27 @@ struct FleetWindowRow {
   double live_apps = 0.0;       ///< live workloads at the window's end
 };
 
+/// The with-admission half of a fleet admission ablation (see
+/// FleetSpec::admission_compare): the same tail aggregates plus the
+/// migration cost totals of both runs, so consumers print the cost delta
+/// next to the fairness columns.
+struct FleetAdmissionCompare {
+  double jain_cumulative = 1.0;
+  double worst_slowdown_overall = 1.0;
+  double worst_slowdown_p99 = 1.0;
+  double jain_floor = 1.0;
+  /// Migration cost with admission on: pages migrated + remote cores
+  /// IPI'd, summed over every workload slot.
+  std::uint64_t pages_migrated = 0;
+  std::uint64_t shootdown_ipis = 0;
+  /// The same totals from the admission-off run.
+  std::uint64_t base_pages_migrated = 0;
+  std::uint64_t base_shootdown_ipis = 0;
+  /// Controller verdict totals (adm.admitted / adm.vetoed).
+  std::uint64_t admitted = 0;
+  std::uint64_t vetoed = 0;
+};
+
 /// One policy's end-to-end fleet result.
 struct FleetPolicyResult {
   std::string policy;
@@ -86,6 +115,8 @@ struct FleetPolicyResult {
   double jain_floor = 1.0;              ///< min over windowed Jain floors
   std::vector<FleetWindowRow> windows;  ///< oldest first
   obs::MetricsSnapshot snapshot;        ///< the run's full registry
+  /// The with-admission rerun when the spec set admission_compare.
+  std::optional<FleetAdmissionCompare> admission;
 };
 
 /// The TimeSeriesStore configuration fleet runs install: windows of

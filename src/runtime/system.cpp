@@ -36,6 +36,14 @@ TieredSystem::TieredSystem(Config config,
   shootdowns_ = std::make_unique<vm::ShootdownController>(cost_, mmu_.get());
   shootdowns_->set_obs(root.sub("vm.shootdown"));
   policy_->set_obs(root.sub("policy"));
+  if (config_.admission.enabled) {
+    // One controller shared by every workload's migrator, so the veto
+    // ledger and adm.* counters aggregate fleet-wide. Constructed only
+    // when enabled: an admission-off run registers no adm.* keys and its
+    // snapshot stays byte-identical to an admission-free build.
+    admission_.emplace(config_.admission, config_.cost_params);
+    admission_->set_obs(root.sub("adm"), std::string(policy_->name()));
+  }
   tier_utilization_.assign(topo_->tier_count(), 0.0);
   // Telemetry storey (obs/timeseries, obs/slo, obs/flightrec): the store
   // reads the registry at epoch boundaries, the monitor is opt-in via
@@ -137,6 +145,7 @@ unsigned TieredSystem::add_workload(std::unique_ptr<wl::Workload> workload,
       &registry_, &trace_, &now_, "mig", static_cast<std::int32_t>(index),
       config_.record_spans ? &spans_ : nullptr));
   mw->migrator->set_provenance(&provenance_, static_cast<std::int32_t>(index));
+  mw->migrator->set_admission(admission_ ? &*admission_ : nullptr);
   mw->migration_thread = std::make_unique<mig::MigrationThread>(*mw->migrator);
 
   policy::WorkloadView view;

@@ -17,6 +17,7 @@
 #include "check/invariants.hpp"
 #include "core/fairness.hpp"
 #include "mem/topology.hpp"
+#include "mig/admission.hpp"
 #include "mig/migration_thread.hpp"
 #include "obs/app_stats.hpp"
 #include "obs/flightrec.hpp"
@@ -134,6 +135,11 @@ class TieredSystem {
     /// one branch, so pinned fuzz digests and default artefacts are
     /// byte-identical to a build without it.
     obs::ProvenanceConfig provenance;
+    /// Migration admission control (mig/admission.hpp). Off by default —
+    /// when disabled no controller is constructed, the migrators carry a
+    /// null pointer, no adm.* counters enter the registry, and every
+    /// artefact is byte-identical to an admission-free build.
+    mig::AdmissionSpec admission;
   };
 
   TieredSystem(Config config, std::unique_ptr<policy::SystemPolicy> policy);
@@ -206,6 +212,12 @@ class TieredSystem {
   /// exporting.
   obs::ProvenanceLedger& provenance() { return provenance_; }
   const obs::ProvenanceLedger& provenance() const { return provenance_; }
+  /// The migration admission controller; null unless Config::admission
+  /// enabled it. Harnesses read its admitted()/vetoed() totals for the
+  /// with/without battery columns.
+  const mig::AdmissionController* admission_controller() const {
+    return admission_ ? &*admission_ : nullptr;
+  }
   /// On-demand flight dump to `path`. False when telemetry is off or the
   /// file cannot be written.
   bool dump_flight(const std::string& path,
@@ -280,6 +292,9 @@ class TieredSystem {
   // Declared before workloads_ so migrators' ledger pointers stay valid
   // for their whole lifetime.
   obs::ProvenanceLedger provenance_;
+  // Same ordering rule: the migrators hold raw pointers to the shared
+  // admission controller, so it must outlive workloads_.
+  std::optional<mig::AdmissionController> admission_;
   std::unique_ptr<policy::SystemPolicy> policy_;
   std::unique_ptr<mem::Topology> topo_;
   std::unique_ptr<vm::Mmu> mmu_;

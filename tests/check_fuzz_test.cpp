@@ -28,8 +28,9 @@ TEST(DifferentialFuzz, SmallCampaignPassesAndAudits) {
   }
   EXPECT_TRUE(result.ok);
   EXPECT_EQ(result.scenarios, 1u);
-  // policies x (jobs levels + 4 hot-path variants), all completing.
-  EXPECT_EQ(result.runs, 12u);
+  // policies x (jobs levels + 4 hot-path variants + the disabled/enabled
+  // admission replay pair — scenario 0 is a "every third" scenario).
+  EXPECT_EQ(result.runs, 16u);
   EXPECT_GT(result.audits_passed, 0u);
   EXPECT_FALSE(result.artefact_digest.empty());
 }
@@ -39,10 +40,24 @@ TEST(DifferentialFuzz, VaryHotpathOffSkipsTheVariantRuns) {
   options.vary_hotpath = false;
   const FuzzResult result = run_differential_fuzz(options);
   ASSERT_TRUE(result.ok);
-  // policies x jobs levels only.
-  EXPECT_EQ(result.runs, 4u);
+  // policies x jobs levels, plus the admission replay pair.
+  EXPECT_EQ(result.runs, 8u);
   // The digest folds only the reference artefacts, so the variants never
   // shift it: both modes must agree.
+  FuzzOptions with = small_options();
+  EXPECT_EQ(result.artefact_digest,
+            run_differential_fuzz(with).artefact_digest);
+}
+
+TEST(DifferentialFuzz, VaryAdmissionOffSkipsTheReplayPair) {
+  FuzzOptions options = small_options();
+  options.vary_admission = false;
+  const FuzzResult result = run_differential_fuzz(options);
+  ASSERT_TRUE(result.ok);
+  // policies x (jobs levels + 4 hot-path variants) only.
+  EXPECT_EQ(result.runs, 12u);
+  // Admission replays are digest-neutral by construction: turning them
+  // off must not move the pinned digest either.
   FuzzOptions with = small_options();
   EXPECT_EQ(result.artefact_digest,
             run_differential_fuzz(with).artefact_digest);

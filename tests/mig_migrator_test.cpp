@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include "mig/migration_thread.hpp"
+#include "vm/mmu.hpp"
 
 namespace vulcan::mig {
 namespace {
@@ -151,6 +152,51 @@ TEST_F(MigratorTest, WriteInvalidatesShadow) {
   EXPECT_FALSE(m.shadows().has(as_.vpn_at(4)));
   // Dirty page now demotes by copying, not by remap.
   const auto down = demote(4);
+  const auto stats = m.execute({&down, 1}, rng_);
+  EXPECT_EQ(stats.shadow_remaps, 0u);
+  EXPECT_EQ(stats.migrated, 1u);
+  EXPECT_GT(stats.bytes_copied, 0u);
+}
+
+TEST_F(MigratorTest, BatchedWriteInvalidatesShadowInStreamOrder) {
+  // Regression: under the batched vm::Mmu hot path, a write in the same
+  // translate_batch as later accesses must invalidate the shadow copy *in
+  // stream order* via the AccessHook — exactly as the single-event
+  // pipeline interleaved it — or a subsequent demotion remaps to a stale
+  // shadow of a page that has since diverged.
+  Migrator::Config cfg;
+  cfg.shadowing = true;
+  auto m = make_migrator(cfg);
+  const auto up = promote(8);
+  m.execute({&up, 1}, rng_);
+  ASSERT_TRUE(m.shadows().has(as_.vpn_at(8)));
+
+  vm::Mmu::Config mmu_cfg;
+  mmu_cfg.cores = 8;
+  vm::Mmu mmu(mmu_cfg);
+  const vm::Vpn vpn = as_.vpn_at(8);
+  const std::vector<vm::Mmu::Access> batch = {
+      {.vpn = vpn, .core = 1, .thread = thread_, .is_write = false},
+      {.vpn = vpn, .core = 1, .thread = thread_, .is_write = true},
+      {.vpn = vpn, .core = 1, .thread = thread_, .is_write = false},
+  };
+  std::vector<bool> shadow_after_hook;
+  std::vector<vm::Mmu::Translation> out;
+  mmu.translate_batch(
+      as_, batch, [](vm::Vpn) { return mem::kSlowTier; }, out,
+      [&](const vm::Mmu::Access& a, const vm::Mmu::Translation&) {
+        // The engine's write-detection hook (runtime/system.cpp).
+        if (a.is_write) m.on_write(a.vpn);
+        shadow_after_hook.push_back(m.shadows().has(a.vpn));
+      });
+  ASSERT_EQ(shadow_after_hook.size(), 3u) << "hook runs once per access";
+  EXPECT_TRUE(shadow_after_hook[0]) << "read before the write: shadow live";
+  EXPECT_FALSE(shadow_after_hook[1])
+      << "shadow dropped inside the batch, not after it";
+  EXPECT_FALSE(shadow_after_hook[2]);
+
+  // The dirtied page must now demote by copying, never by stale remap.
+  const auto down = demote(8);
   const auto stats = m.execute({&down, 1}, rng_);
   EXPECT_EQ(stats.shadow_remaps, 0u);
   EXPECT_EQ(stats.migrated, 1u);

@@ -1,0 +1,129 @@
+// Satellite of the admission-control PR: the benefit sign convention,
+// pinned across the whole policy zoo. Every MigrationRequest's
+// predicted_benefit must be positive iff the issuing policy predicts the
+// move is profitable — promotions want heat above the threshold they were
+// measured against, demotions below it — and the ledger must record
+// exactly `promotion ? heat - threshold : threshold - heat`. Before this
+// convention, TPP/Nomad demotions carried a zero threshold (benefit
+// = -heat, never positive) and cascade's waterfall compared against the
+// wrong tier boundary, so a cost/benefit veto stage would have starved
+// every demotion.
+#include <gtest/gtest.h>
+
+#include "mem/tier.hpp"
+#include "obs/provenance.hpp"
+#include "runtime/builder.hpp"
+#include "runtime/experiment.hpp"
+#include "wl/apps.hpp"
+
+namespace vulcan::runtime {
+namespace {
+
+/// Run one policy on a pressured two-app co-location (combined RSS well
+/// over the fast tier) with the provenance ledger on, so every decision's
+/// features land in the ledger.
+std::unique_ptr<TieredSystem> run_pressured(const std::string& policy) {
+  SystemBuilder builder;
+  builder.seed(11)
+      .policy(policy)
+      .provenance(true)
+      .tiers({{"dram", 1024, 70, 205.0}, {"cxl", 16384, 162, 25.0}})
+      .samples_per_epoch(3000);
+  wl::MicrobenchWorkload::Params hot;
+  hot.rss_pages = 2048;
+  hot.wss_pages = 512;
+  hot.seed = 7;
+  builder.add_workload(std::make_unique<wl::MicrobenchWorkload>(hot));
+  wl::MicrobenchWorkload::Params scan;
+  scan.rss_pages = 2048;
+  scan.wss_pages = 1536;
+  scan.drift_pages_per_sec = 2000.0;  // churn: forces demotions everywhere
+  scan.seed = 8;
+  builder.add_workload(std::make_unique<wl::MicrobenchWorkload>(scan));
+  auto built = builder.build();
+  EXPECT_TRUE(built.ok()) << built.error();
+  auto sys = std::move(built.value());
+  sys->run_epochs(40);
+  sys->provenance().finalize();
+  return sys;
+}
+
+TEST(PolicyBenefitSign, PositiveIffProfitableAcrossTheZoo) {
+  for (const std::string& policy : all_policy_names()) {
+    SCOPED_TRACE(policy);
+    const auto sys = run_pressured(policy);
+    const obs::ProvenanceLedger& ledger = sys->provenance();
+    ASSERT_GT(ledger.decisions(), 0u) << "scenario issued no migrations";
+
+    std::uint64_t promotions = 0, demotions = 0;
+    std::uint64_t profitable_promotions = 0, profitable_demotions = 0;
+    for (std::size_t i = 0; i < ledger.decisions(); ++i) {
+      const obs::DecisionRow row = ledger.decision(i);
+      // Direction from the live source tier, exactly as record_decision
+      // derives it (unmapped pages fall back to the destination).
+      const bool promotion = row.from_tier >= 0
+                                 ? row.to_tier < row.from_tier
+                                 : row.to_tier == mem::kFastTier;
+      const double expected = promotion
+                                  ? row.features.heat - row.features.threshold
+                                  : row.features.threshold - row.features.heat;
+      ASSERT_NEAR(row.features.predicted_benefit, expected, 1e-9)
+          << "decision " << row.id << " of " << policy
+          << " breaks the sign convention (heat=" << row.features.heat
+          << " threshold=" << row.features.threshold << ")";
+      if (promotion) {
+        ++promotions;
+        profitable_promotions += row.features.predicted_benefit > 0.0;
+      } else {
+        ++demotions;
+        profitable_demotions += row.features.predicted_benefit > 0.0;
+      }
+    }
+    // The pressured scenario exercises both directions under every policy,
+    // and each direction must produce positively-scored decisions — the
+    // admission controller admits nothing whose benefit is <= 0, so a
+    // policy that can never score a demotion positive would be starved.
+    EXPECT_GT(promotions, 0u);
+    EXPECT_GT(demotions, 0u);
+    EXPECT_GT(profitable_promotions, 0u)
+        << policy << " never predicts a profitable promotion";
+    EXPECT_GT(profitable_demotions, 0u)
+        << policy << " never predicts a profitable demotion (the "
+        << "promote-threshold-on-demotion bug this PR fixes)";
+  }
+}
+
+TEST(PolicyBenefitSign, RequestsCarryBenefitEvenWithLedgerOff) {
+  // record_decision stamps MigrationRequest::predicted_benefit before the
+  // ledger-enabled check: admission control must work without provenance.
+  SystemBuilder builder;
+  builder.seed(11)
+      .policy("vulcan")
+      .tiers({{"dram", 1024, 70, 205.0}, {"cxl", 16384, 162, 25.0}})
+      .samples_per_epoch(3000);
+  mig::AdmissionSpec spec;
+  spec.enabled = true;
+  builder.admission(spec);
+  wl::MicrobenchWorkload::Params hot;
+  hot.rss_pages = 2048;
+  hot.wss_pages = 512;
+  hot.seed = 7;
+  builder.add_workload(std::make_unique<wl::MicrobenchWorkload>(hot));
+  wl::MicrobenchWorkload::Params scan;
+  scan.rss_pages = 2048;
+  scan.wss_pages = 1536;
+  scan.drift_pages_per_sec = 2000.0;
+  scan.seed = 8;
+  builder.add_workload(std::make_unique<wl::MicrobenchWorkload>(scan));
+  auto built = builder.build();
+  ASSERT_TRUE(built.ok()) << built.error();
+  auto sys = std::move(built.value());
+  sys->run_epochs(40);
+  ASSERT_NE(sys->admission_controller(), nullptr);
+  // With the ledger off, a zeroed benefit would veto every request as
+  // kVetoBenefit; admissions prove the stamp happens ledger-independent.
+  EXPECT_GT(sys->admission_controller()->admitted(), 0u);
+}
+
+}  // namespace
+}  // namespace vulcan::runtime

@@ -37,6 +37,11 @@ void usage() {
       "  --vary-hotpath B on | off: re-run with the page-walk cache\n"
       "                   disabled and several translate-batch sizes,\n"
       "                   asserting identical artefacts             [on]\n"
+      "  --vary-admission B  on | off: replay every third scenario with an\n"
+      "                   admission controller wired-but-disabled (must\n"
+      "                   match the reference artefacts byte-for-byte) and\n"
+      "                   enabled+provenance (audits stay green, vetoed\n"
+      "                   decisions leave no pending ledger rows)     [on]\n"
       "  --provenance B   on | off: enable the decision provenance ledger\n"
       "                   in every run — its exports join the artefact\n"
       "                   comparison, every decision must carry a linked\n"
@@ -104,6 +109,16 @@ int main(int argc, char** argv) {
         options.vary_hotpath = false;
       } else {
         std::fprintf(stderr, "--vary-hotpath takes on|off\n");
+        return 2;
+      }
+    } else if (flag == "--vary-admission") {
+      const std::string v = next();
+      if (v == "on" || v == "1" || v == "true") {
+        options.vary_admission = true;
+      } else if (v == "off" || v == "0" || v == "false") {
+        options.vary_admission = false;
+      } else {
+        std::fprintf(stderr, "--vary-admission takes on|off\n");
         return 2;
       }
     } else if (flag == "--provenance") {

@@ -71,6 +71,8 @@ struct Options {
   std::string provenance_out;  // provenance-ledger export file prefix
   std::string flight_dump;     // flight-recorder dump path (single run)
   std::string telemetry_bench;  // battery: telemetry-overhead measurement
+  bool admission = false;       // benefit/cost veto layer (mig/admission.hpp)
+  double admission_margin = -1.0;  // < 0 = AdmissionSpec default
   bool help = false;
 };
 
@@ -129,6 +131,14 @@ void usage() {
       "                   and again with the default SLO pack, assert the\n"
       "                   fairness artefacts are identical, and write the\n"
       "                   overhead summary JSON to F\n"
+      "  --admission on|off  migration admission control (benefit/cost veto\n"
+      "                   in front of the migrator). Single run: veto\n"
+      "                   uneconomic requests and report the verdict\n"
+      "                   totals. Battery/fleet: run every policy with AND\n"
+      "                   without admission and print the with/without\n"
+      "                   comparison columns                 [off]\n"
+      "  --admission-margin M  benefit must exceed M x predicted cost\n"
+      "                   (see mig::AdmissionSpec)           [1.0]\n"
       "  (--trace/--metrics/--perfetto/--folded accept '-' for stdout)\n"
       "  micro knobs: --rss P --wss P --write-ratio R --rate A/s/thread\n"
       "               --drift pages/s\n"
@@ -194,6 +204,17 @@ bool parse(int argc, char** argv, Options& o) {
     else if (flag == "--provenance") o.provenance_out = next();
     else if (flag == "--flight-dump") o.flight_dump = next();
     else if (flag == "--telemetry-bench") o.telemetry_bench = next();
+    else if (flag == "--admission") {
+      const std::string v = next();
+      if (v == "on" || v == "1" || v == "true") o.admission = true;
+      else if (v == "off" || v == "0" || v == "false") o.admission = false;
+      else {
+        std::fprintf(stderr, "--admission: expected on|off, got %s\n",
+                     v.c_str());
+        return false;
+      }
+    }
+    else if (flag == "--admission-margin") o.admission_margin = std::atof(next());
     else {
       std::fprintf(stderr, "unknown flag: %s\n", flag.c_str());
       return false;
@@ -230,6 +251,13 @@ runtime::ProfilerKind profiler_kind(const std::string& name) {
   if (name == "chrono") return runtime::ProfilerKind::kChrono;
   std::fprintf(stderr, "unknown profiler: %s\n", name.c_str());
   std::exit(2);
+}
+
+mig::AdmissionSpec admission_spec(const Options& o) {
+  mig::AdmissionSpec spec;
+  spec.enabled = true;
+  if (o.admission_margin >= 0.0) spec.margin = o.admission_margin;
+  return spec;
 }
 
 runtime::FleetSpec fleet_spec(const Options& o) {
@@ -306,12 +334,14 @@ int run_fleet(const Options& o, const std::vector<std::string>& roster) {
                  "run for per-run artefacts\n");
     return 2;
   }
-  const runtime::FleetSpec spec = fleet_spec(o);
+  runtime::FleetSpec spec = fleet_spec(o);
+  if (o.admission) spec.admission_compare = admission_spec(o);
   std::printf(
       "scenario=fleet apps=%u churn=%.1f/min lc=%.2f be=%.2f seed=%llu "
-      "seconds=%.0f policies=%zu\n\n",
+      "seconds=%.0f policies=%zu%s\n\n",
       spec.apps, spec.churn_per_min, spec.lc_fraction, spec.be_fraction,
-      (unsigned long long)spec.seed, spec.seconds, roster.size());
+      (unsigned long long)spec.seed, spec.seconds, roster.size(),
+      o.admission ? " admission=compare" : "");
 
   std::vector<runtime::FleetPolicyResult> results;
   exec::BatchStats stats;
@@ -336,6 +366,33 @@ int run_fleet(const Options& o, const std::vector<std::string>& roster) {
     std::printf("%-10s %10.3f %10.3f %10.3f %11.3f\n", r.policy.c_str(),
                 r.jain_cumulative, r.worst_slowdown_overall,
                 r.worst_slowdown_p99, r.jain_floor);
+  }
+
+  // Admission ablation: the same tail aggregates with the veto layer on,
+  // next to the migration cost it saved (pages copied + shootdown IPIs).
+  if (o.admission) {
+    std::printf(
+        "\nadmission ablation (margin=%.2f; off -> on):\n",
+        spec.admission_compare->margin);
+    std::printf("%-10s %10s %10s %11s %13s %13s %9s\n", "policy",
+                "worst_sd", "p99_sd", "jain_floor", "pages", "ipis",
+                "veto%");
+    for (const auto& r : results) {
+      if (!r.admission) continue;
+      const auto& a = *r.admission;
+      const std::uint64_t verdicts = a.admitted + a.vetoed;
+      std::printf(
+          "%-10s %4.2f>%4.2f %4.2f>%4.2f %5.3f>%5.3f %6llu>%6llu "
+          "%6llu>%6llu %8.1f%%\n",
+          r.policy.c_str(), r.worst_slowdown_overall,
+          a.worst_slowdown_overall, r.worst_slowdown_p99,
+          a.worst_slowdown_p99, r.jain_floor, a.jain_floor,
+          (unsigned long long)a.base_pages_migrated,
+          (unsigned long long)a.pages_migrated,
+          (unsigned long long)a.base_shootdown_ipis,
+          (unsigned long long)a.shootdown_ipis,
+          verdicts ? 100.0 * double(a.vetoed) / double(verdicts) : 0.0);
+    }
   }
 
   // Per-window detail: the fairness *trajectory* each policy produced.
@@ -365,7 +422,24 @@ int run_fleet(const Options& o, const std::vector<std::string>& roster) {
             << ", \"worst_slowdown_overall\": " << r.worst_slowdown_overall
             << ", \"worst_slowdown_p99\": " << r.worst_slowdown_p99
             << ", \"jain_floor\": " << r.jain_floor
-            << ", \"windows\": " << r.windows.size() << "}";
+            << ", \"windows\": " << r.windows.size();
+        // The with-admission rerun rides along as a nested object, so the
+        // admission-off fields above stay byte-identical to a compare-free
+        // baseline run.
+        if (r.admission) {
+          const auto& a = *r.admission;
+          out << ", \"admission\": {\"jain_cumulative\": "
+              << a.jain_cumulative << ", \"worst_slowdown_overall\": "
+              << a.worst_slowdown_overall << ", \"worst_slowdown_p99\": "
+              << a.worst_slowdown_p99 << ", \"jain_floor\": " << a.jain_floor
+              << ", \"pages_migrated\": " << a.pages_migrated
+              << ", \"shootdown_ipis\": " << a.shootdown_ipis
+              << ", \"base_pages_migrated\": " << a.base_pages_migrated
+              << ", \"base_shootdown_ipis\": " << a.base_shootdown_ipis
+              << ", \"admitted\": " << a.admitted
+              << ", \"vetoed\": " << a.vetoed << "}";
+        }
+        out << "}";
       }
       out << "]}\n";
     });
@@ -436,10 +510,11 @@ int run_battery(const Options& o) {
   spec.stage = [&o] { return make_scenario(o); };
   spec.capture_timeseries = !o.timeseries_out.empty();
   spec.capture_provenance = !o.provenance_out.empty();
+  if (o.admission) spec.admission_compare = admission_spec(o);
 
-  std::printf("scenario=%s seed=%llu seconds=%.0f policies=%zu\n\n",
+  std::printf("scenario=%s seed=%llu seconds=%.0f policies=%zu%s\n\n",
               o.scenario.c_str(), (unsigned long long)o.seed, o.seconds,
-              roster.size());
+              roster.size(), o.admission ? " admission=compare" : "");
 
   std::vector<runtime::PolicyRunSummary> summaries;
   exec::BatchStats stats;
@@ -470,6 +545,37 @@ int run_battery(const Options& o) {
       std::printf(" %14.3f", slowdown);
     }
     std::printf("\n");
+  }
+
+  // Admission ablation: per-app slowdowns with the veto layer on, next to
+  // the migration cost it saved. The regular table above is the
+  // admission-off half and is byte-identical to an ablation-free battery.
+  if (o.admission) {
+    std::printf("\nadmission ablation (margin=%.2f; off -> on):\n",
+                spec.admission_compare->margin);
+    std::printf("%-10s %12s", "policy", "jain");
+    for (const auto& [app, _] : summaries.front().apps) {
+      std::printf(" %16s", (app + " sd").c_str());
+    }
+    std::printf(" %15s %15s %8s\n", "pages", "ipis", "veto%");
+    for (const auto& s : summaries) {
+      if (!s.admission) continue;
+      const auto& a = *s.admission;
+      std::printf("%-10s %5.3f>%5.3f", s.policy.c_str(), s.jain, a.jain);
+      for (std::size_t i = 0; i < s.apps.size(); ++i) {
+        const double on_sd =
+            i < a.apps.size() ? a.apps[i].second : s.apps[i].second;
+        std::printf(" %7.3f>%7.3f", s.apps[i].second, on_sd);
+      }
+      const std::uint64_t verdicts = a.admitted + a.vetoed;
+      std::printf(" %7llu>%7llu %7llu>%7llu %7.1f%%\n",
+                  (unsigned long long)a.base_pages_migrated,
+                  (unsigned long long)a.pages_migrated,
+                  (unsigned long long)a.base_shootdown_ipis,
+                  (unsigned long long)a.shootdown_ipis,
+                  verdicts ? 100.0 * double(a.vetoed) / double(verdicts)
+                           : 0.0);
+    }
   }
 
   // Per-policy time-series exports, merged in roster order like the table
@@ -512,12 +618,14 @@ int run_battery(const Options& o) {
   if (!o.telemetry_bench.empty()) {
     runtime::ScenarioSpec off = spec;
     off.capture_timeseries = false;
+    off.admission_compare.reset();  // overhead runs, not the ablation
     off.configure = [&configure_base](runtime::SystemBuilder& b) {
       configure_base(b);
       b.telemetry(false);
     };
     runtime::ScenarioSpec on = spec;
     on.capture_timeseries = false;
+    on.admission_compare.reset();
     on.configure = [&configure_base](runtime::SystemBuilder& b) {
       configure_base(b);
       b.slo(obs::default_slo_pack());
@@ -571,7 +679,25 @@ int run_battery(const Options& o) {
           out << (a ? ", " : "") << "{\"name\": \"" << s.apps[a].first
               << "\", \"slowdown\": " << s.apps[a].second << "}";
         }
-        out << "]}";
+        out << "]";
+        // With-admission rerun as a nested object (ablation mode only),
+        // keeping the admission-off fields identical to a plain battery.
+        if (s.admission) {
+          const auto& adm = *s.admission;
+          out << ", \"admission\": {\"jain\": " << adm.jain
+              << ", \"cfi\": " << adm.cfi << ", \"apps\": [";
+          for (std::size_t a = 0; a < adm.apps.size(); ++a) {
+            out << (a ? ", " : "") << "{\"name\": \"" << adm.apps[a].first
+                << "\", \"slowdown\": " << adm.apps[a].second << "}";
+          }
+          out << "], \"pages_migrated\": " << adm.pages_migrated
+              << ", \"shootdown_ipis\": " << adm.shootdown_ipis
+              << ", \"base_pages_migrated\": " << adm.base_pages_migrated
+              << ", \"base_shootdown_ipis\": " << adm.base_shootdown_ipis
+              << ", \"admitted\": " << adm.admitted
+              << ", \"vetoed\": " << adm.vetoed << "}";
+        }
+        out << "}";
       }
       out << "]}\n";
     });
@@ -612,6 +738,7 @@ int main(int argc, char** argv) {
       .provenance(!o.provenance_out.empty())
       .flight_dump(o.flight_dump)
       .policy(std::string_view(o.policy));
+  if (o.admission) builder.admission(admission_spec(o));
   if (o.scenario == "fleet") {
     // Fleet runs fold epochs into 2 s tail-fairness windows retained for
     // the whole run, so the table below covers every window.
@@ -704,6 +831,15 @@ int main(int argc, char** argv) {
   std::fprintf(info, "TLB shootdowns: %llu ops, %llu IPIs\n",
                (unsigned long long)sys.shootdowns().stats().shootdowns,
                (unsigned long long)sys.shootdowns().stats().ipis);
+  if (const mig::AdmissionController* adm = sys.admission_controller()) {
+    const std::uint64_t verdicts = adm->admitted() + adm->vetoed();
+    std::fprintf(info,
+                 "admission: %llu admitted, %llu vetoed (%.1f%% veto rate)\n",
+                 (unsigned long long)adm->admitted(),
+                 (unsigned long long)adm->vetoed(),
+                 verdicts ? 100.0 * double(adm->vetoed()) / double(verdicts)
+                          : 0.0);
+  }
   if (o.scenario == "fleet") {
     const auto rows = runtime::fleet_windows(sys.obs_timeseries());
     std::fprintf(info, "\nfleet tail fairness (%.0f s windows):\n",
